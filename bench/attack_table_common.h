@@ -1,0 +1,140 @@
+// Shared driver for Tables 1-3: runs one reconstruction attack over a batch of examples
+// under the paper's six configurations (Full/0.6/0.2 x {partition, partition+shuffle})
+// and prints the bucket histograms in the paper's format.
+#ifndef DETA_BENCH_ATTACK_TABLE_COMMON_H_
+#define DETA_BENCH_ATTACK_TABLE_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "attacks/gradient_inversion.h"
+#include "bench_util.h"
+#include "data/dataset.h"
+
+namespace deta::bench {
+
+struct AttackTableSetup {
+  attacks::AttackKind kind;
+  int iterations = 60;
+  int num_examples = 8;      // paper: 1000 (DLG/iDLG) / 50 (IG); scaled for CPU
+  int restarts = 1;
+  // Victim model + data (DLG/iDLG: LeNet on CIFAR-100-like; IG: ResNet on ImageNet-like).
+  int image_size = 16;
+  int channels = 1;
+  int classes = 10;
+};
+
+struct ColumnSpec {
+  const char* label;
+  double partition_factor;
+  bool shuffle;
+};
+
+inline constexpr ColumnSpec kPaperColumns[6] = {
+    {"Full", 1.0, false}, {"0.6", 0.6, false},  {"0.2", 0.2, false},
+    {"Full+S", 1.0, true}, {"0.6+S", 0.6, true}, {"0.2+S", 0.2, true}};
+
+struct AttackTableResult {
+  // results[column][example]
+  std::vector<std::vector<attacks::AttackResult>> per_column;
+};
+
+inline AttackTableResult RunAttackTable(const AttackTableSetup& setup) {
+  Rng model_rng(3);
+  auto model =
+      setup.kind == attacks::AttackKind::kIg
+          ? nn::BuildMiniResNet(setup.channels, setup.image_size, setup.classes, model_rng)
+          : nn::BuildLeNet(setup.channels, setup.image_size, setup.classes, model_rng);
+
+  data::SyntheticConfig dc;
+  dc.num_examples = setup.num_examples;
+  dc.classes = setup.classes;
+  dc.channels = setup.channels;
+  dc.image_size = setup.image_size;
+  dc.style = setup.channels == 3 ? data::ImageStyle::kTextured : data::ImageStyle::kBlobs;
+  dc.seed = 11;
+  dc.prototype_seed = 101;
+  data::Dataset dataset = data::GenerateSynthetic(dc);
+
+  AttackTableResult table;
+  table.per_column.resize(6);
+  for (int col = 0; col < 6; ++col) {
+    const ColumnSpec& spec = kPaperColumns[col];
+    for (int i = 0; i < setup.num_examples; ++i) {
+      attacks::AttackConfig config;
+      config.kind = setup.kind;
+      config.iterations = setup.iterations;
+      config.restarts = setup.restarts;
+      config.seed = static_cast<uint64_t>(i) + 1;
+      attacks::AttackScenario scenario;
+      scenario.partition_factor = spec.partition_factor;
+      scenario.shuffle = spec.shuffle;
+      scenario.transform_seed = static_cast<uint64_t>(100 + i);
+      table.per_column[static_cast<size_t>(col)].push_back(
+          attacks::RunAttack(*model, dataset.Example(i),
+                             dataset.labels[static_cast<size_t>(i)], setup.classes, config,
+                             scenario));
+    }
+    double median_metric = 0.0;
+    {
+      std::vector<double> metrics;
+      for (const auto& r : table.per_column[static_cast<size_t>(col)]) {
+        metrics.push_back(setup.kind == attacks::AttackKind::kIg ? r.cosine_distance : r.mse);
+      }
+      std::sort(metrics.begin(), metrics.end());
+      median_metric = metrics[metrics.size() / 2];
+    }
+    std::printf("  column %-7s done (%d examples, median %s = %.4g)\n", spec.label,
+                setup.num_examples,
+                setup.kind == attacks::AttackKind::kIg ? "cosine" : "mse", median_metric);
+    std::fflush(stdout);
+  }
+  return table;
+}
+
+inline void PrintMseTable(const AttackTableResult& table, int num_examples) {
+  std::printf("\n%-14s", "MSE bucket");
+  for (const auto& spec : kPaperColumns) {
+    std::printf(" %8s", spec.label);
+  }
+  std::printf("\n");
+  for (int bucket = 0; bucket < 4; ++bucket) {
+    std::printf("%-14s", attacks::kMseBucketLabels[bucket]);
+    for (int col = 0; col < 6; ++col) {
+      int count = 0;
+      for (const auto& r : table.per_column[static_cast<size_t>(col)]) {
+        if (attacks::MseBucket(r.mse) == bucket) {
+          ++count;
+        }
+      }
+      std::printf(" %7.1f%%", 100.0 * count / num_examples);
+    }
+    std::printf("\n");
+  }
+}
+
+inline void PrintCosineTable(const AttackTableResult& table, int num_examples) {
+  std::printf("\n%-14s", "Cosine bucket");
+  for (const auto& spec : kPaperColumns) {
+    std::printf(" %8s", spec.label);
+  }
+  std::printf("\n");
+  for (int bucket = 0; bucket < 6; ++bucket) {
+    std::printf("%-14s", attacks::kCosineBucketLabels[bucket]);
+    for (int col = 0; col < 6; ++col) {
+      int count = 0;
+      for (const auto& r : table.per_column[static_cast<size_t>(col)]) {
+        if (attacks::CosineBucket(r.cosine_distance) == bucket) {
+          ++count;
+        }
+      }
+      std::printf(" %7.1f%%", 100.0 * count / num_examples);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace deta::bench
+
+#endif  // DETA_BENCH_ATTACK_TABLE_COMMON_H_

@@ -1,0 +1,42 @@
+// Shared helpers for the table/figure reproduction benches.
+#ifndef DETA_BENCH_BENCH_UTIL_H_
+#define DETA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace deta::bench {
+
+// Global scale knob: DETA_BENCH_SCALE=N multiplies sample counts / iterations so the same
+// binaries serve both the quick default run and a full-fidelity reproduction.
+inline int Scale() {
+  const char* env = std::getenv("DETA_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1;
+  }
+  int v = std::atoi(env);
+  return v > 0 ? v : 1;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("DETA_BENCH_SCALE=%d (set >1 for a fuller run)\n", Scale());
+  std::printf("================================================================\n");
+}
+
+// Percent-formatted histogram row.
+inline void PrintBucketRow(const char* label, const std::vector<int>& counts, int total) {
+  std::printf("%-14s", label);
+  for (int c : counts) {
+    std::printf(" %7.1f%%", 100.0 * c / std::max(1, total));
+  }
+  std::printf("\n");
+}
+
+}  // namespace deta::bench
+
+#endif  // DETA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,100 @@
+// Figures 3 & 4: qualitative reconstruction examples. Writes the ground-truth image and
+// each configuration's reconstruction as PGM/PPM files under ./reconstructions/ and
+// prints per-image MSE so the visual claim ("no recognizable reconstruction once DeTA is
+// on") is checkable both numerically and by eye.
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "attack_table_common.h"
+
+namespace {
+
+using deta::Tensor;
+
+// Writes a [1,C,H,W] tensor as PGM (C=1) or PPM (C=3), clamping to [0,1].
+void WriteImage(const Tensor& image, const std::string& path) {
+  int c = image.dim(1), h = image.dim(2), w = image.dim(3);
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::perror("fopen");
+    return;
+  }
+  std::fprintf(f, "%s\n%d %d\n255\n", c == 3 ? "P6" : "P5", w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int ch = 0; ch < c; ++ch) {
+        float v = image[(static_cast<int64_t>(ch) * h + y) * w + x];
+        v = std::min(1.0f, std::max(0.0f, v));
+        std::fputc(static_cast<int>(v * 255.0f), f);
+      }
+    }
+  }
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  using namespace deta::bench;
+  PrintHeader("Figures 3 & 4 — reconstruction examples",
+              "DeTA (EuroSys'24) Figures 3-4, §6.2-6.3");
+  ::mkdir("reconstructions", 0755);
+
+  struct Job {
+    deta::attacks::AttackKind kind;
+    const char* tag;
+    int channels;
+    int iterations;
+  };
+  const Job jobs[] = {{deta::attacks::AttackKind::kDlg, "dlg", 1, 60 * Scale()},
+                      {deta::attacks::AttackKind::kIdlg, "idlg", 1, 60 * Scale()},
+                      {deta::attacks::AttackKind::kIg, "ig", 3, 120 * Scale()}};
+  const int kExamples = 2 * Scale();
+
+  for (const Job& job : jobs) {
+    deta::Rng model_rng(3);
+    auto model = job.kind == deta::attacks::AttackKind::kIg
+                     ? deta::nn::BuildMiniResNet(job.channels, 16, 10, model_rng)
+                     : deta::nn::BuildLeNet(job.channels, 16, 10, model_rng);
+    deta::data::SyntheticConfig dc;
+    dc.num_examples = kExamples;
+    dc.classes = 10;
+    dc.channels = job.channels;
+    dc.image_size = 16;
+    dc.style = job.channels == 3 ? deta::data::ImageStyle::kTextured
+                                 : deta::data::ImageStyle::kBlobs;
+    dc.seed = 11;
+    dc.prototype_seed = 101;
+    auto dataset = deta::data::GenerateSynthetic(dc);
+
+    std::printf("\n%s reconstructions:\n", job.tag);
+    for (int i = 0; i < kExamples; ++i) {
+      std::string base = std::string("reconstructions/") + job.tag + "_ex" +
+                         std::to_string(i);
+      WriteImage(dataset.Example(i), base + "_truth." + (job.channels == 3 ? "ppm" : "pgm"));
+      for (const auto& spec : kPaperColumns) {
+        deta::attacks::AttackConfig config;
+        config.kind = job.kind;
+        config.iterations = job.iterations;
+        config.seed = static_cast<uint64_t>(i) + 1;
+        deta::attacks::AttackScenario scenario;
+        scenario.partition_factor = spec.partition_factor;
+        scenario.shuffle = spec.shuffle;
+        scenario.transform_seed = static_cast<uint64_t>(100 + i);
+        auto result = deta::attacks::RunAttack(*model, dataset.Example(i),
+                                               dataset.labels[static_cast<size_t>(i)], 10,
+                                               config, scenario);
+        std::string name = base + "_" + spec.label + (job.channels == 3 ? ".ppm" : ".pgm");
+        WriteImage(result.reconstruction, name);
+        std::printf("  example %d %-7s mse=%-12.4g -> %s\n", i, spec.label, result.mse,
+                    name.c_str());
+      }
+    }
+  }
+  std::printf(
+      "\nInspect the images: the *_Full.* reconstructions resemble *_truth.*; every\n"
+      "partitioned/shuffled configuration is noise, matching the paper's figures.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 7: non-IID training of a larger model — the paper trains VGG-16 (transfer) on
+// RVL-CDIP with a 90-10 two-dominant-class skew across 8 parties, 30 rounds. Reproduced
+// with MiniVGG on the synthetic document dataset under the same 90-10 skew (see
+// DESIGN.md). Expected shapes: DeTA and FFL converge at the same rate despite the skew;
+// latency overhead small (paper: +0.16x).
+#include "fl_figure_common.h"
+
+int main() {
+  using namespace deta::bench;
+  using deta::Rng;
+  namespace data = deta::data;
+  namespace nn = deta::nn;
+
+  PrintHeader("Figure 7 — non-IID RVL-CDIP, VGG-style model",
+              "DeTA (EuroSys'24) Figure 7, §7.3");
+  int scale = Scale();
+
+  FigureWorkload w;
+  w.num_parties = 8;
+  w.num_aggregators = 3;
+  w.non_iid = true;
+  w.non_iid_dominant_classes = 2;
+  w.non_iid_dominant_fraction = 0.9f;
+  w.config.rounds = 8 * scale;  // paper: 30
+  w.config.train.batch_size = 16;
+  w.config.train.local_epochs = 1;
+  w.config.train.lr = 0.1f;
+  w.make_train = [=] { return data::SynthRvlCdip(480 * scale, 7); };
+  w.make_eval = [=] { return data::SynthRvlCdip(96 * scale, 8); };
+  w.model_factory = [] {
+    Rng rng(1234);
+    return nn::BuildMiniVgg(1, 32, 16, rng);
+  };
+  // MiniVgg expects image_size multiples of 16; the synthetic RVL-CDIP preset is 64x64 —
+  // train at 32x32 by generating a dedicated config for throughput.
+  w.make_train = [=] {
+    data::SyntheticConfig c;
+    c.num_examples = 480 * scale;
+    c.classes = 16;
+    c.channels = 1;
+    c.image_size = 32;
+    c.style = data::ImageStyle::kDocument;
+    c.seed = 7;
+    c.prototype_seed = 505;
+    return data::GenerateSynthetic(c);
+  };
+  w.make_eval = [=] {
+    data::SyntheticConfig c;
+    c.num_examples = 96 * scale;
+    c.classes = 16;
+    c.channels = 1;
+    c.image_size = 32;
+    c.style = data::ImageStyle::kDocument;
+    c.seed = 8;
+    c.prototype_seed = 505;
+    return data::GenerateSynthetic(c);
+  };
+
+  {
+    FigureSeries series = RunComparison(w);
+    PrintSeries("Fig 7 — non-IID 90-10 skew, 8 parties", series);
+    WriteSeriesCsv(CsvName("Fig 7 — non-IID 90-10 skew, 8 parties"), series);
+  }
+  std::printf(
+      "\nPaper: 30 rounds of VGG-16/RVL-CDIP; final acc 83.5%% (DeTA) vs 86.2%% (FFL sim);\n"
+      "DeTA latency overhead +0.16x. Shapes preserved here at reduced scale.\n");
+  return 0;
+}

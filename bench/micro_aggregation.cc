@@ -1,0 +1,59 @@
+// Microbenchmarks for the aggregation algorithms, central vs partitioned: the partition
+// columns show the per-aggregator cost drop that makes expensive algorithms (median,
+// FLAME, Paillier) cheaper under DeTA.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fl/aggregation.h"
+
+namespace {
+
+using namespace deta;
+
+std::vector<fl::ModelUpdate> MakeUpdates(int parties, int64_t n) {
+  Rng rng(7);
+  std::vector<fl::ModelUpdate> updates(static_cast<size_t>(parties));
+  for (auto& u : updates) {
+    u.values.resize(static_cast<size_t>(n));
+    for (auto& v : u.values) {
+      v = rng.NextGaussian();
+    }
+    u.weight = 1.0;
+  }
+  return updates;
+}
+
+void RunAlgorithm(benchmark::State& state, const std::string& name) {
+  int parties = static_cast<int>(state.range(0));
+  int64_t n = state.range(1);
+  auto algorithm = fl::MakeAlgorithm(name);
+  auto updates = MakeUpdates(parties, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algorithm->Aggregate(updates));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * parties);
+}
+
+void BM_IterativeAveraging(benchmark::State& state) {
+  RunAlgorithm(state, "iterative_averaging");
+}
+void BM_CoordinateMedian(benchmark::State& state) {
+  RunAlgorithm(state, "coordinate_median");
+}
+void BM_Krum(benchmark::State& state) { RunAlgorithm(state, "krum"); }
+void BM_Flame(benchmark::State& state) { RunAlgorithm(state, "flame"); }
+void BM_TrimmedMean(benchmark::State& state) { RunAlgorithm(state, "trimmed_mean"); }
+
+// parties x coordinates; the 1/3-size rows model one DeTA aggregator's partition.
+#define AGG_ARGS \
+  ->Args({4, 200000})->Args({4, 66667})->Args({8, 200000})->Args({8, 66667})
+
+BENCHMARK(BM_IterativeAveraging) AGG_ARGS;
+BENCHMARK(BM_CoordinateMedian) AGG_ARGS;
+BENCHMARK(BM_Krum) AGG_ARGS;
+BENCHMARK(BM_Flame) AGG_ARGS;
+BENCHMARK(BM_TrimmedMean) AGG_ARGS;
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Microbenchmarks for the crypto substrate (google-benchmark): the primitives behind
+// attestation (SHA-256/ECDSA), secure channels (ChaCha20/HMAC/AEAD), shuffling (keyed
+// permutation derivation), and Paillier fusion.
+#include <benchmark/benchmark.h>
+
+#include "core/shuffler.h"
+#include "crypto/aead.h"
+#include "crypto/ecdsa.h"
+#include "crypto/paillier.h"
+#include "crypto/sha256.h"
+
+namespace {
+
+using namespace deta;
+using namespace deta::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256Digest(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_ChaCha20(benchmark::State& state) {
+  SecureRng rng(StringToBytes("bench"));
+  auto key = rng.NextArray<kChaChaKeySize>();
+  auto nonce = rng.NextArray<kChaChaNonceSize>();
+  Bytes data(static_cast<size_t>(state.range(0)), 0x55);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ChaCha20Xor(key, nonce, 0, data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(4096)->Arg(1 << 20);
+
+void BM_AeadSealOpen(benchmark::State& state) {
+  SecureRng rng(StringToBytes("bench"));
+  Aead aead(StringToBytes("key"));
+  Bytes data(static_cast<size_t>(state.range(0)), 0x55);
+  Bytes ad = StringToBytes("chan");
+  for (auto _ : state) {
+    Bytes frame = aead.Seal(data, ad, rng);
+    benchmark::DoNotOptimize(aead.Open(frame, ad));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AeadSealOpen)->Arg(4096)->Arg(1 << 18);
+
+void BM_EcdsaSign(benchmark::State& state) {
+  SecureRng rng(StringToBytes("bench"));
+  EcKeyPair key = GenerateEcKey(rng);
+  Bytes message = StringToBytes("challenge nonce");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EcdsaSign(key.private_key, message));
+  }
+}
+BENCHMARK(BM_EcdsaSign);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+  SecureRng rng(StringToBytes("bench"));
+  EcKeyPair key = GenerateEcKey(rng);
+  Bytes message = StringToBytes("challenge nonce");
+  EcdsaSignature sig = EcdsaSign(key.private_key, message);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EcdsaVerify(key.public_key, message, sig));
+  }
+}
+BENCHMARK(BM_EcdsaVerify);
+
+void BM_EcdhAgree(benchmark::State& state) {
+  SecureRng rng(StringToBytes("bench"));
+  EcKeyPair a = GenerateEcKey(rng);
+  EcKeyPair b = GenerateEcKey(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EcdhSharedSecret(a.private_key, b.public_key));
+  }
+}
+BENCHMARK(BM_EcdhAgree);
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  SecureRng rng(StringToBytes("bench"));
+  PaillierKeyPair key = GeneratePaillierKey(rng, static_cast<size_t>(state.range(0)));
+  BigUint m(123456789);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.pub.Encrypt(m, rng));
+  }
+}
+BENCHMARK(BM_PaillierEncrypt)->Arg(256)->Arg(512);
+
+void BM_PaillierAddCiphertexts(benchmark::State& state) {
+  SecureRng rng(StringToBytes("bench"));
+  PaillierKeyPair key = GeneratePaillierKey(rng, 256);
+  BigUint c1 = key.pub.Encrypt(BigUint(1), rng);
+  BigUint c2 = key.pub.Encrypt(BigUint(2), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.pub.AddCiphertexts(c1, c2));
+  }
+}
+BENCHMARK(BM_PaillierAddCiphertexts);
+
+void BM_PaillierDecrypt(benchmark::State& state) {
+  SecureRng rng(StringToBytes("bench"));
+  PaillierKeyPair key = GeneratePaillierKey(rng, 256);
+  BigUint c = key.pub.Encrypt(BigUint(42), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.priv.Decrypt(c, key.pub));
+  }
+}
+BENCHMARK(BM_PaillierDecrypt);
+
+void BM_PermutationDerivation(benchmark::State& state) {
+  core::Shuffler shuffler(core::GeneratePermutationKey(128, StringToBytes("e")));
+  int64_t n = state.range(0);
+  uint64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shuffler.PermutationFor(++round, 0, n));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_PermutationDerivation)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Microbenchmarks for the DeTA transform path: partition, shuffle, merge, and the full
+// Trans/Trans^-1 pipeline at model-update sizes from tiny MLPs to VGG-scale vectors.
+#include <benchmark/benchmark.h>
+
+#include "core/transform.h"
+
+namespace {
+
+using namespace deta;
+
+core::Transform MakeTransform(int64_t n, int partitions, bool shuffle) {
+  auto mapper = std::make_shared<core::ModelMapper>(
+      core::ModelMapper::Uniform(n, partitions, StringToBytes("bench")));
+  auto shuffler = std::make_shared<core::Shuffler>(
+      core::GeneratePermutationKey(128, StringToBytes("bench")));
+  core::TransformConfig config;
+  config.enable_shuffle = shuffle;
+  return core::Transform(mapper, shuffler, config);
+}
+
+void BM_MapperPartition(benchmark::State& state) {
+  int64_t n = state.range(0);
+  core::ModelMapper mapper =
+      core::ModelMapper::Uniform(n, 3, StringToBytes("bench"));
+  std::vector<float> flat(static_cast<size_t>(n), 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.Partition(flat));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_MapperPartition)->Arg(10000)->Arg(200000)->Arg(2000000);
+
+void BM_MapperMerge(benchmark::State& state) {
+  int64_t n = state.range(0);
+  core::ModelMapper mapper =
+      core::ModelMapper::Uniform(n, 3, StringToBytes("bench"));
+  auto fragments = mapper.Partition(std::vector<float>(static_cast<size_t>(n), 1.0f));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.Merge(fragments));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_MapperMerge)->Arg(10000)->Arg(200000)->Arg(2000000);
+
+void BM_ShuffleFragment(benchmark::State& state) {
+  int64_t n = state.range(0);
+  core::Shuffler shuffler(core::GeneratePermutationKey(128, StringToBytes("bench")));
+  std::vector<float> fragment(static_cast<size_t>(n), 1.0f);
+  uint64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shuffler.Shuffle(fragment, ++round, 0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ShuffleFragment)->Arg(10000)->Arg(200000)->Arg(2000000);
+
+void BM_FullTransform(benchmark::State& state) {
+  int64_t n = state.range(0);
+  bool shuffle = state.range(1) != 0;
+  core::Transform transform = MakeTransform(n, 3, shuffle);
+  std::vector<float> flat(static_cast<size_t>(n), 1.0f);
+  uint64_t round = 0;
+  for (auto _ : state) {
+    auto fragments = transform.Apply(flat, ++round);
+    benchmark::DoNotOptimize(transform.Invert(fragments, round));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_FullTransform)
+    ->Args({200000, 0})
+    ->Args({200000, 1})
+    ->Args({2000000, 0})
+    ->Args({2000000, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Table 2: iDLG (label inference + L-BFGS reconstruction) under partitioning/shuffling.
+// Same protocol as Table 1; iDLG additionally reports label-inference accuracy, which is
+// exact under full in-order access and collapses under DeTA's transforms.
+#include "attack_table_common.h"
+
+int main() {
+  using namespace deta::bench;
+  PrintHeader("Table 2 — iDLG under partitioning & shuffling",
+              "DeTA (EuroSys'24) Table 2, §6.2");
+
+  AttackTableSetup setup;
+  setup.kind = deta::attacks::AttackKind::kIdlg;
+  setup.iterations = 60 * Scale();
+  setup.num_examples = 8 * Scale();
+  setup.image_size = 16;
+  setup.channels = 1;
+  setup.classes = 10;
+
+  AttackTableResult table = RunAttackTable(setup);
+  PrintMseTable(table, setup.num_examples);
+
+  // Label-inference accuracy per column (iDLG's distinguishing capability).
+  deta::data::SyntheticConfig dc;
+  dc.num_examples = setup.num_examples;
+  dc.classes = setup.classes;
+  dc.channels = setup.channels;
+  dc.image_size = setup.image_size;
+  dc.style = deta::data::ImageStyle::kBlobs;
+  dc.seed = 11;
+  dc.prototype_seed = 101;
+  deta::data::Dataset dataset = deta::data::GenerateSynthetic(dc);
+  std::printf("\n%-14s", "label acc");
+  for (int col = 0; col < 6; ++col) {
+    int correct = 0;
+    for (int i = 0; i < setup.num_examples; ++i) {
+      if (table.per_column[static_cast<size_t>(col)][static_cast<size_t>(i)].inferred_label ==
+          dataset.labels[static_cast<size_t>(i)]) {
+        ++correct;
+      }
+    }
+    std::printf(" %7.1f%%", 100.0 * correct / setup.num_examples);
+  }
+  std::printf("\n");
+
+  std::printf(
+      "\nPaper reference: Full column 83.7%% below 1e-3; partitioning pushes all\n"
+      "reconstructions above MSE 1; shuffle+partition above 1e3.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Table 3: Inverting Gradients (IG) final cosine distance under partitioning/shuffling.
+// Paper setup: randomly initialized ResNet-18, 50 ImageNet images, 24k signed-Adam
+// iterations with 2 restarts. This reproduction: MiniResNet on the synthetic
+// ImageNet stand-in at reduced scale (see DESIGN.md).
+//
+// Expected shape (paper): Full < 0.01 (converges); partition-only stuck >= 0.2 and
+// growing as the fragment shrinks; shuffle pins the cost into [0.8, 1].
+#include "attack_table_common.h"
+
+int main() {
+  using namespace deta::bench;
+  PrintHeader("Table 3 — IG cosine distance under partitioning & shuffling",
+              "DeTA (EuroSys'24) Table 3, §6.3");
+
+  AttackTableSetup setup;
+  setup.kind = deta::attacks::AttackKind::kIg;
+  setup.iterations = 120 * Scale();
+  setup.num_examples = 5 * Scale();
+  setup.restarts = 2;
+  setup.image_size = 16;
+  setup.channels = 3;
+  setup.classes = 10;
+
+  AttackTableResult table = RunAttackTable(setup);
+  PrintCosineTable(table, setup.num_examples);
+
+  std::printf(
+      "\nPaper reference (50 ImageNet images, ResNet-18, 24k iters, 2 restarts):\n"
+      "  Full: 100%% in [0, 0.01)      (optimization converges)\n"
+      "  0.6 partition: 100%% in [0.2, 0.4); 0.2 partition: 98%% in [0.4, 0.6)\n"
+      "  any+shuffle: 100%% in [0.8, 1]\n"
+      "Scale notes (details in EXPERIMENTS.md): at this compute budget (~100x fewer\n"
+      "iterations than the paper) the converged Full column lands in [0.01, 0.2) rather\n"
+      "than [0, 0.01), and without the party-held mapper this attacker's best alignment\n"
+      "is a uniform stretch, so partition-only columns land higher than the paper's.\n"
+      "The ordering the paper demonstrates — Full converges, partition blocks\n"
+      "convergence, shuffle pins the cost near 1 — is preserved.\n");
+  return 0;
+}

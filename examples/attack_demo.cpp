@@ -1,0 +1,86 @@
+// Attack demo: run the DLG gradient-inversion attack against a party's model update with
+// and without DeTA's protections, and render the reconstructions as terminal ASCII art.
+//
+//   $ ./attack_demo
+//
+// This is the paper's §6 worst case: the adversary breached the aggregator and holds the
+// upstreamed update; it even gets white-box model access. With full in-order gradients
+// the training image leaks; with DeTA's partitioning+shuffling it does not.
+#include <cstdio>
+
+#include "attacks/gradient_inversion.h"
+#include "data/dataset.h"
+
+using namespace deta;
+
+namespace {
+
+// Renders a [1,1,H,W] image as ASCII grayscale.
+void Render(const Tensor& image, const char* title) {
+  static const char kRamp[] = " .:-=+*#%@";
+  int h = image.dim(2), w = image.dim(3);
+  std::printf("%s\n", title);
+  for (int y = 0; y < h; ++y) {
+    std::printf("  ");
+    for (int x = 0; x < w; ++x) {
+      float v = image[static_cast<int64_t>(y) * w + x];
+      v = std::min(1.0f, std::max(0.0f, v));
+      int idx = static_cast<int>(v * 9.0f);
+      std::printf("%c%c", kRamp[idx], kRamp[idx]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Victim: a LeNet being trained on a private image (sigmoid LeNet, as in DLG).
+  Rng rng(3);
+  auto model = nn::BuildLeNet(/*in_channels=*/1, /*image_size=*/16, /*classes=*/10, rng);
+
+  data::SyntheticConfig dc;
+  dc.num_examples = 1;
+  dc.classes = 10;
+  dc.channels = 1;
+  dc.image_size = 16;
+  dc.style = data::ImageStyle::kBlobs;
+  dc.seed = 11;
+  dc.prototype_seed = 101;
+  data::Dataset dataset = data::GenerateSynthetic(dc);
+  Tensor secret_image = dataset.Example(0);
+  int label = dataset.labels[0];
+
+  Render(secret_image, "\n[private training image — never leaves the party]");
+
+  attacks::AttackConfig config;
+  config.kind = attacks::AttackKind::kDlg;
+  config.iterations = 80;
+
+  struct Scenario {
+    const char* title;
+    double factor;
+    bool shuffle;
+  };
+  const Scenario scenarios[] = {
+      {"\n[attack vs. plain FL: full, in-order gradient leaked]", 1.0, false},
+      {"\n[attack vs. DeTA partition-only: one aggregator's 0.6 fragment]", 0.6, false},
+      {"\n[attack vs. full DeTA: 0.6 fragment, parameters shuffled]", 0.6, true},
+  };
+  for (const Scenario& s : scenarios) {
+    attacks::AttackScenario scenario;
+    scenario.partition_factor = s.factor;
+    scenario.shuffle = s.shuffle;
+    auto result = attacks::RunAttack(*model, secret_image, label, 10, config, scenario);
+    Render(Clamp(result.reconstruction, 0.0f, 1.0f), s.title);
+    std::printf("  reconstruction MSE vs. truth: %.4g  (%s)\n", result.mse,
+                result.mse < 1e-3 ? "RECOGNIZABLE — data leaked"
+                                  : "unrecognizable — attack defeated");
+  }
+
+  std::printf(
+      "\nTakeaway: the same attack that reads a training image off a plain FL gradient\n"
+      "recovers only noise once the update is partitioned across aggregators and\n"
+      "shuffled with the party-held permutation key.\n");
+  return 0;
+}

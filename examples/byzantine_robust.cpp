@@ -1,0 +1,89 @@
+// Byzantine robustness under DeTA (§4.2 "Applicable Aggregation Algorithms"): a poisoning
+// party submits hostile updates; Krum / Coordinate Median / FLAME filter it equally well
+// whether aggregation is centralized or running on DeTA's partitioned, shuffled
+// fragments — distances and per-coordinate statistics are permutation-invariant.
+#include <cstdio>
+
+#include "core/deta_job.h"
+
+using namespace deta;
+
+namespace {
+
+// A malicious party: trains normally, then negates and amplifies its update
+// (a classic model-poisoning strategy).
+class PoisoningParty : public fl::Party {
+ public:
+  using fl::Party::Party;
+
+  LocalResult RunLocalRound(const std::vector<float>& global_params, int round) override {
+    LocalResult result = fl::Party::RunLocalRound(global_params, round);
+    for (auto& v : result.update.values) {
+      v = -8.0f * v;
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+int main() {
+  fl::ModelFactory model_factory = [] {
+    Rng rng(1234);
+    return nn::BuildConvNet8(1, 14, 10, rng);
+  };
+  data::SyntheticConfig dc;
+  dc.num_examples = 500;
+  dc.classes = 10;
+  dc.channels = 1;
+  dc.image_size = 14;
+  dc.style = data::ImageStyle::kBlobs;
+  dc.seed = 7;
+  dc.prototype_seed = 777;
+  data::Dataset train = data::GenerateSynthetic(dc);
+  dc.seed = 8;
+  dc.num_examples = 150;
+  data::Dataset eval = data::GenerateSynthetic(dc);
+
+  Rng split_rng(5);
+  auto shards = data::SplitIid(train, 5, split_rng);
+
+  fl::TrainConfig tc;
+  tc.batch_size = 25;
+  tc.local_epochs = 1;
+  tc.lr = 0.08f;
+
+  auto make_parties = [&] {
+    std::vector<std::unique_ptr<fl::Party>> parties;
+    for (int i = 0; i < 4; ++i) {
+      parties.push_back(std::make_unique<fl::Party>("party" + std::to_string(i),
+                                                    shards[static_cast<size_t>(i)],
+                                                    model_factory, tc, 100 + i));
+    }
+    parties.push_back(std::make_unique<PoisoningParty>("poisoner", shards[4], model_factory,
+                                                       tc, 104));
+    return parties;
+  };
+
+  std::printf("5 parties, one of which negates & amplifies its updates (x-8).\n\n");
+  std::printf("%-22s %-14s %-14s\n", "aggregation", "final acc", "final loss");
+  for (const char* algorithm : {"iterative_averaging", "coordinate_median", "krum",
+                                "flame", "trimmed_mean"}) {
+    core::DetaJobConfig config;
+    config.base.rounds = 4;
+    config.base.train = tc;
+    config.base.algorithm = algorithm;
+    config.num_aggregators = 3;
+    core::DetaJob job(config, make_parties(), model_factory, eval);
+    auto metrics = job.Run();
+    std::printf("%-22s %-14.3f %-14.3f%s\n", algorithm, metrics.back().accuracy,
+                metrics.back().loss,
+                std::string(algorithm) == "iterative_averaging"
+                    ? "   <- plain averaging is wrecked by the poisoner"
+                    : "");
+  }
+  std::printf(
+      "\nThe Byzantine-robust algorithms hold up on DeTA's partitioned+shuffled\n"
+      "fragments: outlier filtering relies only on permutation-invariant quantities.\n");
+  return 0;
+}

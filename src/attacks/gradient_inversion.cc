@@ -1,0 +1,485 @@
+#include "attacks/gradient_inversion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "crypto/chacha20.h"
+#include "nn/optimizer.h"
+
+namespace deta::attacks {
+
+namespace ag = autograd;
+using ag::Var;
+
+std::string AttackName(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kDlg:
+      return "DLG";
+    case AttackKind::kIdlg:
+      return "iDLG";
+    case AttackKind::kIg:
+      return "IG";
+  }
+  return "?";
+}
+
+std::vector<float> VictimGradient(nn::Model& model, const Tensor& x_true, int label,
+                                  int classes) {
+  auto lg = nn::ComputeLossAndGrads(model, x_true, nn::OneHot({label}, classes));
+  std::vector<float> flat;
+  for (const Tensor& g : lg.grads) {
+    flat.insert(flat.end(), g.values().begin(), g.values().end());
+  }
+  return flat;
+}
+
+Observation Observe(const std::vector<float>& victim_grad, const AttackScenario& scenario) {
+  DETA_CHECK_GT(scenario.partition_factor, 0.0);
+  DETA_CHECK_LE(scenario.partition_factor, 1.0);
+  size_t total = victim_grad.size();
+  size_t count = static_cast<size_t>(std::llround(scenario.partition_factor *
+                                                  static_cast<double>(total)));
+  count = std::max<size_t>(1, std::min(count, total));
+
+  crypto::SecureRng rng(StringToBytes("observe-" + std::to_string(scenario.transform_seed)));
+  Observation obs;
+  if (count == total) {
+    obs.true_indices.resize(total);
+    for (size_t i = 0; i < total; ++i) {
+      obs.true_indices[i] = static_cast<int64_t>(i);
+    }
+  } else {
+    // Uniform random coordinate subset (one aggregator's partition under the mapper),
+    // squeezed in sequence: ascending global order, as §4.1 describes.
+    std::vector<int64_t> order(total);
+    for (size_t i = 0; i < total; ++i) {
+      order[i] = static_cast<int64_t>(i);
+    }
+    for (size_t i = order.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(rng.NextBelow(i));
+      std::swap(order[i - 1], order[j]);
+    }
+    obs.true_indices.assign(order.begin(), order.begin() + static_cast<long>(count));
+    std::sort(obs.true_indices.begin(), obs.true_indices.end());
+  }
+
+  obs.observed_values.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    obs.observed_values[i] = victim_grad[static_cast<size_t>(obs.true_indices[i])];
+  }
+
+  // The attacker's alignment: only the parties know the mapper, so the best an attacker
+  // can do with an order-preserving fragment is stretch it uniformly across the gradient
+  // (attack_indices[i] = i * total / count) — this keeps whatever neighbourhood
+  // correlation survives, but every coordinate is still matched against the wrong one.
+  // With the position oracle (ablation) the true coordinates are used instead.
+  if (scenario.oracle_positions || count == total) {
+    obs.attack_indices = obs.true_indices;
+  } else {
+    obs.attack_indices.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      obs.attack_indices[i] =
+          static_cast<int64_t>(i * total / count);
+    }
+  }
+  if (scenario.shuffle) {
+    // Parameter-level shuffling: the adversary holds the same values in an order it
+    // cannot invert without the permutation key.
+    crypto::SecureRng perm_rng(
+        StringToBytes("shuffle-" + std::to_string(scenario.transform_seed)));
+    for (size_t i = obs.observed_values.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(perm_rng.NextBelow(i));
+      std::swap(obs.observed_values[i - 1], obs.observed_values[j]);
+    }
+  }
+  return obs;
+}
+
+namespace {
+
+// Soft-target cross-entropy for a [1, classes] logits row (DLG optimizes the label as a
+// distribution, so the one-hot CE composite does not apply directly).
+Var SoftCrossEntropy(const Var& logits, const Var& soft_targets) {
+  Var row_max(deta::RowMax(logits.value()));
+  Var shifted = ag::SubColVec(logits, row_max);
+  Var lse = ag::Log(ag::RowSum(ag::Exp(shifted)));
+  Var log_probs = ag::SubColVec(shifted, lse);
+  // Mean over rows so dummy-gradient scaling matches the victim's mean-CE gradients for
+  // any batch size.
+  float inv_rows = -1.0f / static_cast<float>(logits.value().dim(0));
+  return ag::MulScalar(ag::SumAll(ag::Mul(soft_targets, log_probs)), inv_rows);
+}
+
+// The dummy gradient restricted to the adversary's visible coordinates, as a
+// differentiable function of the dummy input (and label).
+Var VisibleDummyGradient(nn::Model& model, const Var& x_dummy, const Var& targets,
+                         bool soft_targets, const std::vector<int64_t>& visible) {
+  Var logits = model.Forward(x_dummy);
+  Var loss = soft_targets ? SoftCrossEntropy(logits, targets)
+                          : ag::SoftmaxCrossEntropy(logits, targets);
+  std::vector<Var> grads = ag::Grad(loss, model.params(), /*create_graph=*/true);
+  Var flat = ag::ConcatFlat(grads);
+  return ag::Gather1D(flat, visible);
+}
+
+// Softmax over a [1, n] logits row.
+Var SoftmaxRow(const Var& logits) {
+  Var row_max(deta::RowMax(logits.value()));
+  Var shifted = ag::SubColVec(logits, row_max);
+  Var e = ag::Exp(shifted);
+  Var s = ag::RowSum(e);  // [1]
+  return ag::Mul(e, ag::BroadcastCol(ag::Recip(s), logits.value().dim(1)));
+}
+
+// iDLG label inference: for cross-entropy, the classification-layer bias gradient is
+// softmax(c) - 1[c == y], negative only at the true label. The bias occupies the last
+// |classes| coordinates of the flattened update, so the adversary reads the tail of its
+// fragment as the bias gradient. Exact for Full in-order fragments; silently degraded by
+// partitioning (the tail holds mostly other coordinates) and destroyed by shuffling —
+// exactly the paper's point.
+int InferLabel(const Observation& obs, int classes, uint64_t seed) {
+  if (obs.observed_values.size() < static_cast<size_t>(classes)) {
+    crypto::SecureRng rng(StringToBytes("idlg-fallback-" + std::to_string(seed)));
+    return static_cast<int>(rng.NextBelow(static_cast<uint64_t>(classes)));
+  }
+  size_t tail = obs.observed_values.size() - static_cast<size_t>(classes);
+  int best = 0;
+  float best_value = obs.observed_values[tail];
+  for (int c = 1; c < classes; ++c) {
+    float v = obs.observed_values[tail + static_cast<size_t>(c)];
+    if (v < best_value) {
+      best_value = v;
+      best = c;
+    }
+  }
+  return best;
+}
+
+struct DlgOutcome {
+  Tensor reconstruction;
+  double final_objective = 0.0;
+};
+
+// DLG / iDLG shared core: L-BFGS on the squared gradient-matching objective.
+// When |optimize_label| the flat variable is [x' ; label logits]; otherwise x' only.
+// Works for any batch size: x_shape is [B, C, H, W] and fixed_one_hot is [B, classes].
+DlgOutcome RunDlgCore(nn::Model& model, const Tensor::Shape& x_shape, int classes,
+                      bool optimize_label, const Tensor& fixed_one_hot,
+                      const Observation& obs, const AttackConfig& config) {
+  int64_t x_numel = 1;
+  for (int d : x_shape) {
+    x_numel *= d;
+  }
+  int batch = x_shape[0];
+  Var observed(Tensor({static_cast<int>(obs.observed_values.size())},
+                      std::vector<float>(obs.observed_values)));
+
+  Rng init_rng(config.seed * 7919 + 13);
+  std::vector<float> z;
+  {
+    Tensor x0 = Tensor::Gaussian(x_shape, init_rng, 0.5f, 0.3f);
+    z.assign(x0.values().begin(), x0.values().end());
+    if (optimize_label) {
+      Tensor y0 = Tensor::Gaussian({batch, classes}, init_rng, 0.0f, 0.5f);
+      z.insert(z.end(), y0.values().begin(), y0.values().end());
+    }
+  }
+
+  auto loss_fn = [&](const std::vector<float>& point, std::vector<float>& grad) -> double {
+    Tensor xt(x_shape, std::vector<float>(point.begin(),
+                                          point.begin() + static_cast<long>(x_numel)));
+    Var x_dummy(xt, /*requires_grad=*/true);
+    Var visible_grad;
+    std::vector<Var> opt_vars{x_dummy};
+    if (optimize_label) {
+      Tensor yt({batch, classes},
+                std::vector<float>(point.begin() + static_cast<long>(x_numel), point.end()));
+      Var y_logits(yt, /*requires_grad=*/true);
+      opt_vars.push_back(y_logits);
+      visible_grad =
+          VisibleDummyGradient(model, x_dummy, SoftmaxRow(y_logits), /*soft=*/true,
+                               obs.attack_indices);
+    } else {
+      visible_grad = VisibleDummyGradient(model, x_dummy, Var(fixed_one_hot), /*soft=*/false,
+                                          obs.attack_indices);
+    }
+    Var attack_loss = ag::SquaredDifferenceSum(visible_grad, observed);
+    std::vector<Var> grads = ag::Grad(attack_loss, opt_vars);
+    grad.clear();
+    for (const Var& g : grads) {
+      grad.insert(grad.end(), g.value().values().begin(), g.value().values().end());
+    }
+    return static_cast<double>(attack_loss.value()[0]);
+  };
+
+  nn::Lbfgs::Options options;
+  options.max_line_search_steps = 6;
+  nn::Lbfgs lbfgs(options);
+  double loss = 0.0;
+  for (int it = 0; it < config.iterations; ++it) {
+    loss = lbfgs.Step(loss_fn, z);
+  }
+
+  DlgOutcome outcome;
+  outcome.reconstruction =
+      Tensor(x_shape, std::vector<float>(z.begin(), z.begin() + static_cast<long>(x_numel)));
+  outcome.final_objective = loss;
+  return outcome;
+}
+
+struct IgOutcome {
+  Tensor reconstruction;
+  double cosine = 1.0;
+};
+
+// Per-layer view of the observation: IG computes its cosine objective layer-wise (as the
+// reference implementation does), which conditions the optimization far better than one
+// global cosine over the concatenated gradient.
+struct LayerObservation {
+  size_t param_index;
+  std::vector<int64_t> local_indices;  // into the layer's flattened gradient
+  Var observed;                        // constant slice of the observed values
+};
+
+std::vector<LayerObservation> SplitObservationByLayer(const Observation& obs,
+                                                      const std::vector<Var>& params) {
+  std::vector<LayerObservation> layers;
+  size_t cursor = 0;
+  int64_t offset = 0;
+  for (size_t p = 0; p < params.size(); ++p) {
+    int64_t len = params[p].numel();
+    LayerObservation layer;
+    layer.param_index = p;
+    std::vector<float> values;
+    while (cursor < obs.attack_indices.size() && obs.attack_indices[cursor] < offset + len) {
+      layer.local_indices.push_back(obs.attack_indices[cursor] - offset);
+      values.push_back(obs.observed_values[cursor]);
+      ++cursor;
+    }
+    if (!layer.local_indices.empty()) {
+      int count = static_cast<int>(values.size());
+      layer.observed = Var(Tensor({count}, std::move(values)));
+      layers.push_back(std::move(layer));
+    }
+    offset += len;
+  }
+  return layers;
+}
+
+// IG core: signed Adam on the sum of per-layer cosine distances + total variation, with
+// x' clamped to [0,1]. Works for any batch size via the one-hot target matrix.
+IgOutcome RunIgCore(nn::Model& model, const Tensor::Shape& x_shape, const Tensor& one_hot,
+                    const Observation& obs, const AttackConfig& config) {
+  std::vector<LayerObservation> layers = SplitObservationByLayer(obs, model.params());
+
+  IgOutcome best;
+  for (int restart = 0; restart < std::max(1, config.restarts); ++restart) {
+    Rng init_rng(config.seed * 104729 + static_cast<uint64_t>(restart) * 31 + 7);
+    Var x_dummy(Clamp(Tensor::Gaussian(x_shape, init_rng, 0.5f, 0.25f), 0.0f, 1.0f),
+                /*requires_grad=*/true);
+    nn::Adam adam(config.ig_lr);
+    adam.set_use_grad_sign(true);
+    std::vector<Var> params{x_dummy};
+
+    // Signed updates oscillate near the optimum, so keep the best iterate (as the IG
+    // reference implementation does when choosing among candidates).
+    double cosine = 1.0;
+    Tensor best_x = x_dummy.value();
+    for (int it = 0; it < config.iterations; ++it) {
+      // Step-decay schedule as in the IG reference implementation (x1/10 at 1/2, 3/4 and
+      // 7/8 of the budget) — signed updates have a precision floor of ~lr per pixel, so
+      // the final descent below the 0.01 convergence bucket needs small terminal steps.
+      if (it == config.iterations / 2 || it == 3 * config.iterations / 4 ||
+          it == 7 * config.iterations / 8) {
+        adam.set_lr(adam.lr() * 0.1f);
+      }
+      Var logits = model.Forward(x_dummy);
+      Var model_loss = ag::SoftmaxCrossEntropy(logits, Var(one_hot));
+      std::vector<Var> grads = ag::Grad(model_loss, model.params(), /*create_graph=*/true);
+      Var cosine_sum;
+      for (const LayerObservation& layer : layers) {
+        Var visible = ag::Gather1D(ag::Flatten(grads[layer.param_index]),
+                                   layer.local_indices);
+        Var layer_cosine = ag::CosineDistanceLoss(visible, layer.observed);
+        cosine_sum = cosine_sum.defined() ? ag::Add(cosine_sum, layer_cosine) : layer_cosine;
+      }
+      Var cosine_loss = ag::MulScalar(cosine_sum, 1.0f / static_cast<float>(layers.size()));
+      Var total = ag::Add(cosine_loss,
+                          ag::MulScalar(ag::TotalVariation(x_dummy), config.ig_tv_weight));
+      std::vector<Var> attack_grads = ag::Grad(total, params);
+      std::vector<Tensor> grad_tensors{attack_grads[0].value()};
+      double current = static_cast<double>(cosine_loss.value()[0]);
+      if (current < cosine) {
+        cosine = current;
+        best_x = x_dummy.value();
+      }
+      adam.Step(params, grad_tensors);
+      // Constrain the search space to valid images (IG's [0,1] box).
+      x_dummy.mutable_value() = Clamp(x_dummy.value(), 0.0f, 1.0f);
+    }
+    if (restart == 0 || cosine < best.cosine) {
+      best.cosine = cosine;
+      best.reconstruction = best_x;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+AttackResult RunAttack(nn::Model& model, const Tensor& x_true, int label, int classes,
+                       const AttackConfig& config, const AttackScenario& scenario) {
+  return RunAttackOnGradient(model, VictimGradient(model, x_true, label, classes), x_true,
+                             label, classes, config, scenario);
+}
+
+AttackResult RunAttackOnGradient(nn::Model& model, const std::vector<float>& victim_grad,
+                                 const Tensor& x_true, int label, int classes,
+                                 const AttackConfig& config, const AttackScenario& scenario) {
+  return RunAttackOnObservation(model, Observe(victim_grad, scenario), x_true, label,
+                                classes, config);
+}
+
+AttackResult RunAttackOnObservation(nn::Model& model, const Observation& obs,
+                                    const Tensor& x_true, int label, int classes,
+                                    const AttackConfig& config) {
+  AttackResult result;
+  switch (config.kind) {
+    case AttackKind::kDlg: {
+      DlgOutcome out = RunDlgCore(model, x_true.shape(), classes, /*optimize_label=*/true,
+                                  Tensor(), obs, config);
+      result.reconstruction = out.reconstruction;
+      result.final_objective = out.final_objective;
+      break;
+    }
+    case AttackKind::kIdlg: {
+      result.inferred_label = InferLabel(obs, classes, config.seed);
+      DlgOutcome out =
+          RunDlgCore(model, x_true.shape(), classes, /*optimize_label=*/false,
+                     nn::OneHot({result.inferred_label}, classes), obs, config);
+      result.reconstruction = out.reconstruction;
+      result.final_objective = out.final_objective;
+      break;
+    }
+    case AttackKind::kIg: {
+      IgOutcome out = RunIgCore(model, x_true.shape(), nn::OneHot({label}, classes), obs,
+                                config);
+      result.reconstruction = out.reconstruction;
+      result.cosine_distance = out.cosine;
+      result.final_objective = out.cosine;
+      break;
+    }
+  }
+  result.mse = MeanSquaredError(result.reconstruction, x_true);
+  return result;
+}
+
+std::vector<float> VictimBatchGradient(nn::Model& model, const Tensor& x_batch,
+                                       const std::vector<int>& labels, int classes) {
+  auto lg = nn::ComputeLossAndGrads(model, x_batch, nn::OneHot(labels, classes));
+  std::vector<float> flat;
+  for (const Tensor& g : lg.grads) {
+    flat.insert(flat.end(), g.values().begin(), g.values().end());
+  }
+  return flat;
+}
+
+namespace {
+
+// Best-assignment MSE: batch reconstructions are unordered (the mean gradient is
+// permutation-invariant in the batch dimension), so score each true example against its
+// best-matching reconstruction.
+double BatchBestMatchMse(const Tensor& reconstruction, const Tensor& truth) {
+  int batch = truth.dim(0);
+  int64_t row = truth.numel() / batch;
+  double total = 0.0;
+  for (int i = 0; i < batch; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < batch; ++j) {
+      double mse = 0.0;
+      for (int64_t k = 0; k < row; ++k) {
+        double d = static_cast<double>(truth[i * row + k]) - reconstruction[j * row + k];
+        mse += d * d;
+      }
+      best = std::min(best, mse / static_cast<double>(row));
+    }
+    total += best;
+  }
+  return total / batch;
+}
+
+}  // namespace
+
+AttackResult RunBatchAttack(nn::Model& model, const Tensor& x_batch,
+                            const std::vector<int>& labels, int classes,
+                            const AttackConfig& config, const AttackScenario& scenario) {
+  DETA_CHECK_EQ(static_cast<size_t>(x_batch.dim(0)), labels.size());
+  std::vector<float> victim_grad = VictimBatchGradient(model, x_batch, labels, classes);
+  Observation obs = Observe(victim_grad, scenario);
+  Tensor one_hot = nn::OneHot(labels, classes);
+
+  AttackResult result;
+  switch (config.kind) {
+    case AttackKind::kDlg: {
+      // Labels known (strongest attacker): pure input reconstruction over the batch.
+      DlgOutcome out = RunDlgCore(model, x_batch.shape(), classes, /*optimize_label=*/false,
+                                  one_hot, obs, config);
+      result.reconstruction = out.reconstruction;
+      result.final_objective = out.final_objective;
+      break;
+    }
+    case AttackKind::kIg: {
+      IgOutcome out = RunIgCore(model, x_batch.shape(), one_hot, obs, config);
+      result.reconstruction = out.reconstruction;
+      result.cosine_distance = out.cosine;
+      result.final_objective = out.cosine;
+      break;
+    }
+    case AttackKind::kIdlg:
+      DETA_CHECK_MSG(false, "iDLG's label-inference rule is defined for single examples; "
+                            "use DLG or IG for batches");
+  }
+  result.mse = BatchBestMatchMse(result.reconstruction, x_batch);
+  return result;
+}
+
+const char* const kMseBucketLabels[4] = {"[0, 1e-3)", "[1e-3, 1)", "[1, 1e3)", ">= 1e3"};
+
+int MseBucket(double mse) {
+  if (mse < 1e-3) {
+    return 0;
+  }
+  if (mse < 1.0) {
+    return 1;
+  }
+  if (mse < 1e3) {
+    return 2;
+  }
+  return 3;
+}
+
+const char* const kCosineBucketLabels[6] = {"[0, 0.01)",  "[0.01, 0.2)", "[0.2, 0.4)",
+                                            "[0.4, 0.6)", "[0.6, 0.8)",  "[0.8, 1]"};
+
+int CosineBucket(double d) {
+  if (d < 0.01) {
+    return 0;
+  }
+  if (d < 0.2) {
+    return 1;
+  }
+  if (d < 0.4) {
+    return 2;
+  }
+  if (d < 0.6) {
+    return 3;
+  }
+  if (d < 0.8) {
+    return 4;
+  }
+  return 5;
+}
+
+}  // namespace deta::attacks

@@ -1,0 +1,128 @@
+// The three FL data-reconstruction attacks the paper evaluates DeTA against (§6):
+//
+//   * DLG  (Zhu et al., NeurIPS'19)  — L-BFGS on  || ∇θL(x',y') − ∇θL(x,y) ||²,
+//     jointly optimizing a dummy input x' and a soft dummy label y'.
+//   * iDLG (Zhao et al.)             — infers the ground-truth label from the sign
+//     structure of the classification layer's gradient, then optimizes x' only.
+//   * IG   (Geiping et al., NeurIPS'20) — signed-Adam on cosine distance between
+//     gradients plus a total-variation image prior, with x' clamped to [0,1].
+//
+// All three differentiate through the victim model's backward pass (second-order), which
+// is why the autograd engine supports create_graph.
+//
+// The threat scenario mirrors §6's "stronger attack" relaxation: the adversary may query
+// the full unperturbed model (white-box dummy-gradient computation) but observes only the
+// DeTA-transformed victim gradient: a partition_factor fraction of coordinates, optionally
+// shuffled by an unknown permutation.
+//
+// Alignment model. A DeTA fragment is "squeezed to occupy all empty slots in sequence"
+// (§4.1): relative order is preserved but the *global positions* are determined by the
+// model mapper, which only parties hold. A breached aggregator therefore aligns its
+// fragment the only way it can — sequentially against the leading coordinates of its
+// dummy gradient — which is wrong for any partition_factor < 1. The position-oracle
+// variant (oracle_positions=true, used by the ablation bench) instead grants the attacker
+// the mapper; it shows partitioning alone collapses if the mapper leaks, i.e. why the
+// mapper must stay in participant-controlled domains.
+#ifndef DETA_ATTACKS_GRADIENT_INVERSION_H_
+#define DETA_ATTACKS_GRADIENT_INVERSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/models.h"
+
+namespace deta::attacks {
+
+enum class AttackKind { kDlg, kIdlg, kIg };
+
+std::string AttackName(AttackKind kind);
+
+struct AttackConfig {
+  AttackKind kind = AttackKind::kDlg;
+  int iterations = 300;
+  int restarts = 1;       // IG uses random restarts (paper: 2)
+  float ig_lr = 0.1f;     // IG signed-Adam step
+  float ig_tv_weight = 1e-4f;
+  uint64_t seed = 1;
+};
+
+// What the adversary observed of the victim's gradient after DeTA's transform.
+struct AttackScenario {
+  double partition_factor = 1.0;  // fraction of coordinates visible ("Full" = 1.0)
+  bool shuffle = false;           // parameter-level shuffling enabled
+  uint64_t transform_seed = 99;   // mapper / permutation randomness
+  // Ablation only: grant the attacker the model mapper (true coordinate positions).
+  bool oracle_positions = false;
+};
+
+struct AttackResult {
+  Tensor reconstruction;     // recovered dummy input, shape of x_true
+  int inferred_label = -1;   // iDLG's label guess (-1 when not applicable/not inferable)
+  double mse = 0.0;          // MSE(reconstruction, x_true) — the DLG/iDLG fidelity metric
+  double cosine_distance = 0.0;  // final IG objective value (gradient cosine distance)
+  double final_objective = 0.0;  // final attack-loss value
+};
+
+// The victim's side: gradient of one (x, y) example at the current model parameters,
+// flattened to the paper's vector view M.
+std::vector<float> VictimGradient(nn::Model& model, const Tensor& x_true, int label,
+                                  int classes);
+
+// The adversary's observation of |victim_grad| under |scenario|.
+struct Observation {
+  // True global coordinates of the fragment (sorted; party-held knowledge).
+  std::vector<int64_t> true_indices;
+  // Where the attacker *believes* each observed value sits in dummy-gradient coordinate
+  // space. Equal to true_indices only for Full fragments or with oracle_positions.
+  std::vector<int64_t> attack_indices;
+  // The fragment values (additionally permuted when shuffling is on).
+  std::vector<float> observed_values;
+};
+Observation Observe(const std::vector<float>& victim_grad, const AttackScenario& scenario);
+
+// Runs one reconstruction attack against one example. |model| is the attack's white-box
+// model copy (same weights as the victim's).
+AttackResult RunAttack(nn::Model& model, const Tensor& x_true, int label, int classes,
+                       const AttackConfig& config, const AttackScenario& scenario);
+
+// Variant taking a pre-computed (possibly perturbed — e.g. LDP-noised, or recovered from
+// a breached CVM) victim gradient instead of deriving it from (x_true, label). |x_true|
+// is used only for the fidelity metric.
+AttackResult RunAttackOnGradient(nn::Model& model, const std::vector<float>& victim_grad,
+                                 const Tensor& x_true, int label, int classes,
+                                 const AttackConfig& config, const AttackScenario& scenario);
+
+// Lowest-level variant: attack a fully-specified observation (e.g. an actual fragment
+// dumped from a breached aggregator CVM, paired with whatever alignment knowledge the
+// adversary has). |x_true| is used only for the fidelity metric.
+AttackResult RunAttackOnObservation(nn::Model& model, const Observation& obs,
+                                    const Tensor& x_true, int label, int classes,
+                                    const AttackConfig& config);
+
+// Mini-batch variant (DLG and IG; the paper notes active attacks "scale to gradients
+// computed on mini-batched training data"): the victim's gradient is averaged over a
+// batch, and the attack reconstructs all batch inputs jointly. Labels are assumed known
+// (the strongest attacker). The reconstruction tensor has the batch shape; mse is the
+// best per-example assignment (reconstruction order is not identifiable).
+AttackResult RunBatchAttack(nn::Model& model, const Tensor& x_batch,
+                            const std::vector<int>& labels, int classes,
+                            const AttackConfig& config, const AttackScenario& scenario);
+
+// Victim-side batch gradient (mean cross-entropy over the batch), flattened.
+std::vector<float> VictimBatchGradient(nn::Model& model, const Tensor& x_batch,
+                                       const std::vector<int>& labels, int classes);
+
+// --- bucketing helpers for Tables 1-3 ---
+
+// Table 1/2 rows: [0,1e-3), [1e-3,1), [1,1e3), >=1e3.
+int MseBucket(double mse);
+extern const char* const kMseBucketLabels[4];
+
+// Table 3 rows: [0,.01), [.01,.2), [.2,.4), [.4,.6), [.6,.8), [.8,1].
+int CosineBucket(double cosine_distance);
+extern const char* const kCosineBucketLabels[6];
+
+}  // namespace deta::attacks
+
+#endif  // DETA_ATTACKS_GRADIENT_INVERSION_H_

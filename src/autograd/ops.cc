@@ -1,0 +1,438 @@
+#include "autograd/ops.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace deta::autograd {
+
+namespace dt = ::deta;
+
+Var Add(const Var& a, const Var& b) {
+  return MakeOp(
+      dt::Add(a.value(), b.value()), {a, b},
+      [](const Var& g) { return std::vector<Var>{g, g}; }, "add");
+}
+
+Var Sub(const Var& a, const Var& b) {
+  return MakeOp(
+      dt::Sub(a.value(), b.value()), {a, b},
+      [](const Var& g) { return std::vector<Var>{g, Neg(g)}; }, "sub");
+}
+
+Var Mul(const Var& a, const Var& b) {
+  return MakeOp(
+      dt::Mul(a.value(), b.value()), {a, b},
+      [a, b](const Var& g) { return std::vector<Var>{Mul(g, b), Mul(g, a)}; }, "mul");
+}
+
+Var Neg(const Var& a) {
+  return MakeOp(
+      dt::Neg(a.value()), {a}, [](const Var& g) { return std::vector<Var>{Neg(g)}; }, "neg");
+}
+
+Var AddScalar(const Var& a, float s) {
+  return MakeOp(
+      dt::AddScalar(a.value(), s), {a},
+      [](const Var& g) { return std::vector<Var>{g}; }, "add_scalar");
+}
+
+Var MulScalar(const Var& a, float s) {
+  return MakeOp(
+      dt::MulScalar(a.value(), s), {a},
+      [s](const Var& g) { return std::vector<Var>{MulScalar(g, s)}; }, "mul_scalar");
+}
+
+Var Recip(const Var& a) {
+  Tensor out(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    out[i] = 1.0f / a.value()[i];
+  }
+  return MakeOp(
+      std::move(out), {a},
+      [a](const Var& g) {
+        // d(1/x) = -1/x^2
+        Var r = Recip(a);
+        return std::vector<Var>{Neg(Mul(g, Mul(r, r)))};
+      },
+      "recip");
+}
+
+Var ScaleByScalar(const Var& a, const Var& s) {
+  DETA_CHECK_EQ(s.numel(), 1);
+  float sv = s.value()[0];
+  return MakeOp(
+      dt::MulScalar(a.value(), sv), {a, s},
+      [a, s](const Var& g) {
+        return std::vector<Var>{ScaleByScalar(g, s), SumAll(Mul(g, a))};
+      },
+      "scale_by_scalar");
+}
+
+Var Sigmoid(const Var& a) {
+  return MakeOp(
+      dt::Sigmoid(a.value()), {a},
+      [a](const Var& g) {
+        Var s = Sigmoid(a);  // recomputed to avoid a self-referential closure
+        return std::vector<Var>{Mul(g, Mul(s, AddScalar(Neg(s), 1.0f)))};
+      },
+      "sigmoid");
+}
+
+Var Tanh(const Var& a) {
+  return MakeOp(
+      dt::TanhT(a.value()), {a},
+      [a](const Var& g) {
+        Var t = Tanh(a);
+        return std::vector<Var>{Mul(g, AddScalar(Neg(Mul(t, t)), 1.0f))};
+      },
+      "tanh");
+}
+
+Var Relu(const Var& a) {
+  // The 0/1 mask is a constant of the linearization (correct a.e. subgradient).
+  Tensor mask(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    mask[i] = a.value()[i] > 0.0f ? 1.0f : 0.0f;
+  }
+  Var mask_var(std::move(mask));
+  return MakeOp(
+      dt::Relu(a.value()), {a},
+      [mask_var](const Var& g) { return std::vector<Var>{Mul(g, mask_var)}; }, "relu");
+}
+
+Var Exp(const Var& a) {
+  return MakeOp(
+      dt::Exp(a.value()), {a},
+      [a](const Var& g) { return std::vector<Var>{Mul(g, Exp(a))}; }, "exp");
+}
+
+Var Log(const Var& a) {
+  return MakeOp(
+      dt::Log(a.value()), {a},
+      [a](const Var& g) { return std::vector<Var>{Mul(g, Recip(a))}; }, "log");
+}
+
+Var Sqrt(const Var& a) {
+  return MakeOp(
+      dt::SqrtT(a.value()), {a},
+      [a](const Var& g) {
+        return std::vector<Var>{Mul(g, MulScalar(Recip(Sqrt(a)), 0.5f))};
+      },
+      "sqrt");
+}
+
+Var Abs(const Var& a) {
+  Var sign_var(dt::Sign(a.value()));
+  return MakeOp(
+      dt::Abs(a.value()), {a},
+      [sign_var](const Var& g) { return std::vector<Var>{Mul(g, sign_var)}; }, "abs");
+}
+
+Var Reshape(const Var& a, Tensor::Shape shape) {
+  Tensor::Shape original = a.shape();
+  return MakeOp(
+      a.value().Reshape(std::move(shape)), {a},
+      [original](const Var& g) { return std::vector<Var>{Reshape(g, original)}; }, "reshape");
+}
+
+Var Flatten(const Var& a) { return Reshape(a, {static_cast<int>(a.numel())}); }
+
+Var Transpose(const Var& a) {
+  return MakeOp(
+      dt::Transpose(a.value()), {a},
+      [](const Var& g) { return std::vector<Var>{Transpose(g)}; }, "transpose");
+}
+
+Var ConcatFlat(const std::vector<Var>& parts) {
+  DETA_CHECK(!parts.empty());
+  int64_t total = 0;
+  for (const Var& p : parts) {
+    total += p.numel();
+  }
+  Tensor out({static_cast<int>(total)});
+  int64_t offset = 0;
+  std::vector<int64_t> offsets;
+  std::vector<Tensor::Shape> shapes;
+  for (const Var& p : parts) {
+    offsets.push_back(offset);
+    shapes.push_back(p.shape());
+    for (int64_t i = 0; i < p.numel(); ++i) {
+      out[offset + i] = p.value()[i];
+    }
+    offset += p.numel();
+  }
+  return MakeOp(
+      std::move(out), parts,
+      [offsets, shapes](const Var& g) {
+        std::vector<Var> grads;
+        grads.reserve(offsets.size());
+        for (size_t i = 0; i < offsets.size(); ++i) {
+          int64_t len = 1;
+          for (int d : shapes[i]) {
+            len *= d;
+          }
+          grads.push_back(Reshape(Slice1D(g, offsets[i], len), shapes[i]));
+        }
+        return grads;
+      },
+      "concat_flat");
+}
+
+Var Slice1D(const Var& a, int64_t start, int64_t len) {
+  DETA_CHECK_EQ(a.value().rank(), 1u);
+  DETA_CHECK_LE(start + len, a.numel());
+  Tensor out({static_cast<int>(len)});
+  for (int64_t i = 0; i < len; ++i) {
+    out[i] = a.value()[start + i];
+  }
+  int64_t total = a.numel();
+  return MakeOp(
+      std::move(out), {a},
+      [start, total](const Var& g) {
+        return std::vector<Var>{PadSlice1D(g, start, total)};
+      },
+      "slice1d");
+}
+
+Var PadSlice1D(const Var& a, int64_t start, int64_t total) {
+  DETA_CHECK_EQ(a.value().rank(), 1u);
+  int64_t len = a.numel();
+  DETA_CHECK_LE(start + len, total);
+  Tensor out({static_cast<int>(total)});
+  for (int64_t i = 0; i < len; ++i) {
+    out[start + i] = a.value()[i];
+  }
+  return MakeOp(
+      std::move(out), {a},
+      [start, len](const Var& g) { return std::vector<Var>{Slice1D(g, start, len)}; },
+      "pad_slice1d");
+}
+
+Var Gather1D(const Var& a, std::vector<int64_t> indices) {
+  Tensor::Shape out_shape{static_cast<int>(indices.size())};
+  Tensor out = dt::GatherByIndex(a.value(), indices, out_shape);
+  int64_t size = a.numel();
+  Tensor::Shape in_shape = a.shape();
+  return MakeOp(
+      std::move(out), {a},
+      [indices = std::move(indices), size, in_shape](const Var& g) {
+        return std::vector<Var>{Reshape(Scatter1D(g, indices, size), in_shape)};
+      },
+      "gather1d");
+}
+
+Var Scatter1D(const Var& a, std::vector<int64_t> indices, int64_t size) {
+  Tensor::Shape out_shape{static_cast<int>(size)};
+  Tensor out = dt::ScatterByIndex(a.value(), indices, out_shape);
+  Tensor::Shape in_shape = a.shape();
+  return MakeOp(
+      std::move(out), {a},
+      [indices = std::move(indices), in_shape](const Var& g) {
+        return std::vector<Var>{Reshape(Gather1D(Flatten(g), indices), in_shape)};
+      },
+      "scatter1d");
+}
+
+Var SumAll(const Var& a) {
+  Tensor::Shape shape = a.shape();
+  return MakeOp(
+      dt::SumAll(a.value()), {a},
+      [shape](const Var& g) { return std::vector<Var>{BroadcastScalar(g, shape)}; },
+      "sum_all");
+}
+
+Var MeanAll(const Var& a) {
+  return MulScalar(SumAll(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Var SumRows(const Var& a) {
+  int m = a.value().dim(0);
+  return MakeOp(
+      dt::SumRows(a.value()), {a},
+      [m](const Var& g) {
+        // grad broadcasts back over rows: [n] -> [m,n]
+        return std::vector<Var>{Transpose(BroadcastCol(g, m))};
+      },
+      "sum_rows");
+}
+
+Var RowSum(const Var& a) {
+  int n = a.value().dim(1);
+  return MakeOp(
+      dt::RowSum(a.value()), {a},
+      [n](const Var& g) { return std::vector<Var>{BroadcastCol(g, n)}; }, "row_sum");
+}
+
+Var AddRowVec(const Var& a, const Var& v) {
+  return MakeOp(
+      dt::AddRowVec(a.value(), v.value()), {a, v},
+      [](const Var& g) { return std::vector<Var>{g, SumRows(g)}; }, "add_row_vec");
+}
+
+Var SubColVec(const Var& a, const Var& v) {
+  return MakeOp(
+      dt::SubColVec(a.value(), v.value()), {a, v},
+      [](const Var& g) { return std::vector<Var>{g, Neg(RowSum(g))}; }, "sub_col_vec");
+}
+
+Var BroadcastCol(const Var& v, int cols) {
+  return MakeOp(
+      dt::BroadcastColToShape(v.value(), cols), {v},
+      [](const Var& g) { return std::vector<Var>{RowSum(g)}; }, "broadcast_col");
+}
+
+Var BroadcastScalar(const Var& s, Tensor::Shape shape) {
+  DETA_CHECK_EQ(s.numel(), 1);
+  Tensor out = Tensor::Full(shape, s.value()[0]);
+  return MakeOp(
+      std::move(out), {s},
+      [](const Var& g) { return std::vector<Var>{SumAll(g)}; }, "broadcast_scalar");
+}
+
+Var MatMul(const Var& a, const Var& b) {
+  return MakeOp(
+      dt::MatMul(a.value(), b.value()), {a, b},
+      [a, b](const Var& g) {
+        return std::vector<Var>{MatMul(g, Transpose(b)), MatMul(Transpose(a), g)};
+      },
+      "matmul");
+}
+
+Var Im2Col(const Var& input, const ConvGeometry& geom) {
+  return MakeOp(
+      dt::Im2Col(input.value(), geom), {input},
+      [geom](const Var& g) { return std::vector<Var>{Col2Im(g, geom)}; }, "im2col");
+}
+
+Var Col2Im(const Var& columns, const ConvGeometry& geom) {
+  return MakeOp(
+      dt::Col2Im(columns.value(), geom), {columns},
+      [geom](const Var& g) { return std::vector<Var>{Im2Col(g, geom)}; }, "col2im");
+}
+
+Var MaxPool(const Var& input, int kernel, int stride) {
+  PoolResult pooled = dt::MaxPool2d(input.value(), kernel, stride);
+  Tensor::Shape in_shape = input.shape();
+  int64_t in_numel = input.numel();
+  auto indices = std::make_shared<std::vector<int64_t>>(std::move(pooled.argmax));
+  return MakeOp(
+      std::move(pooled.output), {input},
+      [indices, in_shape, in_numel](const Var& g) {
+        return std::vector<Var>{
+            Reshape(Scatter1D(Flatten(g), *indices, in_numel), in_shape)};
+      },
+      "max_pool");
+}
+
+Var AvgPool(const Var& input, int kernel, int stride) {
+  Tensor::Shape in_shape = input.shape();
+  return MakeOp(
+      dt::AvgPool2d(input.value(), kernel, stride), {input},
+      [kernel, stride, in_shape](const Var& g) {
+        return std::vector<Var>{AvgUnpool(g, kernel, stride, in_shape)};
+      },
+      "avg_pool");
+}
+
+Var AvgUnpool(const Var& a, int kernel, int stride, const Tensor::Shape& input_shape) {
+  // Linear adjoint of AvgPool: each pooled cell's value is spread uniformly over its
+  // window with weight 1/k^2.
+  DETA_CHECK_EQ(input_shape.size(), 4u);
+  int n = input_shape[0], c = input_shape[1], h = input_shape[2], w = input_shape[3];
+  int oh = (h - kernel) / stride + 1;
+  int ow = (w - kernel) / stride + 1;
+  DETA_CHECK_EQ(a.value().dim(2), oh);
+  DETA_CHECK_EQ(a.value().dim(3), ow);
+  Tensor out(input_shape);
+  const float* in = a.value().data();
+  float* o = out.data();
+  float inv = 1.0f / static_cast<float>(kernel * kernel);
+  int64_t ii = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      float* plane = o + (static_cast<int64_t>(b) * c + ch) * h * w;
+      for (int y = 0; y < oh; ++y) {
+        for (int x = 0; x < ow; ++x, ++ii) {
+          float v = in[ii] * inv;
+          for (int ky = 0; ky < kernel; ++ky) {
+            for (int kx = 0; kx < kernel; ++kx) {
+              plane[static_cast<int64_t>(y * stride + ky) * w + (x * stride + kx)] += v;
+            }
+          }
+        }
+      }
+    }
+  }
+  return MakeOp(
+      std::move(out), {a},
+      [kernel, stride](const Var& g) {
+        return std::vector<Var>{AvgPool(g, kernel, stride)};
+      },
+      "avg_unpool");
+}
+
+Var SoftmaxCrossEntropy(const Var& logits, const Var& one_hot_targets) {
+  DETA_CHECK_EQ(logits.value().rank(), 2u);
+  DETA_CHECK(logits.value().SameShape(one_hot_targets.value()));
+  int m = logits.value().dim(0);
+  // Row-max shift as a detached constant: softmax is shift-invariant, so the gradient is
+  // exact even though the max is not differentiated through.
+  Var row_max(dt::RowMax(logits.value()));
+  Var shifted = SubColVec(logits, row_max);
+  Var lse = Log(RowSum(Exp(shifted)));  // [m]
+  Var log_probs = SubColVec(shifted, lse);
+  return MulScalar(SumAll(Mul(one_hot_targets, log_probs)), -1.0f / static_cast<float>(m));
+}
+
+Var MseLoss(const Var& a, const Var& b) {
+  Var d = Sub(a, b);
+  return MulScalar(SumAll(Mul(d, d)), 1.0f / static_cast<float>(a.numel()));
+}
+
+Var TotalVariation(const Var& images) {
+  DETA_CHECK_EQ(images.value().rank(), 4u);
+  int n = images.value().dim(0), c = images.value().dim(1);
+  int h = images.value().dim(2), w = images.value().dim(3);
+  Var flat = Flatten(images);
+
+  // Horizontal neighbours: (y, x) vs (y, x+1).
+  std::vector<int64_t> left, right;
+  // Vertical neighbours: (y, x) vs (y+1, x).
+  std::vector<int64_t> top, bottom;
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      int64_t base = (static_cast<int64_t>(b) * c + ch) * h * w;
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x + 1 < w; ++x) {
+          left.push_back(base + static_cast<int64_t>(y) * w + x);
+          right.push_back(base + static_cast<int64_t>(y) * w + x + 1);
+        }
+      }
+      for (int y = 0; y + 1 < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+          top.push_back(base + static_cast<int64_t>(y) * w + x);
+          bottom.push_back(base + static_cast<int64_t>(y + 1) * w + x);
+        }
+      }
+    }
+  }
+  Var dh = Sub(Gather1D(flat, right), Gather1D(flat, left));
+  Var dv = Sub(Gather1D(flat, bottom), Gather1D(flat, top));
+  return Add(SumAll(Abs(dh)), SumAll(Abs(dv)));
+}
+
+Var CosineDistanceLoss(const Var& a, const Var& b) {
+  Var dot = SumAll(Mul(a, b));
+  Var norm_a = Sqrt(SumAll(Mul(a, a)));
+  Var norm_b = Sqrt(SumAll(Mul(b, b)));
+  Var cosine = Mul(dot, Recip(Mul(norm_a, norm_b)));
+  return AddScalar(Neg(cosine), 1.0f);
+}
+
+Var SquaredDifferenceSum(const Var& a, const Var& b) {
+  Var d = Sub(a, b);
+  return SumAll(Mul(d, d));
+}
+
+}  // namespace deta::autograd

@@ -1,0 +1,85 @@
+// Differentiable operations. Every backward is written in terms of these same ops, so all
+// ops support arbitrary-order differentiation (ReLU/Abs/MaxPool use the standard
+// almost-everywhere subgradients: their selection masks are treated as constants).
+#ifndef DETA_AUTOGRAD_OPS_H_
+#define DETA_AUTOGRAD_OPS_H_
+
+#include "autograd/var.h"
+#include "tensor/tensor.h"
+
+namespace deta::autograd {
+
+// --- elementwise arithmetic ---
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+Var Mul(const Var& a, const Var& b);
+Var Neg(const Var& a);
+Var AddScalar(const Var& a, float s);
+Var MulScalar(const Var& a, float s);
+// Elementwise reciprocal 1/x.
+Var Recip(const Var& a);
+// a * s where s is a scalar Var of shape {1} (gradient flows into both).
+Var ScaleByScalar(const Var& a, const Var& s);
+
+// --- nonlinearities ---
+Var Sigmoid(const Var& a);
+Var Tanh(const Var& a);
+Var Relu(const Var& a);
+Var Exp(const Var& a);
+Var Log(const Var& a);
+Var Sqrt(const Var& a);
+Var Abs(const Var& a);
+
+// --- shape ---
+Var Reshape(const Var& a, Tensor::Shape shape);
+Var Flatten(const Var& a);
+Var Transpose(const Var& a);
+// Concatenates flattened inputs into one 1-D Var (used to view a whole model update as
+// the flat vector M the paper aggregates coordinate-wise).
+Var ConcatFlat(const std::vector<Var>& parts);
+// 1-D slice [start, start+len).
+Var Slice1D(const Var& a, int64_t start, int64_t len);
+// Embeds a 1-D Var into a zero vector of |total| elements at |start| (adjoint of Slice1D).
+Var PadSlice1D(const Var& a, int64_t start, int64_t total);
+// Gather a.flat[indices[i]] -> out[i]; out 1-D. Adjoint is scatter-add.
+Var Gather1D(const Var& a, std::vector<int64_t> indices);
+// Scatter-add a[i] into zeros(|size|) at indices[i] (adjoint of Gather1D).
+Var Scatter1D(const Var& a, std::vector<int64_t> indices, int64_t size);
+
+// --- reductions / broadcasts (2-D conventions as in tensor.h) ---
+Var SumAll(const Var& a);                     // -> {1}
+Var MeanAll(const Var& a);                    // -> {1}
+Var SumRows(const Var& a);                    // [m,n] -> [n]
+Var RowSum(const Var& a);                     // [m,n] -> [m]
+Var AddRowVec(const Var& a, const Var& v);    // [m,n] + [n]
+Var SubColVec(const Var& a, const Var& v);    // [m,n] - [m]
+Var BroadcastCol(const Var& v, int cols);     // [m] -> [m,cols]
+Var BroadcastScalar(const Var& s, Tensor::Shape shape);  // {1} -> shape
+
+// --- linear algebra ---
+Var MatMul(const Var& a, const Var& b);
+
+// --- convolution / pooling building blocks ---
+Var Im2Col(const Var& input, const ConvGeometry& geom);
+Var Col2Im(const Var& columns, const ConvGeometry& geom);
+Var MaxPool(const Var& input, int kernel, int stride);
+Var AvgPool(const Var& input, int kernel, int stride);
+// Adjoint of AvgPool (spreads each cell over its window, scaled 1/k^2).
+Var AvgUnpool(const Var& a, int kernel, int stride, const Tensor::Shape& input_shape);
+
+// --- composite losses ---
+// Mean softmax cross-entropy between logits [m,c] and one-hot targets [m,c]. The row-max
+// shift uses a detached constant (exact gradient, standard log-sum-exp stabilization).
+Var SoftmaxCrossEntropy(const Var& logits, const Var& one_hot_targets);
+// Mean squared error (mean over all elements).
+Var MseLoss(const Var& a, const Var& b);
+// Anisotropic total variation of an image batch [n,c,h,w] (IG's image prior).
+Var TotalVariation(const Var& images);
+// Cosine distance 1 - <a,b>/(|a||b|) of two flat Vars; the IG attack objective.
+Var CosineDistanceLoss(const Var& a, const Var& b);
+// Sum of squared differences (DLG/iDLG gradient-matching objective term).
+Var SquaredDifferenceSum(const Var& a, const Var& b);
+
+}  // namespace deta::autograd
+
+#endif  // DETA_AUTOGRAD_OPS_H_

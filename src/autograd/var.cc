@@ -1,0 +1,152 @@
+#include "autograd/var.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "autograd/ops.h"
+#include "common/check.h"
+
+namespace deta::autograd {
+
+Var::Var(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Var::value() const {
+  DETA_CHECK_MSG(defined(), "reading value of an undefined Var");
+  return node_->value;
+}
+
+Tensor& Var::mutable_value() {
+  DETA_CHECK_MSG(defined(), "mutating an undefined Var");
+  DETA_CHECK_MSG(node_->parents.empty(), "in-place mutation is only allowed on leaves");
+  return node_->value;
+}
+
+bool Var::requires_grad() const { return defined() && node_->requires_grad; }
+
+Var Var::Detach() const { return Var(value(), /*requires_grad=*/false); }
+
+Var Var::FromNode(std::shared_ptr<Node> node) {
+  Var v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+Var MakeOp(Tensor value, std::vector<Var> parents, BackwardFn backward, const char* name) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->op_name = name;
+  node->requires_grad = false;
+  for (const Var& p : parents) {
+    if (p.requires_grad()) {
+      node->requires_grad = true;
+      break;
+    }
+  }
+  if (node->requires_grad) {
+    node->parents = std::move(parents);
+    node->backward = std::move(backward);
+  }
+  return Var::FromNode(std::move(node));
+}
+
+namespace {
+
+// Depth-first topological order over the requires_grad subgraph rooted at |root|.
+void TopoSort(const std::shared_ptr<Node>& root, std::vector<Node*>& order) {
+  std::unordered_set<Node*> visited;
+  // Iterative DFS; graphs from unrolled attacks can be deep.
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (root->requires_grad) {
+    stack.push_back({root.get(), 0});
+    visited.insert(root.get());
+  }
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      Node* parent = top.node->parents[top.next_parent].node().get();
+      ++top.next_parent;
+      if (parent != nullptr && parent->requires_grad && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Var> Grad(const Var& output, const std::vector<Var>& inputs, bool create_graph,
+                      const Var& grad_output) {
+  DETA_CHECK_MSG(output.defined(), "Grad on undefined output");
+
+  Var seed = grad_output;
+  if (!seed.defined()) {
+    DETA_CHECK_MSG(output.numel() == 1, "Grad without grad_output requires a scalar output");
+    seed = Var(Tensor::Ones(output.shape()));
+  }
+  DETA_CHECK_MSG(seed.value().SameShape(output.value()), "grad_output shape mismatch");
+
+  std::vector<Node*> order;
+  TopoSort(output.node(), order);
+
+  std::unordered_map<Node*, Var> grads;
+  grads[output.node().get()] = seed;
+
+  // Reverse topological order: every node is processed after all of its consumers.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    auto found = grads.find(node);
+    if (found == grads.end() || !node->backward) {
+      continue;
+    }
+    std::vector<Var> parent_grads = node->backward(found->second);
+    DETA_CHECK_EQ(parent_grads.size(), node->parents.size());
+    for (size_t i = 0; i < node->parents.size(); ++i) {
+      const Var& parent = node->parents[i];
+      if (!parent.requires_grad() || !parent_grads[i].defined()) {
+        continue;
+      }
+      DETA_CHECK_MSG(parent_grads[i].value().SameShape(parent.value()),
+                     "backward of " << node->op_name << " produced grad shape "
+                                    << parent_grads[i].value().ShapeString() << " for parent "
+                                    << parent.value().ShapeString());
+      Node* pnode = parent.node().get();
+      auto existing = grads.find(pnode);
+      if (existing == grads.end()) {
+        grads[pnode] = parent_grads[i];
+      } else {
+        existing->second = Add(existing->second, parent_grads[i]);
+      }
+    }
+  }
+
+  std::vector<Var> result;
+  result.reserve(inputs.size());
+  for (const Var& input : inputs) {
+    auto found = grads.find(input.node().get());
+    Var g;
+    if (found != grads.end()) {
+      g = found->second;
+    } else {
+      g = Var(Tensor::Zeros(input.shape()));
+    }
+    if (!create_graph) {
+      g = g.Detach();
+    }
+    result.push_back(g);
+  }
+  return result;
+}
+
+}  // namespace deta::autograd

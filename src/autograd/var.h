@@ -1,0 +1,79 @@
+// Define-by-run automatic differentiation with higher-order gradient support.
+//
+// Why higher-order: the data-reconstruction attacks the paper evaluates (DLG, iDLG, IG)
+// minimize a loss whose arguments are *gradients* of the victim model. Computing
+// d(attack_loss)/d(dummy_input) therefore differentiates through a backward pass. This
+// engine makes that work the standard way: every op's backward function is itself composed
+// of differentiable ops, so Grad(..., create_graph=true) yields gradients that are again
+// graph nodes and can be differentiated.
+//
+// Design notes:
+//   * A Var is a shared handle to an immutable-value graph Node. Leaves (parameters,
+//     inputs) may be updated in place by optimizers via mutable_value().
+//   * Backward closures never capture the op's own output Var (that would create a
+//     shared_ptr cycle); nonlinear ops recompute their forward value from parents instead.
+//   * Grad() returns one gradient Var per requested input; inputs the output does not
+//     depend on get zero gradients.
+#ifndef DETA_AUTOGRAD_VAR_H_
+#define DETA_AUTOGRAD_VAR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace deta::autograd {
+
+class Var;
+
+// Given the gradient flowing into this node, produces the gradient for each parent
+// (ordered exactly like Node::parents).
+using BackwardFn = std::function<std::vector<Var>(const Var& grad_out)>;
+
+struct Node {
+  Tensor value;
+  bool requires_grad = false;
+  std::vector<Var> parents;
+  BackwardFn backward;
+  const char* op_name = "leaf";
+};
+
+class Var {
+ public:
+  Var() = default;
+  // Leaf node.
+  explicit Var(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+  const Tensor& value() const;
+  // In-place access for optimizers; only valid on leaves.
+  Tensor& mutable_value();
+  bool requires_grad() const;
+  const Tensor::Shape& shape() const { return value().shape(); }
+  int64_t numel() const { return value().numel(); }
+
+  // Same value, cut off from history (gradient does not flow).
+  Var Detach() const;
+
+  std::shared_ptr<Node> node() const { return node_; }
+
+  // Internal: wraps an op result.
+  static Var FromNode(std::shared_ptr<Node> node);
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+// Builds an op node. requires_grad is inferred from parents.
+Var MakeOp(Tensor value, std::vector<Var> parents, BackwardFn backward, const char* name);
+
+// Computes d(output)/d(inputs). |output| must be scalar (numel()==1) unless |grad_output|
+// is provided with output's shape. When |create_graph| is true the returned gradients are
+// differentiable graph nodes; otherwise they are detached leaves.
+std::vector<Var> Grad(const Var& output, const std::vector<Var>& inputs,
+                      bool create_graph = false, const Var& grad_output = Var());
+
+}  // namespace deta::autograd
+
+#endif  // DETA_AUTOGRAD_VAR_H_

@@ -1,0 +1,70 @@
+#include "cc/attestation_proxy.h"
+
+#include "common/logging.h"
+
+namespace deta::cc {
+
+namespace {
+const crypto::Secp256k1& Curve() { return crypto::Secp256k1::Instance(); }
+}  // namespace
+
+AttestationProxy::AttestationProxy(crypto::EcPoint trusted_root, Bytes expected_measurement,
+                                   crypto::SecureRng rng)
+    : trusted_root_(std::move(trusted_root)),
+      expected_measurement_(std::move(expected_measurement)),
+      rng_(std::move(rng)) {}
+
+bool AttestationProxy::VerifyReport(const AttestationReport& report,
+                                    const Bytes& expected_nonce,
+                                    std::string* failure_reason) const {
+  if (!report.chain.Verify(trusted_root_)) {
+    *failure_reason = "certificate chain does not verify against the AMD root";
+    return false;
+  }
+  if (!ConstantTimeEqual(report.measurement, expected_measurement_)) {
+    *failure_reason = "launch measurement mismatch (tampered or unknown image)";
+    return false;
+  }
+  if (!ConstantTimeEqual(report.nonce, expected_nonce)) {
+    *failure_reason = "stale attestation report (nonce mismatch)";
+    return false;
+  }
+  if (!crypto::EcdsaVerify(report.chain.pek_public, report.Body(), report.signature)) {
+    *failure_reason = "report signature invalid";
+    return false;
+  }
+  return true;
+}
+
+AttestationProxy::ProvisionResult AttestationProxy::VerifyAndProvision(SevPlatform& platform,
+                                                                       Cvm& cvm) {
+  ProvisionResult result;
+  Bytes nonce = rng_.NextBytes(32);
+  AttestationReport report = platform.GenerateReport(cvm, nonce);
+  if (!VerifyReport(report, nonce, &result.failure_reason)) {
+    LOG_WARNING << "AP: attestation of CVM " << cvm.id() << " failed: "
+                << result.failure_reason;
+    return result;
+  }
+
+  // Generate the authentication token (the paper provisions an ECDSA key) and inject its
+  // private half into the paused CVM's encrypted memory.
+  crypto::EcKeyPair token = crypto::GenerateEcKey(rng_);
+  Bytes token_private = token.private_key.ToBytesPadded(32);
+  SealedSecret sealed = SealForPlatform(token_private, platform.TransportPublicKey(), rng_);
+  if (!platform.InjectLaunchSecret(cvm, kTokenRegion, sealed.ciphertext,
+                                   sealed.ephemeral_public)) {
+    result.failure_reason = "launch secret injection failed";
+    return result;
+  }
+  platform.Resume(cvm);
+
+  tokens_[cvm.id()] = token.public_key;
+  result.ok = true;
+  result.token_public = token.public_key;
+  LOG_INFO << "AP: CVM " << cvm.id() << " attested and provisioned with auth token "
+           << ToHex(Curve().Encode(token.public_key)).substr(0, 16) << "...";
+  return result;
+}
+
+}  // namespace deta::cc

@@ -1,0 +1,53 @@
+// Phase I of the paper's two-phase authentication protocol (§4.3): the attestation proxy
+// (AP) — deployed and controlled by the participating parties — verifies each aggregator
+// CVM against AMD's remote attestation service and provisions an ECDSA authentication
+// token into its encrypted memory before the CVM is resumed.
+#ifndef DETA_CC_ATTESTATION_PROXY_H_
+#define DETA_CC_ATTESTATION_PROXY_H_
+
+#include <map>
+#include <string>
+
+#include "cc/sev.h"
+
+namespace deta::cc {
+
+// Well-known CVM memory region holding the provisioned token private key.
+inline constexpr char kTokenRegion[] = "deta.auth_token";
+
+class AttestationProxy {
+ public:
+  // |trusted_root| is AMD's ARK public key fetched from the RAS; |expected_measurement|
+  // is the known-good launch digest of the aggregator image.
+  AttestationProxy(crypto::EcPoint trusted_root, Bytes expected_measurement,
+                   crypto::SecureRng rng);
+
+  struct ProvisionResult {
+    bool ok = false;
+    std::string failure_reason;
+    // Public half of the provisioned token; parties use it to authenticate the
+    // aggregator via challenge/response in phase II.
+    crypto::EcPoint token_public;
+  };
+
+  // Runs the full phase-I flow for one paused CVM: challenge → report → verify chain,
+  // measurement, signature, nonce → generate token → seal → inject → resume.
+  ProvisionResult VerifyAndProvision(SevPlatform& platform, Cvm& cvm);
+
+  // Verification only (no provisioning); exposed for tests and for re-attestation.
+  bool VerifyReport(const AttestationReport& report, const Bytes& expected_nonce,
+                    std::string* failure_reason) const;
+
+  // Registry of provisioned aggregator tokens, keyed by CVM id.
+  const std::map<std::string, crypto::EcPoint>& TokenRegistry() const { return tokens_; }
+
+ private:
+  crypto::EcPoint trusted_root_;
+  Bytes expected_measurement_;
+  crypto::SecureRng rng_;
+  std::map<std::string, crypto::EcPoint> tokens_;
+};
+
+}  // namespace deta::cc
+
+#endif  // DETA_CC_ATTESTATION_PROXY_H_

@@ -1,0 +1,110 @@
+// Lightweight runtime-check macros.
+//
+// CHECK-style macros throw deta::CheckFailure (a std::logic_error) instead of aborting so
+// that unit tests can assert on violated preconditions and so that long-running simulated
+// deployments surface programming errors as catchable diagnostics.
+#ifndef DETA_COMMON_CHECK_H_
+#define DETA_COMMON_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace deta {
+
+// Thrown when a CHECK macro fails. Carries file/line context in what().
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& message) : std::logic_error(message) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line, const std::string& expr,
+                                   const std::string& detail) {
+  std::ostringstream os;
+  os << "CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!detail.empty()) {
+    os << " — " << detail;
+  }
+  throw CheckFailure(os.str());
+}
+
+}  // namespace internal
+}  // namespace deta
+
+#define DETA_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::deta::internal::CheckFail(__FILE__, __LINE__, #cond, "");         \
+    }                                                                     \
+  } while (false)
+
+#define DETA_CHECK_MSG(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream deta_check_os_;                                  \
+      deta_check_os_ << msg;                                              \
+      ::deta::internal::CheckFail(__FILE__, __LINE__, #cond,              \
+                                  deta_check_os_.str());                  \
+    }                                                                     \
+  } while (false)
+
+#define DETA_CHECK_EQ(a, b)                                               \
+  do {                                                                    \
+    if (!((a) == (b))) {                                                  \
+      std::ostringstream deta_check_os_;                                  \
+      deta_check_os_ << "lhs=" << (a) << " rhs=" << (b);                  \
+      ::deta::internal::CheckFail(__FILE__, __LINE__, #a " == " #b,       \
+                                  deta_check_os_.str());                  \
+    }                                                                     \
+  } while (false)
+
+#define DETA_CHECK_NE(a, b)                                               \
+  do {                                                                    \
+    if ((a) == (b)) {                                                     \
+      ::deta::internal::CheckFail(__FILE__, __LINE__, #a " != " #b, "");  \
+    }                                                                     \
+  } while (false)
+
+#define DETA_CHECK_LT(a, b)                                               \
+  do {                                                                    \
+    if (!((a) < (b))) {                                                   \
+      std::ostringstream deta_check_os_;                                  \
+      deta_check_os_ << "lhs=" << (a) << " rhs=" << (b);                  \
+      ::deta::internal::CheckFail(__FILE__, __LINE__, #a " < " #b,        \
+                                  deta_check_os_.str());                  \
+    }                                                                     \
+  } while (false)
+
+#define DETA_CHECK_LE(a, b)                                               \
+  do {                                                                    \
+    if (!((a) <= (b))) {                                                  \
+      std::ostringstream deta_check_os_;                                  \
+      deta_check_os_ << "lhs=" << (a) << " rhs=" << (b);                  \
+      ::deta::internal::CheckFail(__FILE__, __LINE__, #a " <= " #b,       \
+                                  deta_check_os_.str());                  \
+    }                                                                     \
+  } while (false)
+
+#define DETA_CHECK_GT(a, b)                                               \
+  do {                                                                    \
+    if (!((a) > (b))) {                                                   \
+      std::ostringstream deta_check_os_;                                  \
+      deta_check_os_ << "lhs=" << (a) << " rhs=" << (b);                  \
+      ::deta::internal::CheckFail(__FILE__, __LINE__, #a " > " #b,        \
+                                  deta_check_os_.str());                  \
+    }                                                                     \
+  } while (false)
+
+#define DETA_CHECK_GE(a, b)                                               \
+  do {                                                                    \
+    if (!((a) >= (b))) {                                                  \
+      std::ostringstream deta_check_os_;                                  \
+      deta_check_os_ << "lhs=" << (a) << " rhs=" << (b);                  \
+      ::deta::internal::CheckFail(__FILE__, __LINE__, #a " >= " #b,       \
+                                  deta_check_os_.str());                  \
+    }                                                                     \
+  } while (false)
+
+#endif  // DETA_COMMON_CHECK_H_

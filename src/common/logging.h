@@ -1,0 +1,71 @@
+// Minimal leveled logging. Defaults to WARNING so benches/tests stay quiet; examples and
+// the end-to-end drivers raise the level to INFO for narration.
+#ifndef DETA_COMMON_LOGGING_H_
+#define DETA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace deta {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Process-global log threshold. Messages below the threshold are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Emits one formatted log line to stderr; thread-safe.
+void EmitLog(LogLevel level, const char* file, int line, const std::string& message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLog(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace deta
+
+#define DETA_LOG(level)                                                         \
+  if (static_cast<int>(::deta::LogLevel::level) <                               \
+      static_cast<int>(::deta::GetLogLevel()))                                  \
+    ;                                                                           \
+  else                                                                          \
+    ::deta::internal::LogMessage(::deta::LogLevel::level, __FILE__, __LINE__)   \
+        .stream()
+
+#define LOG_DEBUG DETA_LOG(kDebug)
+#define LOG_INFO DETA_LOG(kInfo)
+#define LOG_WARNING DETA_LOG(kWarning)
+#define LOG_ERROR DETA_LOG(kError)
+
+#endif  // DETA_COMMON_LOGGING_H_

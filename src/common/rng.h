@@ -1,0 +1,49 @@
+// Deterministic, fast, non-cryptographic RNG used for dataset synthesis, weight
+// initialization, and workload generation. Cryptographic randomness (tokens, keys, nonces)
+// lives in crypto/chacha20.h.
+#ifndef DETA_COMMON_RNG_H_
+#define DETA_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace deta {
+
+// xoshiro256** seeded via SplitMix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t NextBelow(uint64_t bound);
+  // Uniform in [0, 1).
+  double NextDouble();
+  // Uniform float in [lo, hi).
+  float NextUniform(float lo, float hi);
+  // Standard normal via Box-Muller.
+  float NextGaussian();
+
+  // Derives an independent child stream, e.g. one per party or per round.
+  Rng Fork(uint64_t stream_id);
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool have_spare_gaussian_ = false;
+  float spare_gaussian_ = 0.0f;
+};
+
+}  // namespace deta
+
+#endif  // DETA_COMMON_RNG_H_

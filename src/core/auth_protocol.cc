@@ -1,0 +1,116 @@
+#include "core/auth_protocol.h"
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "crypto/hmac.h"
+#include "net/codec.h"
+
+namespace deta::core {
+
+namespace {
+
+const crypto::Secp256k1& Curve() { return crypto::Secp256k1::Instance(); }
+
+// Transcript bound by the aggregator's registration signature: both ECDH shares and the
+// party identity, so the handshake cannot be spliced across sessions or parties.
+Bytes RegistrationTranscript(const std::string& party, const Bytes& party_share,
+                             const Bytes& aggregator_share) {
+  net::Writer w;
+  w.WriteString("deta-register-v1");
+  w.WriteString(party);
+  w.WriteBytes(party_share);
+  w.WriteBytes(aggregator_share);
+  return w.Take();
+}
+
+}  // namespace
+
+std::string ChannelId(const std::string& party, const std::string& aggregator) {
+  return "chan:" + party + ":" + aggregator;
+}
+
+bool VerifyAggregator(net::Endpoint& endpoint, const std::string& aggregator,
+                      const crypto::EcPoint& token_public, crypto::SecureRng& rng) {
+  Bytes nonce = rng.NextBytes(32);
+  endpoint.Send(aggregator, kAuthChallenge, nonce);
+  std::optional<net::Message> reply = endpoint.ReceiveType(kAuthResponse);
+  if (!reply.has_value() || reply->from != aggregator) {
+    return false;
+  }
+  if (reply->payload.size() != 64) {
+    return false;
+  }
+  crypto::EcdsaSignature sig = crypto::EcdsaSignature::Deserialize(reply->payload);
+  bool ok = crypto::EcdsaVerify(token_public, nonce, sig);
+  if (!ok) {
+    LOG_WARNING << endpoint.name() << ": aggregator " << aggregator
+                << " failed token challenge — refusing to register";
+  }
+  return ok;
+}
+
+std::optional<net::SecureChannel> RegisterWithAggregator(net::Endpoint& endpoint,
+                                                         const std::string& aggregator,
+                                                         const crypto::EcPoint& token_public,
+                                                         crypto::SecureRng& rng) {
+  crypto::EcKeyPair ephemeral = crypto::GenerateEcKey(rng);
+  Bytes my_share = Curve().Encode(ephemeral.public_key);
+  endpoint.Send(aggregator, kAuthRegister, my_share);
+
+  std::optional<net::Message> ack = endpoint.ReceiveType(kAuthRegisterAck);
+  if (!ack.has_value() || ack->from != aggregator) {
+    return std::nullopt;
+  }
+  net::Reader r(ack->payload);
+  Bytes their_share = r.ReadBytes();
+  Bytes sig_bytes = r.ReadBytes();
+  if (sig_bytes.size() != 64) {
+    return std::nullopt;
+  }
+  crypto::EcdsaSignature sig = crypto::EcdsaSignature::Deserialize(sig_bytes);
+  Bytes transcript = RegistrationTranscript(endpoint.name(), my_share, their_share);
+  if (!crypto::EcdsaVerify(token_public, transcript, sig)) {
+    LOG_WARNING << endpoint.name() << ": registration transcript signature from "
+                << aggregator << " invalid";
+    return std::nullopt;
+  }
+  std::optional<crypto::EcPoint> their_point = Curve().Decode(their_share);
+  if (!their_point.has_value() || their_point->is_infinity) {
+    return std::nullopt;
+  }
+  Bytes master = crypto::EcdhSharedSecret(ephemeral.private_key, *their_point);
+  return net::SecureChannel(master, ChannelId(endpoint.name(), aggregator));
+}
+
+void AnswerChallenge(net::Endpoint& endpoint, const net::Message& challenge,
+                     const crypto::BigUint& token_private) {
+  crypto::EcdsaSignature sig = crypto::EcdsaSign(token_private, challenge.payload);
+  endpoint.Send(challenge.from, kAuthResponse, sig.Serialize());
+}
+
+std::optional<std::pair<std::string, net::SecureChannel>> AcceptRegistration(
+    net::Endpoint& endpoint, const net::Message& registration,
+    const crypto::BigUint& token_private, crypto::SecureRng& rng) {
+  std::optional<crypto::EcPoint> party_point = Curve().Decode(registration.payload);
+  if (!party_point.has_value() || party_point->is_infinity) {
+    LOG_WARNING << endpoint.name() << ": malformed registration share from "
+                << registration.from;
+    return std::nullopt;
+  }
+  crypto::EcKeyPair ephemeral = crypto::GenerateEcKey(rng);
+  Bytes my_share = Curve().Encode(ephemeral.public_key);
+  Bytes transcript = RegistrationTranscript(registration.from, registration.payload, my_share);
+  crypto::EcdsaSignature sig = crypto::EcdsaSign(token_private, transcript);
+
+  net::Writer w;
+  w.WriteBytes(my_share);
+  w.WriteBytes(sig.Serialize());
+  endpoint.Send(registration.from, kAuthRegisterAck, w.Take());
+
+  Bytes master = crypto::EcdhSharedSecret(ephemeral.private_key, *party_point);
+  return std::make_pair(registration.from,
+                        net::SecureChannel(master, ChannelId(registration.from,
+                                                             endpoint.name())));
+}
+
+}  // namespace deta::core

@@ -1,0 +1,60 @@
+// Phase II of the paper's two-phase authentication (§4.3), as concrete message exchanges
+// over the bus:
+//
+//   1. challenge/response — the party sends a random nonce; the aggregator signs it with
+//      the ECDSA token the attestation proxy provisioned in phase I; the party verifies
+//      against the token public key in the AP registry. Only attested aggregators hold a
+//      token, so a verified signature proves SEV-protected, measurement-checked code.
+//   2. registration + secure channel — the party registers and both sides run an ECDH
+//      exchange, with the aggregator signing the handshake transcript using the same
+//      token (authenticated key agreement; the TLS stand-in). All subsequent model-update
+//      traffic is sealed on the resulting channel.
+#ifndef DETA_CORE_AUTH_PROTOCOL_H_
+#define DETA_CORE_AUTH_PROTOCOL_H_
+
+#include <optional>
+#include <string>
+
+#include "crypto/ec.h"
+#include "crypto/ecdsa.h"
+#include "net/message_bus.h"
+#include "net/secure_channel.h"
+
+namespace deta::core {
+
+// Message type tags.
+inline constexpr char kAuthChallenge[] = "auth.challenge";
+inline constexpr char kAuthResponse[] = "auth.response";
+inline constexpr char kAuthRegister[] = "auth.register";
+inline constexpr char kAuthRegisterAck[] = "auth.register_ack";
+
+// Canonical channel id for a (party, aggregator) pair.
+std::string ChannelId(const std::string& party, const std::string& aggregator);
+
+// --- party side ---
+
+// Step 1: challenge-response verification of one aggregator. Blocking.
+bool VerifyAggregator(net::Endpoint& endpoint, const std::string& aggregator,
+                      const crypto::EcPoint& token_public, crypto::SecureRng& rng);
+
+// Step 2: registration + authenticated ECDH. Returns the established channel, or nullopt
+// if the transcript signature fails.
+std::optional<net::SecureChannel> RegisterWithAggregator(net::Endpoint& endpoint,
+                                                         const std::string& aggregator,
+                                                         const crypto::EcPoint& token_public,
+                                                         crypto::SecureRng& rng);
+
+// --- aggregator side ---
+
+// Responds to one kAuthChallenge message.
+void AnswerChallenge(net::Endpoint& endpoint, const net::Message& challenge,
+                     const crypto::BigUint& token_private);
+
+// Handles one kAuthRegister message; returns (party name, channel) on success.
+std::optional<std::pair<std::string, net::SecureChannel>> AcceptRegistration(
+    net::Endpoint& endpoint, const net::Message& registration,
+    const crypto::BigUint& token_private, crypto::SecureRng& rng);
+
+}  // namespace deta::core
+
+#endif  // DETA_CORE_AUTH_PROTOCOL_H_

@@ -1,0 +1,201 @@
+#include "core/deta_aggregator.h"
+
+#include "cc/attestation_proxy.h"
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/sim_clock.h"
+#include "net/codec.h"
+
+namespace deta::core {
+
+DetaAggregator::DetaAggregator(AggregatorConfig config, net::MessageBus& bus,
+                               std::shared_ptr<cc::Cvm> cvm, crypto::SecureRng rng)
+    : config_(std::move(config)), bus_(bus), cvm_(std::move(cvm)), rng_(std::move(rng)) {
+  endpoint_ = bus_.CreateEndpoint(config_.name);
+  // The token was injected by the attestation proxy in phase I; its presence is this
+  // node's proof of having passed attestation.
+  std::optional<Bytes> token = cvm_->GuestRead(cc::kTokenRegion);
+  DETA_CHECK_MSG(token.has_value(),
+                 "aggregator " << config_.name << " CVM has no provisioned auth token");
+  token_private_ = crypto::BigUint::FromBytes(*token);
+
+  if (config_.use_paillier) {
+    DETA_CHECK(config_.paillier_public.has_value());
+    paillier_codec_ = std::make_unique<fl::PaillierVectorCodec>(
+        *config_.paillier_public, config_.num_parties, config_.paillier_lane_bits);
+  } else {
+    algorithm_ = fl::MakeAlgorithm(config_.algorithm);
+  }
+}
+
+DetaAggregator::~DetaAggregator() { Join(); }
+
+void DetaAggregator::Start() {
+  thread_ = std::thread([this] { Run(); });
+}
+
+void DetaAggregator::Join() {
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void DetaAggregator::Run() {
+  for (;;) {
+    std::optional<net::Message> m = endpoint_->Receive();
+    if (!m.has_value()) {
+      return;  // endpoint closed
+    }
+    if (m->type == kAuthChallenge) {
+      AnswerChallenge(*endpoint_, *m, token_private_);
+    } else if (m->type == kAuthRegister) {
+      auto result = AcceptRegistration(*endpoint_, *m, token_private_, rng_);
+      if (result.has_value()) {
+        channels_.insert(std::move(*result));
+      }
+    } else if (m->type == kJobStart) {
+      DETA_CHECK_MSG(config_.is_initiator, "job.start sent to a follower aggregator");
+      BeginRound(1);
+    } else if (m->type == kRoundUpload) {
+      HandleUpload(*m);
+    } else if (m->type == kRoundDone) {
+      net::Reader r(m->payload);
+      HandleRoundDone(static_cast<int>(r.ReadU32()));
+    } else if (m->type == kShutdown) {
+      return;
+    } else {
+      LOG_WARNING << config_.name << ": unexpected message type " << m->type;
+    }
+    if (finished_) {
+      return;
+    }
+  }
+}
+
+void DetaAggregator::BeginRound(int round) {
+  current_round_ = round;
+  followers_done_ = 0;
+  LOG_DEBUG << config_.name << ": beginning round " << round;
+  net::Writer w;
+  w.WriteU32(static_cast<uint32_t>(round));
+  for (const std::string& party : config_.party_names) {
+    endpoint_->Send(party, kRoundBegin, w.buffer());
+  }
+}
+
+void DetaAggregator::HandleUpload(const net::Message& m) {
+  auto channel = channels_.find(m.from);
+  if (channel == channels_.end()) {
+    LOG_WARNING << config_.name << ": upload from unregistered party " << m.from;
+    return;
+  }
+  net::Reader r(m.payload);
+  int round = static_cast<int>(r.ReadU32());
+  if (round <= last_aggregated_round_) {
+    LOG_WARNING << config_.name << ": dropping straggler fragment from " << m.from
+                << " for completed round " << round;
+    return;
+  }
+  Bytes sealed = r.ReadBytes();
+  std::optional<Bytes> fragment = channel->second.Open(sealed);
+  if (!fragment.has_value()) {
+    LOG_WARNING << config_.name << ": failed to open sealed fragment from " << m.from;
+    return;
+  }
+  // Everything the aggregator learns lands in CVM encrypted memory: this is exactly the
+  // material the §6 breach experiments dump.
+  cvm_->GuestWrite("update:" + m.from + ":r" + std::to_string(round), *fragment);
+  staged_[m.from] = std::move(*fragment);
+  int quorum = config_.quorum > 0 ? config_.quorum : config_.num_parties;
+  if (static_cast<int>(staged_.size()) >= quorum) {
+    last_aggregated_round_ = round;
+    AggregateAndDistribute(round);
+  }
+}
+
+void DetaAggregator::AggregateAndDistribute(int round) {
+  Stopwatch watch;
+  Bytes result_payload;
+
+  if (config_.use_paillier) {
+    // Homomorphic accumulation; the aggregator never sees plaintext coordinates.
+    std::vector<crypto::BigUint> acc;
+    for (auto& [party, payload] : staged_) {
+      std::vector<crypto::BigUint> ct = fl::DeserializeCiphertexts(payload);
+      if (acc.empty()) {
+        acc = std::move(ct);
+      } else {
+        paillier_codec_->AccumulateInPlace(acc, ct);
+      }
+    }
+    result_payload = fl::SerializeCiphertexts(acc);
+  } else {
+    std::vector<fl::ModelUpdate> updates;
+    updates.reserve(staged_.size());
+    for (auto& [party, payload] : staged_) {
+      updates.push_back(fl::DeserializeUpdate(payload));
+    }
+    fl::ModelUpdate aggregated;
+    aggregated.values = algorithm_->Aggregate(updates);
+    aggregated.weight = 1.0;
+    result_payload = fl::SerializeUpdate(aggregated);
+  }
+  staged_.clear();
+  cvm_->GuestWrite("aggregated:r" + std::to_string(round), result_payload);
+  double agg_seconds = watch.ElapsedSeconds();
+
+  // Distribute AU[A_j] back to every party over its secure channel.
+  for (auto& [party, channel] : channels_) {
+    net::Writer w;
+    w.WriteU32(static_cast<uint32_t>(round));
+    w.WriteBytes(channel.Seal(result_payload, rng_));
+    endpoint_->Send(party, kRoundResult, w.Take());
+  }
+
+  // Timing report for the latency model.
+  if (!config_.observer.empty()) {
+    net::Writer w;
+    w.WriteU32(static_cast<uint32_t>(round));
+    w.WriteDouble(agg_seconds);
+    w.WriteU64(result_payload.size());
+    endpoint_->Send(config_.observer, kAggReport, w.Take());
+  }
+
+  // Synchronization: followers notify the initiator; the initiator counts itself.
+  net::Writer w;
+  w.WriteU32(static_cast<uint32_t>(round));
+  if (config_.is_initiator) {
+    HandleRoundDone(round);
+  } else {
+    endpoint_->Send(config_.initiator_name, kRoundDone, w.Take());
+  }
+}
+
+void DetaAggregator::HandleRoundDone(int round) {
+  DETA_CHECK_MSG(config_.is_initiator, "round.done received by a follower");
+  if (round != current_round_) {
+    LOG_WARNING << config_.name << ": stale round.done for round " << round;
+    return;
+  }
+  ++followers_done_;
+  if (followers_done_ < config_.num_aggregators) {
+    return;
+  }
+  if (current_round_ < config_.rounds) {
+    BeginRound(current_round_ + 1);
+    return;
+  }
+  // Training complete: fan out shutdown to parties and follower aggregators.
+  for (const std::string& party : config_.party_names) {
+    endpoint_->Send(party, kShutdown, {});
+  }
+  for (const std::string& peer : config_.aggregator_names) {
+    if (peer != config_.name) {
+      endpoint_->Send(peer, kShutdown, {});
+    }
+  }
+  finished_ = true;
+  LOG_INFO << config_.name << ": training complete after " << config_.rounds << " rounds";
+}
+
+}  // namespace deta::core

@@ -1,0 +1,106 @@
+// A decentralized DeTA aggregator (§4.1): one of J instances, each confined to an SEV
+// CVM, holding only a fragmentary, shuffled view of every model update. Runs as a real
+// thread with an event loop over bus messages.
+//
+// Roles: one aggregator is the *initiator* — it starts each training round by notifying
+// the parties and advances to the next round once every follower reports completion
+// ("Inter-Aggregator Training Synchronization"). The rest are followers.
+//
+// Everything secret the aggregator handles (its auth token, received fragments, the
+// aggregated result) lives in the CVM's encrypted memory, so the breach experiments can
+// dump exactly what a successful SEV exploit would expose.
+#ifndef DETA_CORE_DETA_AGGREGATOR_H_
+#define DETA_CORE_DETA_AGGREGATOR_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "cc/sev.h"
+#include "core/auth_protocol.h"
+#include "fl/aggregation.h"
+#include "fl/paillier_fusion.h"
+#include "net/message_bus.h"
+
+namespace deta::core {
+
+// Round-protocol message tags.
+inline constexpr char kJobStart[] = "job.start";
+inline constexpr char kRoundBegin[] = "round.begin";
+inline constexpr char kRoundUpload[] = "round.upload";
+inline constexpr char kRoundResult[] = "round.result";
+inline constexpr char kRoundDone[] = "round.done";
+inline constexpr char kAggReport[] = "agg.report";
+inline constexpr char kShutdown[] = "shutdown";
+
+struct AggregatorConfig {
+  std::string name;
+  int index = 0;
+  bool is_initiator = false;
+  int num_parties = 0;
+  int num_aggregators = 1;
+  int rounds = 1;
+  // Aggregate as soon as this many party fragments arrive (0 = wait for all parties).
+  // Late fragments for an already-aggregated round are dropped — tolerates stragglers in
+  // the asynchronous-training setting §8.2 discusses.
+  int quorum = 0;
+  std::string algorithm = "iterative_averaging";
+  // Paillier fusion: aggregate ciphertexts homomorphically instead of plaintext floats.
+  bool use_paillier = false;
+  std::optional<crypto::PaillierPublicKey> paillier_public;
+  int paillier_lane_bits = 56;
+  // Observer endpoint for timing reports (empty = no reports).
+  std::string observer;
+  std::string initiator_name;
+  std::vector<std::string> party_names;
+  std::vector<std::string> aggregator_names;
+};
+
+class DetaAggregator {
+ public:
+  // The token private key is read from the CVM's encrypted memory (provisioned by the
+  // attestation proxy in phase I); construction fails if the CVM was not provisioned.
+  DetaAggregator(AggregatorConfig config, net::MessageBus& bus, std::shared_ptr<cc::Cvm> cvm,
+                 crypto::SecureRng rng);
+  ~DetaAggregator();
+
+  DetaAggregator(const DetaAggregator&) = delete;
+  DetaAggregator& operator=(const DetaAggregator&) = delete;
+
+  void Start();
+  void Join();
+
+  const std::string& name() const { return config_.name; }
+  const std::shared_ptr<cc::Cvm>& cvm() const { return cvm_; }
+
+ private:
+  void Run();
+  void HandleUpload(const net::Message& m);
+  void AggregateAndDistribute(int round);
+  void HandleRoundDone(int round);
+  void BeginRound(int round);
+
+  AggregatorConfig config_;
+  net::MessageBus& bus_;
+  std::unique_ptr<net::Endpoint> endpoint_;
+  std::shared_ptr<cc::Cvm> cvm_;
+  crypto::BigUint token_private_;
+  crypto::SecureRng rng_;
+  std::unique_ptr<fl::AggregationAlgorithm> algorithm_;
+  std::unique_ptr<fl::PaillierVectorCodec> paillier_codec_;
+
+  std::map<std::string, net::SecureChannel> channels_;  // party -> channel
+  // Per-round fragment staging: party -> serialized fragment payload.
+  std::map<std::string, Bytes> staged_;
+  int current_round_ = 0;
+  int last_aggregated_round_ = 0;
+  int followers_done_ = 0;
+  bool finished_ = false;
+  std::thread thread_;
+};
+
+}  // namespace deta::core
+
+#endif  // DETA_CORE_DETA_AGGREGATOR_H_

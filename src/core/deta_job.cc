@@ -1,0 +1,265 @@
+#include "core/deta_job.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "crypto/sha256.h"
+#include "net/codec.h"
+
+namespace deta::core {
+
+namespace {
+
+// The aggregator "image" whose SHA-256 is the CVM launch measurement. In a real
+// deployment this is the OVMF+workload digest; here a canonical manifest plays that role —
+// any tampering (e.g. a malicious aggregator binary) changes the measurement and fails
+// attestation, which is exactly the property the tests exercise.
+Bytes AggregatorImage(const DetaJobConfig& config) {
+  net::Writer w;
+  w.WriteString("deta-aggregator-image-v1");
+  w.WriteString(config.base.algorithm);
+  w.WriteU32(config.base.use_paillier ? 1 : 0);
+  return w.Take();
+}
+
+}  // namespace
+
+DetaJob::DetaJob(DetaJobConfig config, std::vector<std::unique_ptr<fl::Party>> parties,
+                 const fl::ModelFactory& global_factory, data::Dataset eval)
+    : config_(std::move(config)), global_model_(global_factory()), eval_(std::move(eval)) {
+  DETA_CHECK(!parties.empty());
+  DETA_CHECK_GT(config_.num_aggregators, 0);
+  crypto::SecureRng setup_rng(
+      StringToBytes("deta-job-setup-" + std::to_string(config_.base.seed)));
+
+  // --- Phase I: platforms, paused CVMs, attestation, token provisioning (steps 1-2) ---
+  Stopwatch attest_watch;
+  ras_ = std::make_unique<cc::RemoteAttestationService>(setup_rng);
+  Bytes image = AggregatorImage(config_);
+  proxy_ = std::make_unique<cc::AttestationProxy>(
+      ras_->RootKey(), crypto::Sha256Digest(image),
+      crypto::SecureRng(setup_rng.NextBytes(32)));
+
+  std::vector<std::string> aggregator_names;
+  for (int j = 0; j < config_.num_aggregators; ++j) {
+    std::string name = "aggregator" + std::to_string(j);
+    platforms_.push_back(std::make_unique<cc::SevPlatform>(
+        "platform" + std::to_string(j), *ras_, setup_rng));
+    cvms_.push_back(platforms_.back()->LaunchPausedCvm(name, image));
+    auto provision = proxy_->VerifyAndProvision(*platforms_.back(), *cvms_.back());
+    DETA_CHECK_MSG(provision.ok, "aggregator attestation failed: " << provision.failure_reason);
+    aggregator_names.push_back(name);
+  }
+  attestation_seconds_ = attest_watch.ElapsedSeconds();
+
+  // --- Shared party-side secrets: model mapper seed + permutation key. The trusted key
+  // broker owns them and serves them to parties over authenticated channels (§4.2);
+  // aggregators never see this material. ---
+  TransformMaterial material;
+  material.total_params = global_model_->NumParameters();
+  material.mapper_seed = setup_rng.NextBytes(32);
+  material.permutation_key =
+      GeneratePermutationKey(config_.permutation_key_bits, setup_rng.NextBytes(32));
+  material.proportions = config_.proportions;
+  material.num_aggregators = config_.num_aggregators;
+  material.enable_partition = config_.enable_partition;
+  material.enable_shuffle = config_.enable_shuffle;
+  transform_ = material.BuildTransform();
+
+  crypto::EcKeyPair broker_identity = crypto::GenerateEcKey(setup_rng);
+  if (config_.use_key_broker) {
+    key_broker_ = std::make_unique<KeyBroker>(material, broker_identity,
+                                              static_cast<int>(parties.size()), bus_,
+                                              crypto::SecureRng(setup_rng.NextBytes(32)));
+  }
+
+  // --- Paillier key material (trusted key broker; parties only) ---
+  std::optional<crypto::PaillierKeyPair> paillier;
+  if (config_.base.use_paillier) {
+    paillier = crypto::GeneratePaillierKey(setup_rng, config_.base.paillier_modulus_bits);
+  }
+
+  // --- Aggregator nodes (threads created at Run) ---
+  std::vector<std::string> party_names;
+  for (const auto& p : parties) {
+    party_names.push_back(p->name());
+  }
+  for (int j = 0; j < config_.num_aggregators; ++j) {
+    AggregatorConfig ac;
+    ac.name = aggregator_names[static_cast<size_t>(j)];
+    ac.index = j;
+    ac.is_initiator = (j == 0);  // "DeTA randomly selects one aggregator as initiator";
+                                 // index 0 is equivalent (names carry no bias) and
+                                 // keeps runs reproducible.
+    ac.num_parties = static_cast<int>(parties.size());
+    ac.num_aggregators = config_.num_aggregators;
+    ac.rounds = config_.base.rounds;
+    ac.algorithm = config_.base.algorithm;
+    ac.use_paillier = config_.base.use_paillier;
+    if (paillier.has_value()) {
+      ac.paillier_public = paillier->pub;
+    }
+    ac.observer = "observer";
+    ac.initiator_name = aggregator_names[0];
+    ac.party_names = party_names;
+    ac.aggregator_names = aggregator_names;
+    aggregators_.push_back(std::make_unique<DetaAggregator>(
+        ac, bus_, cvms_[static_cast<size_t>(j)],
+        crypto::SecureRng(setup_rng.NextBytes(32))));
+  }
+
+  // --- Party nodes ---
+  std::vector<float> initial = global_model_->GetFlatParams();
+  for (size_t i = 0; i < parties.size(); ++i) {
+    DetaPartyConfig pc;
+    pc.aggregator_names = aggregator_names;
+    pc.token_registry = proxy_->TokenRegistry();
+    pc.observer = "observer";
+    pc.is_reporter = (i == 0);
+    pc.train = config_.base.train;
+    pc.use_paillier = config_.base.use_paillier;
+    pc.paillier = paillier;
+    pc.num_parties = static_cast<int>(parties.size());
+    pc.initial_params = initial;
+    std::shared_ptr<const Transform> party_transform = transform_;
+    if (config_.use_key_broker) {
+      pc.fetch_from_key_broker = true;
+      pc.key_broker_public = broker_identity.public_key;
+      party_transform = nullptr;  // built from broker-served material during setup
+    }
+    deta_parties_.push_back(std::make_unique<DetaParty>(
+        std::move(parties[i]), pc, party_transform, bus_,
+        crypto::SecureRng(setup_rng.NextBytes(32))));
+  }
+}
+
+DetaJob::~DetaJob() {
+  for (auto& p : deta_parties_) {
+    p->Join();
+  }
+  for (auto& a : aggregators_) {
+    a->Join();
+  }
+}
+
+std::vector<fl::RoundMetrics> DetaJob::Run() {
+  auto observer = bus_.CreateEndpoint("observer");
+  if (key_broker_ != nullptr) {
+    key_broker_->Start();
+  }
+  for (auto& agg : aggregators_) {
+    agg->Start();
+  }
+  for (auto& party : deta_parties_) {
+    party->Start();
+  }
+
+  // Wait for every party to finish verification + registration.
+  for (size_t i = 0; i < deta_parties_.size(); ++i) {
+    std::optional<net::Message> m = observer->ReceiveType(kPartyReady);
+    DETA_CHECK(m.has_value());
+    DETA_CHECK_MSG(!m->payload.empty() && m->payload[0] == 1,
+                   "party " << m->from << " failed aggregator verification");
+  }
+  LOG_INFO << "DeTA job: all " << deta_parties_.size()
+           << " parties verified and registered with " << aggregators_.size()
+           << " aggregators";
+
+  observer->Send(aggregators_[0]->name(), kJobStart, {});
+
+  const LatencyModel& lm = config_.base.latency;
+  std::vector<fl::RoundMetrics> metrics;
+  // Attestation and registration are one-time setup (before training starts); the paper's
+  // latency curves measure training rounds only, so setup is reported separately via
+  // attestation_seconds() rather than folded into round latency.
+  double cumulative = 0.0;
+
+  // Per-round report collection, tolerant of cross-round interleaving.
+  std::map<int, std::vector<std::pair<double, double>>> timings;  // round -> (train, trans)
+  std::map<int, uint64_t> upload_bytes;
+  std::map<int, std::vector<std::pair<double, uint64_t>>> agg_reports;
+  std::map<int, std::vector<float>> reported_params;
+
+  size_t num_parties = deta_parties_.size();
+  size_t num_aggs = aggregators_.size();
+  for (int round = 1; round <= config_.base.rounds; ++round) {
+    while (timings[round].size() < num_parties || agg_reports[round].size() < num_aggs ||
+           reported_params.find(round) == reported_params.end()) {
+      std::optional<net::Message> m = observer->Receive();
+      DETA_CHECK_MSG(m.has_value(), "observer endpoint closed mid-training");
+      net::Reader r(m->payload);
+      if (m->type == kPartyTiming) {
+        int rd = static_cast<int>(r.ReadU32());
+        double train_s = r.ReadDouble();
+        double trans_s = r.ReadDouble();
+        uint64_t bytes = r.ReadU64();
+        timings[rd].push_back({train_s, trans_s});
+        upload_bytes[rd] = std::max(upload_bytes[rd], bytes);
+      } else if (m->type == kAggReport) {
+        int rd = static_cast<int>(r.ReadU32());
+        double agg_s = r.ReadDouble();
+        uint64_t bytes = r.ReadU64();
+        agg_reports[rd].push_back({agg_s, bytes});
+      } else if (m->type == kPartyReport) {
+        int rd = static_cast<int>(r.ReadU32());
+        reported_params[rd] = r.ReadFloatVector();
+      } else if (m->type == kPartyFailed) {
+        int rd = static_cast<int>(r.ReadU32());
+        std::string reason = r.ReadString();
+        DETA_CHECK_MSG(false, "party " << m->from << " aborted round " << rd << ": "
+                                       << reason);
+      } else {
+        LOG_WARNING << "observer: unexpected message " << m->type;
+      }
+    }
+
+    // --- latency model for this round (see common/sim_clock.h) ---
+    double party_phase = 0.0;
+    for (const auto& [train_s, trans_s] : timings[round]) {
+      party_phase = std::max(party_phase, train_s + trans_s);
+    }
+    party_phase += lm.TransferSeconds(upload_bytes[round]);  // parallel uploads: max size
+    double agg_phase = 0.0;
+    uint64_t down_bytes = 0;
+    for (const auto& [agg_s, bytes] : agg_reports[round]) {
+      agg_phase = std::max(agg_phase, agg_s);
+      down_bytes = std::max(down_bytes, bytes);
+    }
+    agg_phase *= (1.0 + lm.sev_compute_overhead);
+    agg_phase += lm.rtt_seconds;  // initiator/follower sync
+    double round_latency = party_phase + agg_phase + lm.TransferSeconds(down_bytes);
+
+    // --- evaluation on the reporter's merged global model ---
+    global_model_->SetFlatParams(reported_params[round]);
+    fl::RoundMetrics m;
+    m.round = round;
+    m.loss = nn::MeanLoss(*global_model_, eval_.images, eval_.labels, eval_.classes);
+    m.accuracy = nn::Accuracy(*global_model_, eval_.images, eval_.labels);
+    m.round_latency_s = round_latency;
+    cumulative += round_latency;
+    m.cumulative_latency_s = cumulative;
+    metrics.push_back(m);
+    LOG_INFO << "DeTA round " << round << ": loss=" << m.loss << " acc=" << m.accuracy
+             << " latency=" << m.cumulative_latency_s << "s";
+
+    final_params_ = reported_params[round];
+    timings.erase(round);
+    agg_reports.erase(round);
+    reported_params.erase(round);
+  }
+
+  for (auto& party : deta_parties_) {
+    party->Join();
+  }
+  for (auto& agg : aggregators_) {
+    agg->Join();
+  }
+  if (key_broker_ != nullptr) {
+    key_broker_->Join();  // exits on its own after serving every party
+  }
+  return metrics;
+}
+
+}  // namespace deta::core

@@ -1,0 +1,225 @@
+#include "core/deta_party.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/sim_clock.h"
+#include "net/codec.h"
+
+namespace deta::core {
+
+DetaParty::DetaParty(std::unique_ptr<fl::Party> local, DetaPartyConfig config,
+                     std::shared_ptr<const Transform> transform, net::MessageBus& bus,
+                     crypto::SecureRng rng)
+    : local_(std::move(local)),
+      config_(std::move(config)),
+      transform_(std::move(transform)),
+      bus_(bus),
+      rng_(std::move(rng)) {
+  endpoint_ = bus_.CreateEndpoint(local_->name());
+  global_params_ = config_.initial_params;
+  DETA_CHECK_EQ(static_cast<int64_t>(global_params_.size()), local_->ParameterCount());
+  if (!config_.fetch_from_key_broker) {
+    DETA_CHECK_MSG(transform_ != nullptr, "no transform and key-broker fetch disabled");
+  }
+  if (transform_ != nullptr) {
+    DETA_CHECK_EQ(config_.aggregator_names.size(),
+                  static_cast<size_t>(transform_->num_partitions()));
+  }
+  if (config_.use_paillier) {
+    DETA_CHECK(config_.paillier.has_value());
+    paillier_codec_ = std::make_unique<fl::PaillierVectorCodec>(
+        config_.paillier->pub, config_.num_parties, config_.paillier_lane_bits);
+  }
+}
+
+DetaParty::~DetaParty() { Join(); }
+
+void DetaParty::Start() {
+  thread_ = std::thread([this] { Run(); });
+}
+
+void DetaParty::Join() {
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+bool DetaParty::SetupChannels() {
+  // Fetch the shared transform material from the trusted key broker first: the mapper
+  // seed and the permutation key exist only in participant-controlled domains.
+  if (config_.fetch_from_key_broker) {
+    std::optional<TransformMaterial> material =
+        FetchTransformMaterial(*endpoint_, config_.key_broker_public, rng_);
+    if (!material.has_value()) {
+      return false;
+    }
+    transform_ = material->BuildTransform();
+    if (config_.aggregator_names.size() !=
+        static_cast<size_t>(transform_->num_partitions())) {
+      LOG_WARNING << name() << ": broker material partition count mismatch";
+      return false;
+    }
+  }
+  // Verify, then register with *all* aggregators (the paper's precondition for joining
+  // training: no update is ever shared with an unverified aggregator).
+  for (const std::string& agg : config_.aggregator_names) {
+    auto token = config_.token_registry.find(agg);
+    if (token == config_.token_registry.end()) {
+      LOG_WARNING << name() << ": no attestation token on record for " << agg;
+      return false;
+    }
+    if (!VerifyAggregator(*endpoint_, agg, token->second, rng_)) {
+      return false;
+    }
+    std::optional<net::SecureChannel> channel =
+        RegisterWithAggregator(*endpoint_, agg, token->second, rng_);
+    if (!channel.has_value()) {
+      return false;
+    }
+    channels_.emplace(agg, std::move(*channel));
+  }
+  return true;
+}
+
+void DetaParty::Run() {
+  setup_ok_ = SetupChannels();
+  endpoint_->Send(config_.observer, kPartyReady, Bytes{setup_ok_ ? uint8_t{1} : uint8_t{0}});
+  if (!setup_ok_) {
+    return;
+  }
+  for (;;) {
+    std::optional<net::Message> m = endpoint_->Receive();
+    if (!m.has_value() || m->type == kShutdown) {
+      return;
+    }
+    if (m->type == kRoundBegin) {
+      net::Reader r(m->payload);
+      RunRound(static_cast<int>(r.ReadU32()));
+      if (round_failed_) {
+        return;  // aborted mid-round; observer was notified
+      }
+    } else {
+      LOG_WARNING << name() << ": unexpected message type " << m->type;
+    }
+  }
+}
+
+void DetaParty::RunRound(int round) {
+  // --- local training ---
+  fl::Party::LocalResult local = local_->RunLocalRound(global_params_, round);
+
+  // --- Trans: partition + shuffle (+ Paillier encryption when enabled) ---
+  Stopwatch transform_watch;
+  std::vector<std::vector<float>> fragments =
+      transform_->Apply(local.update.values, static_cast<uint64_t>(round));
+  std::vector<Bytes> payloads(fragments.size());
+  uint64_t upload_bytes_max = 0;
+  for (size_t j = 0; j < fragments.size(); ++j) {
+    if (config_.use_paillier) {
+      payloads[j] = fl::SerializeCiphertexts(paillier_codec_->Encrypt(fragments[j], rng_));
+    } else {
+      fl::ModelUpdate fragment_update;
+      fragment_update.values = std::move(fragments[j]);
+      fragment_update.weight = local.update.weight;
+      payloads[j] = fl::SerializeUpdate(fragment_update);
+    }
+    upload_bytes_max = std::max<uint64_t>(upload_bytes_max, payloads[j].size());
+  }
+  double transform_seconds = transform_watch.ElapsedSeconds();
+
+  // --- upload Trans(LU[P]) fragment j to aggregator j over its secure channel ---
+  for (size_t j = 0; j < payloads.size(); ++j) {
+    const std::string& agg = config_.aggregator_names[j];
+    net::Writer w;
+    w.WriteU32(static_cast<uint32_t>(round));
+    w.WriteBytes(channels_.at(agg).Seal(payloads[j], rng_));
+    endpoint_->Send(agg, kRoundUpload, w.Take());
+  }
+
+  // --- collect AU[A_j] from all aggregators ---
+  // CPU-time stopwatch: counts the (potentially expensive, e.g. Paillier) result
+  // processing but not the blocking waits on the network.
+  Stopwatch result_watch;
+  std::vector<std::vector<float>> aggregated(payloads.size());
+  for (size_t received = 0; received < payloads.size(); ++received) {
+    std::optional<net::Message> m =
+        config_.result_timeout_ms > 0
+            ? endpoint_->ReceiveTypeFor(kRoundResult, config_.result_timeout_ms)
+            : endpoint_->ReceiveType(kRoundResult);
+    if (!m.has_value()) {
+      // Dead or unreachable aggregator: abort this round and tell the observer rather
+      // than hanging the deployment forever.
+      LOG_ERROR << name() << ": no round result within " << config_.result_timeout_ms
+                << "ms (aggregator down?); aborting round " << round;
+      if (!config_.observer.empty()) {
+        net::Writer w;
+        w.WriteU32(static_cast<uint32_t>(round));
+        w.WriteString("round result timeout");
+        endpoint_->Send(config_.observer, kPartyFailed, w.Take());
+      }
+      round_failed_ = true;
+      return;
+    }
+    // Map the sender back to its partition index.
+    auto it = std::find(config_.aggregator_names.begin(), config_.aggregator_names.end(),
+                        m->from);
+    DETA_CHECK_MSG(it != config_.aggregator_names.end(),
+                   "round result from unknown aggregator " << m->from);
+    size_t j = static_cast<size_t>(it - config_.aggregator_names.begin());
+    net::Reader r(m->payload);
+    int result_round = static_cast<int>(r.ReadU32());
+    DETA_CHECK_EQ(result_round, round);
+    std::optional<Bytes> payload = channels_.at(m->from).Open(r.ReadBytes());
+    DETA_CHECK_MSG(payload.has_value(), "failed to open aggregated fragment");
+    if (config_.use_paillier) {
+      std::vector<crypto::BigUint> ct = fl::DeserializeCiphertexts(*payload);
+      size_t fragment_len = static_cast<size_t>(
+          transform_->config().enable_partition
+              ? transform_->mapper().PartitionSize(static_cast<int>(j))
+              : static_cast<int64_t>(global_params_.size()));
+      aggregated[j] = paillier_codec_->DecryptSum(ct, config_.paillier->priv, fragment_len,
+                                                  config_.num_parties);
+      float inv = 1.0f / static_cast<float>(config_.num_parties);
+      for (auto& v : aggregated[j]) {
+        v *= inv;
+      }
+    } else {
+      aggregated[j] = fl::DeserializeUpdate(*payload).values;
+    }
+  }
+
+  double result_seconds = result_watch.ElapsedSeconds();
+
+  // --- Trans^-1: un-shuffle + merge, then synchronize the local model ---
+  Stopwatch invert_watch;
+  std::vector<float> merged = transform_->Invert(aggregated, static_cast<uint64_t>(round));
+  double invert_seconds = invert_watch.ElapsedSeconds() + result_seconds;
+
+  if (config_.train.kind == fl::TrainConfig::UpdateKind::kGradient) {
+    for (size_t i = 0; i < global_params_.size(); ++i) {
+      global_params_[i] -= config_.train.lr * merged[i];
+    }
+  } else {
+    global_params_ = std::move(merged);
+  }
+
+  // --- timing report + (reporter only) the merged global model for evaluation ---
+  if (!config_.observer.empty()) {
+    net::Writer w;
+    w.WriteU32(static_cast<uint32_t>(round));
+    w.WriteDouble(local.train_seconds);
+    w.WriteDouble(transform_seconds + invert_seconds);
+    w.WriteU64(upload_bytes_max);
+    endpoint_->Send(config_.observer, kPartyTiming, w.Take());
+    if (config_.is_reporter) {
+      net::Writer wr;
+      wr.WriteU32(static_cast<uint32_t>(round));
+      wr.WriteFloatVector(global_params_);
+      endpoint_->Send(config_.observer, kPartyReport, wr.Take());
+    }
+  }
+}
+
+}  // namespace deta::core

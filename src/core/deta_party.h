@@ -1,0 +1,94 @@
+// A DeTA training party: wraps the baseline fl::Party local trainer with the full DeTA
+// life cycle of Figure 1 — verify every aggregator (phase II challenge/response),
+// register and establish secure channels, then per round: local train, Trans (partition +
+// shuffle), sealed upload to each aggregator, collect aggregated fragments, Trans^-1
+// (un-shuffle + merge), and synchronize the local model. Runs as a real thread.
+#ifndef DETA_CORE_DETA_PARTY_H_
+#define DETA_CORE_DETA_PARTY_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "core/deta_aggregator.h"
+#include "core/key_broker.h"
+#include "core/transform.h"
+#include "fl/party.h"
+
+namespace deta::core {
+
+inline constexpr char kPartyReady[] = "party.ready";
+inline constexpr char kPartyTiming[] = "party.timing";
+inline constexpr char kPartyReport[] = "party.report";
+inline constexpr char kPartyFailed[] = "party.failed";
+
+struct DetaPartyConfig {
+  std::vector<std::string> aggregator_names;
+  // Token public keys from the attestation proxy's registry, keyed by aggregator name.
+  std::map<std::string, crypto::EcPoint> token_registry;
+  std::string observer;
+  // Exactly one party per job uploads the merged global parameters to the observer each
+  // round for evaluation (they are identical across parties).
+  bool is_reporter = false;
+  fl::TrainConfig train;
+  // Paillier fusion key material (all parties hold it; the key-broker role).
+  bool use_paillier = false;
+  std::optional<crypto::PaillierKeyPair> paillier;
+  int paillier_lane_bits = 56;
+  int num_parties = 1;
+  // Starting global parameters; identical across all parties of a job.
+  std::vector<float> initial_params;
+  // When true, the party fetches the transform material (permutation key + mapper seed)
+  // from the trusted key broker during setup instead of receiving a pre-built transform.
+  bool fetch_from_key_broker = false;
+  crypto::EcPoint key_broker_public;
+  // How long to wait for each aggregator's round result before declaring it dead and
+  // aborting the round (0 = wait forever).
+  int result_timeout_ms = 120000;
+};
+
+class DetaParty {
+ public:
+  // |transform| may be null when config.fetch_from_key_broker is set; the party then
+  // builds it from the broker-served material during setup.
+  DetaParty(std::unique_ptr<fl::Party> local, DetaPartyConfig config,
+            std::shared_ptr<const Transform> transform, net::MessageBus& bus,
+            crypto::SecureRng rng);
+  ~DetaParty();
+
+  DetaParty(const DetaParty&) = delete;
+  DetaParty& operator=(const DetaParty&) = delete;
+
+  void Start();
+  void Join();
+
+  const std::string& name() const { return local_->name(); }
+  // True once the setup phase (verification + registration) succeeded.
+  bool setup_ok() const { return setup_ok_; }
+  const std::vector<float>& final_params() const { return global_params_; }
+
+ private:
+  void Run();
+  bool SetupChannels();
+  void RunRound(int round);
+
+  std::unique_ptr<fl::Party> local_;
+  DetaPartyConfig config_;
+  std::shared_ptr<const Transform> transform_;
+  net::MessageBus& bus_;
+  std::unique_ptr<net::Endpoint> endpoint_;
+  crypto::SecureRng rng_;
+  std::unique_ptr<fl::PaillierVectorCodec> paillier_codec_;
+
+  std::map<std::string, net::SecureChannel> channels_;  // aggregator -> channel
+  std::vector<float> global_params_;
+  bool setup_ok_ = false;
+  bool round_failed_ = false;
+  std::thread thread_;
+};
+
+}  // namespace deta::core
+
+#endif  // DETA_CORE_DETA_PARTY_H_

@@ -1,0 +1,127 @@
+#include "core/key_broker.h"
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "net/codec.h"
+
+namespace deta::core {
+
+Bytes TransformMaterial::Serialize() const {
+  net::Writer w;
+  w.WriteBytes(permutation_key);
+  w.WriteBytes(mapper_seed);
+  w.WriteI64(total_params);
+  w.WriteU64(proportions.size());
+  for (double p : proportions) {
+    w.WriteDouble(p);
+  }
+  w.WriteU32(static_cast<uint32_t>(num_aggregators));
+  w.WriteU32(enable_partition ? 1 : 0);
+  w.WriteU32(enable_shuffle ? 1 : 0);
+  return w.Take();
+}
+
+TransformMaterial TransformMaterial::Deserialize(const Bytes& data) {
+  net::Reader r(data);
+  TransformMaterial m;
+  m.permutation_key = r.ReadBytes();
+  m.mapper_seed = r.ReadBytes();
+  m.total_params = r.ReadI64();
+  uint64_t count = r.ReadU64();
+  for (uint64_t i = 0; i < count; ++i) {
+    m.proportions.push_back(r.ReadDouble());
+  }
+  m.num_aggregators = static_cast<int>(r.ReadU32());
+  m.enable_partition = r.ReadU32() != 0;
+  m.enable_shuffle = r.ReadU32() != 0;
+  return m;
+}
+
+std::shared_ptr<Transform> TransformMaterial::BuildTransform() const {
+  DETA_CHECK_GT(total_params, 0);
+  std::shared_ptr<ModelMapper> mapper;
+  if (proportions.empty()) {
+    mapper = std::make_shared<ModelMapper>(
+        ModelMapper::Uniform(total_params, num_aggregators, mapper_seed));
+  } else {
+    mapper = std::make_shared<ModelMapper>(total_params, proportions, mapper_seed);
+  }
+  auto shuffler = std::make_shared<Shuffler>(permutation_key);
+  TransformConfig config;
+  config.enable_partition = enable_partition;
+  config.enable_shuffle = enable_shuffle;
+  return std::make_shared<Transform>(std::move(mapper), std::move(shuffler), config);
+}
+
+KeyBroker::KeyBroker(TransformMaterial material, crypto::EcKeyPair identity,
+                     int expected_parties, net::MessageBus& bus, crypto::SecureRng rng)
+    : material_(std::move(material)),
+      identity_(std::move(identity)),
+      expected_parties_(expected_parties),
+      rng_(std::move(rng)) {
+  endpoint_ = bus.CreateEndpoint(kEndpointName);
+}
+
+KeyBroker::~KeyBroker() { Join(); }
+
+void KeyBroker::Start() {
+  thread_ = std::thread([this] { Run(); });
+}
+
+void KeyBroker::Join() {
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void KeyBroker::Run() {
+  Bytes material_wire = material_.Serialize();
+  int served = 0;
+  while (served < expected_parties_) {
+    std::optional<net::Message> m = endpoint_->Receive();
+    if (!m.has_value()) {
+      return;
+    }
+    if (m->type == kAuthChallenge) {
+      AnswerChallenge(*endpoint_, *m, identity_.private_key);
+    } else if (m->type == kAuthRegister) {
+      auto result = AcceptRegistration(*endpoint_, *m, identity_.private_key, rng_);
+      if (!result.has_value()) {
+        continue;
+      }
+      endpoint_->Send(result->first, kKeyBrokerMaterial,
+                      result->second.Seal(material_wire, rng_));
+      ++served;
+      LOG_DEBUG << "key broker: served transform material to " << result->first << " ("
+                << served << "/" << expected_parties_ << ")";
+    } else {
+      LOG_WARNING << "key broker: unexpected message type " << m->type;
+    }
+  }
+}
+
+std::optional<TransformMaterial> FetchTransformMaterial(net::Endpoint& endpoint,
+                                                        const crypto::EcPoint& broker_public,
+                                                        crypto::SecureRng& rng) {
+  if (!VerifyAggregator(endpoint, KeyBroker::kEndpointName, broker_public, rng)) {
+    LOG_WARNING << endpoint.name() << ": key broker failed identity challenge";
+    return std::nullopt;
+  }
+  std::optional<net::SecureChannel> channel =
+      RegisterWithAggregator(endpoint, KeyBroker::kEndpointName, broker_public, rng);
+  if (!channel.has_value()) {
+    return std::nullopt;
+  }
+  std::optional<net::Message> m = endpoint.ReceiveType(kKeyBrokerMaterial);
+  if (!m.has_value()) {
+    return std::nullopt;
+  }
+  std::optional<Bytes> material = channel->Open(m->payload);
+  if (!material.has_value()) {
+    LOG_WARNING << endpoint.name() << ": key broker material failed to unseal";
+    return std::nullopt;
+  }
+  return TransformMaterial::Deserialize(*material);
+}
+
+}  // namespace deta::core

@@ -1,0 +1,78 @@
+// Trusted key-broker service (paper §4.2: the permutation is seeded by "a permutation key
+// (e.g., dispatched from a trusted key broker service) agreed among all parties").
+//
+// The broker is a party-side trusted component (like the attestation proxy). It owns the
+// shared transform material — the permutation key and the model-mapper seed — and serves
+// it to parties over the same authenticated-ECDH channel construction used for
+// aggregators: parties know the broker's identity public key out of band, challenge it,
+// register, and receive the material sealed on the resulting channel. Aggregators never
+// talk to the broker, so the material never exists outside participant-controlled
+// domains.
+#ifndef DETA_CORE_KEY_BROKER_H_
+#define DETA_CORE_KEY_BROKER_H_
+
+#include <memory>
+#include <thread>
+
+#include "core/auth_protocol.h"
+#include "core/transform.h"
+
+namespace deta::core {
+
+inline constexpr char kKeyBrokerMaterial[] = "kb.material";
+
+// Everything a party needs to construct the shared Transform deterministically.
+struct TransformMaterial {
+  Bytes permutation_key;
+  Bytes mapper_seed;
+  int64_t total_params = 0;
+  std::vector<double> proportions;  // empty = uniform over num_aggregators
+  int num_aggregators = 1;
+  bool enable_partition = true;
+  bool enable_shuffle = true;
+
+  Bytes Serialize() const;
+  static TransformMaterial Deserialize(const Bytes& data);
+
+  // Builds the Transform this material describes (identical across parties).
+  std::shared_ptr<Transform> BuildTransform() const;
+};
+
+class KeyBroker {
+ public:
+  // |identity| is the broker's long-lived signing key; its public half is distributed to
+  // parties out of band (like the AP's token registry). Serves exactly |expected_parties|
+  // fetches, then exits.
+  KeyBroker(TransformMaterial material, crypto::EcKeyPair identity, int expected_parties,
+            net::MessageBus& bus, crypto::SecureRng rng);
+  ~KeyBroker();
+
+  KeyBroker(const KeyBroker&) = delete;
+  KeyBroker& operator=(const KeyBroker&) = delete;
+
+  void Start();
+  void Join();
+
+  static constexpr char kEndpointName[] = "key-broker";
+  const crypto::EcPoint& identity_public() const { return identity_.public_key; }
+
+ private:
+  void Run();
+
+  TransformMaterial material_;
+  crypto::EcKeyPair identity_;
+  int expected_parties_;
+  std::unique_ptr<net::Endpoint> endpoint_;
+  crypto::SecureRng rng_;
+  std::thread thread_;
+};
+
+// Party-side: verify the broker, register, receive and open the material. Blocking;
+// nullopt if any verification step fails.
+std::optional<TransformMaterial> FetchTransformMaterial(net::Endpoint& endpoint,
+                                                        const crypto::EcPoint& broker_public,
+                                                        crypto::SecureRng& rng);
+
+}  // namespace deta::core
+
+#endif  // DETA_CORE_KEY_BROKER_H_

@@ -1,0 +1,93 @@
+#include "core/model_mapper.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "crypto/chacha20.h"
+
+namespace deta::core {
+
+ModelMapper::ModelMapper(int64_t total_params, const std::vector<double>& proportions,
+                         const Bytes& shared_seed)
+    : total_params_(total_params) {
+  DETA_CHECK_GT(total_params, 0);
+  DETA_CHECK(!proportions.empty());
+  double sum = std::accumulate(proportions.begin(), proportions.end(), 0.0);
+  DETA_CHECK_GT(sum, 0.0);
+
+  // Cryptographically seeded permutation of all coordinate indices; contiguous slices of
+  // the permutation become the partitions, so membership is uniform at random.
+  std::vector<int64_t> order(static_cast<size_t>(total_params));
+  std::iota(order.begin(), order.end(), 0);
+  Bytes seed = shared_seed;
+  seed.insert(seed.end(), {'m', 'a', 'p', 'p', 'e', 'r'});
+  crypto::SecureRng rng(seed);
+  for (size_t i = order.size(); i > 1; --i) {
+    size_t j = static_cast<size_t>(rng.NextBelow(i));
+    std::swap(order[i - 1], order[j]);
+  }
+
+  partition_indices_.resize(proportions.size());
+  size_t start = 0;
+  for (size_t p = 0; p < proportions.size(); ++p) {
+    size_t count;
+    if (p + 1 == proportions.size()) {
+      count = order.size() - start;  // last partition absorbs rounding remainder
+    } else {
+      count = static_cast<size_t>(static_cast<double>(total_params) * proportions[p] / sum);
+      count = std::min(count, order.size() - start);
+    }
+    partition_indices_[p].assign(order.begin() + static_cast<long>(start),
+                                 order.begin() + static_cast<long>(start + count));
+    // §4.1: fragments are "squeezed to occupy all empty slots in sequence" — membership is
+    // random but relative order is preserved, so keep the indices ascending. (Any further
+    // reordering is the shuffler's job, keyed separately.)
+    std::sort(partition_indices_[p].begin(), partition_indices_[p].end());
+    start += count;
+  }
+  DETA_CHECK_EQ(start, order.size());
+}
+
+ModelMapper ModelMapper::Uniform(int64_t total_params, int num_aggregators,
+                                 const Bytes& shared_seed) {
+  DETA_CHECK_GT(num_aggregators, 0);
+  return ModelMapper(total_params,
+                     std::vector<double>(static_cast<size_t>(num_aggregators),
+                                         1.0 / num_aggregators),
+                     shared_seed);
+}
+
+const std::vector<int64_t>& ModelMapper::PartitionIndices(int p) const {
+  DETA_CHECK_GE(p, 0);
+  DETA_CHECK_LT(static_cast<size_t>(p), partition_indices_.size());
+  return partition_indices_[static_cast<size_t>(p)];
+}
+
+std::vector<std::vector<float>> ModelMapper::Partition(const std::vector<float>& flat) const {
+  DETA_CHECK_EQ(static_cast<int64_t>(flat.size()), total_params_);
+  std::vector<std::vector<float>> fragments(partition_indices_.size());
+  for (size_t p = 0; p < partition_indices_.size(); ++p) {
+    const auto& indices = partition_indices_[p];
+    fragments[p].resize(indices.size());
+    for (size_t i = 0; i < indices.size(); ++i) {
+      fragments[p][i] = flat[static_cast<size_t>(indices[i])];
+    }
+  }
+  return fragments;
+}
+
+std::vector<float> ModelMapper::Merge(const std::vector<std::vector<float>>& fragments) const {
+  DETA_CHECK_EQ(fragments.size(), partition_indices_.size());
+  std::vector<float> flat(static_cast<size_t>(total_params_));
+  for (size_t p = 0; p < fragments.size(); ++p) {
+    const auto& indices = partition_indices_[p];
+    DETA_CHECK_EQ(fragments[p].size(), indices.size());
+    for (size_t i = 0; i < indices.size(); ++i) {
+      flat[static_cast<size_t>(indices[i])] = fragments[p][i];
+    }
+  }
+  return flat;
+}
+
+}  // namespace deta::core

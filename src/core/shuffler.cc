@@ -1,0 +1,63 @@
+#include "core/shuffler.h"
+
+#include "common/check.h"
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+#include "net/codec.h"
+
+namespace deta::core {
+
+Shuffler::Shuffler(Bytes permutation_key) : key_(std::move(permutation_key)) {
+  DETA_CHECK_MSG(!key_.empty(), "empty permutation key");
+}
+
+std::vector<int64_t> Shuffler::PermutationFor(uint64_t round_id, int partition,
+                                              int64_t size) const {
+  // PRF(key, round || partition) seeds a deterministic Fisher-Yates. Every party derives
+  // the identical permutation; nothing about it is inferable without the key.
+  net::Writer w;
+  w.WriteU64(round_id);
+  w.WriteU32(static_cast<uint32_t>(partition));
+  Bytes seed = crypto::HmacSha256(key_, w.Take());
+  crypto::SecureRng rng(seed);
+
+  std::vector<int64_t> perm(static_cast<size_t>(size));
+  for (int64_t i = 0; i < size; ++i) {
+    perm[static_cast<size_t>(i)] = i;
+  }
+  for (size_t i = perm.size(); i > 1; --i) {
+    size_t j = static_cast<size_t>(rng.NextBelow(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<float> Shuffler::Shuffle(const std::vector<float>& fragment, uint64_t round_id,
+                                     int partition) const {
+  std::vector<int64_t> perm =
+      PermutationFor(round_id, partition, static_cast<int64_t>(fragment.size()));
+  std::vector<float> out(fragment.size());
+  for (size_t i = 0; i < fragment.size(); ++i) {
+    out[i] = fragment[static_cast<size_t>(perm[i])];
+  }
+  return out;
+}
+
+std::vector<float> Shuffler::Unshuffle(const std::vector<float>& fragment, uint64_t round_id,
+                                       int partition) const {
+  std::vector<int64_t> perm =
+      PermutationFor(round_id, partition, static_cast<int64_t>(fragment.size()));
+  std::vector<float> out(fragment.size());
+  for (size_t i = 0; i < fragment.size(); ++i) {
+    out[static_cast<size_t>(perm[i])] = fragment[i];
+  }
+  return out;
+}
+
+Bytes GeneratePermutationKey(size_t bits, const Bytes& entropy) {
+  DETA_CHECK_GE(bits, 8u);
+  crypto::SecureRng rng(entropy);
+  return rng.NextBytes((bits + 7) / 8);
+}
+
+}  // namespace deta::core

@@ -1,0 +1,51 @@
+#include "core/transform.h"
+
+#include "common/check.h"
+
+namespace deta::core {
+
+Transform::Transform(std::shared_ptr<const ModelMapper> mapper,
+                     std::shared_ptr<const Shuffler> shuffler, TransformConfig config)
+    : mapper_(std::move(mapper)), shuffler_(std::move(shuffler)), config_(config) {
+  DETA_CHECK(mapper_ != nullptr);
+  if (config_.enable_shuffle) {
+    DETA_CHECK_MSG(shuffler_ != nullptr, "shuffle enabled but no shuffler provided");
+  }
+}
+
+int Transform::num_partitions() const {
+  return config_.enable_partition ? mapper_->num_partitions() : 1;
+}
+
+std::vector<std::vector<float>> Transform::Apply(const std::vector<float>& flat,
+                                                 uint64_t round_id) const {
+  std::vector<std::vector<float>> fragments;
+  if (config_.enable_partition) {
+    fragments = mapper_->Partition(flat);
+  } else {
+    fragments.push_back(flat);
+  }
+  if (config_.enable_shuffle) {
+    for (size_t p = 0; p < fragments.size(); ++p) {
+      fragments[p] = shuffler_->Shuffle(fragments[p], round_id, static_cast<int>(p));
+    }
+  }
+  return fragments;
+}
+
+std::vector<float> Transform::Invert(const std::vector<std::vector<float>>& fragments,
+                                     uint64_t round_id) const {
+  std::vector<std::vector<float>> unshuffled = fragments;
+  if (config_.enable_shuffle) {
+    for (size_t p = 0; p < unshuffled.size(); ++p) {
+      unshuffled[p] = shuffler_->Unshuffle(unshuffled[p], round_id, static_cast<int>(p));
+    }
+  }
+  if (config_.enable_partition) {
+    return mapper_->Merge(unshuffled);
+  }
+  DETA_CHECK_EQ(unshuffled.size(), 1u);
+  return unshuffled[0];
+}
+
+}  // namespace deta::core

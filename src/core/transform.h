@@ -1,0 +1,46 @@
+// The party-side Trans / Trans^-1 pipeline from Figure 1: partition by the shared model
+// mapper, then shuffle each fragment with the round-keyed permutation. Both stages are
+// index bijections, so coordinate-wise aggregation commutes with the transform — the
+// formal basis for DeTA's "no utility loss" claim, asserted bit-exactly in the tests.
+#ifndef DETA_CORE_TRANSFORM_H_
+#define DETA_CORE_TRANSFORM_H_
+
+#include <memory>
+
+#include "core/model_mapper.h"
+#include "core/shuffler.h"
+
+namespace deta::core {
+
+struct TransformConfig {
+  bool enable_partition = true;
+  bool enable_shuffle = true;
+};
+
+class Transform {
+ public:
+  // |mapper| and |shuffler| are shared across all parties of a training job.
+  Transform(std::shared_ptr<const ModelMapper> mapper, std::shared_ptr<const Shuffler> shuffler,
+            TransformConfig config);
+
+  int num_partitions() const;
+
+  // Trans(LU[P]) for one round: fragment f goes to aggregator f.
+  std::vector<std::vector<float>> Apply(const std::vector<float>& flat,
+                                        uint64_t round_id) const;
+  // Trans^-1(AU[A_j]): un-shuffle each aggregated fragment and merge.
+  std::vector<float> Invert(const std::vector<std::vector<float>>& fragments,
+                            uint64_t round_id) const;
+
+  const ModelMapper& mapper() const { return *mapper_; }
+  const TransformConfig& config() const { return config_; }
+
+ private:
+  std::shared_ptr<const ModelMapper> mapper_;
+  std::shared_ptr<const Shuffler> shuffler_;
+  TransformConfig config_;
+};
+
+}  // namespace deta::core
+
+#endif  // DETA_CORE_TRANSFORM_H_

@@ -1,0 +1,62 @@
+#include "crypto/aead.h"
+
+#include "common/check.h"
+#include "crypto/hmac.h"
+
+namespace deta::crypto {
+
+namespace {
+constexpr size_t kTagSize = 32;
+}
+
+Aead::Aead(const Bytes& master_key) {
+  Bytes okm = Hkdf(StringToBytes("deta-aead-salt"), master_key,
+                   StringToBytes("deta-aead-keys"), kChaChaKeySize + 32);
+  std::copy(okm.begin(), okm.begin() + kChaChaKeySize, enc_key_.begin());
+  mac_key_.assign(okm.begin() + kChaChaKeySize, okm.end());
+}
+
+Bytes Aead::MacInput(const Bytes& nonce, const Bytes& associated_data,
+                     const Bytes& ciphertext) const {
+  Bytes input;
+  input.insert(input.end(), nonce.begin(), nonce.end());
+  AppendU64(input, associated_data.size());
+  input.insert(input.end(), associated_data.begin(), associated_data.end());
+  input.insert(input.end(), ciphertext.begin(), ciphertext.end());
+  return input;
+}
+
+Bytes Aead::Seal(const Bytes& plaintext, const Bytes& associated_data, SecureRng& rng) const {
+  std::array<uint8_t, kChaChaNonceSize> nonce = rng.NextArray<kChaChaNonceSize>();
+  Bytes ciphertext = ChaCha20Xor(enc_key_, nonce, 1, plaintext);
+
+  Bytes nonce_bytes(nonce.begin(), nonce.end());
+  Bytes tag = HmacSha256(mac_key_, MacInput(nonce_bytes, associated_data, ciphertext));
+
+  Bytes frame;
+  frame.reserve(kChaChaNonceSize + ciphertext.size() + kTagSize);
+  frame.insert(frame.end(), nonce.begin(), nonce.end());
+  frame.insert(frame.end(), ciphertext.begin(), ciphertext.end());
+  frame.insert(frame.end(), tag.begin(), tag.end());
+  return frame;
+}
+
+std::optional<Bytes> Aead::Open(const Bytes& frame, const Bytes& associated_data) const {
+  if (frame.size() < kChaChaNonceSize + kTagSize) {
+    return std::nullopt;
+  }
+  Bytes nonce_bytes(frame.begin(), frame.begin() + kChaChaNonceSize);
+  Bytes ciphertext(frame.begin() + kChaChaNonceSize, frame.end() - kTagSize);
+  Bytes tag(frame.end() - kTagSize, frame.end());
+
+  Bytes expected = HmacSha256(mac_key_, MacInput(nonce_bytes, associated_data, ciphertext));
+  if (!ConstantTimeEqual(tag, expected)) {
+    return std::nullopt;
+  }
+
+  std::array<uint8_t, kChaChaNonceSize> nonce;
+  std::copy(nonce_bytes.begin(), nonce_bytes.end(), nonce.begin());
+  return ChaCha20Xor(enc_key_, nonce, 1, ciphertext);
+}
+
+}  // namespace deta::crypto

@@ -1,0 +1,39 @@
+// Authenticated encryption: ChaCha20 + HMAC-SHA256 encrypt-then-MAC with HKDF key
+// separation. Real DeTA deployments use TLS for party<->aggregator channels (§4.3); this
+// construction provides the same confidentiality+integrity guarantee for the in-process
+// simulation without an external TLS stack.
+//
+// Frame layout: nonce(12) || ciphertext || tag(32). The tag covers nonce, associated data
+// length, associated data, and ciphertext.
+#ifndef DETA_CRYPTO_AEAD_H_
+#define DETA_CRYPTO_AEAD_H_
+
+#include <optional>
+
+#include "common/bytes.h"
+#include "crypto/chacha20.h"
+
+namespace deta::crypto {
+
+class Aead {
+ public:
+  // |master_key| is expanded via HKDF into independent encryption and MAC keys.
+  explicit Aead(const Bytes& master_key);
+
+  // Encrypts and authenticates. The nonce is drawn from |rng| and prepended to the frame.
+  Bytes Seal(const Bytes& plaintext, const Bytes& associated_data, SecureRng& rng) const;
+
+  // Verifies and decrypts; nullopt on any authentication failure.
+  std::optional<Bytes> Open(const Bytes& frame, const Bytes& associated_data) const;
+
+ private:
+  Bytes MacInput(const Bytes& nonce, const Bytes& associated_data,
+                 const Bytes& ciphertext) const;
+
+  std::array<uint8_t, kChaChaKeySize> enc_key_;
+  Bytes mac_key_;
+};
+
+}  // namespace deta::crypto
+
+#endif  // DETA_CRYPTO_AEAD_H_

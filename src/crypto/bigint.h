@@ -1,0 +1,111 @@
+// Arbitrary-precision unsigned integers, from scratch (no GMP in this environment).
+// 32-bit limbs, little-endian limb order, 64-bit intermediates. Supports everything
+// Paillier and secp256k1 need: +, -, *, divmod (Knuth algorithm D), shifts, modular
+// exponentiation, modular inverse (extended Euclid), gcd/lcm, Miller-Rabin primality,
+// and random/prime generation from a SecureRng.
+//
+// Not constant-time; this repo's crypto is a protocol-faithful simulation substrate, not
+// a hardened production TLS stack (see DESIGN.md).
+#ifndef DETA_CRYPTO_BIGINT_H_
+#define DETA_CRYPTO_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace deta::crypto {
+
+class SecureRng;
+
+struct BigUintDivResult;
+
+class BigUint {
+ public:
+  BigUint() = default;
+  BigUint(uint64_t value);  // NOLINT(google-explicit-constructor): numeric literals are handy.
+
+  // Parses lowercase/uppercase hex (no 0x prefix).
+  static BigUint FromHexString(const std::string& hex);
+  // Big-endian byte import/export.
+  static BigUint FromBytes(const Bytes& be);
+  Bytes ToBytes() const;            // Minimal big-endian encoding ("0" -> {0x00}).
+  Bytes ToBytesPadded(size_t n) const;  // Fixed-width big-endian; checks the value fits.
+  std::string ToHexString() const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+  size_t BitLength() const;
+  bool Bit(size_t i) const;
+
+  // Comparisons.
+  int Compare(const BigUint& other) const;  // -1 / 0 / +1
+  bool operator==(const BigUint& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigUint& o) const { return Compare(o) != 0; }
+  bool operator<(const BigUint& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigUint& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigUint& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigUint& o) const { return Compare(o) >= 0; }
+
+  // Arithmetic. Sub requires *this >= other.
+  BigUint Add(const BigUint& other) const;
+  BigUint Sub(const BigUint& other) const;
+  BigUint Mul(const BigUint& other) const;
+  // Quotient and remainder; divisor must be nonzero.
+  using DivResult = BigUintDivResult;
+  DivResult DivMod(const BigUint& divisor) const;
+  BigUint Mod(const BigUint& m) const;
+
+  BigUint ShiftLeft(size_t bits) const;
+  BigUint ShiftRight(size_t bits) const;
+
+  // Modular arithmetic. All operands are expected reduced mod m where noted.
+  static BigUint AddMod(const BigUint& a, const BigUint& b, const BigUint& m);
+  static BigUint SubMod(const BigUint& a, const BigUint& b, const BigUint& m);
+  static BigUint MulMod(const BigUint& a, const BigUint& b, const BigUint& m);
+  static BigUint PowMod(const BigUint& base, const BigUint& exp, const BigUint& m);
+  // Multiplicative inverse of a mod m; returns false if gcd(a, m) != 1.
+  static bool InvMod(const BigUint& a, const BigUint& m, BigUint* out);
+
+  static BigUint Gcd(BigUint a, BigUint b);
+  static BigUint Lcm(const BigUint& a, const BigUint& b);
+
+  // Uniform random integer in [0, bound).
+  static BigUint RandomBelow(SecureRng& rng, const BigUint& bound);
+  // Random integer with exactly |bits| bits (msb set).
+  static BigUint RandomBits(SecureRng& rng, size_t bits);
+  // Miller-Rabin with |rounds| random witnesses.
+  static bool IsProbablePrime(const BigUint& n, SecureRng& rng, int rounds = 20);
+  // Random probable prime with exactly |bits| bits.
+  static BigUint RandomPrime(SecureRng& rng, size_t bits);
+
+  // Low 64 bits (for small values / tests).
+  uint64_t ToU64() const;
+
+  const std::vector<uint32_t>& limbs() const { return limbs_; }
+
+ private:
+  void Trim();
+
+  // Little-endian 32-bit limbs; empty means zero.
+  std::vector<uint32_t> limbs_;
+};
+
+struct BigUintDivResult {
+  BigUint quotient;
+  BigUint remainder;
+};
+
+inline BigUint BigUint::Mod(const BigUint& m) const { return DivMod(m).remainder; }
+
+// Convenience operators.
+inline BigUint operator+(const BigUint& a, const BigUint& b) { return a.Add(b); }
+inline BigUint operator-(const BigUint& a, const BigUint& b) { return a.Sub(b); }
+inline BigUint operator*(const BigUint& a, const BigUint& b) { return a.Mul(b); }
+inline BigUint operator%(const BigUint& a, const BigUint& b) { return a.Mod(b); }
+inline BigUint operator/(const BigUint& a, const BigUint& b) { return a.DivMod(b).quotient; }
+
+}  // namespace deta::crypto
+
+#endif  // DETA_CRYPTO_BIGINT_H_

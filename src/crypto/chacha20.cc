@@ -1,0 +1,158 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+#include <random>
+
+#include "common/check.h"
+#include "crypto/sha256.h"
+
+namespace deta::crypto {
+
+namespace {
+
+uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d ^= a;
+  d = Rotl(d, 16);
+  c += d;
+  b ^= c;
+  b = Rotl(b, 12);
+  a += b;
+  d ^= a;
+  d = Rotl(d, 8);
+  c += d;
+  b ^= c;
+  b = Rotl(b, 7);
+}
+
+uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+// Produces one 64-byte keystream block.
+void ChaChaBlock(const std::array<uint8_t, kChaChaKeySize>& key,
+                 const std::array<uint8_t, kChaChaNonceSize>& nonce, uint32_t counter,
+                 uint8_t out[64]) {
+  uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    state[4 + i] = LoadLe32(key.data() + 4 * i);
+  }
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) {
+    state[13 + i] = LoadLe32(nonce.data() + 4 * i);
+  }
+
+  uint32_t working[16];
+  std::memcpy(working, state, sizeof(state));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(working[0], working[4], working[8], working[12]);
+    QuarterRound(working[1], working[5], working[9], working[13]);
+    QuarterRound(working[2], working[6], working[10], working[14]);
+    QuarterRound(working[3], working[7], working[11], working[15]);
+    QuarterRound(working[0], working[5], working[10], working[15]);
+    QuarterRound(working[1], working[6], working[11], working[12]);
+    QuarterRound(working[2], working[7], working[8], working[13]);
+    QuarterRound(working[3], working[4], working[9], working[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    uint32_t v = working[i] + state[i];
+    out[4 * i] = static_cast<uint8_t>(v);
+    out[4 * i + 1] = static_cast<uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<uint8_t>(v >> 24);
+  }
+}
+
+}  // namespace
+
+Bytes ChaCha20Xor(const std::array<uint8_t, kChaChaKeySize>& key,
+                  const std::array<uint8_t, kChaChaNonceSize>& nonce, uint32_t counter,
+                  const Bytes& data) {
+  Bytes out(data.size());
+  uint8_t block[64];
+  for (size_t offset = 0; offset < data.size(); offset += 64) {
+    ChaChaBlock(key, nonce, counter++, block);
+    size_t n = std::min<size_t>(64, data.size() - offset);
+    for (size_t i = 0; i < n; ++i) {
+      out[offset + i] = static_cast<uint8_t>(data[offset + i] ^ block[i]);
+    }
+  }
+  return out;
+}
+
+SecureRng::SecureRng(const Bytes& seed) {
+  Bytes digest = Sha256Digest(seed);
+  std::copy(digest.begin(), digest.end(), key_.begin());
+}
+
+SecureRng SecureRng::FromEntropy() {
+  std::random_device rd;
+  Bytes seed;
+  for (int i = 0; i < 8; ++i) {
+    uint32_t v = rd();
+    AppendU32(seed, v);
+  }
+  return SecureRng(seed);
+}
+
+void SecureRng::Refill() {
+  block_.resize(64);
+  ChaChaBlock(key_, nonce_, counter_, block_.data());
+  ++counter_;
+  if (counter_ == 0) {
+    // 256 GiB of stream exhausted; roll the nonce forward.
+    for (auto& b : nonce_) {
+      if (++b != 0) {
+        break;
+      }
+    }
+  }
+  pos_ = 0;
+}
+
+uint8_t SecureRng::NextByte() {
+  if (pos_ >= block_.size()) {
+    Refill();
+  }
+  return block_[pos_++];
+}
+
+uint32_t SecureRng::NextU32() {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(NextByte()) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t SecureRng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+uint64_t SecureRng::NextBelow(uint64_t bound) {
+  DETA_CHECK_GT(bound, 0u);
+  uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+Bytes SecureRng::NextBytes(size_t n) {
+  Bytes out(n);
+  for (auto& b : out) {
+    b = NextByte();
+  }
+  return out;
+}
+
+}  // namespace deta::crypto

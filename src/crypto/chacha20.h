@@ -1,0 +1,67 @@
+// ChaCha20 stream cipher (RFC 8439) plus a deterministic CSPRNG built on the keystream.
+//
+// Uses in this repo:
+//   * SecureChannel payload encryption (encrypt-then-MAC with HMAC-SHA256),
+//   * CSPRNG for key generation, nonces, attestation challenges,
+//   * the keyed permutation generator behind parameter shuffling (crypto-strength
+//     permutations are exactly the security knob §4.2 analyzes).
+#ifndef DETA_CRYPTO_CHACHA20_H_
+#define DETA_CRYPTO_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace deta::crypto {
+
+inline constexpr size_t kChaChaKeySize = 32;
+inline constexpr size_t kChaChaNonceSize = 12;
+
+// XORs |data| with the ChaCha20 keystream for (key, nonce) starting at block |counter|.
+// Encryption and decryption are the same operation.
+Bytes ChaCha20Xor(const std::array<uint8_t, kChaChaKeySize>& key,
+                  const std::array<uint8_t, kChaChaNonceSize>& nonce, uint32_t counter,
+                  const Bytes& data);
+
+// Deterministic cryptographic RNG: ChaCha20 keystream under a seed-derived key.
+// Two instances with the same seed bytes produce identical streams — this determinism is
+// what lets every party derive the same per-round permutation from the shared permutation
+// key and round identifier.
+class SecureRng {
+ public:
+  // Seeds from arbitrary bytes (hashed down to a 256-bit key).
+  explicit SecureRng(const Bytes& seed);
+
+  // Seeds from OS entropy (std::random_device); for long-lived identity keys.
+  static SecureRng FromEntropy();
+
+  uint8_t NextByte();
+  uint32_t NextU32();
+  uint64_t NextU64();
+  // Uniform in [0, bound), bound > 0, rejection-sampled (no modulo bias).
+  uint64_t NextBelow(uint64_t bound);
+  Bytes NextBytes(size_t n);
+
+  template <size_t N>
+  std::array<uint8_t, N> NextArray() {
+    std::array<uint8_t, N> out;
+    for (auto& b : out) {
+      b = NextByte();
+    }
+    return out;
+  }
+
+ private:
+  void Refill();
+
+  std::array<uint8_t, kChaChaKeySize> key_;
+  std::array<uint8_t, kChaChaNonceSize> nonce_{};
+  uint32_t counter_ = 0;
+  Bytes block_;
+  size_t pos_ = 0;
+};
+
+}  // namespace deta::crypto
+
+#endif  // DETA_CRYPTO_CHACHA20_H_

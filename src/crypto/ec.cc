@@ -1,0 +1,147 @@
+#include "crypto/ec.h"
+
+#include "common/check.h"
+#include "crypto/sha256.h"
+
+namespace deta::crypto {
+
+bool EcPoint::operator==(const EcPoint& other) const {
+  if (is_infinity || other.is_infinity) {
+    return is_infinity == other.is_infinity;
+  }
+  return x == other.x && y == other.y;
+}
+
+const Secp256k1& Secp256k1::Instance() {
+  static const Secp256k1 instance;
+  return instance;
+}
+
+Secp256k1::Secp256k1() {
+  p_ = BigUint::FromHexString(
+      "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+  order_ = BigUint::FromHexString(
+      "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+  g_.x = BigUint::FromHexString(
+      "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+  g_.y = BigUint::FromHexString(
+      "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+  g_.is_infinity = false;
+}
+
+bool Secp256k1::IsOnCurve(const EcPoint& pt) const {
+  if (pt.is_infinity) {
+    return true;
+  }
+  BigUint lhs = BigUint::MulMod(pt.y, pt.y, p_);
+  BigUint x2 = BigUint::MulMod(pt.x, pt.x, p_);
+  BigUint rhs = BigUint::AddMod(BigUint::MulMod(x2, pt.x, p_), BigUint(7), p_);
+  return lhs == rhs;
+}
+
+EcPoint Secp256k1::Double(const EcPoint& a) const {
+  if (a.is_infinity || a.y.IsZero()) {
+    return EcPoint{};
+  }
+  // lambda = 3x^2 / 2y
+  BigUint three_x2 = BigUint::MulMod(BigUint(3), BigUint::MulMod(a.x, a.x, p_), p_);
+  BigUint two_y = BigUint::AddMod(a.y, a.y, p_);
+  BigUint inv;
+  DETA_CHECK(BigUint::InvMod(two_y, p_, &inv));
+  BigUint lambda = BigUint::MulMod(three_x2, inv, p_);
+
+  BigUint x3 = BigUint::SubMod(BigUint::MulMod(lambda, lambda, p_),
+                               BigUint::AddMod(a.x, a.x, p_), p_);
+  BigUint y3 = BigUint::SubMod(BigUint::MulMod(lambda, BigUint::SubMod(a.x, x3, p_), p_),
+                               a.y, p_);
+  return EcPoint{x3, y3, false};
+}
+
+EcPoint Secp256k1::Add(const EcPoint& a, const EcPoint& b) const {
+  if (a.is_infinity) {
+    return b;
+  }
+  if (b.is_infinity) {
+    return a;
+  }
+  if (a.x == b.x) {
+    if (a.y == b.y) {
+      return Double(a);
+    }
+    return EcPoint{};  // inverse points
+  }
+  BigUint num = BigUint::SubMod(b.y, a.y, p_);
+  BigUint den = BigUint::SubMod(b.x, a.x, p_);
+  BigUint inv;
+  DETA_CHECK(BigUint::InvMod(den, p_, &inv));
+  BigUint lambda = BigUint::MulMod(num, inv, p_);
+
+  BigUint x3 = BigUint::SubMod(BigUint::MulMod(lambda, lambda, p_),
+                               BigUint::AddMod(a.x, b.x, p_), p_);
+  BigUint y3 = BigUint::SubMod(BigUint::MulMod(lambda, BigUint::SubMod(a.x, x3, p_), p_),
+                               a.y, p_);
+  return EcPoint{x3, y3, false};
+}
+
+EcPoint Secp256k1::Mul(const BigUint& k, const EcPoint& pt) const {
+  EcPoint result;  // infinity
+  EcPoint addend = pt;
+  size_t bits = k.BitLength();
+  for (size_t i = 0; i < bits; ++i) {
+    if (k.Bit(i)) {
+      result = Add(result, addend);
+    }
+    addend = Double(addend);
+  }
+  return result;
+}
+
+Bytes Secp256k1::Encode(const EcPoint& pt) const {
+  if (pt.is_infinity) {
+    return Bytes{0x00};
+  }
+  Bytes out;
+  out.push_back(0x04);
+  Bytes x = pt.x.ToBytesPadded(32);
+  Bytes y = pt.y.ToBytesPadded(32);
+  out.insert(out.end(), x.begin(), x.end());
+  out.insert(out.end(), y.begin(), y.end());
+  return out;
+}
+
+std::optional<EcPoint> Secp256k1::Decode(const Bytes& data) const {
+  if (data.size() == 1 && data[0] == 0x00) {
+    return EcPoint{};
+  }
+  if (data.size() != 65 || data[0] != 0x04) {
+    return std::nullopt;
+  }
+  EcPoint pt;
+  pt.x = BigUint::FromBytes(Bytes(data.begin() + 1, data.begin() + 33));
+  pt.y = BigUint::FromBytes(Bytes(data.begin() + 33, data.end()));
+  pt.is_infinity = false;
+  if (!IsOnCurve(pt)) {
+    return std::nullopt;
+  }
+  return pt;
+}
+
+EcKeyPair GenerateEcKey(SecureRng& rng) {
+  const Secp256k1& curve = Secp256k1::Instance();
+  BigUint priv;
+  do {
+    priv = BigUint::RandomBelow(rng, curve.n());
+  } while (priv.IsZero());
+  return EcKeyPair{priv, curve.MulGenerator(priv)};
+}
+
+Bytes EcdhSharedSecret(const BigUint& private_key, const EcPoint& peer_public) {
+  const Secp256k1& curve = Secp256k1::Instance();
+  DETA_CHECK_MSG(curve.IsOnCurve(peer_public) && !peer_public.is_infinity,
+                 "invalid ECDH peer public key");
+  EcPoint shared = curve.Mul(private_key, peer_public);
+  DETA_CHECK_MSG(!shared.is_infinity, "degenerate ECDH shared point");
+  return Sha256Digest(shared.x.ToBytesPadded(32));
+}
+
+}  // namespace deta::crypto

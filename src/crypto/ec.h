@@ -1,0 +1,67 @@
+// secp256k1 elliptic-curve group: y^2 = x^3 + 7 over F_p.
+//
+// Backs the two-phase authentication protocol of §4.3: the attestation proxy provisions an
+// EC key as the aggregator trust token (the paper uses ECDSA prime251v1; we use secp256k1,
+// identical protocol shape), parties verify aggregators by ECDSA challenge/response, and
+// secure channels derive their keys from ECDH.
+#ifndef DETA_CRYPTO_EC_H_
+#define DETA_CRYPTO_EC_H_
+
+#include <optional>
+
+#include "crypto/bigint.h"
+#include "crypto/chacha20.h"
+
+namespace deta::crypto {
+
+// Affine point; infinity is represented by is_infinity.
+struct EcPoint {
+  BigUint x;
+  BigUint y;
+  bool is_infinity = true;
+
+  bool operator==(const EcPoint& other) const;
+};
+
+// The secp256k1 group with scalar/point arithmetic. Stateless; all methods const.
+class Secp256k1 {
+ public:
+  static const Secp256k1& Instance();
+
+  const BigUint& p() const { return p_; }       // field prime
+  const BigUint& n() const { return order_; }   // group order
+  const EcPoint& generator() const { return g_; }
+
+  bool IsOnCurve(const EcPoint& pt) const;
+  EcPoint Add(const EcPoint& a, const EcPoint& b) const;
+  EcPoint Double(const EcPoint& a) const;
+  // Scalar multiplication (double-and-add).
+  EcPoint Mul(const BigUint& k, const EcPoint& pt) const;
+  EcPoint MulGenerator(const BigUint& k) const { return Mul(k, g_); }
+
+  // 65-byte uncompressed SEC1 encoding (0x04 || x || y); infinity -> single 0x00 byte.
+  Bytes Encode(const EcPoint& pt) const;
+  std::optional<EcPoint> Decode(const Bytes& data) const;
+
+ private:
+  Secp256k1();
+
+  BigUint p_;
+  BigUint order_;
+  EcPoint g_;
+};
+
+// Key pair on secp256k1.
+struct EcKeyPair {
+  BigUint private_key;  // scalar in [1, n)
+  EcPoint public_key;   // private_key * G
+};
+
+EcKeyPair GenerateEcKey(SecureRng& rng);
+
+// ECDH: shared secret = SHA-256 of the x-coordinate of (priv * peer_pub).
+Bytes EcdhSharedSecret(const BigUint& private_key, const EcPoint& peer_public);
+
+}  // namespace deta::crypto
+
+#endif  // DETA_CRYPTO_EC_H_

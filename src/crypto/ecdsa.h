@@ -1,0 +1,31 @@
+// ECDSA over secp256k1 with SHA-256 message digests (RFC 6979-style deterministic nonces
+// derived via HMAC, so signing needs no entropy source).
+//
+// This is the signature scheme behind the paper's phase-II authentication: the attestation
+// proxy provisions an ECDSA key into each verified CVM; a party challenges an aggregator
+// with a nonce and verifies the returned signature against the trusted token public key.
+#ifndef DETA_CRYPTO_ECDSA_H_
+#define DETA_CRYPTO_ECDSA_H_
+
+#include "crypto/ec.h"
+
+namespace deta::crypto {
+
+struct EcdsaSignature {
+  BigUint r;
+  BigUint s;
+
+  // Fixed-width (32+32 byte) serialization.
+  Bytes Serialize() const;
+  static EcdsaSignature Deserialize(const Bytes& data);
+};
+
+// Signs SHA-256(message).
+EcdsaSignature EcdsaSign(const BigUint& private_key, const Bytes& message);
+
+// Verifies a signature over SHA-256(message).
+bool EcdsaVerify(const EcPoint& public_key, const Bytes& message, const EcdsaSignature& sig);
+
+}  // namespace deta::crypto
+
+#endif  // DETA_CRYPTO_ECDSA_H_

@@ -1,0 +1,59 @@
+#include "crypto/hmac.h"
+
+#include "common/check.h"
+#include "crypto/sha256.h"
+
+namespace deta::crypto {
+
+Bytes HmacSha256(const Bytes& key, const Bytes& data) {
+  constexpr size_t kBlockSize = 64;
+  Bytes k = key;
+  if (k.size() > kBlockSize) {
+    k = Sha256Digest(k);
+  }
+  k.resize(kBlockSize, 0x00);
+
+  Bytes ipad(kBlockSize), opad(kBlockSize);
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = static_cast<uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(data);
+  auto inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  auto outer_digest = outer.Finish();
+  return Bytes(outer_digest.begin(), outer_digest.end());
+}
+
+Bytes HkdfExtract(const Bytes& salt, const Bytes& ikm) {
+  Bytes effective_salt = salt.empty() ? Bytes(kSha256DigestSize, 0x00) : salt;
+  return HmacSha256(effective_salt, ikm);
+}
+
+Bytes HkdfExpand(const Bytes& prk, const Bytes& info, size_t length) {
+  DETA_CHECK_LE(length, 255 * kSha256DigestSize);
+  Bytes okm;
+  Bytes t;
+  uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes block = t;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    t = HmacSha256(prk, block);
+    okm.insert(okm.end(), t.begin(), t.end());
+  }
+  okm.resize(length);
+  return okm;
+}
+
+Bytes Hkdf(const Bytes& salt, const Bytes& ikm, const Bytes& info, size_t length) {
+  return HkdfExpand(HkdfExtract(salt, ikm), info, length);
+}
+
+}  // namespace deta::crypto

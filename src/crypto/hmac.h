@@ -1,0 +1,25 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869). HMAC authenticates secure-channel frames
+// (encrypt-then-MAC); HKDF derives independent encryption/MAC keys from an ECDH shared
+// secret and derives per-round permutation seeds from the permutation key.
+#ifndef DETA_CRYPTO_HMAC_H_
+#define DETA_CRYPTO_HMAC_H_
+
+#include "common/bytes.h"
+
+namespace deta::crypto {
+
+// HMAC-SHA256 of |data| under |key|. 32-byte output.
+Bytes HmacSha256(const Bytes& key, const Bytes& data);
+
+// HKDF-Extract: PRK = HMAC(salt, ikm).
+Bytes HkdfExtract(const Bytes& salt, const Bytes& ikm);
+
+// HKDF-Expand: derives |length| bytes (<= 255 * 32) from a PRK and context info.
+Bytes HkdfExpand(const Bytes& prk, const Bytes& info, size_t length);
+
+// Extract-then-expand convenience.
+Bytes Hkdf(const Bytes& salt, const Bytes& ikm, const Bytes& info, size_t length);
+
+}  // namespace deta::crypto
+
+#endif  // DETA_CRYPTO_HMAC_H_

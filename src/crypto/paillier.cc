@@ -1,0 +1,100 @@
+#include "crypto/paillier.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace deta::crypto {
+
+namespace {
+
+// L(x) = (x - 1) / n, defined on x ≡ 1 (mod n).
+BigUint LFunction(const BigUint& x, const BigUint& n) {
+  return x.Sub(BigUint(1)).DivMod(n).quotient;
+}
+
+}  // namespace
+
+BigUint PaillierPublicKey::Encrypt(const BigUint& m, SecureRng& rng) const {
+  DETA_CHECK_MSG(m < n, "Paillier plaintext out of range");
+  // r uniform in [1, n) with gcd(r, n) = 1 (holds with overwhelming probability for a
+  // well-formed key; re-draw otherwise).
+  BigUint r;
+  do {
+    r = BigUint::RandomBelow(rng, n);
+  } while (r.IsZero() || BigUint::Gcd(r, n) != BigUint(1));
+  // c = g^m * r^n mod n^2. With g = n + 1, g^m = 1 + m*n (mod n^2), a big speedup.
+  BigUint g_m = BigUint::AddMod(BigUint(1), m.Mul(n).Mod(n_squared), n_squared);
+  BigUint r_n = BigUint::PowMod(r, n, n_squared);
+  return BigUint::MulMod(g_m, r_n, n_squared);
+}
+
+BigUint PaillierPublicKey::AddCiphertexts(const BigUint& c1, const BigUint& c2) const {
+  return BigUint::MulMod(c1, c2, n_squared);
+}
+
+BigUint PaillierPublicKey::MulPlain(const BigUint& c, const BigUint& k) const {
+  return BigUint::PowMod(c, k, n_squared);
+}
+
+BigUint PaillierPrivateKey::Decrypt(const BigUint& c, const PaillierPublicKey& pub) const {
+  BigUint u = BigUint::PowMod(c, lambda, pub.n_squared);
+  return BigUint::MulMod(LFunction(u, pub.n), mu, pub.n);
+}
+
+PaillierKeyPair GeneratePaillierKey(SecureRng& rng, size_t modulus_bits) {
+  DETA_CHECK_GE(modulus_bits, 64u);
+  for (;;) {
+    BigUint p = BigUint::RandomPrime(rng, modulus_bits / 2);
+    BigUint q = BigUint::RandomPrime(rng, modulus_bits / 2);
+    if (p == q) {
+      continue;
+    }
+    BigUint n = p.Mul(q);
+    // gcd(n, (p-1)(q-1)) must be 1; guaranteed for distinct primes of equal length.
+    PaillierKeyPair kp;
+    kp.pub.n = n;
+    kp.pub.n_squared = n.Mul(n);
+    kp.pub.g = n.Add(BigUint(1));
+    kp.priv.lambda = BigUint::Lcm(p.Sub(BigUint(1)), q.Sub(BigUint(1)));
+
+    BigUint u = BigUint::PowMod(kp.pub.g, kp.priv.lambda, kp.pub.n_squared);
+    BigUint l = LFunction(u, n);
+    BigUint mu;
+    if (!BigUint::InvMod(l, n, &mu)) {
+      continue;  // Degenerate key; re-draw.
+    }
+    kp.priv.mu = mu;
+    return kp;
+  }
+}
+
+PaillierFloatCodec::PaillierFloatCodec(const PaillierPublicKey& pub, int scale_bits,
+                                       int offset_bits)
+    : pub_(pub),
+      scale_(std::ldexp(1.0, scale_bits)),
+      offset_(BigUint(1).ShiftLeft(static_cast<size_t>(offset_bits))) {
+  DETA_CHECK_LT(static_cast<size_t>(offset_bits) + 8, pub.n.BitLength());
+}
+
+BigUint PaillierFloatCodec::Encode(float v) const {
+  long long scaled = std::llround(static_cast<double>(v) * scale_);
+  // value = offset + scaled; offset dominates so the result is nonnegative.
+  if (scaled >= 0) {
+    return offset_.Add(BigUint(static_cast<uint64_t>(scaled)));
+  }
+  return offset_.Sub(BigUint(static_cast<uint64_t>(-scaled)));
+}
+
+float PaillierFloatCodec::DecodeSum(const BigUint& plain, int num_addends) const {
+  BigUint total_offset = offset_.Mul(BigUint(static_cast<uint64_t>(num_addends)));
+  double value;
+  if (plain >= total_offset) {
+    value = static_cast<double>(plain.Sub(total_offset).ToU64());
+  } else {
+    value = -static_cast<double>(total_offset.Sub(plain).ToU64());
+  }
+  return static_cast<float>(value / scale_);
+}
+
+}  // namespace deta::crypto

@@ -1,0 +1,65 @@
+// Paillier additively homomorphic encryption (Paillier, EUROCRYPT'99), used by the
+// Paillier-based Fusion aggregation algorithm (paper §7.1 / Figure 5c,f).
+//
+// Model updates are floats; they are encoded into the plaintext ring Z_n with fixed-point
+// scaling plus an offset so negative values round-trip. Homomorphic addition of K party
+// ciphertexts yields sum + K*offset, which the decoder removes.
+#ifndef DETA_CRYPTO_PAILLIER_H_
+#define DETA_CRYPTO_PAILLIER_H_
+
+#include <vector>
+
+#include "crypto/bigint.h"
+#include "crypto/chacha20.h"
+
+namespace deta::crypto {
+
+struct PaillierPublicKey {
+  BigUint n;         // modulus p*q
+  BigUint n_squared;  // n^2 (cached)
+  BigUint g;         // generator, n + 1
+
+  // Encrypts m in [0, n) with fresh randomness from |rng|.
+  BigUint Encrypt(const BigUint& m, SecureRng& rng) const;
+  // Homomorphic addition: Dec(AddCiphertexts(c1, c2)) = Dec(c1) + Dec(c2) mod n.
+  BigUint AddCiphertexts(const BigUint& c1, const BigUint& c2) const;
+  // Homomorphic scalar multiply: Dec(MulPlain(c, k)) = k * Dec(c) mod n.
+  BigUint MulPlain(const BigUint& c, const BigUint& k) const;
+};
+
+struct PaillierPrivateKey {
+  BigUint lambda;  // lcm(p-1, q-1)
+  BigUint mu;      // (L(g^lambda mod n^2))^-1 mod n
+
+  BigUint Decrypt(const BigUint& c, const PaillierPublicKey& pub) const;
+};
+
+struct PaillierKeyPair {
+  PaillierPublicKey pub;
+  PaillierPrivateKey priv;
+};
+
+// Generates a key with |modulus_bits|-bit n. Benches default to 512 for speed; the
+// construction is identical at 2048.
+PaillierKeyPair GeneratePaillierKey(SecureRng& rng, size_t modulus_bits);
+
+// Fixed-point float codec for homomorphic aggregation.
+class PaillierFloatCodec {
+ public:
+  // |scale_bits| fractional bits; |offset_bits| sets the representable magnitude bound
+  // (values must satisfy |v| < 2^(offset_bits - scale_bits - 1) after aggregation).
+  PaillierFloatCodec(const PaillierPublicKey& pub, int scale_bits = 24, int offset_bits = 48);
+
+  BigUint Encode(float v) const;
+  // Decodes a plaintext that is the homomorphic sum of |num_addends| encoded values.
+  float DecodeSum(const BigUint& plain, int num_addends) const;
+
+ private:
+  const PaillierPublicKey& pub_;
+  double scale_;
+  BigUint offset_;
+};
+
+}  // namespace deta::crypto
+
+#endif  // DETA_CRYPTO_PAILLIER_H_

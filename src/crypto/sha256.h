@@ -1,0 +1,43 @@
+// FIPS 180-4 SHA-256, implemented from scratch (no crypto libraries are available in this
+// environment). Used for CVM launch measurements, attestation report digests, HMAC, and
+// key derivation.
+#ifndef DETA_CRYPTO_SHA256_H_
+#define DETA_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace deta::crypto {
+
+inline constexpr size_t kSha256DigestSize = 32;
+
+// Incremental SHA-256. Typical use: Update(...)* then Finish().
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+
+  // Finalizes and returns the digest. The object must not be reused afterwards.
+  std::array<uint8_t, kSha256DigestSize> Finish();
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+  bool finished_ = false;
+};
+
+// One-shot convenience.
+Bytes Sha256Digest(const Bytes& data);
+Bytes Sha256Digest(const uint8_t* data, size_t len);
+
+}  // namespace deta::crypto
+
+#endif  // DETA_CRYPTO_SHA256_H_

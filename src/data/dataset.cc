@@ -1,0 +1,348 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace deta::data {
+
+Tensor Dataset::Example(int i) const {
+  DETA_CHECK_GE(i, 0);
+  DETA_CHECK_LT(i, Size());
+  int64_t row = images.numel() / Size();
+  Tensor out({1, Channels(), Height(), Width()});
+  std::copy(images.data() + i * row, images.data() + (i + 1) * row, out.data());
+  return out;
+}
+
+Dataset Dataset::Subset(const std::vector<int>& indices) const {
+  Dataset out;
+  out.classes = classes;
+  out.labels.reserve(indices.size());
+  int64_t row = images.numel() / Size();
+  out.images = Tensor({static_cast<int>(indices.size()), Channels(), Height(), Width()});
+  for (size_t k = 0; k < indices.size(); ++k) {
+    int i = indices[k];
+    DETA_CHECK_GE(i, 0);
+    DETA_CHECK_LT(i, Size());
+    std::copy(images.data() + i * row, images.data() + (i + 1) * row,
+              out.images.data() + static_cast<int64_t>(k) * row);
+    out.labels.push_back(labels[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+namespace {
+
+// Renders the deterministic prototype image for one class into |proto| [C, S, S].
+void RenderPrototype(ImageStyle style, int cls, int channels, int size, Rng& rng,
+                     std::vector<float>& proto) {
+  proto.assign(static_cast<size_t>(channels) * size * size, 0.0f);
+  auto px = [&](int c, int y, int x) -> float& {
+    return proto[(static_cast<size_t>(c) * size + static_cast<size_t>(y)) * size +
+                 static_cast<size_t>(x)];
+  };
+
+  switch (style) {
+    case ImageStyle::kBlobs: {
+      // 3-5 Gaussian blobs at class-deterministic positions form a "glyph".
+      int blobs = 3 + static_cast<int>(rng.NextBelow(3));
+      for (int b = 0; b < blobs; ++b) {
+        float cy = rng.NextUniform(0.2f, 0.8f) * size;
+        float cx = rng.NextUniform(0.2f, 0.8f) * size;
+        float sigma = rng.NextUniform(0.06f, 0.14f) * size;
+        float amp = rng.NextUniform(0.6f, 1.0f);
+        for (int y = 0; y < size; ++y) {
+          for (int x = 0; x < size; ++x) {
+            float d2 = (y - cy) * (y - cy) + (x - cx) * (x - cx);
+            float v = amp * std::exp(-d2 / (2.0f * sigma * sigma));
+            for (int c = 0; c < channels; ++c) {
+              px(c, y, x) = std::min(1.0f, px(c, y, x) + v);
+            }
+          }
+        }
+      }
+      break;
+    }
+    case ImageStyle::kTextured: {
+      // Class-specific 2-D sinusoid mixture, distinct per channel (color texture).
+      for (int c = 0; c < channels; ++c) {
+        float fy1 = rng.NextUniform(0.5f, 3.0f), fx1 = rng.NextUniform(0.5f, 3.0f);
+        float fy2 = rng.NextUniform(2.0f, 6.0f), fx2 = rng.NextUniform(2.0f, 6.0f);
+        float phase1 = rng.NextUniform(0.0f, 6.28f), phase2 = rng.NextUniform(0.0f, 6.28f);
+        float bias = rng.NextUniform(0.3f, 0.7f);
+        for (int y = 0; y < size; ++y) {
+          for (int x = 0; x < size; ++x) {
+            float ny = static_cast<float>(y) / size * 6.28f;
+            float nx = static_cast<float>(x) / size * 6.28f;
+            float v = bias + 0.25f * std::sin(fy1 * ny + fx1 * nx + phase1) +
+                      0.2f * std::sin(fy2 * ny - fx2 * nx + phase2);
+            px(c, y, x) = std::min(1.0f, std::max(0.0f, v));
+          }
+        }
+      }
+      break;
+    }
+    case ImageStyle::kDocument: {
+      // White page with class-deterministic "text block" layout: dark horizontal bands
+      // (lines of text) in blocks, mimicking document genre structure in RVL-CDIP.
+      for (auto& v : proto) {
+        v = 0.95f;
+      }
+      int num_blocks = 2 + static_cast<int>(rng.NextBelow(3));
+      for (int b = 0; b < num_blocks; ++b) {
+        int top = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(size * 3 / 4)));
+        int height = 3 + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(size / 4)));
+        int left = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(size / 3)));
+        int width = size / 3 + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(size / 2)));
+        int line_pitch = 2 + static_cast<int>(rng.NextBelow(3));
+        for (int y = top; y < std::min(size, top + height); ++y) {
+          if ((y - top) % line_pitch != 0) {
+            continue;
+          }
+          for (int x = left; x < std::min(size, left + width); ++x) {
+            for (int c = 0; c < channels; ++c) {
+              px(c, y, x) = 0.15f;
+            }
+          }
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticConfig& config) {
+  DETA_CHECK_GT(config.num_examples, 0);
+  DETA_CHECK_GT(config.classes, 0);
+  Rng master(config.seed);
+
+  // Class prototypes are derived from per-class forks so they do not depend on
+  // num_examples (stable across dataset sizes).
+  std::vector<std::vector<float>> prototypes(static_cast<size_t>(config.classes));
+  for (int cls = 0; cls < config.classes; ++cls) {
+    Rng proto_rng(config.prototype_seed * 1000003ULL + static_cast<uint64_t>(cls) * 7919ULL +
+                  17ULL);
+    RenderPrototype(config.style, cls, config.channels, config.image_size, proto_rng,
+                    prototypes[static_cast<size_t>(cls)]);
+  }
+
+  Dataset out;
+  out.classes = config.classes;
+  out.images =
+      Tensor({config.num_examples, config.channels, config.image_size, config.image_size});
+  out.labels.resize(static_cast<size_t>(config.num_examples));
+
+  int size = config.image_size;
+  int64_t row = static_cast<int64_t>(config.channels) * size * size;
+  for (int i = 0; i < config.num_examples; ++i) {
+    int cls = static_cast<int>(master.NextBelow(static_cast<uint64_t>(config.classes)));
+    out.labels[static_cast<size_t>(i)] = cls;
+    const auto& proto = prototypes[static_cast<size_t>(cls)];
+    int dy = config.max_shift == 0
+                 ? 0
+                 : static_cast<int>(master.NextBelow(2 * config.max_shift + 1)) -
+                       config.max_shift;
+    int dx = config.max_shift == 0
+                 ? 0
+                 : static_cast<int>(master.NextBelow(2 * config.max_shift + 1)) -
+                       config.max_shift;
+    float* dst = out.images.data() + static_cast<int64_t>(i) * row;
+    for (int c = 0; c < config.channels; ++c) {
+      for (int y = 0; y < size; ++y) {
+        for (int x = 0; x < size; ++x) {
+          int sy = std::clamp(y + dy, 0, size - 1);
+          int sx = std::clamp(x + dx, 0, size - 1);
+          float v = proto[(static_cast<size_t>(c) * size + static_cast<size_t>(sy)) * size +
+                          static_cast<size_t>(sx)];
+          v += config.noise_stddev * master.NextGaussian();
+          dst[(static_cast<int64_t>(c) * size + y) * size + x] =
+              std::min(1.0f, std::max(0.0f, v));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Dataset SynthMnist(int num_examples, uint64_t seed) {
+  SyntheticConfig c;
+  c.num_examples = num_examples;
+  c.classes = 10;
+  c.channels = 1;
+  c.image_size = 28;
+  c.style = ImageStyle::kBlobs;
+  c.seed = seed;
+  c.prototype_seed = 101;
+  return GenerateSynthetic(c);
+}
+
+Dataset SynthCifar10(int num_examples, uint64_t seed) {
+  SyntheticConfig c;
+  c.num_examples = num_examples;
+  c.classes = 10;
+  c.channels = 3;
+  c.image_size = 32;
+  c.style = ImageStyle::kTextured;
+  c.seed = seed;
+  c.prototype_seed = 202;
+  return GenerateSynthetic(c);
+}
+
+Dataset SynthCifar100(int num_examples, uint64_t seed) {
+  SyntheticConfig c;
+  c.num_examples = num_examples;
+  c.classes = 100;
+  c.channels = 3;
+  c.image_size = 32;
+  c.style = ImageStyle::kTextured;
+  c.seed = seed;
+  c.prototype_seed = 303;
+  return GenerateSynthetic(c);
+}
+
+Dataset SynthImageNet(int num_examples, uint64_t seed) {
+  SyntheticConfig c;
+  c.num_examples = num_examples;
+  c.classes = 50;
+  c.channels = 3;
+  c.image_size = 64;
+  c.style = ImageStyle::kTextured;
+  c.noise_stddev = 0.06f;
+  c.seed = seed;
+  c.prototype_seed = 404;
+  return GenerateSynthetic(c);
+}
+
+Dataset SynthRvlCdip(int num_examples, uint64_t seed) {
+  SyntheticConfig c;
+  c.num_examples = num_examples;
+  c.classes = 16;
+  c.channels = 1;
+  c.image_size = 64;
+  c.style = ImageStyle::kDocument;
+  c.noise_stddev = 0.05f;
+  c.seed = seed;
+  c.prototype_seed = 505;
+  return GenerateSynthetic(c);
+}
+
+std::vector<Dataset> SplitIid(const Dataset& dataset, int parties, Rng& rng) {
+  DETA_CHECK_GT(parties, 0);
+  std::vector<int> order(static_cast<size_t>(dataset.Size()));
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  rng.Shuffle(order);
+
+  std::vector<Dataset> out;
+  out.reserve(static_cast<size_t>(parties));
+  int per_party = dataset.Size() / parties;
+  for (int p = 0; p < parties; ++p) {
+    std::vector<int> indices(order.begin() + static_cast<long>(p) * per_party,
+                             order.begin() + static_cast<long>(p + 1) * per_party);
+    out.push_back(dataset.Subset(indices));
+  }
+  return out;
+}
+
+std::vector<Dataset> SplitNonIidSkew(const Dataset& dataset, int parties,
+                                     int dominant_classes, float dominant_fraction,
+                                     Rng& rng) {
+  DETA_CHECK_GT(parties, 0);
+  DETA_CHECK_GT(dominant_classes, 0);
+  DETA_CHECK_LE(dominant_classes, dataset.classes);
+  DETA_CHECK_GT(dominant_fraction, 0.0f);
+  DETA_CHECK_LE(dominant_fraction, 1.0f);
+
+  // Bucket example indices by class, shuffled.
+  std::vector<std::vector<int>> by_class(static_cast<size_t>(dataset.classes));
+  for (int i = 0; i < dataset.Size(); ++i) {
+    by_class[static_cast<size_t>(dataset.labels[static_cast<size_t>(i)])].push_back(i);
+  }
+  for (auto& bucket : by_class) {
+    rng.Shuffle(bucket);
+  }
+  std::vector<size_t> cursor(static_cast<size_t>(dataset.classes), 0);
+  auto take = [&](int cls) -> int {
+    auto& bucket = by_class[static_cast<size_t>(cls)];
+    size_t& cur = cursor[static_cast<size_t>(cls)];
+    if (cur >= bucket.size()) {
+      return -1;
+    }
+    return bucket[cur++];
+  };
+
+  int per_party = dataset.Size() / parties;
+  int dominant_per_party = static_cast<int>(per_party * dominant_fraction);
+
+  std::vector<Dataset> out;
+  out.reserve(static_cast<size_t>(parties));
+  for (int p = 0; p < parties; ++p) {
+    std::vector<int> indices;
+    indices.reserve(static_cast<size_t>(per_party));
+    // Rotate dominant-class assignment across parties.
+    std::vector<int> dominant;
+    for (int k = 0; k < dominant_classes; ++k) {
+      dominant.push_back((p * dominant_classes + k) % dataset.classes);
+    }
+    for (int k = 0; k < dominant_per_party; ++k) {
+      int idx = take(dominant[static_cast<size_t>(k % dominant.size())]);
+      if (idx >= 0) {
+        indices.push_back(idx);
+      }
+    }
+    // Fill the remainder from the other classes round-robin.
+    int cls = 0;
+    int needed = per_party - static_cast<int>(indices.size());
+    int attempts = 0;
+    while (needed > 0 && attempts < dataset.classes * per_party) {
+      bool is_dominant =
+          std::find(dominant.begin(), dominant.end(), cls) != dominant.end();
+      if (!is_dominant) {
+        int idx = take(cls);
+        if (idx >= 0) {
+          indices.push_back(idx);
+          --needed;
+        }
+      }
+      cls = (cls + 1) % dataset.classes;
+      ++attempts;
+    }
+    rng.Shuffle(indices);
+    out.push_back(dataset.Subset(indices));
+  }
+  return out;
+}
+
+Batcher::Batcher(const Dataset& dataset, int batch_size, uint64_t seed)
+    : dataset_(dataset), batch_size_(batch_size), rng_(seed) {
+  DETA_CHECK_GT(batch_size, 0);
+  order_.resize(static_cast<size_t>(dataset.Size()));
+  for (size_t i = 0; i < order_.size(); ++i) {
+    order_[i] = static_cast<int>(i);
+  }
+  rng_.Shuffle(order_);
+}
+
+int Batcher::BatchesPerEpoch() const {
+  return (dataset_.Size() + batch_size_ - 1) / batch_size_;
+}
+
+Batcher::Batch Batcher::Next() {
+  if (cursor_ >= order_.size()) {
+    cursor_ = 0;
+    rng_.Shuffle(order_);
+  }
+  size_t count = std::min(static_cast<size_t>(batch_size_), order_.size() - cursor_);
+  std::vector<int> indices(order_.begin() + static_cast<long>(cursor_),
+                           order_.begin() + static_cast<long>(cursor_ + count));
+  cursor_ += count;
+  Dataset subset = dataset_.Subset(indices);
+  return Batch{std::move(subset.images), std::move(subset.labels)};
+}
+
+}  // namespace deta::data

@@ -1,0 +1,99 @@
+// Seeded synthetic datasets standing in for MNIST / CIFAR-10 / CIFAR-100 / ImageNet /
+// RVL-CDIP (none of which are available offline — see the substitution table in
+// DESIGN.md). Each class gets a deterministic structured prototype (blobs, textures, or
+// document-like line patterns); samples are prototypes plus jitter and noise. The
+// resulting problems are non-trivially learnable and class-structured, which is what the
+// paper's convergence and attack experiments actually exercise.
+#ifndef DETA_DATA_DATASET_H_
+#define DETA_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace deta::data {
+
+struct Dataset {
+  Tensor images;            // [N, C, H, W], values in [0, 1]
+  std::vector<int> labels;  // size N
+  int classes = 0;
+
+  int Size() const { return images.numel() == 0 ? 0 : images.dim(0); }
+  int Channels() const { return images.dim(1); }
+  int Height() const { return images.dim(2); }
+  int Width() const { return images.dim(3); }
+
+  // Copies example i as a [1, C, H, W] tensor.
+  Tensor Example(int i) const;
+  // Copies a subset by index.
+  Dataset Subset(const std::vector<int>& indices) const;
+};
+
+enum class ImageStyle {
+  kBlobs,     // MNIST-like: grayscale Gaussian-blob glyphs
+  kTextured,  // CIFAR-like: colored multi-frequency textures
+  kDocument,  // RVL-CDIP-like: line/paragraph layout patterns
+};
+
+struct SyntheticConfig {
+  int num_examples = 1000;
+  int classes = 10;
+  int channels = 1;
+  int image_size = 28;
+  ImageStyle style = ImageStyle::kBlobs;
+  float noise_stddev = 0.08f;
+  int max_shift = 2;  // per-sample random translation of the prototype
+  // Sampling seed: which examples get drawn (train/test splits differ here).
+  uint64_t seed = 1234;
+  // Concept seed: defines the class prototypes. Train and test sets of the same problem
+  // must share it, or they describe different classification tasks.
+  uint64_t prototype_seed = 42;
+};
+
+// Deterministic: same config -> bit-identical dataset.
+Dataset GenerateSynthetic(const SyntheticConfig& config);
+
+// Paper-shaped presets.
+Dataset SynthMnist(int num_examples, uint64_t seed);      // 28x28x1, 10 classes
+Dataset SynthCifar10(int num_examples, uint64_t seed);    // 32x32x3, 10 classes
+Dataset SynthCifar100(int num_examples, uint64_t seed);   // 32x32x3, 100 classes
+Dataset SynthImageNet(int num_examples, uint64_t seed);   // 64x64x3, 50 classes
+Dataset SynthRvlCdip(int num_examples, uint64_t seed);    // 64x64x1, 16 classes
+
+// --- partitioners (paper §7.1-7.3) ---
+
+// Random equal split across |parties|.
+std::vector<Dataset> SplitIid(const Dataset& dataset, int parties, Rng& rng);
+// Non-IID 90-10 skew (paper §7.3): each party's |dominant_classes| hold
+// |dominant_fraction| of its examples; the rest are spread over the other classes.
+std::vector<Dataset> SplitNonIidSkew(const Dataset& dataset, int parties,
+                                     int dominant_classes, float dominant_fraction,
+                                     Rng& rng);
+
+// Mini-batch iterator; reshuffles every epoch.
+class Batcher {
+ public:
+  Batcher(const Dataset& dataset, int batch_size, uint64_t seed);
+
+  struct Batch {
+    Tensor images;            // [B, C, H, W]
+    std::vector<int> labels;  // size B
+  };
+
+  // Next batch, wrapping and reshuffling at epoch boundaries.
+  Batch Next();
+  int BatchesPerEpoch() const;
+
+ private:
+  const Dataset& dataset_;
+  int batch_size_;
+  Rng rng_;
+  std::vector<int> order_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace deta::data
+
+#endif  // DETA_DATA_DATASET_H_

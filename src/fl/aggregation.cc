@@ -1,0 +1,317 @@
+#include "fl/aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "net/codec.h"
+
+namespace deta::fl {
+
+Bytes SerializeUpdate(const ModelUpdate& update) {
+  net::Writer w;
+  w.WriteDouble(update.weight);
+  w.WriteFloatVector(update.values);
+  return w.Take();
+}
+
+ModelUpdate DeserializeUpdate(const Bytes& data) {
+  net::Reader r(data);
+  ModelUpdate u;
+  u.weight = r.ReadDouble();
+  u.values = r.ReadFloatVector();
+  return u;
+}
+
+namespace {
+
+void CheckUpdates(const std::vector<ModelUpdate>& updates) {
+  DETA_CHECK_MSG(!updates.empty(), "aggregating zero updates");
+  for (const auto& u : updates) {
+    DETA_CHECK_EQ(u.values.size(), updates[0].values.size());
+  }
+}
+
+double SquaredDistance(const std::vector<float>& a, const std::vector<float>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double CosineDist(const std::vector<float>& a, const std::vector<float>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) {
+    return 1.0;
+  }
+  return 1.0 - dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double Norm(const std::vector<float>& a) {
+  double s = 0.0;
+  for (float v : a) {
+    s += static_cast<double>(v) * v;
+  }
+  return std::sqrt(s);
+}
+
+double Median(std::vector<double> v) {
+  DETA_CHECK(!v.empty());
+  size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<long>(mid), v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0) {
+    double lower = *std::max_element(v.begin(), v.begin() + static_cast<long>(mid));
+    m = (m + lower) / 2.0;
+  }
+  return m;
+}
+
+}  // namespace
+
+std::vector<float> IterativeAveraging::Aggregate(const std::vector<ModelUpdate>& updates) const {
+  CheckUpdates(updates);
+  double total_weight = 0.0;
+  for (const auto& u : updates) {
+    total_weight += u.weight;
+  }
+  DETA_CHECK_GT(total_weight, 0.0);
+  std::vector<float> out(updates[0].values.size(), 0.0f);
+  for (const auto& u : updates) {
+    float w = static_cast<float>(u.weight / total_weight);
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] += w * u.values[i];
+    }
+  }
+  return out;
+}
+
+std::vector<float> CoordinateMedian::Aggregate(const std::vector<ModelUpdate>& updates) const {
+  CheckUpdates(updates);
+  size_t n = updates[0].values.size();
+  std::vector<float> out(n);
+  std::vector<float> column(updates.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t p = 0; p < updates.size(); ++p) {
+      column[p] = updates[p].values[i];
+    }
+    size_t mid = column.size() / 2;
+    std::nth_element(column.begin(), column.begin() + static_cast<long>(mid), column.end());
+    float m = column[mid];
+    if (column.size() % 2 == 0) {
+      float lower = *std::max_element(column.begin(), column.begin() + static_cast<long>(mid));
+      m = (m + lower) / 2.0f;
+    }
+    out[i] = m;
+  }
+  return out;
+}
+
+namespace {
+
+// Krum scores: sum of squared distances to each candidate's n - f - 2 nearest neighbours.
+std::vector<double> KrumScores(const std::vector<ModelUpdate>& updates, int byzantine) {
+  int n = static_cast<int>(updates.size());
+  int neighbours = std::max(1, n - byzantine - 2);
+  std::vector<std::vector<double>> dist(static_cast<size_t>(n),
+                                        std::vector<double>(static_cast<size_t>(n), 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double d = SquaredDistance(updates[static_cast<size_t>(i)].values,
+                                 updates[static_cast<size_t>(j)].values);
+      dist[static_cast<size_t>(i)][static_cast<size_t>(j)] = d;
+      dist[static_cast<size_t>(j)][static_cast<size_t>(i)] = d;
+    }
+  }
+  std::vector<double> scores(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> row;
+    for (int j = 0; j < n; ++j) {
+      if (j != i) {
+        row.push_back(dist[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+      }
+    }
+    std::sort(row.begin(), row.end());
+    double score = 0.0;
+    for (int k = 0; k < neighbours && k < static_cast<int>(row.size()); ++k) {
+      score += row[static_cast<size_t>(k)];
+    }
+    scores[static_cast<size_t>(i)] = score;
+  }
+  return scores;
+}
+
+}  // namespace
+
+std::vector<float> Krum::Aggregate(const std::vector<ModelUpdate>& updates) const {
+  CheckUpdates(updates);
+  std::vector<double> scores = KrumScores(updates, byzantine_);
+  size_t best = static_cast<size_t>(
+      std::min_element(scores.begin(), scores.end()) - scores.begin());
+  return updates[best].values;
+}
+
+std::vector<float> MultiKrum::Aggregate(const std::vector<ModelUpdate>& updates) const {
+  CheckUpdates(updates);
+  int n = static_cast<int>(updates.size());
+  int m = std::min(select_, n);
+  DETA_CHECK_GT(m, 0);
+  std::vector<double> scores = KrumScores(updates, byzantine_);
+  std::vector<size_t> order(updates.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<ModelUpdate> selected;
+  for (int k = 0; k < m; ++k) {
+    selected.push_back(updates[order[static_cast<size_t>(k)]]);
+  }
+  return IterativeAveraging().Aggregate(selected);
+}
+
+std::vector<float> Bulyan::Aggregate(const std::vector<ModelUpdate>& updates) const {
+  CheckUpdates(updates);
+  int n = static_cast<int>(updates.size());
+  // Bulyan requires n >= 4f + 3 for its full guarantee; degrade gracefully below that by
+  // clamping the selection size.
+  int select = std::max(1, n - 2 * byzantine_);
+  std::vector<double> scores = KrumScores(updates, byzantine_);
+  std::vector<size_t> order(updates.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  size_t len = updates[0].values.size();
+  std::vector<float> out(len);
+  int beta = std::max(1, select - 2 * byzantine_);
+  std::vector<float> column(static_cast<size_t>(select));
+  for (size_t i = 0; i < len; ++i) {
+    for (int k = 0; k < select; ++k) {
+      column[static_cast<size_t>(k)] = updates[order[static_cast<size_t>(k)]].values[i];
+    }
+    // Average the beta values closest to the coordinate-wise median.
+    std::sort(column.begin(), column.end());
+    float median = column[column.size() / 2];
+    std::sort(column.begin(), column.end(), [median](float a, float b) {
+      return std::abs(a - median) < std::abs(b - median);
+    });
+    double s = 0.0;
+    for (int k = 0; k < beta; ++k) {
+      s += column[static_cast<size_t>(k)];
+    }
+    out[i] = static_cast<float>(s / beta);
+  }
+  return out;
+}
+
+std::vector<float> Flame::Aggregate(const std::vector<ModelUpdate>& updates) const {
+  CheckUpdates(updates);
+  size_t n = updates.size();
+  if (n <= 2) {
+    return IterativeAveraging().Aggregate(updates);
+  }
+  // 1. Outlier filtering on mean pairwise cosine distance (cluster-free approximation of
+  //    FLAME's HDBSCAN step; both rely only on permutation-invariant distances).
+  std::vector<double> mean_dist(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        mean_dist[i] += CosineDist(updates[i].values, updates[j].values);
+      }
+    }
+    mean_dist[i] /= static_cast<double>(n - 1);
+  }
+  double med = Median(mean_dist);
+  std::vector<size_t> kept;
+  for (size_t i = 0; i < n; ++i) {
+    if (mean_dist[i] <= 2.0 * med + 1e-12) {
+      kept.push_back(i);
+    }
+  }
+  if (kept.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      kept.push_back(i);
+    }
+  }
+  // 2. Norm clipping to the median norm of the survivors.
+  std::vector<double> norms;
+  norms.reserve(kept.size());
+  for (size_t i : kept) {
+    norms.push_back(Norm(updates[i].values));
+  }
+  double clip = Median(norms);
+  // 3. Average the clipped survivors.
+  std::vector<float> out(updates[0].values.size(), 0.0f);
+  for (size_t i : kept) {
+    double norm = Norm(updates[i].values);
+    double scale = (norm > clip && norm > 0.0) ? clip / norm : 1.0;
+    for (size_t k = 0; k < out.size(); ++k) {
+      out[k] += static_cast<float>(updates[i].values[k] * scale);
+    }
+  }
+  float inv = 1.0f / static_cast<float>(kept.size());
+  for (auto& v : out) {
+    v *= inv;
+  }
+  return out;
+}
+
+std::vector<float> TrimmedMean::Aggregate(const std::vector<ModelUpdate>& updates) const {
+  CheckUpdates(updates);
+  int n = static_cast<int>(updates.size());
+  DETA_CHECK_MSG(2 * trim_ < n, "trim " << trim_ << " too large for " << n << " updates");
+  size_t len = updates[0].values.size();
+  std::vector<float> out(len);
+  std::vector<float> column(static_cast<size_t>(n));
+  for (size_t i = 0; i < len; ++i) {
+    for (int p = 0; p < n; ++p) {
+      column[static_cast<size_t>(p)] = updates[static_cast<size_t>(p)].values[i];
+    }
+    std::sort(column.begin(), column.end());
+    double s = 0.0;
+    for (int p = trim_; p < n - trim_; ++p) {
+      s += column[static_cast<size_t>(p)];
+    }
+    out[i] = static_cast<float>(s / (n - 2 * trim_));
+  }
+  return out;
+}
+
+std::unique_ptr<AggregationAlgorithm> MakeAlgorithm(const std::string& name) {
+  if (name == "iterative_averaging") {
+    return std::make_unique<IterativeAveraging>();
+  }
+  if (name == "coordinate_median") {
+    return std::make_unique<CoordinateMedian>();
+  }
+  if (name == "krum") {
+    return std::make_unique<Krum>(1);
+  }
+  if (name == "flame") {
+    return std::make_unique<Flame>();
+  }
+  if (name == "trimmed_mean") {
+    return std::make_unique<TrimmedMean>(1);
+  }
+  if (name == "multi_krum") {
+    return std::make_unique<MultiKrum>(1, 3);
+  }
+  if (name == "bulyan") {
+    return std::make_unique<Bulyan>(1);
+  }
+  DETA_CHECK_MSG(false, "unknown aggregation algorithm: " << name);
+  return nullptr;
+}
+
+}  // namespace deta::fl

@@ -1,0 +1,46 @@
+#include "fl/ldp.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace deta::fl {
+
+float ClipToNorm(std::vector<float>& update, float clip_norm) {
+  DETA_CHECK_GT(clip_norm, 0.0f);
+  double norm_sq = 0.0;
+  for (float v : update) {
+    norm_sq += static_cast<double>(v) * v;
+  }
+  float norm = static_cast<float>(std::sqrt(norm_sq));
+  if (norm > clip_norm && norm > 0.0f) {
+    float scale = clip_norm / norm;
+    for (auto& v : update) {
+      v *= scale;
+    }
+  }
+  return norm;
+}
+
+void ApplyGaussianMechanism(std::vector<float>& update, const LdpConfig& config,
+                            uint64_t seed) {
+  if (!config.enabled) {
+    return;
+  }
+  ClipToNorm(update, config.clip_norm);
+  float stddev = config.noise_multiplier * config.clip_norm;
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (auto& v : update) {
+    v += stddev * rng.NextGaussian();
+  }
+}
+
+double GaussianMechanismEpsilon(float noise_multiplier, double delta) {
+  DETA_CHECK_GT(noise_multiplier, 0.0f);
+  DETA_CHECK_GT(delta, 0.0);
+  DETA_CHECK_LT(delta, 1.0);
+  return std::sqrt(2.0 * std::log(1.25 / delta)) / noise_multiplier;
+}
+
+}  // namespace deta::fl

@@ -1,0 +1,39 @@
+// Local differential privacy for party updates (paper §8.1: "DETA can be seamlessly
+// integrated with LDP as the LDP's perturbations only apply to model updates on the
+// parties' devices").
+//
+// Gaussian mechanism: clip the update (for FedAvg, the *delta* against the global
+// parameters) to an L2 bound C, then add N(0, (sigma*C)^2) noise per coordinate. With
+// sigma = noise_multiplier this yields the standard (epsilon, delta)-DP guarantee per
+// round under the Gaussian-mechanism analysis; the paper's observation is that the
+// perturbation commutes with DeTA's partition/shuffle (both are applied party-side).
+#ifndef DETA_FL_LDP_H_
+#define DETA_FL_LDP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace deta::fl {
+
+struct LdpConfig {
+  bool enabled = false;
+  float clip_norm = 1.0f;        // L2 clipping bound C
+  float noise_multiplier = 0.5f;  // sigma; stddev of added noise is sigma * C
+};
+
+// Clips |update| to L2 norm <= clip_norm in place; returns the pre-clip norm.
+float ClipToNorm(std::vector<float>& update, float clip_norm);
+
+// Applies the full Gaussian mechanism (clip + noise) in place. |seed| makes party noise
+// reproducible per (party, round) in experiments; real deployments draw fresh entropy.
+void ApplyGaussianMechanism(std::vector<float>& update, const LdpConfig& config,
+                            uint64_t seed);
+
+// Single-round (epsilon, delta)-DP accounting for the Gaussian mechanism:
+// epsilon = C * sqrt(2 ln(1.25/delta)) / (sigma*C) simplified to the standard form
+// sqrt(2 ln(1.25/delta)) / sigma. Returned for reporting only.
+double GaussianMechanismEpsilon(float noise_multiplier, double delta);
+
+}  // namespace deta::fl
+
+#endif  // DETA_FL_LDP_H_

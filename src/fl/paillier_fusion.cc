@@ -1,0 +1,115 @@
+#include "fl/paillier_fusion.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "net/codec.h"
+
+namespace deta::fl {
+
+using crypto::BigUint;
+
+PaillierVectorCodec::PaillierVectorCodec(const crypto::PaillierPublicKey& pub,
+                                         int max_parties, int lane_bits, int scale_bits)
+    : pub_(pub), lane_bits_(lane_bits), scale_(std::ldexp(1.0, scale_bits)) {
+  // Reserve one lane-width of headroom below the modulus top.
+  int usable_bits = static_cast<int>(pub.n.BitLength()) - lane_bits - 8;
+  DETA_CHECK_MSG(usable_bits >= lane_bits, "Paillier modulus too small for packing");
+  lanes_ = usable_bits / lane_bits;
+  // Per-lane layout: encoded value = offset + scaled, with scaled in (-offset, offset).
+  // The homomorphic sum of up to max_parties lane values must not carry into the next
+  // lane: max_parties * 2^(value_bits) <= 2^lane_bits, so value_bits cedes
+  // ceil(log2(max_parties)) headroom bits.
+  DETA_CHECK_GE(max_parties, 1);
+  int headroom_bits = 0;
+  while ((1 << headroom_bits) < max_parties) {
+    ++headroom_bits;
+  }
+  int value_bits = lane_bits - headroom_bits;
+  DETA_CHECK_MSG(value_bits > scale_bits + 8,
+                 "lane too narrow for " << max_parties << " parties at scale 2^"
+                                        << scale_bits);
+  lane_offset_ = BigUint(1).ShiftLeft(static_cast<size_t>(value_bits - 1));
+}
+
+std::vector<BigUint> PaillierVectorCodec::Encrypt(const std::vector<float>& values,
+                                                  crypto::SecureRng& rng) const {
+  std::vector<BigUint> out;
+  out.reserve(CiphertextCount(values.size()));
+  for (size_t base = 0; base < values.size(); base += static_cast<size_t>(lanes_)) {
+    BigUint packed;
+    int count = static_cast<int>(std::min<size_t>(static_cast<size_t>(lanes_),
+                                                  values.size() - base));
+    // Lane 0 occupies the least-significant bits.
+    for (int lane = count - 1; lane >= 0; --lane) {
+      long long scaled =
+          std::llround(static_cast<double>(values[base + static_cast<size_t>(lane)]) * scale_);
+      BigUint lane_value;
+      if (scaled >= 0) {
+        lane_value = lane_offset_.Add(BigUint(static_cast<uint64_t>(scaled)));
+      } else {
+        lane_value = lane_offset_.Sub(BigUint(static_cast<uint64_t>(-scaled)));
+      }
+      packed = packed.ShiftLeft(static_cast<size_t>(lane_bits_)).Add(lane_value);
+    }
+    out.push_back(pub_.Encrypt(packed, rng));
+  }
+  return out;
+}
+
+void PaillierVectorCodec::AccumulateInPlace(std::vector<BigUint>& acc,
+                                            const std::vector<BigUint>& other) const {
+  DETA_CHECK_EQ(acc.size(), other.size());
+  for (size_t i = 0; i < acc.size(); ++i) {
+    acc[i] = pub_.AddCiphertexts(acc[i], other[i]);
+  }
+}
+
+std::vector<float> PaillierVectorCodec::DecryptSum(const std::vector<BigUint>& ciphertexts,
+                                                   const crypto::PaillierPrivateKey& priv,
+                                                   size_t n, int num_addends) const {
+  DETA_CHECK_EQ(ciphertexts.size(), CiphertextCount(n));
+  std::vector<float> out;
+  out.reserve(n);
+  BigUint lane_mask = BigUint(1).ShiftLeft(static_cast<size_t>(lane_bits_)).Sub(BigUint(1));
+  BigUint total_offset = lane_offset_.Mul(BigUint(static_cast<uint64_t>(num_addends)));
+  for (size_t ci = 0; ci < ciphertexts.size(); ++ci) {
+    BigUint packed = priv.Decrypt(ciphertexts[ci], pub_);
+    int count = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(lanes_), n - ci * static_cast<size_t>(lanes_)));
+    for (int lane = 0; lane < count; ++lane) {
+      BigUint lane_value = packed.Mod(lane_mask.Add(BigUint(1)));
+      packed = packed.ShiftRight(static_cast<size_t>(lane_bits_));
+      double v;
+      if (lane_value >= total_offset) {
+        v = static_cast<double>(lane_value.Sub(total_offset).ToU64());
+      } else {
+        v = -static_cast<double>(total_offset.Sub(lane_value).ToU64());
+      }
+      out.push_back(static_cast<float>(v / scale_));
+    }
+  }
+  return out;
+}
+
+Bytes SerializeCiphertexts(const std::vector<BigUint>& c) {
+  net::Writer w;
+  w.WriteU64(c.size());
+  for (const BigUint& x : c) {
+    w.WriteBytes(x.ToBytes());
+  }
+  return w.Take();
+}
+
+std::vector<BigUint> DeserializeCiphertexts(const Bytes& data) {
+  net::Reader r(data);
+  uint64_t n = r.ReadU64();
+  std::vector<BigUint> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    out.push_back(BigUint::FromBytes(r.ReadBytes()));
+  }
+  return out;
+}
+
+}  // namespace deta::fl

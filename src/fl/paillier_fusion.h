@@ -1,0 +1,58 @@
+// Paillier-based fusion (paper §7.1, Figures 5c/5f): parties encrypt their updates under
+// a shared Paillier public key (from a trusted key-broker, as in Liu et al.), the
+// aggregator sums ciphertexts homomorphically without ever seeing plaintext, and parties
+// decrypt the fused result.
+//
+// Coordinates are lane-packed: several fixed-point values share one Paillier plaintext,
+// with enough headroom per lane that the homomorphic sum of up to |max_parties| updates
+// cannot carry across lanes. Packing divides the (dominant) modular-exponentiation count,
+// which is the honest version of why the paper's Figure 5f shows DeTA *speeding Paillier
+// up*: the work is embarrassingly parallel across coordinates, so partitioning it across
+// aggregators divides the wall-clock.
+#ifndef DETA_FL_PAILLIER_FUSION_H_
+#define DETA_FL_PAILLIER_FUSION_H_
+
+#include <vector>
+
+#include "crypto/paillier.h"
+#include "fl/update.h"
+
+namespace deta::fl {
+
+class PaillierVectorCodec {
+ public:
+  // |lane_bits| per packed value; |scale_bits| fractional bits. Values must satisfy
+  // |v| * 2^scale_bits * max_parties < 2^(lane_bits-1).
+  PaillierVectorCodec(const crypto::PaillierPublicKey& pub, int max_parties,
+                      int lane_bits = 56, int scale_bits = 20);
+
+  int LanesPerCiphertext() const { return lanes_; }
+  // Number of ciphertexts for a vector of |n| floats.
+  size_t CiphertextCount(size_t n) const { return (n + lanes_ - 1) / static_cast<size_t>(lanes_); }
+
+  // Encrypts a float vector.
+  std::vector<crypto::BigUint> Encrypt(const std::vector<float>& values,
+                                       crypto::SecureRng& rng) const;
+  // Homomorphically accumulates |other| into |acc| (coordinate-wise ciphertext product).
+  void AccumulateInPlace(std::vector<crypto::BigUint>& acc,
+                         const std::vector<crypto::BigUint>& other) const;
+  // Decrypts the sum of |num_addends| encrypted vectors back to floats.
+  std::vector<float> DecryptSum(const std::vector<crypto::BigUint>& ciphertexts,
+                                const crypto::PaillierPrivateKey& priv, size_t n,
+                                int num_addends) const;
+
+ private:
+  const crypto::PaillierPublicKey& pub_;
+  int lanes_;
+  int lane_bits_;
+  double scale_;
+  crypto::BigUint lane_offset_;  // per-lane offset making encoded values nonnegative
+};
+
+// Serialization of ciphertext vectors for the wire.
+Bytes SerializeCiphertexts(const std::vector<crypto::BigUint>& c);
+std::vector<crypto::BigUint> DeserializeCiphertexts(const Bytes& data);
+
+}  // namespace deta::fl
+
+#endif  // DETA_FL_PAILLIER_FUSION_H_

@@ -1,0 +1,74 @@
+#include "fl/party.h"
+
+#include <functional>
+
+#include "common/check.h"
+#include "common/sim_clock.h"
+
+namespace deta::fl {
+
+Party::Party(std::string name, data::Dataset dataset, const ModelFactory& factory,
+             TrainConfig config, uint64_t seed)
+    : name_(std::move(name)),
+      dataset_(std::move(dataset)),
+      config_(config),
+      model_(factory()),
+      batcher_(dataset_, config.batch_size, seed) {
+  DETA_CHECK_GT(dataset_.Size(), 0);
+}
+
+Party::LocalResult Party::RunLocalRound(const std::vector<float>& global_params, int round) {
+  Stopwatch watch;
+  model_->SetFlatParams(global_params);
+
+  LocalResult result;
+  result.update.weight = static_cast<double>(dataset_.Size());
+
+  if (config_.kind == TrainConfig::UpdateKind::kGradient) {
+    // FedSGD: gradients of one mini-batch at the current global parameters.
+    auto batch = batcher_.Next();
+    auto lg = nn::ComputeLossAndGrads(*model_, batch.images,
+                                      nn::OneHot(batch.labels, dataset_.classes));
+    result.update.values.reserve(static_cast<size_t>(model_->NumParameters()));
+    for (const Tensor& g : lg.grads) {
+      const auto& v = g.values();
+      result.update.values.insert(result.update.values.end(), v.begin(), v.end());
+    }
+  } else {
+    // FedAvg: several local epochs of SGD, then upload the resulting parameters.
+    nn::Sgd opt(config_.lr, config_.momentum);
+    int steps = config_.local_epochs * batcher_.BatchesPerEpoch();
+    for (int s = 0; s < steps; ++s) {
+      auto batch = batcher_.Next();
+      auto lg = nn::ComputeLossAndGrads(*model_, batch.images,
+                                        nn::OneHot(batch.labels, dataset_.classes));
+      opt.Step(model_->params(), lg.grads);
+    }
+    result.update.values = model_->GetFlatParams();
+  }
+
+  if (config_.ldp.enabled) {
+    // LDP is applied on the party's device before anything leaves it (§8.1). For the
+    // parameter-upload mode the sensitive quantity is the training delta, so clip+noise
+    // the delta and re-add the (public) incoming global parameters.
+    uint64_t noise_seed =
+        std::hash<std::string>{}(name_) ^ (static_cast<uint64_t>(round) * 0x9e3779b9ULL);
+    if (config_.kind == TrainConfig::UpdateKind::kGradient) {
+      ApplyGaussianMechanism(result.update.values, config_.ldp, noise_seed);
+    } else {
+      std::vector<float> delta(result.update.values.size());
+      for (size_t i = 0; i < delta.size(); ++i) {
+        delta[i] = result.update.values[i] - global_params[i];
+      }
+      ApplyGaussianMechanism(delta, config_.ldp, noise_seed);
+      for (size_t i = 0; i < delta.size(); ++i) {
+        result.update.values[i] = global_params[i] + delta[i];
+      }
+    }
+  }
+
+  result.train_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace deta::fl

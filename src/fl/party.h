@@ -1,0 +1,64 @@
+// An FL party: holds a private local dataset and produces model updates. Used by both the
+// centralized baseline (FFL) and DeTA (where its update is additionally partitioned and
+// shuffled before upload — src/core/deta_party.h wraps this class).
+#ifndef DETA_FL_PARTY_H_
+#define DETA_FL_PARTY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "data/dataset.h"
+#include "fl/ldp.h"
+#include "fl/update.h"
+#include "nn/models.h"
+#include "nn/optimizer.h"
+
+namespace deta::fl {
+
+using ModelFactory = std::function<std::unique_ptr<nn::Model>()>;
+
+struct TrainConfig {
+  int batch_size = 32;
+  int local_epochs = 1;
+  float lr = 0.05f;
+  float momentum = 0.0f;
+  // FedAvg uploads trained parameters; FedSGD uploads one batch's gradients.
+  enum class UpdateKind { kParameters, kGradient };
+  UpdateKind kind = UpdateKind::kParameters;
+  // Optional party-side local differential privacy (Gaussian mechanism). For kParameters
+  // the mechanism perturbs the *delta* against the incoming global parameters.
+  LdpConfig ldp;
+};
+
+class Party {
+ public:
+  Party(std::string name, data::Dataset dataset, const ModelFactory& factory,
+        TrainConfig config, uint64_t seed);
+  virtual ~Party() = default;
+
+  struct LocalResult {
+    ModelUpdate update;
+    double train_seconds = 0.0;  // measured local compute
+  };
+
+  // Runs one local round starting from |global_params|. Virtual so tests and examples can
+  // model misbehaving (e.g. poisoning) parties.
+  virtual LocalResult RunLocalRound(const std::vector<float>& global_params, int round);
+
+  const std::string& name() const { return name_; }
+  int SampleCount() const { return dataset_.Size(); }
+  int64_t ParameterCount() const { return model_->NumParameters(); }
+  const data::Dataset& dataset() const { return dataset_; }
+
+ private:
+  std::string name_;
+  data::Dataset dataset_;
+  TrainConfig config_;
+  std::unique_ptr<nn::Model> model_;
+  data::Batcher batcher_;
+};
+
+}  // namespace deta::fl
+
+#endif  // DETA_FL_PARTY_H_

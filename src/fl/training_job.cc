@@ -1,0 +1,113 @@
+#include "fl/training_job.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace deta::fl {
+
+FflJob::FflJob(JobConfig config, std::vector<std::unique_ptr<Party>> parties,
+               const ModelFactory& global_factory, data::Dataset eval)
+    : config_(std::move(config)),
+      parties_(std::move(parties)),
+      global_model_(global_factory()),
+      eval_(std::move(eval)),
+      rng_(StringToBytes("ffl-job-" + std::to_string(config_.seed))) {
+  DETA_CHECK(!parties_.empty());
+  algorithm_ = MakeAlgorithm(config_.algorithm);
+  global_params_ = global_model_->GetFlatParams();
+  if (config_.use_paillier) {
+    paillier_ = crypto::GeneratePaillierKey(rng_, config_.paillier_modulus_bits);
+    codec_ = std::make_unique<PaillierVectorCodec>(paillier_->pub,
+                                                   static_cast<int>(parties_.size()));
+  }
+}
+
+std::vector<RoundMetrics> FflJob::Run() {
+  std::vector<RoundMetrics> metrics;
+  metrics.reserve(static_cast<size_t>(config_.rounds));
+  for (int round = 1; round <= config_.rounds; ++round) {
+    metrics.push_back(RunRound(round));
+    LOG_INFO << "FFL round " << round << ": loss=" << metrics.back().loss
+             << " acc=" << metrics.back().accuracy
+             << " latency=" << metrics.back().cumulative_latency_s << "s";
+  }
+  return metrics;
+}
+
+RoundMetrics FflJob::RunRound(int round) {
+  const LatencyModel& lm = config_.latency;
+  size_t update_bytes = global_params_.size() * sizeof(float);
+
+  // --- Party phase: local training (parties run in parallel => max). ---
+  std::vector<ModelUpdate> updates;
+  updates.reserve(parties_.size());
+  double party_phase = 0.0;
+  std::vector<std::vector<crypto::BigUint>> ciphertexts;
+  for (auto& party : parties_) {
+    Party::LocalResult local = party->RunLocalRound(global_params_, round);
+    double party_time = local.train_seconds;
+    if (config_.use_paillier) {
+      Stopwatch enc_watch;
+      ciphertexts.push_back(codec_->Encrypt(local.update.values, rng_));
+      party_time += enc_watch.ElapsedSeconds();
+      // Ciphertext expansion: each ciphertext is ~2*modulus bits.
+      size_t ct_bytes =
+          ciphertexts.back().size() * (config_.paillier_modulus_bits / 4);
+      party_time += lm.TransferSeconds(ct_bytes);
+    } else {
+      party_time += lm.TransferSeconds(update_bytes);
+    }
+    party_phase = std::max(party_phase, party_time);
+    updates.push_back(std::move(local.update));
+  }
+
+  // --- Aggregation phase (central server). ---
+  Stopwatch agg_watch;
+  std::vector<float> aggregated;
+  if (config_.use_paillier) {
+    std::vector<crypto::BigUint> acc = ciphertexts[0];
+    for (size_t p = 1; p < ciphertexts.size(); ++p) {
+      codec_->AccumulateInPlace(acc, ciphertexts[p]);
+    }
+    // Parties decrypt the fused ciphertexts (weight-uniform mean).
+    aggregated = codec_->DecryptSum(acc, paillier_->priv, global_params_.size(),
+                                    static_cast<int>(ciphertexts.size()));
+    float inv = 1.0f / static_cast<float>(ciphertexts.size());
+    for (auto& v : aggregated) {
+      v *= inv;
+    }
+  } else {
+    aggregated = algorithm_->Aggregate(updates);
+  }
+  double agg_phase = agg_watch.ElapsedSeconds();
+
+  // --- Synchronization phase: download + apply. ---
+  double down_phase = lm.TransferSeconds(update_bytes);
+  if (config_.train.kind == TrainConfig::UpdateKind::kGradient) {
+    // FedSGD: the aggregated vector is a mean gradient; apply one server-side SGD step.
+    DETA_CHECK_EQ(aggregated.size(), global_params_.size());
+    for (size_t i = 0; i < global_params_.size(); ++i) {
+      global_params_[i] -= config_.train.lr * aggregated[i];
+    }
+  } else {
+    global_params_ = std::move(aggregated);
+  }
+
+  return EvaluateRound(round, party_phase + agg_phase + down_phase);
+}
+
+RoundMetrics FflJob::EvaluateRound(int round, double latency_s) {
+  global_model_->SetFlatParams(global_params_);
+  RoundMetrics m;
+  m.round = round;
+  m.loss = nn::MeanLoss(*global_model_, eval_.images, eval_.labels, eval_.classes);
+  m.accuracy = nn::Accuracy(*global_model_, eval_.images, eval_.labels);
+  m.round_latency_s = latency_s;
+  cumulative_latency_ += latency_s;
+  m.cumulative_latency_s = cumulative_latency_;
+  return m;
+}
+
+}  // namespace deta::fl

@@ -1,0 +1,73 @@
+// The centralized FL baseline — "FFL with one central aggregator" in the paper's
+// evaluation. One aggregator collects every party's full, in-order model update and runs
+// the chosen aggregation algorithm (or Paillier fusion on ciphertexts).
+//
+// Latency is reported in simulated seconds (see common/sim_clock.h): measured compute
+// plus modelled network transfers. Parties compute in parallel in the modelled
+// deployment, so the party phase contributes max(), not sum().
+#ifndef DETA_FL_TRAINING_JOB_H_
+#define DETA_FL_TRAINING_JOB_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "fl/aggregation.h"
+#include "fl/paillier_fusion.h"
+#include "fl/party.h"
+
+namespace deta::fl {
+
+struct RoundMetrics {
+  int round = 0;
+  double loss = 0.0;
+  double accuracy = 0.0;
+  double round_latency_s = 0.0;       // simulated seconds for this round
+  double cumulative_latency_s = 0.0;  // running total
+};
+
+struct JobConfig {
+  int rounds = 10;
+  TrainConfig train;
+  std::string algorithm = "iterative_averaging";
+  // When set, updates travel Paillier-encrypted and the algorithm is homomorphic
+  // averaging (the paper's "Paillier" configuration).
+  bool use_paillier = false;
+  size_t paillier_modulus_bits = 256;
+  LatencyModel latency;
+  uint64_t seed = 7;
+};
+
+class FflJob {
+ public:
+  // |eval| supplies the held-out loss/accuracy curves; parties keep their own shards.
+  FflJob(JobConfig config, std::vector<std::unique_ptr<Party>> parties,
+         const ModelFactory& global_factory, data::Dataset eval);
+
+  // Runs all rounds; returns per-round metrics.
+  std::vector<RoundMetrics> Run();
+
+  const std::vector<float>& global_params() const { return global_params_; }
+
+ private:
+  RoundMetrics RunRound(int round);
+  RoundMetrics EvaluateRound(int round, double latency_s);
+
+  JobConfig config_;
+  std::vector<std::unique_ptr<Party>> parties_;
+  std::unique_ptr<nn::Model> global_model_;
+  data::Dataset eval_;
+  std::unique_ptr<AggregationAlgorithm> algorithm_;
+  std::vector<float> global_params_;
+  double cumulative_latency_ = 0.0;
+
+  // Paillier state (shared keypair from the trusted key broker).
+  std::optional<crypto::PaillierKeyPair> paillier_;
+  std::unique_ptr<PaillierVectorCodec> codec_;
+  crypto::SecureRng rng_;
+};
+
+}  // namespace deta::fl
+
+#endif  // DETA_FL_TRAINING_JOB_H_

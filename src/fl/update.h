@@ -1,0 +1,29 @@
+// The model update: a flattened parameter (or gradient) vector plus its aggregation
+// weight. The paper's key observation (§3.1) is that aggregation algorithms act
+// coordinate-wise on exactly this flat view, which is what makes DeTA's partitioning and
+// shuffling transparent to them.
+#ifndef DETA_FL_UPDATE_H_
+#define DETA_FL_UPDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace deta::fl {
+
+struct ModelUpdate {
+  std::vector<float> values;
+  // Aggregation weight (n_i, the party's sample count, for weighted averaging).
+  double weight = 1.0;
+
+  size_t size() const { return values.size(); }
+};
+
+// Wire form used by both FFL and DeTA transports.
+Bytes SerializeUpdate(const ModelUpdate& update);
+ModelUpdate DeserializeUpdate(const Bytes& data);
+
+}  // namespace deta::fl
+
+#endif  // DETA_FL_UPDATE_H_

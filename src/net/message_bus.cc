@@ -1,0 +1,150 @@
+#include "net/message_bus.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace deta::net {
+
+Endpoint::Endpoint(std::string name, MessageBus* bus) : name_(std::move(name)), bus_(bus) {}
+
+Endpoint::~Endpoint() {
+  Close();
+  bus_->Unregister(name_);
+}
+
+std::optional<Message> Endpoint::Receive() {
+  if (!stashed_.empty()) {
+    Message m = std::move(stashed_.front());
+    stashed_.erase(stashed_.begin());
+    return m;
+  }
+  return mailbox_.Pop();
+}
+
+std::optional<Message> Endpoint::ReceiveType(const std::string& type) {
+  for (size_t i = 0; i < stashed_.size(); ++i) {
+    if (stashed_[i].type == type) {
+      Message m = std::move(stashed_[i]);
+      stashed_.erase(stashed_.begin() + static_cast<long>(i));
+      return m;
+    }
+  }
+  for (;;) {
+    std::optional<Message> m = mailbox_.Pop();
+    if (!m.has_value()) {
+      return std::nullopt;
+    }
+    if (m->type == type) {
+      return m;
+    }
+    stashed_.push_back(std::move(*m));
+  }
+}
+
+std::optional<Message> Endpoint::ReceiveFor(int timeout_ms) {
+  if (!stashed_.empty()) {
+    Message m = std::move(stashed_.front());
+    stashed_.erase(stashed_.begin());
+    return m;
+  }
+  return mailbox_.PopFor(std::chrono::milliseconds(timeout_ms));
+}
+
+std::optional<Message> Endpoint::ReceiveTypeFor(const std::string& type, int timeout_ms) {
+  for (size_t i = 0; i < stashed_.size(); ++i) {
+    if (stashed_[i].type == type) {
+      Message m = std::move(stashed_[i]);
+      stashed_.erase(stashed_.begin() + static_cast<long>(i));
+      return m;
+    }
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    auto remaining = deadline - std::chrono::steady_clock::now();
+    if (remaining <= std::chrono::steady_clock::duration::zero()) {
+      return std::nullopt;
+    }
+    std::optional<Message> m = mailbox_.PopFor(remaining);
+    if (!m.has_value()) {
+      return std::nullopt;  // timeout or closed
+    }
+    if (m->type == type) {
+      return m;
+    }
+    stashed_.push_back(std::move(*m));
+  }
+}
+
+void Endpoint::Send(const std::string& to, const std::string& type, Bytes payload) {
+  Message m;
+  m.from = name_;
+  m.to = to;
+  m.type = type;
+  m.payload = std::move(payload);
+  bus_->Send(std::move(m));
+}
+
+void Endpoint::Close() { mailbox_.Close(); }
+
+std::unique_ptr<Endpoint> MessageBus::CreateEndpoint(const std::string& name) {
+  auto endpoint = std::unique_ptr<Endpoint>(new Endpoint(name, this));
+  std::lock_guard<std::mutex> lock(mutex_);
+  DETA_CHECK_MSG(endpoints_.find(name) == endpoints_.end(),
+                 "duplicate endpoint name: " << name);
+  endpoints_[name] = endpoint.get();
+  return endpoint;
+}
+
+void MessageBus::Send(Message message) {
+  bool delivered = false;
+  std::string type = message.type;
+  std::string to = message.to;
+  {
+    // Push happens under the bus lock so the target cannot unregister mid-delivery; the
+    // mailbox push never blocks (unbounded queue), so this cannot deadlock.
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_bytes_ += message.WireSize();
+    ++message_count_;
+    edge_bytes_[{message.from, message.to}] += message.WireSize();
+    auto it = endpoints_.find(message.to);
+    if (it != endpoints_.end()) {
+      it->second->mailbox_.Push(std::move(message));
+      delivered = true;
+    }
+  }
+  if (!delivered) {
+    LOG_WARNING << "dropping message " << type << " to unknown endpoint " << to;
+  }
+}
+
+void MessageBus::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  endpoints_.erase(name);
+}
+
+uint64_t MessageBus::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_bytes_;
+}
+
+uint64_t MessageBus::EdgeBytes(const std::string& from, const std::string& to) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = edge_bytes_.find({from, to});
+  return it == edge_bytes_.end() ? 0 : it->second;
+}
+
+uint64_t MessageBus::MessageCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return message_count_;
+}
+
+void MessageBus::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  total_bytes_ = 0;
+  message_count_ = 0;
+  edge_bytes_.clear();
+}
+
+}  // namespace deta::net

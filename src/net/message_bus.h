@@ -1,0 +1,93 @@
+// In-process message transport. Every logical node (party, aggregator, attestation proxy)
+// registers an endpoint and gets a blocking mailbox; Send() routes by name. The bus also
+// keeps per-edge byte counters feeding the latency model (DESIGN.md "Simulated time").
+//
+// This is the stand-in for the paper's gRPC/TLS deployment fabric: nodes run on real
+// threads and communicate only through messages, so the initiator/follower aggregator
+// protocol and the two-phase auth handshake execute as genuine message exchanges.
+#ifndef DETA_NET_MESSAGE_BUS_H_
+#define DETA_NET_MESSAGE_BUS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/queue.h"
+
+namespace deta::net {
+
+struct Message {
+  std::string from;
+  std::string to;
+  std::string type;  // protocol message kind, e.g. "upload_update"
+  Bytes payload;
+
+  size_t WireSize() const { return from.size() + to.size() + type.size() + payload.size(); }
+};
+
+class MessageBus;
+
+// Receiving handle for one endpoint. Closed automatically when destroyed.
+class Endpoint {
+ public:
+  Endpoint(std::string name, MessageBus* bus);
+  ~Endpoint();
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Blocks until a message arrives or the endpoint closes; nullopt on close.
+  std::optional<Message> Receive();
+  // Bounded variant: nullopt after |timeout_ms| with no message.
+  std::optional<Message> ReceiveFor(int timeout_ms);
+  // Blocks until a message of |type| arrives, queueing others aside (simple selective
+  // receive; keeps protocol code linear).
+  std::optional<Message> ReceiveType(const std::string& type);
+  // Like ReceiveType but gives up after |timeout_ms| (nullopt on timeout/close). Lets
+  // protocol code survive dead peers instead of blocking forever.
+  std::optional<Message> ReceiveTypeFor(const std::string& type, int timeout_ms);
+  void Send(const std::string& to, const std::string& type, Bytes payload);
+  void Close();
+
+ private:
+  friend class MessageBus;
+  std::string name_;
+  MessageBus* bus_;
+  BlockingQueue<Message> mailbox_;
+  std::vector<Message> stashed_;  // out-of-order messages set aside by ReceiveType
+};
+
+class MessageBus {
+ public:
+  MessageBus() = default;
+
+  // Creates (registers) an endpoint. Name must be unique among live endpoints.
+  std::unique_ptr<Endpoint> CreateEndpoint(const std::string& name);
+
+  // Routes a message; drops it (with a warning) if the target does not exist.
+  void Send(Message message);
+
+  // Total bytes ever sent across the bus / per directed edge.
+  uint64_t TotalBytes() const;
+  uint64_t EdgeBytes(const std::string& from, const std::string& to) const;
+  uint64_t MessageCount() const;
+  void ResetStats();
+
+ private:
+  friend class Endpoint;
+  void Unregister(const std::string& name);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Endpoint*> endpoints_;
+  std::map<std::pair<std::string, std::string>, uint64_t> edge_bytes_;
+  uint64_t total_bytes_ = 0;
+  uint64_t message_count_ = 0;
+};
+
+}  // namespace deta::net
+
+#endif  // DETA_NET_MESSAGE_BUS_H_

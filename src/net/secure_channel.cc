@@ -1,0 +1,16 @@
+#include "net/secure_channel.h"
+
+namespace deta::net {
+
+SecureChannel::SecureChannel(const Bytes& master_secret, std::string channel_id)
+    : aead_(master_secret), channel_id_(std::move(channel_id)) {}
+
+Bytes SecureChannel::Seal(const Bytes& plaintext, crypto::SecureRng& rng) const {
+  return aead_.Seal(plaintext, StringToBytes(channel_id_), rng);
+}
+
+std::optional<Bytes> SecureChannel::Open(const Bytes& frame) const {
+  return aead_.Open(frame, StringToBytes(channel_id_));
+}
+
+}  // namespace deta::net

@@ -1,0 +1,33 @@
+// Established secure channel state: AEAD framing bound to a channel identity. Key
+// agreement (ECDH) and endpoint authentication (ECDSA over attestation tokens) happen in
+// the two-phase auth protocol (src/core/auth_protocol.h); this class is the record layer —
+// the stand-in for TLS in the paper's deployment.
+#ifndef DETA_NET_SECURE_CHANNEL_H_
+#define DETA_NET_SECURE_CHANNEL_H_
+
+#include <optional>
+#include <string>
+
+#include "crypto/aead.h"
+
+namespace deta::net {
+
+class SecureChannel {
+ public:
+  // |master_secret| from key agreement; |channel_id| binds frames to this channel (it is
+  // the AEAD associated data, so frames cannot be replayed across channels).
+  SecureChannel(const Bytes& master_secret, std::string channel_id);
+
+  Bytes Seal(const Bytes& plaintext, crypto::SecureRng& rng) const;
+  std::optional<Bytes> Open(const Bytes& frame) const;
+
+  const std::string& channel_id() const { return channel_id_; }
+
+ private:
+  crypto::Aead aead_;
+  std::string channel_id_;
+};
+
+}  // namespace deta::net
+
+#endif  // DETA_NET_SECURE_CHANNEL_H_

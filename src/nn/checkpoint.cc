@@ -1,0 +1,88 @@
+#include "nn/checkpoint.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "crypto/sha256.h"
+#include "net/codec.h"
+
+namespace deta::nn {
+
+namespace {
+constexpr char kMagic[] = "DETA-CKPT";
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Bytes SerializeCheckpoint(const std::vector<float>& params) {
+  net::Writer w;
+  w.WriteString(kMagic);
+  w.WriteU32(kVersion);
+  w.WriteFloatVector(params);
+  Bytes body = w.Take();
+  Bytes digest = crypto::Sha256Digest(body);
+  net::Writer framed;
+  framed.WriteBytes(body);
+  framed.WriteBytes(digest);
+  return framed.Take();
+}
+
+std::optional<std::vector<float>> ParseCheckpoint(const Bytes& blob) {
+  try {
+    net::Reader framed(blob);
+    Bytes body = framed.ReadBytes();
+    Bytes digest = framed.ReadBytes();
+    if (!ConstantTimeEqual(digest, crypto::Sha256Digest(body))) {
+      LOG_WARNING << "checkpoint digest mismatch (corrupted file?)";
+      return std::nullopt;
+    }
+    net::Reader r(body);
+    if (r.ReadString() != kMagic) {
+      return std::nullopt;
+    }
+    if (r.ReadU32() != kVersion) {
+      LOG_WARNING << "unsupported checkpoint version";
+      return std::nullopt;
+    }
+    return r.ReadFloatVector();
+  } catch (const CheckFailure&) {
+    return std::nullopt;  // truncated / malformed framing
+  }
+}
+
+bool SaveCheckpoint(const Model& model, const std::string& path) {
+  Bytes blob = SerializeCheckpoint(model.GetFlatParams());
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+  std::fclose(f);
+  return written == blob.size();
+}
+
+bool LoadCheckpoint(Model& model, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  Bytes blob;
+  uint8_t buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    blob.insert(blob.end(), buffer, buffer + n);
+  }
+  std::fclose(f);
+  std::optional<std::vector<float>> params = ParseCheckpoint(blob);
+  if (!params.has_value()) {
+    return false;
+  }
+  if (static_cast<int64_t>(params->size()) != model.NumParameters()) {
+    LOG_WARNING << "checkpoint parameter count " << params->size()
+                << " does not match model (" << model.NumParameters() << ")";
+    return false;
+  }
+  model.SetFlatParams(*params);
+  return true;
+}
+
+}  // namespace deta::nn

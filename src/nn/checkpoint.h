@@ -1,0 +1,29 @@
+// Model checkpointing: versioned binary serialization of a parameter vector with an
+// integrity digest. Parties use this to persist/restore global models across process
+// restarts; the format is self-describing enough to reject mismatched architectures.
+#ifndef DETA_NN_CHECKPOINT_H_
+#define DETA_NN_CHECKPOINT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "nn/models.h"
+
+namespace deta::nn {
+
+// Serializes a checkpoint blob: magic, version, parameter count, raw float data, and a
+// SHA-256 digest over all of it.
+Bytes SerializeCheckpoint(const std::vector<float>& params);
+// Parses and verifies a checkpoint blob; nullopt if malformed, truncated, or corrupted.
+std::optional<std::vector<float>> ParseCheckpoint(const Bytes& blob);
+
+// File convenience wrappers. Save returns false on I/O failure.
+bool SaveCheckpoint(const Model& model, const std::string& path);
+// Loads into |model|; false on I/O failure, corruption, or parameter-count mismatch.
+bool LoadCheckpoint(Model& model, const std::string& path);
+
+}  // namespace deta::nn
+
+#endif  // DETA_NN_CHECKPOINT_H_

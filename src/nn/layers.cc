@@ -1,0 +1,154 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace deta::nn {
+
+namespace ag = autograd;
+
+namespace {
+
+// Xavier/Glorot uniform initialization.
+Tensor XavierUniform(Tensor::Shape shape, int fan_in, int fan_out, Rng& rng) {
+  float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Uniform(std::move(shape), rng, -limit, limit);
+}
+
+}  // namespace
+
+Linear::Linear(int in_features, int out_features, Rng& rng)
+    : weight_(XavierUniform({in_features, out_features}, in_features, out_features, rng),
+              /*requires_grad=*/true),
+      bias_(Tensor::Zeros({out_features}), /*requires_grad=*/true) {}
+
+Var Linear::Forward(const Var& x) {
+  DETA_CHECK_EQ(x.value().rank(), 2u);
+  return ag::AddRowVec(ag::MatMul(x, weight_), bias_);
+}
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride, int padding,
+               Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      weight_(XavierUniform({out_channels, in_channels * kernel * kernel},
+                            in_channels * kernel * kernel, out_channels, rng),
+              /*requires_grad=*/true),
+      bias_(Tensor::Zeros({out_channels}), /*requires_grad=*/true) {}
+
+Var Conv2d::Forward(const Var& x) {
+  DETA_CHECK_EQ(x.value().rank(), 4u);
+  DETA_CHECK_EQ(x.value().dim(1), in_channels_);
+  ConvGeometry geom;
+  geom.batch = x.value().dim(0);
+  geom.channels = in_channels_;
+  geom.height = x.value().dim(2);
+  geom.width = x.value().dim(3);
+  geom.kernel_h = kernel_;
+  geom.kernel_w = kernel_;
+  geom.stride = stride_;
+  geom.padding = padding_;
+  int oh = geom.OutH(), ow = geom.OutW();
+
+  Var cols = ag::Im2Col(x, geom);                         // [N*oh*ow, C*k*k]
+  Var rows = ag::MatMul(cols, ag::Transpose(weight_));    // [N*oh*ow, out_ch]
+  rows = ag::AddRowVec(rows, bias_);
+
+  // Permute NHWC rows into NCHW. Cached per geometry; a pure index map (linear op).
+  if (perm_.n != geom.batch || perm_.oh != oh || perm_.ow != ow) {
+    perm_.n = geom.batch;
+    perm_.oh = oh;
+    perm_.ow = ow;
+    perm_.indices.resize(static_cast<size_t>(geom.batch) * out_channels_ * oh * ow);
+    size_t di = 0;
+    for (int n = 0; n < geom.batch; ++n) {
+      for (int c = 0; c < out_channels_; ++c) {
+        for (int y = 0; y < oh; ++y) {
+          for (int xx = 0; xx < ow; ++xx, ++di) {
+            perm_.indices[di] =
+                ((static_cast<int64_t>(n) * oh + y) * ow + xx) * out_channels_ + c;
+          }
+        }
+      }
+    }
+  }
+  Var nchw = ag::Gather1D(ag::Flatten(rows), perm_.indices);
+  return ag::Reshape(nchw, {geom.batch, out_channels_, oh, ow});
+}
+
+Var FlattenLayer::Forward(const Var& x) {
+  DETA_CHECK_GE(x.value().rank(), 2u);
+  int batch = x.value().dim(0);
+  int features = static_cast<int>(x.numel() / batch);
+  return ag::Reshape(x, {batch, features});
+}
+
+ResidualBlock::ResidualBlock(int channels, Rng& rng)
+    : conv1_(channels, channels, 3, 1, 1, rng), conv2_(channels, channels, 3, 1, 1, rng) {}
+
+Var ResidualBlock::Forward(const Var& x) {
+  Var h = ag::Relu(conv1_.Forward(x));
+  h = conv2_.Forward(h);
+  return ag::Relu(ag::Add(x, h));
+}
+
+std::vector<Var> ResidualBlock::Params() {
+  std::vector<Var> params = conv1_.Params();
+  for (const Var& p : conv2_.Params()) {
+    params.push_back(p);
+  }
+  return params;
+}
+
+Var Sequential::Forward(const Var& x) {
+  Var h = x;
+  for (auto& layer : layers_) {
+    h = layer->Forward(h);
+  }
+  return h;
+}
+
+std::vector<Var> Sequential::Params() {
+  std::vector<Var> params;
+  for (auto& layer : layers_) {
+    for (const Var& p : layer->Params()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+int64_t ParamCount(const std::vector<Var>& params) {
+  int64_t n = 0;
+  for (const Var& p : params) {
+    n += p.numel();
+  }
+  return n;
+}
+
+std::vector<float> FlattenParams(const std::vector<Var>& params) {
+  std::vector<float> flat;
+  flat.reserve(static_cast<size_t>(ParamCount(params)));
+  for (const Var& p : params) {
+    const auto& values = p.value().values();
+    flat.insert(flat.end(), values.begin(), values.end());
+  }
+  return flat;
+}
+
+void LoadParams(std::vector<Var>& params, const std::vector<float>& flat) {
+  DETA_CHECK_EQ(static_cast<int64_t>(flat.size()), ParamCount(params));
+  size_t offset = 0;
+  for (Var& p : params) {
+    auto& values = p.mutable_value().mutable_values();
+    std::copy(flat.begin() + static_cast<long>(offset),
+              flat.begin() + static_cast<long>(offset + values.size()), values.begin());
+    offset += values.size();
+  }
+}
+
+}  // namespace deta::nn

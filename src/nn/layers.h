@@ -1,0 +1,147 @@
+// Neural-network layers over the autograd engine. Parameters are leaf Vars with
+// requires_grad; optimizers update them in place through the shared node handle.
+#ifndef DETA_NN_LAYERS_H_
+#define DETA_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+
+namespace deta::nn {
+
+using autograd::Var;
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual Var Forward(const Var& x) = 0;
+  // Trainable parameters (shared handles).
+  virtual std::vector<Var> Params() { return {}; }
+  virtual std::string Name() const = 0;
+};
+
+// Fully connected: y = x W + b, x: [batch, in].
+class Linear : public Layer {
+ public:
+  Linear(int in_features, int out_features, Rng& rng);
+  Var Forward(const Var& x) override;
+  std::vector<Var> Params() override { return {weight_, bias_}; }
+  std::string Name() const override { return "linear"; }
+
+ private:
+  Var weight_;  // [in, out]
+  Var bias_;    // [out]
+};
+
+// 2-D convolution implemented as im2col + matmul (linear ops all the way down, so the
+// attacks can differentiate through it twice).
+class Conv2d : public Layer {
+ public:
+  Conv2d(int in_channels, int out_channels, int kernel, int stride, int padding, Rng& rng);
+  Var Forward(const Var& x) override;  // x: [N, C, H, W]
+  std::vector<Var> Params() override { return {weight_, bias_}; }
+  std::string Name() const override { return "conv2d"; }
+
+ private:
+  int in_channels_, out_channels_, kernel_, stride_, padding_;
+  Var weight_;  // [out_ch, in_ch * k * k]
+  Var bias_;    // [out_ch]
+  // Cached NHWC-rows -> NCHW permutation per input geometry.
+  struct PermCache {
+    int n = -1, oh = -1, ow = -1;
+    std::vector<int64_t> indices;
+  };
+  PermCache perm_;
+};
+
+class SigmoidLayer : public Layer {
+ public:
+  Var Forward(const Var& x) override { return autograd::Sigmoid(x); }
+  std::string Name() const override { return "sigmoid"; }
+};
+
+class TanhLayer : public Layer {
+ public:
+  Var Forward(const Var& x) override { return autograd::Tanh(x); }
+  std::string Name() const override { return "tanh"; }
+};
+
+class ReluLayer : public Layer {
+ public:
+  Var Forward(const Var& x) override { return autograd::Relu(x); }
+  std::string Name() const override { return "relu"; }
+};
+
+class MaxPool2dLayer : public Layer {
+ public:
+  MaxPool2dLayer(int kernel, int stride) : kernel_(kernel), stride_(stride) {}
+  Var Forward(const Var& x) override { return autograd::MaxPool(x, kernel_, stride_); }
+  std::string Name() const override { return "max_pool2d"; }
+
+ private:
+  int kernel_, stride_;
+};
+
+class AvgPool2dLayer : public Layer {
+ public:
+  AvgPool2dLayer(int kernel, int stride) : kernel_(kernel), stride_(stride) {}
+  Var Forward(const Var& x) override { return autograd::AvgPool(x, kernel_, stride_); }
+  std::string Name() const override { return "avg_pool2d"; }
+
+ private:
+  int kernel_, stride_;
+};
+
+// [N, C, H, W] -> [N, C*H*W].
+class FlattenLayer : public Layer {
+ public:
+  Var Forward(const Var& x) override;
+  std::string Name() const override { return "flatten"; }
+};
+
+// Residual block: y = act(x + F(x)) with F = conv-act-conv; spatial dims preserved.
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(int channels, Rng& rng);
+  Var Forward(const Var& x) override;
+  std::vector<Var> Params() override;
+  std::string Name() const override { return "residual"; }
+
+ private:
+  Conv2d conv1_;
+  Conv2d conv2_;
+};
+
+// Sequential container; owns its layers.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+  void Append(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+  template <typename L, typename... Args>
+  void Emplace(Args&&... args) {
+    layers_.push_back(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+  Var Forward(const Var& x) override;
+  std::vector<Var> Params() override;
+  std::string Name() const override { return "sequential"; }
+  size_t NumLayers() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+// --- parameter vector helpers (the FL "model update" view) ---
+
+// Total scalar count across params.
+int64_t ParamCount(const std::vector<Var>& params);
+// Concatenates parameter values into one flat vector (the paper's flattened vector M).
+std::vector<float> FlattenParams(const std::vector<Var>& params);
+// Writes a flat vector back into the parameter tensors.
+void LoadParams(std::vector<Var>& params, const std::vector<float>& flat);
+
+}  // namespace deta::nn
+
+#endif  // DETA_NN_LAYERS_H_

@@ -1,0 +1,566 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace deta {
+
+namespace {
+
+int64_t ShapeNumel(const Tensor::Shape& shape) {
+  int64_t n = 1;
+  for (int d : shape) {
+    DETA_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  data_.assign(static_cast<size_t>(ShapeNumel(shape_)), 0.0f);
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values) : shape_(std::move(shape)) {
+  DETA_CHECK_EQ(ShapeNumel(shape_), static_cast<int64_t>(values.size()));
+  data_ = std::move(values);
+}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromScalar(float value) { return Tensor({1}, {value}); }
+
+Tensor Tensor::Uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = rng.NextUniform(lo, hi);
+  }
+  return t;
+}
+
+Tensor Tensor::Gaussian(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = mean + stddev * rng.NextGaussian();
+  }
+  return t;
+}
+
+int Tensor::dim(int i) const {
+  DETA_CHECK_GE(i, 0);
+  DETA_CHECK_LT(static_cast<size_t>(i), shape_.size());
+  return shape_[static_cast<size_t>(i)];
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    os << (i ? "," : "") << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+float& Tensor::at(int64_t flat_index) {
+  DETA_CHECK_GE(flat_index, 0);
+  DETA_CHECK_LT(flat_index, numel());
+  return data_[static_cast<size_t>(flat_index)];
+}
+
+float Tensor::at(int64_t flat_index) const {
+  DETA_CHECK_GE(flat_index, 0);
+  DETA_CHECK_LT(flat_index, numel());
+  return data_[static_cast<size_t>(flat_index)];
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  DETA_CHECK_EQ(ShapeNumel(new_shape), numel());
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+Tensor Tensor::Flatten() const { return Reshape({static_cast<int>(numel())}); }
+
+void Tensor::Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::AddScaled(const Tensor& other, float scale) {
+  DETA_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+void Tensor::Scale(float scale) {
+  for (auto& v : data_) {
+    v *= scale;
+  }
+}
+
+float Tensor::SumValue() const {
+  double s = 0.0;
+  for (float v : data_) {
+    s += v;
+  }
+  return static_cast<float>(s);
+}
+
+float Tensor::MeanValue() const {
+  DETA_CHECK_GT(numel(), 0);
+  return SumValue() / static_cast<float>(numel());
+}
+
+float Tensor::MaxValue() const {
+  DETA_CHECK_GT(numel(), 0);
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::MinValue() const {
+  DETA_CHECK_GT(numel(), 0);
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::Norm() const {
+  double s = 0.0;
+  for (float v : data_) {
+    s += static_cast<double>(v) * v;
+  }
+  return static_cast<float>(std::sqrt(s));
+}
+
+// --- kernels ---
+
+namespace {
+
+template <typename F>
+Tensor ElementwiseUnary(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  const float* in = a.data();
+  float* o = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    o[i] = f(in[i]);
+  }
+  return out;
+}
+
+template <typename F>
+Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, F f) {
+  DETA_CHECK_MSG(a.SameShape(b),
+                 "shape mismatch: " << a.ShapeString() << " vs " << b.ShapeString());
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* o = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    o[i] = f(pa[i], pb[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return ElementwiseUnary(a, [s](float x) { return x + s; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return ElementwiseUnary(a, [s](float x) { return x * s; });
+}
+
+Tensor Neg(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return -x; });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  DETA_CHECK_EQ(a.rank(), 2u);
+  DETA_CHECK_EQ(b.rank(), 2u);
+  int m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);
+  DETA_CHECK_MSG(k == k2, "matmul inner dims " << k << " vs " << k2);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // ikj loop order for cache-friendly access to b and out rows.
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      float av = pa[i * k + kk];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* brow = pb + static_cast<size_t>(kk) * n;
+      float* orow = po + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  DETA_CHECK_EQ(a.rank(), 2u);
+  int m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out[static_cast<int64_t>(j) * m + i] = a[static_cast<int64_t>(i) * n + j];
+    }
+  }
+  return out;
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+Tensor TanhT(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::exp(x); });
+}
+
+Tensor Log(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::log(x); });
+}
+
+Tensor SqrtT(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::sqrt(x); });
+}
+
+Tensor Abs(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return std::fabs(x); });
+}
+
+Tensor Sign(const Tensor& a) {
+  return ElementwiseUnary(a, [](float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
+}
+
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  return ElementwiseUnary(a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); });
+}
+
+Tensor SumAll(const Tensor& a) { return Tensor::FromScalar(a.SumValue()); }
+
+Tensor SumRows(const Tensor& a) {
+  DETA_CHECK_EQ(a.rank(), 2u);
+  int m = a.dim(0), n = a.dim(1);
+  Tensor out({n});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out[j] += a[static_cast<int64_t>(i) * n + j];
+    }
+  }
+  return out;
+}
+
+Tensor RowSum(const Tensor& a) {
+  DETA_CHECK_EQ(a.rank(), 2u);
+  int m = a.dim(0), n = a.dim(1);
+  Tensor out({m});
+  for (int i = 0; i < m; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < n; ++j) {
+      s += a[static_cast<int64_t>(i) * n + j];
+    }
+    out[i] = static_cast<float>(s);
+  }
+  return out;
+}
+
+Tensor RowMax(const Tensor& a) {
+  DETA_CHECK_EQ(a.rank(), 2u);
+  int m = a.dim(0), n = a.dim(1);
+  DETA_CHECK_GT(n, 0);
+  Tensor out({m});
+  for (int i = 0; i < m; ++i) {
+    float mx = a[static_cast<int64_t>(i) * n];
+    for (int j = 1; j < n; ++j) {
+      mx = std::max(mx, a[static_cast<int64_t>(i) * n + j]);
+    }
+    out[i] = mx;
+  }
+  return out;
+}
+
+Tensor AddRowVec(const Tensor& a, const Tensor& v) {
+  DETA_CHECK_EQ(a.rank(), 2u);
+  DETA_CHECK_EQ(v.rank(), 1u);
+  int m = a.dim(0), n = a.dim(1);
+  DETA_CHECK_EQ(v.dim(0), n);
+  Tensor out(a.shape());
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out[static_cast<int64_t>(i) * n + j] = a[static_cast<int64_t>(i) * n + j] + v[j];
+    }
+  }
+  return out;
+}
+
+Tensor SubColVec(const Tensor& a, const Tensor& v) {
+  DETA_CHECK_EQ(a.rank(), 2u);
+  DETA_CHECK_EQ(v.rank(), 1u);
+  int m = a.dim(0), n = a.dim(1);
+  DETA_CHECK_EQ(v.dim(0), m);
+  Tensor out(a.shape());
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out[static_cast<int64_t>(i) * n + j] = a[static_cast<int64_t>(i) * n + j] - v[i];
+    }
+  }
+  return out;
+}
+
+Tensor BroadcastColToShape(const Tensor& v, int cols) {
+  DETA_CHECK_EQ(v.rank(), 1u);
+  int m = v.dim(0);
+  Tensor out({m, cols});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      out[static_cast<int64_t>(i) * cols + j] = v[i];
+    }
+  }
+  return out;
+}
+
+Tensor Im2Col(const Tensor& input, const ConvGeometry& geom) {
+  DETA_CHECK_EQ(input.rank(), 4u);
+  DETA_CHECK_EQ(input.dim(0), geom.batch);
+  DETA_CHECK_EQ(input.dim(1), geom.channels);
+  DETA_CHECK_EQ(input.dim(2), geom.height);
+  DETA_CHECK_EQ(input.dim(3), geom.width);
+  int oh = geom.OutH(), ow = geom.OutW();
+  int cols_per_patch = geom.channels * geom.kernel_h * geom.kernel_w;
+  Tensor out({geom.batch * oh * ow, cols_per_patch});
+
+  const float* in = input.data();
+  float* o = out.data();
+  int64_t out_row = 0;
+  for (int n = 0; n < geom.batch; ++n) {
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x, ++out_row) {
+        int64_t col = 0;
+        for (int c = 0; c < geom.channels; ++c) {
+          for (int ky = 0; ky < geom.kernel_h; ++ky) {
+            int iy = y * geom.stride + ky - geom.padding;
+            for (int kx = 0; kx < geom.kernel_w; ++kx, ++col) {
+              int ix = x * geom.stride + kx - geom.padding;
+              float v = 0.0f;
+              if (iy >= 0 && iy < geom.height && ix >= 0 && ix < geom.width) {
+                v = in[((static_cast<int64_t>(n) * geom.channels + c) * geom.height + iy) *
+                           geom.width +
+                       ix];
+              }
+              o[out_row * cols_per_patch + col] = v;
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Col2Im(const Tensor& columns, const ConvGeometry& geom) {
+  int oh = geom.OutH(), ow = geom.OutW();
+  int cols_per_patch = geom.channels * geom.kernel_h * geom.kernel_w;
+  DETA_CHECK_EQ(columns.rank(), 2u);
+  DETA_CHECK_EQ(columns.dim(0), geom.batch * oh * ow);
+  DETA_CHECK_EQ(columns.dim(1), cols_per_patch);
+
+  Tensor out({geom.batch, geom.channels, geom.height, geom.width});
+  const float* cin = columns.data();
+  float* o = out.data();
+  int64_t in_row = 0;
+  for (int n = 0; n < geom.batch; ++n) {
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x, ++in_row) {
+        int64_t col = 0;
+        for (int c = 0; c < geom.channels; ++c) {
+          for (int ky = 0; ky < geom.kernel_h; ++ky) {
+            int iy = y * geom.stride + ky - geom.padding;
+            for (int kx = 0; kx < geom.kernel_w; ++kx, ++col) {
+              int ix = x * geom.stride + kx - geom.padding;
+              if (iy >= 0 && iy < geom.height && ix >= 0 && ix < geom.width) {
+                o[((static_cast<int64_t>(n) * geom.channels + c) * geom.height + iy) *
+                      geom.width +
+                  ix] += cin[in_row * cols_per_patch + col];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+PoolResult MaxPool2d(const Tensor& input, int kernel, int stride) {
+  DETA_CHECK_EQ(input.rank(), 4u);
+  int n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  int oh = (h - kernel) / stride + 1;
+  int ow = (w - kernel) / stride + 1;
+  PoolResult result;
+  result.output = Tensor({n, c, oh, ow});
+  result.argmax.resize(static_cast<size_t>(result.output.numel()));
+
+  const float* in = input.data();
+  float* out = result.output.data();
+  int64_t oi = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float* plane = in + (static_cast<int64_t>(b) * c + ch) * h * w;
+      int64_t plane_offset = (static_cast<int64_t>(b) * c + ch) * h * w;
+      for (int y = 0; y < oh; ++y) {
+        for (int x = 0; x < ow; ++x, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = -1;
+          for (int ky = 0; ky < kernel; ++ky) {
+            for (int kx = 0; kx < kernel; ++kx) {
+              int iy = y * stride + ky;
+              int ix = x * stride + kx;
+              float v = plane[static_cast<int64_t>(iy) * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = plane_offset + static_cast<int64_t>(iy) * w + ix;
+              }
+            }
+          }
+          out[oi] = best;
+          result.argmax[static_cast<size_t>(oi)] = best_idx;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Tensor AvgPool2d(const Tensor& input, int kernel, int stride) {
+  DETA_CHECK_EQ(input.rank(), 4u);
+  int n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  int oh = (h - kernel) / stride + 1;
+  int ow = (w - kernel) / stride + 1;
+  Tensor out({n, c, oh, ow});
+  const float* in = input.data();
+  float* o = out.data();
+  float inv = 1.0f / static_cast<float>(kernel * kernel);
+  int64_t oi = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float* plane = in + (static_cast<int64_t>(b) * c + ch) * h * w;
+      for (int y = 0; y < oh; ++y) {
+        for (int x = 0; x < ow; ++x, ++oi) {
+          float s = 0.0f;
+          for (int ky = 0; ky < kernel; ++ky) {
+            for (int kx = 0; kx < kernel; ++kx) {
+              s += plane[static_cast<int64_t>(y * stride + ky) * w + (x * stride + kx)];
+            }
+          }
+          o[oi] = s * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor ScatterByIndex(const Tensor& grad, const std::vector<int64_t>& indices,
+                      const Tensor::Shape& input_shape) {
+  DETA_CHECK_EQ(static_cast<size_t>(grad.numel()), indices.size());
+  Tensor out(input_shape);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    out.at(indices[i]) += grad[static_cast<int64_t>(i)];
+  }
+  return out;
+}
+
+Tensor GatherByIndex(const Tensor& input, const std::vector<int64_t>& indices,
+                     const Tensor::Shape& output_shape) {
+  Tensor out(output_shape);
+  DETA_CHECK_EQ(static_cast<size_t>(out.numel()), indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    out[static_cast<int64_t>(i)] = input.at(indices[i]);
+  }
+  return out;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (!a.SameShape(b)) {
+    return false;
+  }
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    float diff = std::fabs(a[i] - b[i]);
+    if (diff > atol + rtol * std::fabs(b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  DETA_CHECK(a.SameShape(b));
+  float mx = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    mx = std::max(mx, std::fabs(a[i] - b[i]));
+  }
+  return mx;
+}
+
+double MeanSquaredError(const Tensor& a, const Tensor& b) {
+  DETA_CHECK(a.SameShape(b));
+  double s = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(a.numel());
+}
+
+double CosineDistance(const Tensor& a, const Tensor& b) {
+  DETA_CHECK_EQ(a.numel(), b.numel());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) {
+    return 1.0;
+  }
+  return 1.0 - dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace deta

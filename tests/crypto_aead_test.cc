@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "crypto/aead.h"
+#include "net/secure_channel.h"
+
+namespace deta::crypto {
+namespace {
+
+class AeadTest : public ::testing::Test {
+ protected:
+  AeadTest() : aead_(StringToBytes("master-key")), rng_(StringToBytes("aead-rng")) {}
+  Aead aead_;
+  SecureRng rng_;
+};
+
+TEST_F(AeadTest, SealOpenRoundTrip) {
+  Bytes pt = StringToBytes("model update fragment");
+  Bytes ad = StringToBytes("round:3");
+  Bytes frame = aead_.Seal(pt, ad, rng_);
+  auto opened = aead_.Open(frame, ad);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, pt);
+}
+
+TEST_F(AeadTest, EmptyPlaintext) {
+  Bytes frame = aead_.Seal({}, {}, rng_);
+  auto opened = aead_.Open(frame, {});
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST_F(AeadTest, DistinctNoncesPerSeal) {
+  Bytes pt = StringToBytes("same plaintext");
+  Bytes f1 = aead_.Seal(pt, {}, rng_);
+  Bytes f2 = aead_.Seal(pt, {}, rng_);
+  EXPECT_NE(f1, f2);
+}
+
+TEST_F(AeadTest, TamperedCiphertextRejected) {
+  Bytes frame = aead_.Seal(StringToBytes("secret"), {}, rng_);
+  for (size_t i = 0; i < frame.size(); i += 7) {
+    Bytes bad = frame;
+    bad[i] ^= 0x01;
+    EXPECT_FALSE(aead_.Open(bad, {}).has_value()) << "byte " << i;
+  }
+}
+
+TEST_F(AeadTest, WrongAssociatedDataRejected) {
+  Bytes frame = aead_.Seal(StringToBytes("secret"), StringToBytes("chan-A"), rng_);
+  EXPECT_FALSE(aead_.Open(frame, StringToBytes("chan-B")).has_value());
+}
+
+TEST_F(AeadTest, TruncatedFrameRejected) {
+  Bytes frame = aead_.Seal(StringToBytes("secret"), {}, rng_);
+  Bytes truncated(frame.begin(), frame.begin() + 10);
+  EXPECT_FALSE(aead_.Open(truncated, {}).has_value());
+  EXPECT_FALSE(aead_.Open({}, {}).has_value());
+}
+
+TEST_F(AeadTest, WrongKeyRejected) {
+  Aead other(StringToBytes("different-key"));
+  Bytes frame = aead_.Seal(StringToBytes("secret"), {}, rng_);
+  EXPECT_FALSE(other.Open(frame, {}).has_value());
+}
+
+TEST(SecureChannelTest, BindsFramesToChannelId) {
+  SecureRng rng(StringToBytes("chan"));
+  Bytes master = StringToBytes("shared-master-secret");
+  net::SecureChannel a(master, "chan:party0:aggregator1");
+  net::SecureChannel b(master, "chan:party0:aggregator2");
+  Bytes frame = a.Seal(StringToBytes("fragment"), rng);
+  EXPECT_TRUE(a.Open(frame).has_value());
+  // Same key, different channel id: cross-channel replay is rejected.
+  EXPECT_FALSE(b.Open(frame).has_value());
+}
+
+TEST(SecureChannelTest, LargePayloadRoundTrip) {
+  SecureRng rng(StringToBytes("chan2"));
+  net::SecureChannel chan(StringToBytes("k"), "chan:x:y");
+  Bytes big = rng.NextBytes(1 << 18);  // 256 KiB, spans many ChaCha blocks
+  Bytes frame = chan.Seal(big, rng);
+  auto opened = chan.Open(frame);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, big);
+}
+
+}  // namespace
+}  // namespace deta::crypto

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "crypto/ec.h"
+#include "crypto/ecdsa.h"
+
+namespace deta::crypto {
+namespace {
+
+const Secp256k1& Curve() { return Secp256k1::Instance(); }
+
+TEST(EcTest, GeneratorOnCurve) {
+  EXPECT_TRUE(Curve().IsOnCurve(Curve().generator()));
+}
+
+TEST(EcTest, InfinityIdentities) {
+  EcPoint inf;
+  EXPECT_TRUE(Curve().IsOnCurve(inf));
+  EXPECT_EQ(Curve().Add(inf, Curve().generator()), Curve().generator());
+  EXPECT_EQ(Curve().Add(Curve().generator(), inf), Curve().generator());
+}
+
+TEST(EcTest, OrderTimesGeneratorIsInfinity) {
+  EcPoint result = Curve().MulGenerator(Curve().n());
+  EXPECT_TRUE(result.is_infinity);
+}
+
+TEST(EcTest, KnownMultiple2G) {
+  // 2G for secp256k1 (public test vector).
+  EcPoint two_g = Curve().Double(Curve().generator());
+  EXPECT_EQ(two_g.x.ToHexString(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_EQ(two_g.y.ToHexString(),
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+}
+
+TEST(EcTest, AdditionCommutesAndAssociates) {
+  SecureRng rng(StringToBytes("ec"));
+  EcPoint p = Curve().MulGenerator(BigUint::RandomBelow(rng, Curve().n()));
+  EcPoint q = Curve().MulGenerator(BigUint::RandomBelow(rng, Curve().n()));
+  EcPoint r = Curve().MulGenerator(BigUint::RandomBelow(rng, Curve().n()));
+  EXPECT_EQ(Curve().Add(p, q), Curve().Add(q, p));
+  EXPECT_EQ(Curve().Add(Curve().Add(p, q), r), Curve().Add(p, Curve().Add(q, r)));
+}
+
+TEST(EcTest, ScalarMulDistributes) {
+  SecureRng rng(StringToBytes("ec2"));
+  BigUint a = BigUint::RandomBelow(rng, BigUint(1000000));
+  BigUint b = BigUint::RandomBelow(rng, BigUint(1000000));
+  // (a + b) G == aG + bG
+  EcPoint lhs = Curve().MulGenerator(a.Add(b));
+  EcPoint rhs = Curve().Add(Curve().MulGenerator(a), Curve().MulGenerator(b));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(EcTest, EncodeDecodeRoundTrip) {
+  SecureRng rng(StringToBytes("ec3"));
+  EcKeyPair key = GenerateEcKey(rng);
+  Bytes encoded = Curve().Encode(key.public_key);
+  EXPECT_EQ(encoded.size(), 65u);
+  EXPECT_EQ(encoded[0], 0x04);
+  auto decoded = Curve().Decode(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, key.public_key);
+  // Infinity encodes to a single zero byte.
+  EXPECT_EQ(Curve().Encode(EcPoint{}), Bytes{0x00});
+  EXPECT_TRUE(Curve().Decode(Bytes{0x00})->is_infinity);
+}
+
+TEST(EcTest, DecodeRejectsOffCurvePoint) {
+  Bytes bogus(65, 0x01);
+  bogus[0] = 0x04;
+  EXPECT_FALSE(Curve().Decode(bogus).has_value());
+  EXPECT_FALSE(Curve().Decode(Bytes{0x01, 0x02}).has_value());
+}
+
+TEST(EcdhTest, SharedSecretAgreement) {
+  SecureRng rng(StringToBytes("ecdh"));
+  EcKeyPair alice = GenerateEcKey(rng);
+  EcKeyPair bob = GenerateEcKey(rng);
+  Bytes s1 = EcdhSharedSecret(alice.private_key, bob.public_key);
+  Bytes s2 = EcdhSharedSecret(bob.private_key, alice.public_key);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.size(), 32u);
+  // Third party derives something different.
+  EcKeyPair eve = GenerateEcKey(rng);
+  EXPECT_NE(EcdhSharedSecret(eve.private_key, bob.public_key), s1);
+}
+
+TEST(EcdsaTest, SignVerifyRoundTrip) {
+  SecureRng rng(StringToBytes("ecdsa"));
+  EcKeyPair key = GenerateEcKey(rng);
+  Bytes message = StringToBytes("attest me");
+  EcdsaSignature sig = EcdsaSign(key.private_key, message);
+  EXPECT_TRUE(EcdsaVerify(key.public_key, message, sig));
+}
+
+TEST(EcdsaTest, VerifyRejectsWrongMessage) {
+  SecureRng rng(StringToBytes("ecdsa2"));
+  EcKeyPair key = GenerateEcKey(rng);
+  EcdsaSignature sig = EcdsaSign(key.private_key, StringToBytes("hello"));
+  EXPECT_FALSE(EcdsaVerify(key.public_key, StringToBytes("hellp"), sig));
+}
+
+TEST(EcdsaTest, VerifyRejectsWrongKey) {
+  SecureRng rng(StringToBytes("ecdsa3"));
+  EcKeyPair key = GenerateEcKey(rng);
+  EcKeyPair other = GenerateEcKey(rng);
+  Bytes message = StringToBytes("msg");
+  EcdsaSignature sig = EcdsaSign(key.private_key, message);
+  EXPECT_FALSE(EcdsaVerify(other.public_key, message, sig));
+}
+
+TEST(EcdsaTest, VerifyRejectsTamperedSignature) {
+  SecureRng rng(StringToBytes("ecdsa4"));
+  EcKeyPair key = GenerateEcKey(rng);
+  Bytes message = StringToBytes("msg");
+  EcdsaSignature sig = EcdsaSign(key.private_key, message);
+  EcdsaSignature bad = sig;
+  bad.s = bad.s.Add(BigUint(1));
+  EXPECT_FALSE(EcdsaVerify(key.public_key, message, bad));
+  EcdsaSignature zero;
+  EXPECT_FALSE(EcdsaVerify(key.public_key, message, zero));
+}
+
+TEST(EcdsaTest, DeterministicSignatures) {
+  // RFC 6979-style nonces: same key + message -> same signature (no RNG needed).
+  SecureRng rng(StringToBytes("ecdsa5"));
+  EcKeyPair key = GenerateEcKey(rng);
+  Bytes message = StringToBytes("stable");
+  EcdsaSignature s1 = EcdsaSign(key.private_key, message);
+  EcdsaSignature s2 = EcdsaSign(key.private_key, message);
+  EXPECT_EQ(s1.r, s2.r);
+  EXPECT_EQ(s1.s, s2.s);
+}
+
+TEST(EcdsaTest, SerializationRoundTrip) {
+  SecureRng rng(StringToBytes("ecdsa6"));
+  EcKeyPair key = GenerateEcKey(rng);
+  EcdsaSignature sig = EcdsaSign(key.private_key, StringToBytes("wire"));
+  Bytes wire = sig.Serialize();
+  EXPECT_EQ(wire.size(), 64u);
+  EcdsaSignature back = EcdsaSignature::Deserialize(wire);
+  EXPECT_EQ(back.r, sig.r);
+  EXPECT_EQ(back.s, sig.s);
+}
+
+}  // namespace
+}  // namespace deta::crypto

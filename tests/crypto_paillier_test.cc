@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "crypto/paillier.h"
+#include "fl/paillier_fusion.h"
+
+namespace deta::crypto {
+namespace {
+
+class PaillierTest : public ::testing::Test {
+ protected:
+  PaillierTest() : rng_(StringToBytes("paillier-test")) {
+    key_ = GeneratePaillierKey(rng_, 256);
+  }
+  SecureRng rng_;
+  PaillierKeyPair key_;
+};
+
+TEST_F(PaillierTest, EncryptDecryptRoundTrip) {
+  for (uint64_t m : {0ULL, 1ULL, 42ULL, 123456789ULL}) {
+    BigUint c = key_.pub.Encrypt(BigUint(m), rng_);
+    EXPECT_EQ(key_.priv.Decrypt(c, key_.pub).ToU64(), m);
+  }
+}
+
+TEST_F(PaillierTest, EncryptionIsRandomized) {
+  BigUint m(7);
+  EXPECT_NE(key_.pub.Encrypt(m, rng_), key_.pub.Encrypt(m, rng_));
+}
+
+TEST_F(PaillierTest, HomomorphicAddition) {
+  BigUint c1 = key_.pub.Encrypt(BigUint(1000), rng_);
+  BigUint c2 = key_.pub.Encrypt(BigUint(2345), rng_);
+  BigUint sum = key_.pub.AddCiphertexts(c1, c2);
+  EXPECT_EQ(key_.priv.Decrypt(sum, key_.pub).ToU64(), 3345u);
+}
+
+TEST_F(PaillierTest, HomomorphicScalarMultiply) {
+  BigUint c = key_.pub.Encrypt(BigUint(11), rng_);
+  BigUint scaled = key_.pub.MulPlain(c, BigUint(9));
+  EXPECT_EQ(key_.priv.Decrypt(scaled, key_.pub).ToU64(), 99u);
+}
+
+TEST_F(PaillierTest, ManyAddendsAccumulate) {
+  BigUint acc = key_.pub.Encrypt(BigUint(0), rng_);
+  uint64_t expected = 0;
+  for (uint64_t i = 1; i <= 20; ++i) {
+    acc = key_.pub.AddCiphertexts(acc, key_.pub.Encrypt(BigUint(i * i), rng_));
+    expected += i * i;
+  }
+  EXPECT_EQ(key_.priv.Decrypt(acc, key_.pub).ToU64(), expected);
+}
+
+TEST_F(PaillierTest, PlaintextOutOfRangeThrows) {
+  EXPECT_THROW(key_.pub.Encrypt(key_.pub.n, rng_), CheckFailure);
+}
+
+TEST_F(PaillierTest, FloatCodecRoundTripsSums) {
+  PaillierFloatCodec codec(key_.pub);
+  // Sum of 3 encoded values, mixed signs.
+  float values[3] = {1.5f, -2.25f, 0.125f};
+  BigUint acc = key_.pub.Encrypt(codec.Encode(values[0]), rng_);
+  acc = key_.pub.AddCiphertexts(acc, key_.pub.Encrypt(codec.Encode(values[1]), rng_));
+  acc = key_.pub.AddCiphertexts(acc, key_.pub.Encrypt(codec.Encode(values[2]), rng_));
+  float sum = codec.DecodeSum(key_.priv.Decrypt(acc, key_.pub), 3);
+  EXPECT_NEAR(sum, -0.625f, 1e-4f);
+}
+
+TEST_F(PaillierTest, VectorCodecPacksAndUnpacks) {
+  fl::PaillierVectorCodec codec(key_.pub, /*max_parties=*/8);
+  EXPECT_GT(codec.LanesPerCiphertext(), 1);
+  std::vector<float> v = {0.5f, -1.25f, 3.75f, -0.0625f, 100.0f, -100.0f, 0.0f};
+  auto ct = codec.Encrypt(v, rng_);
+  EXPECT_EQ(ct.size(), codec.CiphertextCount(v.size()));
+  auto decoded = codec.DecryptSum(ct, key_.priv, v.size(), 1);
+  ASSERT_EQ(decoded.size(), v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(decoded[i], v[i], 1e-4f) << i;
+  }
+}
+
+TEST_F(PaillierTest, VectorCodecHomomorphicSumAcrossParties) {
+  const int kParties = 5;
+  fl::PaillierVectorCodec codec(key_.pub, kParties);
+  std::vector<std::vector<float>> updates(kParties);
+  std::vector<float> expected(11, 0.0f);
+  SecureRng data_rng(StringToBytes("vec"));
+  for (int p = 0; p < kParties; ++p) {
+    for (size_t i = 0; i < expected.size(); ++i) {
+      float v = static_cast<float>(static_cast<int64_t>(data_rng.NextBelow(2001)) - 1000) /
+                64.0f;
+      updates[static_cast<size_t>(p)].push_back(v);
+      expected[i] += v;
+    }
+  }
+  std::vector<BigUint> acc = codec.Encrypt(updates[0], rng_);
+  for (int p = 1; p < kParties; ++p) {
+    codec.AccumulateInPlace(acc, codec.Encrypt(updates[static_cast<size_t>(p)], rng_));
+  }
+  auto sum = codec.DecryptSum(acc, key_.priv, expected.size(), kParties);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(sum[i], expected[i], 1e-3f) << i;
+  }
+}
+
+TEST_F(PaillierTest, CiphertextSerializationRoundTrip) {
+  fl::PaillierVectorCodec codec(key_.pub, 4);
+  std::vector<float> v = {1.0f, 2.0f, -3.0f};
+  auto ct = codec.Encrypt(v, rng_);
+  Bytes wire = fl::SerializeCiphertexts(ct);
+  auto back = fl::DeserializeCiphertexts(wire);
+  ASSERT_EQ(back.size(), ct.size());
+  for (size_t i = 0; i < ct.size(); ++i) {
+    EXPECT_EQ(back[i], ct[i]);
+  }
+}
+
+TEST(PaillierKeyGenTest, DistinctKeysForDistinctSeeds) {
+  SecureRng r1(StringToBytes("a")), r2(StringToBytes("b"));
+  auto k1 = GeneratePaillierKey(r1, 128);
+  auto k2 = GeneratePaillierKey(r2, 128);
+  EXPECT_NE(k1.pub.n, k2.pub.n);
+  EXPECT_EQ(k1.pub.g, k1.pub.n.Add(BigUint(1)));
+}
+
+}  // namespace
+}  // namespace deta::crypto

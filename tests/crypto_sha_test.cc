@@ -1,0 +1,159 @@
+// SHA-256 / HMAC / HKDF / ChaCha20 against published test vectors (FIPS 180-4 examples,
+// RFC 4231, RFC 5869, RFC 8439).
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace deta::crypto {
+namespace {
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(ToHex(Sha256Digest(Bytes{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(ToHex(Sha256Digest(StringToBytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(ToHex(Sha256Digest(StringToBytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Bytes input(1000000, 'a');
+  EXPECT_EQ(ToHex(Sha256Digest(input)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Bytes input = StringToBytes("the quick brown fox jumps over the lazy dog, repeatedly");
+  Sha256 h;
+  // Feed in awkward chunk sizes crossing block boundaries.
+  size_t pos = 0;
+  for (size_t chunk : {1u, 3u, 7u, 13u, 64u, 100u}) {
+    size_t take = std::min(chunk, input.size() - pos);
+    h.Update(input.data() + pos, take);
+    pos += take;
+  }
+  h.Update(input.data() + pos, input.size() - pos);
+  auto digest = h.Finish();
+  EXPECT_EQ(Bytes(digest.begin(), digest.end()), Sha256Digest(input));
+}
+
+TEST(Sha256Test, ExactBlockBoundaries) {
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 128u}) {
+    Bytes input(len, 0x5a);
+    Sha256 h;
+    h.Update(input);
+    auto digest = h.Finish();
+    EXPECT_EQ(Bytes(digest.begin(), digest.end()), Sha256Digest(input)) << "len=" << len;
+  }
+}
+
+// RFC 4231 test case 1.
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(ToHex(HmacSha256(key, StringToBytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(ToHex(HmacSha256(StringToBytes("Jefe"),
+                             StringToBytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20-byte 0xaa key, 50-byte 0xdd data.
+TEST(HmacTest, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(ToHex(HmacSha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than the block size.
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(ToHex(HmacSha256(
+                key, StringToBytes("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// RFC 5869 test case 1.
+TEST(HkdfTest, Rfc5869Case1) {
+  Bytes ikm(22, 0x0b);
+  Bytes salt = FromHex("000102030405060708090a0b0c");
+  Bytes info = FromHex("f0f1f2f3f4f5f6f7f8f9");
+  Bytes prk = HkdfExtract(salt, ikm);
+  EXPECT_EQ(ToHex(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  Bytes okm = HkdfExpand(prk, info, 42);
+  EXPECT_EQ(ToHex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+// RFC 5869 test case 3: empty salt and info.
+TEST(HkdfTest, Rfc5869Case3) {
+  Bytes ikm(22, 0x0b);
+  Bytes okm = Hkdf(Bytes{}, ikm, Bytes{}, 42);
+  EXPECT_EQ(ToHex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+// RFC 8439 §2.4.2 ChaCha20 encryption example.
+TEST(ChaCha20Test, Rfc8439Example) {
+  std::array<uint8_t, kChaChaKeySize> key;
+  for (size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<uint8_t>(i);
+  }
+  std::array<uint8_t, kChaChaNonceSize> nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                                                 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  Bytes plaintext = StringToBytes(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  Bytes ciphertext = ChaCha20Xor(key, nonce, 1, plaintext);
+  EXPECT_EQ(ToHex(Bytes(ciphertext.begin(), ciphertext.begin() + 32)),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b");
+  // Decryption is the same operation.
+  EXPECT_EQ(ChaCha20Xor(key, nonce, 1, ciphertext), plaintext);
+}
+
+TEST(SecureRngTest, DeterministicFromSeed) {
+  SecureRng a(StringToBytes("seed"));
+  SecureRng b(StringToBytes("seed"));
+  EXPECT_EQ(a.NextBytes(64), b.NextBytes(64));
+  SecureRng c(StringToBytes("other"));
+  EXPECT_NE(SecureRng(StringToBytes("seed")).NextBytes(32), c.NextBytes(32));
+}
+
+TEST(SecureRngTest, NextBelowUnbiasedRange) {
+  SecureRng rng(StringToBytes("x"));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(SecureRngTest, ByteDistributionRoughlyUniform) {
+  SecureRng rng(StringToBytes("dist"));
+  std::vector<int> counts(256, 0);
+  const int n = 256 * 64;
+  for (int i = 0; i < n; ++i) {
+    counts[rng.NextByte()]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 16);   // expectation 64; crude sanity bound
+    EXPECT_LT(c, 160);
+  }
+}
+
+}  // namespace
+}  // namespace deta::crypto

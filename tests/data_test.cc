@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/dataset.h"
+
+namespace deta::data {
+namespace {
+
+TEST(DatasetTest, GenerationIsDeterministic) {
+  Dataset a = SynthMnist(50, 7);
+  Dataset b = SynthMnist(50, 7);
+  EXPECT_TRUE(AllClose(a.images, b.images, 0.0f, 0.0f));
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(DatasetTest, SamplingSeedChangesExamplesNotConcepts) {
+  Dataset a = SynthMnist(50, 7);
+  Dataset c = SynthMnist(50, 8);
+  EXPECT_FALSE(AllClose(a.images, c.images, 0.0f, 0.0f));
+  // Same class in both datasets must be near the same prototype: mean images of a class
+  // across the two datasets correlate strongly.
+  auto class_mean = [](const Dataset& ds, int cls) {
+    Tensor mean({ds.Channels(), ds.Height(), ds.Width()});
+    int count = 0;
+    int64_t row = mean.numel();
+    for (int i = 0; i < ds.Size(); ++i) {
+      if (ds.labels[static_cast<size_t>(i)] != cls) {
+        continue;
+      }
+      for (int64_t j = 0; j < row; ++j) {
+        mean[j] += ds.images[static_cast<int64_t>(i) * row + j];
+      }
+      ++count;
+    }
+    if (count > 0) {
+      mean.Scale(1.0f / static_cast<float>(count));
+    }
+    return mean;
+  };
+  Tensor m1 = class_mean(a, 0);
+  Tensor m2 = class_mean(c, 0);
+  EXPECT_LT(CosineDistance(m1, m2), 0.15);
+}
+
+TEST(DatasetTest, PresetShapes) {
+  Dataset mnist = SynthMnist(4, 1);
+  EXPECT_EQ(mnist.Channels(), 1);
+  EXPECT_EQ(mnist.Height(), 28);
+  EXPECT_EQ(mnist.classes, 10);
+  Dataset cifar = SynthCifar10(4, 1);
+  EXPECT_EQ(cifar.Channels(), 3);
+  EXPECT_EQ(cifar.Height(), 32);
+  Dataset cifar100 = SynthCifar100(4, 1);
+  EXPECT_EQ(cifar100.classes, 100);
+  Dataset imagenet = SynthImageNet(4, 1);
+  EXPECT_EQ(imagenet.Height(), 64);
+  Dataset rvl = SynthRvlCdip(4, 1);
+  EXPECT_EQ(rvl.classes, 16);
+  EXPECT_EQ(rvl.Channels(), 1);
+}
+
+TEST(DatasetTest, PixelRange) {
+  Dataset ds = SynthCifar10(20, 3);
+  EXPECT_GE(ds.images.MinValue(), 0.0f);
+  EXPECT_LE(ds.images.MaxValue(), 1.0f);
+}
+
+TEST(DatasetTest, ExampleAndSubset) {
+  Dataset ds = SynthMnist(10, 2);
+  Tensor ex = ds.Example(3);
+  EXPECT_EQ(ex.shape(), (Tensor::Shape{1, 1, 28, 28}));
+  Dataset sub = ds.Subset({1, 3, 5});
+  EXPECT_EQ(sub.Size(), 3);
+  EXPECT_EQ(sub.labels[1], ds.labels[3]);
+  EXPECT_TRUE(AllClose(sub.Example(1), ds.Example(3), 0.0f, 0.0f));
+}
+
+TEST(SplitTest, IidPartitionSizesAndDisjoint) {
+  Dataset ds = SynthMnist(100, 5);
+  Rng rng(1);
+  auto shards = SplitIid(ds, 4, rng);
+  ASSERT_EQ(shards.size(), 4u);
+  for (const auto& shard : shards) {
+    EXPECT_EQ(shard.Size(), 25);
+    EXPECT_EQ(shard.classes, 10);
+  }
+}
+
+TEST(SplitTest, IidLabelDistributionRoughlyBalanced) {
+  Dataset ds = SynthMnist(2000, 5);
+  Rng rng(2);
+  auto shards = SplitIid(ds, 2, rng);
+  // Each shard's class histogram should be near 10% per class.
+  for (const auto& shard : shards) {
+    std::map<int, int> hist;
+    for (int label : shard.labels) {
+      hist[label]++;
+    }
+    for (const auto& [cls, count] : hist) {
+      EXPECT_GT(count, 50) << "class " << cls;
+      EXPECT_LT(count, 150) << "class " << cls;
+    }
+  }
+}
+
+TEST(SplitTest, NonIidSkewProperty) {
+  // Paper §7.3: two dominant classes hold 90% of each party's data.
+  Dataset ds = SynthRvlCdip(1600, 5);
+  Rng rng(3);
+  auto shards = SplitNonIidSkew(ds, 8, /*dominant_classes=*/2, /*dominant_fraction=*/0.9f,
+                                rng);
+  ASSERT_EQ(shards.size(), 8u);
+  for (size_t p = 0; p < shards.size(); ++p) {
+    std::map<int, int> hist;
+    for (int label : shards[p].labels) {
+      hist[label]++;
+    }
+    // Top-2 classes should cover ~90% (tolerate supply exhaustion effects).
+    std::vector<int> counts;
+    for (const auto& [cls, count] : hist) {
+      counts.push_back(count);
+    }
+    std::sort(counts.rbegin(), counts.rend());
+    int top2 = counts[0] + (counts.size() > 1 ? counts[1] : 0);
+    double fraction = static_cast<double>(top2) / shards[p].Size();
+    EXPECT_GT(fraction, 0.7) << "party " << p;
+  }
+}
+
+TEST(BatcherTest, CoversEpochExactlyOnce) {
+  Dataset ds = SynthMnist(50, 9);
+  Batcher batcher(ds, 16, 1);
+  EXPECT_EQ(batcher.BatchesPerEpoch(), 4);  // 16+16+16+2
+  std::multiset<float> seen;
+  int total = 0;
+  for (int b = 0; b < 4; ++b) {
+    auto batch = batcher.Next();
+    total += static_cast<int>(batch.labels.size());
+    for (int i = 0; i < batch.images.dim(0); ++i) {
+      seen.insert(batch.images[static_cast<int64_t>(i) * 28 * 28 + 400]);
+    }
+  }
+  EXPECT_EQ(total, 50);
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(BatcherTest, ReshufflesAcrossEpochs) {
+  Dataset ds = SynthMnist(64, 9);
+  Batcher batcher(ds, 64, 2);
+  auto epoch1 = batcher.Next();
+  auto epoch2 = batcher.Next();
+  EXPECT_NE(epoch1.labels, epoch2.labels);  // same multiset, different order (w.h.p.)
+}
+
+TEST(DatasetTest, GenericConfigRespectsFields) {
+  SyntheticConfig config;
+  config.num_examples = 12;
+  config.classes = 5;
+  config.channels = 2;
+  config.image_size = 9;
+  config.style = ImageStyle::kTextured;
+  config.seed = 4;
+  Dataset ds = GenerateSynthetic(config);
+  EXPECT_EQ(ds.Size(), 12);
+  EXPECT_EQ(ds.Channels(), 2);
+  EXPECT_EQ(ds.Height(), 9);
+  for (int label : ds.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 5);
+  }
+}
+
+}  // namespace
+}  // namespace deta::data

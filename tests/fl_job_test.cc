@@ -1,0 +1,160 @@
+// End-to-end centralized-baseline (FFL) training jobs.
+#include <gtest/gtest.h>
+
+#include "fl/training_job.h"
+
+namespace deta::fl {
+namespace {
+
+ModelFactory SmallModelFactory() {
+  return [] {
+    Rng rng(1234);
+    return nn::BuildConvNet8(1, 14, 10, rng);
+  };
+}
+
+
+ModelFactory TinyMlpFactory() {
+  return [] {
+    Rng rng(1234);
+    return nn::BuildMlp(14 * 14, {8}, 10, rng);
+  };
+}
+
+data::Dataset SmallMnist(int n, uint64_t seed) {
+  data::SyntheticConfig config;
+  config.num_examples = n;
+  config.classes = 10;
+  config.channels = 1;
+  config.image_size = 14;
+  config.style = data::ImageStyle::kBlobs;
+  config.seed = seed;
+  config.prototype_seed = 777;
+  return data::GenerateSynthetic(config);
+}
+
+std::vector<std::unique_ptr<Party>> MakePartiesWith(const ModelFactory& factory, int count,
+                                                    const TrainConfig& tc) {
+  data::Dataset full = SmallMnist(40 * count, 5);
+  Rng rng(9);
+  auto shards = data::SplitIid(full, count, rng);
+  std::vector<std::unique_ptr<Party>> parties;
+  for (int i = 0; i < count; ++i) {
+    parties.push_back(std::make_unique<Party>("party" + std::to_string(i),
+                                              shards[static_cast<size_t>(i)], factory, tc,
+                                              100 + i));
+  }
+  return parties;
+}
+
+std::vector<std::unique_ptr<Party>> MakeParties(int count, const TrainConfig& tc) {
+  return MakePartiesWith(SmallModelFactory(), count, tc);
+}
+
+TEST(FflJobTest, FedAvgLossDecreases) {
+  JobConfig config;
+  config.rounds = 4;
+  config.train.batch_size = 16;
+  config.train.local_epochs = 1;
+  config.train.lr = 0.1f;
+  FflJob job(config, MakeParties(3, config.train), SmallModelFactory(), SmallMnist(60, 6));
+  auto metrics = job.Run();
+  ASSERT_EQ(metrics.size(), 4u);
+  EXPECT_LT(metrics.back().loss, metrics.front().loss);
+  EXPECT_GT(metrics.back().accuracy, 0.3);
+  // Latency accumulates monotonically.
+  for (size_t i = 1; i < metrics.size(); ++i) {
+    EXPECT_GT(metrics[i].cumulative_latency_s, metrics[i - 1].cumulative_latency_s);
+    EXPECT_GT(metrics[i].round_latency_s, 0.0);
+  }
+}
+
+TEST(FflJobTest, FedSgdModeTrains) {
+  JobConfig config;
+  config.rounds = 25;
+  config.train.batch_size = 32;
+  config.train.lr = 0.15f;
+  config.train.kind = TrainConfig::UpdateKind::kGradient;
+  FflJob job(config, MakeParties(3, config.train), SmallModelFactory(), SmallMnist(60, 6));
+  auto metrics = job.Run();
+  EXPECT_LT(metrics.back().loss, metrics.front().loss);
+}
+
+TEST(FflJobTest, CoordinateMedianConverges) {
+  JobConfig config;
+  config.rounds = 4;
+  config.algorithm = "coordinate_median";
+  config.train.batch_size = 16;
+  config.train.lr = 0.1f;
+  FflJob job(config, MakeParties(3, config.train), SmallModelFactory(), SmallMnist(60, 6));
+  auto metrics = job.Run();
+  EXPECT_LT(metrics.back().loss, metrics.front().loss);
+}
+
+TEST(FflJobTest, PaillierMatchesPlainAveraging) {
+  // One round of Paillier fusion must reproduce plain uniform averaging up to the
+  // fixed-point codec's quantization.
+  JobConfig plain_config;
+  plain_config.rounds = 1;
+  plain_config.train.batch_size = 16;
+  plain_config.train.lr = 0.1f;
+  // Equal-sized shards make weighted and uniform averaging coincide.
+  FflJob plain(plain_config, MakePartiesWith(TinyMlpFactory(), 3, plain_config.train),
+               TinyMlpFactory(), SmallMnist(40, 6));
+  plain.Run();
+
+  JobConfig paillier_config = plain_config;
+  paillier_config.use_paillier = true;
+  paillier_config.paillier_modulus_bits = 256;
+  FflJob homomorphic(paillier_config,
+                     MakePartiesWith(TinyMlpFactory(), 3, paillier_config.train),
+                     TinyMlpFactory(), SmallMnist(40, 6));
+  homomorphic.Run();
+
+  const auto& a = plain.global_params();
+  const auto& b = homomorphic.global_params();
+  ASSERT_EQ(a.size(), b.size());
+  float max_diff = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
+  }
+  EXPECT_LT(max_diff, 1e-4f);  // fixed-point scale 2^-20 per addend
+}
+
+TEST(PartyTest, GradientModeReturnsGradients) {
+  TrainConfig tc;
+  tc.kind = TrainConfig::UpdateKind::kGradient;
+  tc.batch_size = 8;
+  data::Dataset shard = SmallMnist(16, 3);
+  Party party("p", shard, SmallModelFactory(), tc, 1);
+  auto factory = SmallModelFactory();
+  auto model = factory();
+  std::vector<float> global = model->GetFlatParams();
+  auto result = party.RunLocalRound(global, 1);
+  EXPECT_EQ(result.update.values.size(), global.size());
+  EXPECT_DOUBLE_EQ(result.update.weight, 16.0);
+  EXPECT_GT(result.train_seconds, 0.0);
+  // A gradient is not a parameter vector: norms differ wildly.
+  double norm = 0;
+  for (float v : result.update.values) {
+    norm += static_cast<double>(v) * v;
+  }
+  EXPECT_GT(norm, 0.0);
+}
+
+TEST(PartyTest, ParameterModeChangesParams) {
+  TrainConfig tc;
+  tc.batch_size = 8;
+  tc.local_epochs = 1;
+  tc.lr = 0.1f;
+  data::Dataset shard = SmallMnist(16, 3);
+  Party party("p", shard, SmallModelFactory(), tc, 1);
+  auto factory = SmallModelFactory();
+  auto model = factory();
+  std::vector<float> global = model->GetFlatParams();
+  auto result = party.RunLocalRound(global, 1);
+  EXPECT_NE(result.update.values, global);
+}
+
+}  // namespace
+}  // namespace deta::fl

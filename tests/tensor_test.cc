@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace deta {
+namespace {
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.ShapeString(), "[2,3]");
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, ValueConstructorChecksSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), CheckFailure);
+}
+
+TEST(TensorTest, FillAndFull) {
+  Tensor t = Tensor::Full({3}, 2.5f);
+  EXPECT_EQ(t[0], 2.5f);
+  t.Fill(-1.0f);
+  EXPECT_EQ(t[2], -1.0f);
+  EXPECT_EQ(Tensor::Ones({2})[1], 1.0f);
+  EXPECT_EQ(Tensor::FromScalar(9.0f).numel(), 1);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({3, 2});
+  EXPECT_EQ(r[4], 5.0f);
+  EXPECT_THROW(t.Reshape({4, 2}), CheckFailure);
+  EXPECT_EQ(t.Flatten().rank(), 1u);
+}
+
+TEST(TensorTest, InPlaceHelpers) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.AddScaled(b, 0.1f);
+  EXPECT_FLOAT_EQ(a[2], 6.0f);
+  a.Scale(2.0f);
+  EXPECT_FLOAT_EQ(a[0], 4.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t({4}, {1, -2, 3, -4});
+  EXPECT_FLOAT_EQ(t.SumValue(), -2.0f);
+  EXPECT_FLOAT_EQ(t.MeanValue(), -0.5f);
+  EXPECT_FLOAT_EQ(t.MaxValue(), 3.0f);
+  EXPECT_FLOAT_EQ(t.MinValue(), -4.0f);
+  EXPECT_FLOAT_EQ(t.Norm(), std::sqrt(30.0f));
+}
+
+TEST(TensorTest, ElementwiseOps) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  EXPECT_FLOAT_EQ(Add(a, b)[3], 12.0f);
+  EXPECT_FLOAT_EQ(Sub(b, a)[0], 4.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b)[1], 12.0f);
+  EXPECT_FLOAT_EQ(AddScalar(a, 1.0f)[0], 2.0f);
+  EXPECT_FLOAT_EQ(MulScalar(a, -2.0f)[3], -8.0f);
+  EXPECT_FLOAT_EQ(Neg(a)[2], -3.0f);
+  EXPECT_THROW(Add(a, Tensor({3})), CheckFailure);
+}
+
+TEST(TensorTest, MatMulKnownValues) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (Tensor::Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c[0], 58.0f);
+  EXPECT_FLOAT_EQ(c[1], 64.0f);
+  EXPECT_FLOAT_EQ(c[2], 139.0f);
+  EXPECT_FLOAT_EQ(c[3], 154.0f);
+  EXPECT_THROW(MatMul(a, a), CheckFailure);
+}
+
+TEST(TensorTest, TransposeInvolution) {
+  Rng rng(1);
+  Tensor a = Tensor::Gaussian({5, 7}, rng, 0, 1);
+  Tensor tt = Transpose(Transpose(a));
+  EXPECT_TRUE(AllClose(a, tt, 0.0f, 0.0f));
+  EXPECT_FLOAT_EQ(Transpose(a)[static_cast<int64_t>(3) * 5 + 2],
+                  a[static_cast<int64_t>(2) * 7 + 3]);
+}
+
+TEST(TensorTest, ActivationValues) {
+  Tensor x({3}, {-1.0f, 0.0f, 1.0f});
+  EXPECT_NEAR(Sigmoid(x)[1], 0.5f, 1e-6f);
+  EXPECT_NEAR(TanhT(x)[2], std::tanh(1.0f), 1e-6f);
+  EXPECT_FLOAT_EQ(Relu(x)[0], 0.0f);
+  EXPECT_FLOAT_EQ(Relu(x)[2], 1.0f);
+  EXPECT_FLOAT_EQ(Abs(x)[0], 1.0f);
+  EXPECT_FLOAT_EQ(Sign(x)[0], -1.0f);
+  EXPECT_FLOAT_EQ(Sign(x)[1], 0.0f);
+  EXPECT_FLOAT_EQ(Clamp(x, -0.5f, 0.5f)[0], -0.5f);
+}
+
+TEST(TensorTest, RowColumnReductions) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor sr = SumRows(a);  // [3]
+  EXPECT_FLOAT_EQ(sr[0], 5.0f);
+  EXPECT_FLOAT_EQ(sr[2], 9.0f);
+  Tensor rs = RowSum(a);  // [2]
+  EXPECT_FLOAT_EQ(rs[0], 6.0f);
+  EXPECT_FLOAT_EQ(rs[1], 15.0f);
+  Tensor rm = RowMax(a);
+  EXPECT_FLOAT_EQ(rm[1], 6.0f);
+  EXPECT_FLOAT_EQ(SumAll(a)[0], 21.0f);
+}
+
+TEST(TensorTest, Broadcasts) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor v({3}, {10, 20, 30});
+  Tensor av = AddRowVec(a, v);
+  EXPECT_FLOAT_EQ(av[0], 11.0f);
+  EXPECT_FLOAT_EQ(av[5], 36.0f);
+  Tensor c({2}, {1, 2});
+  Tensor sc = SubColVec(a, c);
+  EXPECT_FLOAT_EQ(sc[0], 0.0f);
+  EXPECT_FLOAT_EQ(sc[3], 2.0f);
+  Tensor bc = BroadcastColToShape(c, 4);
+  EXPECT_EQ(bc.shape(), (Tensor::Shape{2, 4}));
+  EXPECT_FLOAT_EQ(bc[5], 2.0f);
+}
+
+TEST(TensorTest, Im2ColIdentityKernel) {
+  // 1x1 kernel, stride 1: im2col is a reshape.
+  Tensor img({1, 2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  ConvGeometry geom{1, 2, 2, 2, 1, 1, 1, 0};
+  Tensor cols = Im2Col(img, geom);
+  EXPECT_EQ(cols.shape(), (Tensor::Shape{4, 2}));
+  // Row 0 = pixel (0,0) across channels.
+  EXPECT_FLOAT_EQ(cols[0], 1.0f);
+  EXPECT_FLOAT_EQ(cols[1], 5.0f);
+}
+
+TEST(TensorTest, Im2ColPaddingZeros) {
+  Tensor img({1, 1, 2, 2}, {1, 2, 3, 4});
+  ConvGeometry geom{1, 1, 2, 2, 3, 3, 1, 1};
+  Tensor cols = Im2Col(img, geom);
+  EXPECT_EQ(cols.dim(0), 4);  // 2x2 output
+  EXPECT_EQ(cols.dim(1), 9);
+  // First patch centered at (0,0): top-left 4 entries are padding.
+  EXPECT_FLOAT_EQ(cols[0], 0.0f);
+  EXPECT_FLOAT_EQ(cols[4], 1.0f);  // center = pixel (0,0)
+}
+
+// Col2Im is the adjoint of Im2Col: <Im2Col(x), y> == <x, Col2Im(y)> for all x, y.
+TEST(TensorTest, Im2ColCol2ImAdjoint) {
+  Rng rng(5);
+  ConvGeometry geom{2, 3, 5, 5, 3, 3, 2, 1};
+  Tensor x = Tensor::Gaussian({2, 3, 5, 5}, rng, 0, 1);
+  Tensor cols = Im2Col(x, geom);
+  Tensor y = Tensor::Gaussian(cols.shape(), rng, 0, 1);
+  double lhs = 0.0, rhs = 0.0;
+  Tensor xy = Col2Im(y, geom);
+  for (int64_t i = 0; i < cols.numel(); ++i) {
+    lhs += static_cast<double>(cols[i]) * y[i];
+  }
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x[i]) * xy[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(TensorTest, MaxPoolSelectsMaxAndIndices) {
+  Tensor img({1, 1, 4, 4}, {1, 2, 3, 4,
+                            5, 6, 7, 8,
+                            9, 10, 11, 12,
+                            13, 14, 15, 16});
+  PoolResult pr = MaxPool2d(img, 2, 2);
+  EXPECT_EQ(pr.output.shape(), (Tensor::Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(pr.output[0], 6.0f);
+  EXPECT_FLOAT_EQ(pr.output[3], 16.0f);
+  EXPECT_EQ(pr.argmax[0], 5);
+  EXPECT_EQ(pr.argmax[3], 15);
+}
+
+TEST(TensorTest, AvgPoolValues) {
+  Tensor img({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor out = AvgPool2d(img, 2, 2);
+  EXPECT_EQ(out.numel(), 1);
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+}
+
+TEST(TensorTest, ScatterGatherInverse) {
+  Tensor v({4}, {1, 2, 3, 4});
+  std::vector<int64_t> idx = {3, 1, 0, 2};
+  Tensor g = GatherByIndex(v, idx, {4});
+  EXPECT_FLOAT_EQ(g[0], 4.0f);
+  Tensor s = ScatterByIndex(g, idx, {4});
+  EXPECT_TRUE(AllClose(s, v, 0.0f, 0.0f));
+  // Scatter with repeated indices accumulates.
+  Tensor two({2}, {1.0f, 1.0f});
+  Tensor acc = ScatterByIndex(two, {0, 0}, {2});
+  EXPECT_FLOAT_EQ(acc[0], 2.0f);
+}
+
+TEST(TensorTest, Metrics) {
+  Tensor a({3}, {1, 0, 0});
+  Tensor b({3}, {0, 1, 0});
+  EXPECT_NEAR(MeanSquaredError(a, a), 0.0, 1e-12);
+  EXPECT_NEAR(MeanSquaredError(a, b), 2.0 / 3.0, 1e-6);
+  EXPECT_NEAR(CosineDistance(a, a), 0.0, 1e-6);
+  EXPECT_NEAR(CosineDistance(a, b), 1.0, 1e-6);
+  Tensor c({3}, {-1, 0, 0});
+  EXPECT_NEAR(CosineDistance(a, c), 2.0, 1e-6);
+  EXPECT_FLOAT_EQ(MaxAbsDiff(a, b), 1.0f);
+}
+
+TEST(TensorTest, RandomFillsSeeded) {
+  Rng r1(3), r2(3);
+  Tensor a = Tensor::Uniform({100}, r1, -1, 1);
+  Tensor b = Tensor::Uniform({100}, r2, -1, 1);
+  EXPECT_TRUE(AllClose(a, b, 0.0f, 0.0f));
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_GE(a[i], -1.0f);
+    EXPECT_LT(a[i], 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace deta
