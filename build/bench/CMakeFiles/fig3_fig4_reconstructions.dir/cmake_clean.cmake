@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fig4_reconstructions.dir/fig3_fig4_reconstructions.cc.o"
+  "CMakeFiles/fig3_fig4_reconstructions.dir/fig3_fig4_reconstructions.cc.o.d"
+  "fig3_fig4_reconstructions"
+  "fig3_fig4_reconstructions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fig4_reconstructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_mnist_algorithms.dir/fig5_mnist_algorithms.cc.o"
+  "CMakeFiles/fig5_mnist_algorithms.dir/fig5_mnist_algorithms.cc.o.d"
+  "fig5_mnist_algorithms"
+  "fig5_mnist_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mnist_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cifar_parties.dir/fig6_cifar_parties.cc.o"
+  "CMakeFiles/fig6_cifar_parties.dir/fig6_cifar_parties.cc.o.d"
+  "fig6_cifar_parties"
+  "fig6_cifar_parties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cifar_parties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

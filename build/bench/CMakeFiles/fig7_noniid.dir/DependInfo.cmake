@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_noniid.cc" "bench/CMakeFiles/fig7_noniid.dir/fig7_noniid.cc.o" "gcc" "bench/CMakeFiles/fig7_noniid.dir/fig7_noniid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/deta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/deta_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/deta_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/deta_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/deta_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/deta_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/deta_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/deta_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/deta_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/deta_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

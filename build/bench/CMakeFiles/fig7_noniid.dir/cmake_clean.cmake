@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_noniid.dir/fig7_noniid.cc.o"
+  "CMakeFiles/fig7_noniid.dir/fig7_noniid.cc.o.d"
+  "fig7_noniid"
+  "fig7_noniid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_noniid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_transform.dir/micro_transform.cc.o"
+  "CMakeFiles/micro_transform.dir/micro_transform.cc.o.d"
+  "micro_transform"
+  "micro_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

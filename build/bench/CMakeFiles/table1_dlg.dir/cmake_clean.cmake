@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_dlg.dir/table1_dlg.cc.o"
+  "CMakeFiles/table1_dlg.dir/table1_dlg.cc.o.d"
+  "table1_dlg"
+  "table1_dlg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dlg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_idlg.dir/table2_idlg.cc.o"
+  "CMakeFiles/table2_idlg.dir/table2_idlg.cc.o.d"
+  "table2_idlg"
+  "table2_idlg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_idlg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ig.dir/table3_ig.cc.o"
+  "CMakeFiles/table3_ig.dir/table3_ig.cc.o.d"
+  "table3_ig"
+  "table3_ig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_robust.dir/byzantine_robust.cpp.o"
+  "CMakeFiles/byzantine_robust.dir/byzantine_robust.cpp.o.d"
+  "byzantine_robust"
+  "byzantine_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deta_run.dir/deta_run.cpp.o"
+  "CMakeFiles/deta_run.dir/deta_run.cpp.o.d"
+  "deta_run"
+  "deta_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deta_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

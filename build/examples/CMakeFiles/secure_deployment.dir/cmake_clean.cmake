@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_deployment.dir/secure_deployment.cpp.o"
+  "CMakeFiles/secure_deployment.dir/secure_deployment.cpp.o.d"
+  "secure_deployment"
+  "secure_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deta_attacks.dir/gradient_inversion.cc.o"
+  "CMakeFiles/deta_attacks.dir/gradient_inversion.cc.o.d"
+  "libdeta_attacks.a"
+  "libdeta_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deta_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

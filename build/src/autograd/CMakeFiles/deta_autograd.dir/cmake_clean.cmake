@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deta_autograd.dir/ops.cc.o"
+  "CMakeFiles/deta_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/deta_autograd.dir/var.cc.o"
+  "CMakeFiles/deta_autograd.dir/var.cc.o.d"
+  "libdeta_autograd.a"
+  "libdeta_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deta_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeta_autograd.a"
+)

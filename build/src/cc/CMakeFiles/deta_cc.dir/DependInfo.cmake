@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/attestation_proxy.cc" "src/cc/CMakeFiles/deta_cc.dir/attestation_proxy.cc.o" "gcc" "src/cc/CMakeFiles/deta_cc.dir/attestation_proxy.cc.o.d"
+  "/root/repo/src/cc/sev.cc" "src/cc/CMakeFiles/deta_cc.dir/sev.cc.o" "gcc" "src/cc/CMakeFiles/deta_cc.dir/sev.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/deta_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/deta_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

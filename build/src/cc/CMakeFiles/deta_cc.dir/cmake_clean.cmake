@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deta_cc.dir/attestation_proxy.cc.o"
+  "CMakeFiles/deta_cc.dir/attestation_proxy.cc.o.d"
+  "CMakeFiles/deta_cc.dir/sev.cc.o"
+  "CMakeFiles/deta_cc.dir/sev.cc.o.d"
+  "libdeta_cc.a"
+  "libdeta_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deta_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

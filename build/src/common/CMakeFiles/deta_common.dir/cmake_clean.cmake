@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deta_common.dir/bytes.cc.o"
+  "CMakeFiles/deta_common.dir/bytes.cc.o.d"
+  "CMakeFiles/deta_common.dir/logging.cc.o"
+  "CMakeFiles/deta_common.dir/logging.cc.o.d"
+  "CMakeFiles/deta_common.dir/rng.cc.o"
+  "CMakeFiles/deta_common.dir/rng.cc.o.d"
+  "libdeta_common.a"
+  "libdeta_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deta_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

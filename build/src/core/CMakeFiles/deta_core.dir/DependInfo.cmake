@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/auth_protocol.cc" "src/core/CMakeFiles/deta_core.dir/auth_protocol.cc.o" "gcc" "src/core/CMakeFiles/deta_core.dir/auth_protocol.cc.o.d"
+  "/root/repo/src/core/deta_aggregator.cc" "src/core/CMakeFiles/deta_core.dir/deta_aggregator.cc.o" "gcc" "src/core/CMakeFiles/deta_core.dir/deta_aggregator.cc.o.d"
+  "/root/repo/src/core/deta_job.cc" "src/core/CMakeFiles/deta_core.dir/deta_job.cc.o" "gcc" "src/core/CMakeFiles/deta_core.dir/deta_job.cc.o.d"
+  "/root/repo/src/core/deta_party.cc" "src/core/CMakeFiles/deta_core.dir/deta_party.cc.o" "gcc" "src/core/CMakeFiles/deta_core.dir/deta_party.cc.o.d"
+  "/root/repo/src/core/key_broker.cc" "src/core/CMakeFiles/deta_core.dir/key_broker.cc.o" "gcc" "src/core/CMakeFiles/deta_core.dir/key_broker.cc.o.d"
+  "/root/repo/src/core/model_mapper.cc" "src/core/CMakeFiles/deta_core.dir/model_mapper.cc.o" "gcc" "src/core/CMakeFiles/deta_core.dir/model_mapper.cc.o.d"
+  "/root/repo/src/core/shuffler.cc" "src/core/CMakeFiles/deta_core.dir/shuffler.cc.o" "gcc" "src/core/CMakeFiles/deta_core.dir/shuffler.cc.o.d"
+  "/root/repo/src/core/transform.cc" "src/core/CMakeFiles/deta_core.dir/transform.cc.o" "gcc" "src/core/CMakeFiles/deta_core.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/deta_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/deta_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/deta_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/deta_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/deta_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/deta_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/deta_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/deta_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

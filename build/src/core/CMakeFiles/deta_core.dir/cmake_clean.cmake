@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deta_core.dir/auth_protocol.cc.o"
+  "CMakeFiles/deta_core.dir/auth_protocol.cc.o.d"
+  "CMakeFiles/deta_core.dir/deta_aggregator.cc.o"
+  "CMakeFiles/deta_core.dir/deta_aggregator.cc.o.d"
+  "CMakeFiles/deta_core.dir/deta_job.cc.o"
+  "CMakeFiles/deta_core.dir/deta_job.cc.o.d"
+  "CMakeFiles/deta_core.dir/deta_party.cc.o"
+  "CMakeFiles/deta_core.dir/deta_party.cc.o.d"
+  "CMakeFiles/deta_core.dir/key_broker.cc.o"
+  "CMakeFiles/deta_core.dir/key_broker.cc.o.d"
+  "CMakeFiles/deta_core.dir/model_mapper.cc.o"
+  "CMakeFiles/deta_core.dir/model_mapper.cc.o.d"
+  "CMakeFiles/deta_core.dir/shuffler.cc.o"
+  "CMakeFiles/deta_core.dir/shuffler.cc.o.d"
+  "CMakeFiles/deta_core.dir/transform.cc.o"
+  "CMakeFiles/deta_core.dir/transform.cc.o.d"
+  "libdeta_core.a"
+  "libdeta_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deta_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

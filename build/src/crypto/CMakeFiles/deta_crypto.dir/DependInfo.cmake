@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aead.cc" "src/crypto/CMakeFiles/deta_crypto.dir/aead.cc.o" "gcc" "src/crypto/CMakeFiles/deta_crypto.dir/aead.cc.o.d"
+  "/root/repo/src/crypto/bigint.cc" "src/crypto/CMakeFiles/deta_crypto.dir/bigint.cc.o" "gcc" "src/crypto/CMakeFiles/deta_crypto.dir/bigint.cc.o.d"
+  "/root/repo/src/crypto/chacha20.cc" "src/crypto/CMakeFiles/deta_crypto.dir/chacha20.cc.o" "gcc" "src/crypto/CMakeFiles/deta_crypto.dir/chacha20.cc.o.d"
+  "/root/repo/src/crypto/ec.cc" "src/crypto/CMakeFiles/deta_crypto.dir/ec.cc.o" "gcc" "src/crypto/CMakeFiles/deta_crypto.dir/ec.cc.o.d"
+  "/root/repo/src/crypto/ecdsa.cc" "src/crypto/CMakeFiles/deta_crypto.dir/ecdsa.cc.o" "gcc" "src/crypto/CMakeFiles/deta_crypto.dir/ecdsa.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/deta_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/deta_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/paillier.cc" "src/crypto/CMakeFiles/deta_crypto.dir/paillier.cc.o" "gcc" "src/crypto/CMakeFiles/deta_crypto.dir/paillier.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/deta_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/deta_crypto.dir/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/deta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deta_crypto.dir/aead.cc.o"
+  "CMakeFiles/deta_crypto.dir/aead.cc.o.d"
+  "CMakeFiles/deta_crypto.dir/bigint.cc.o"
+  "CMakeFiles/deta_crypto.dir/bigint.cc.o.d"
+  "CMakeFiles/deta_crypto.dir/chacha20.cc.o"
+  "CMakeFiles/deta_crypto.dir/chacha20.cc.o.d"
+  "CMakeFiles/deta_crypto.dir/ec.cc.o"
+  "CMakeFiles/deta_crypto.dir/ec.cc.o.d"
+  "CMakeFiles/deta_crypto.dir/ecdsa.cc.o"
+  "CMakeFiles/deta_crypto.dir/ecdsa.cc.o.d"
+  "CMakeFiles/deta_crypto.dir/hmac.cc.o"
+  "CMakeFiles/deta_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/deta_crypto.dir/paillier.cc.o"
+  "CMakeFiles/deta_crypto.dir/paillier.cc.o.d"
+  "CMakeFiles/deta_crypto.dir/sha256.cc.o"
+  "CMakeFiles/deta_crypto.dir/sha256.cc.o.d"
+  "libdeta_crypto.a"
+  "libdeta_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deta_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

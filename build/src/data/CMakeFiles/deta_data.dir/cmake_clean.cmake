@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deta_data.dir/dataset.cc.o"
+  "CMakeFiles/deta_data.dir/dataset.cc.o.d"
+  "libdeta_data.a"
+  "libdeta_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deta_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

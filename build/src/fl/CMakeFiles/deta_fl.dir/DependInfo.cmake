@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/aggregation.cc" "src/fl/CMakeFiles/deta_fl.dir/aggregation.cc.o" "gcc" "src/fl/CMakeFiles/deta_fl.dir/aggregation.cc.o.d"
+  "/root/repo/src/fl/ldp.cc" "src/fl/CMakeFiles/deta_fl.dir/ldp.cc.o" "gcc" "src/fl/CMakeFiles/deta_fl.dir/ldp.cc.o.d"
+  "/root/repo/src/fl/paillier_fusion.cc" "src/fl/CMakeFiles/deta_fl.dir/paillier_fusion.cc.o" "gcc" "src/fl/CMakeFiles/deta_fl.dir/paillier_fusion.cc.o.d"
+  "/root/repo/src/fl/party.cc" "src/fl/CMakeFiles/deta_fl.dir/party.cc.o" "gcc" "src/fl/CMakeFiles/deta_fl.dir/party.cc.o.d"
+  "/root/repo/src/fl/training_job.cc" "src/fl/CMakeFiles/deta_fl.dir/training_job.cc.o" "gcc" "src/fl/CMakeFiles/deta_fl.dir/training_job.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/deta_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/deta_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/deta_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/deta_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/deta_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/deta_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

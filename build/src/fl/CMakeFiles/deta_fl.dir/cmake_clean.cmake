@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deta_fl.dir/aggregation.cc.o"
+  "CMakeFiles/deta_fl.dir/aggregation.cc.o.d"
+  "CMakeFiles/deta_fl.dir/ldp.cc.o"
+  "CMakeFiles/deta_fl.dir/ldp.cc.o.d"
+  "CMakeFiles/deta_fl.dir/paillier_fusion.cc.o"
+  "CMakeFiles/deta_fl.dir/paillier_fusion.cc.o.d"
+  "CMakeFiles/deta_fl.dir/party.cc.o"
+  "CMakeFiles/deta_fl.dir/party.cc.o.d"
+  "CMakeFiles/deta_fl.dir/training_job.cc.o"
+  "CMakeFiles/deta_fl.dir/training_job.cc.o.d"
+  "libdeta_fl.a"
+  "libdeta_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deta_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deta_net.dir/message_bus.cc.o"
+  "CMakeFiles/deta_net.dir/message_bus.cc.o.d"
+  "CMakeFiles/deta_net.dir/secure_channel.cc.o"
+  "CMakeFiles/deta_net.dir/secure_channel.cc.o.d"
+  "libdeta_net.a"
+  "libdeta_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deta_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeta_net.a"
+)

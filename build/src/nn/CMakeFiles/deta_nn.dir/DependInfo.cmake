@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/checkpoint.cc" "src/nn/CMakeFiles/deta_nn.dir/checkpoint.cc.o" "gcc" "src/nn/CMakeFiles/deta_nn.dir/checkpoint.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/deta_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/deta_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/models.cc" "src/nn/CMakeFiles/deta_nn.dir/models.cc.o" "gcc" "src/nn/CMakeFiles/deta_nn.dir/models.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/deta_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/deta_nn.dir/optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/deta_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/deta_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/deta_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deta_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/deta_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/deta_nn.dir/layers.cc.o"
+  "CMakeFiles/deta_nn.dir/layers.cc.o.d"
+  "CMakeFiles/deta_nn.dir/models.cc.o"
+  "CMakeFiles/deta_nn.dir/models.cc.o.d"
+  "CMakeFiles/deta_nn.dir/optimizer.cc.o"
+  "CMakeFiles/deta_nn.dir/optimizer.cc.o.d"
+  "libdeta_nn.a"
+  "libdeta_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deta_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

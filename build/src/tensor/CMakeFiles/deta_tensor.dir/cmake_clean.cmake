@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deta_tensor.dir/tensor.cc.o"
+  "CMakeFiles/deta_tensor.dir/tensor.cc.o.d"
+  "libdeta_tensor.a"
+  "libdeta_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deta_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

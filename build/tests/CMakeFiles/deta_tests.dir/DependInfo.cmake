@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attacks_test.cc" "tests/CMakeFiles/deta_tests.dir/attacks_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/attacks_test.cc.o.d"
+  "/root/repo/tests/autograd_test.cc" "tests/CMakeFiles/deta_tests.dir/autograd_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/autograd_test.cc.o.d"
+  "/root/repo/tests/cc_test.cc" "tests/CMakeFiles/deta_tests.dir/cc_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/cc_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/deta_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_aggregator_test.cc" "tests/CMakeFiles/deta_tests.dir/core_aggregator_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/core_aggregator_test.cc.o.d"
+  "/root/repo/tests/core_auth_test.cc" "tests/CMakeFiles/deta_tests.dir/core_auth_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/core_auth_test.cc.o.d"
+  "/root/repo/tests/core_deta_job_test.cc" "tests/CMakeFiles/deta_tests.dir/core_deta_job_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/core_deta_job_test.cc.o.d"
+  "/root/repo/tests/core_key_broker_test.cc" "tests/CMakeFiles/deta_tests.dir/core_key_broker_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/core_key_broker_test.cc.o.d"
+  "/root/repo/tests/core_mapper_test.cc" "tests/CMakeFiles/deta_tests.dir/core_mapper_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/core_mapper_test.cc.o.d"
+  "/root/repo/tests/core_shuffler_test.cc" "tests/CMakeFiles/deta_tests.dir/core_shuffler_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/core_shuffler_test.cc.o.d"
+  "/root/repo/tests/core_transform_test.cc" "tests/CMakeFiles/deta_tests.dir/core_transform_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/core_transform_test.cc.o.d"
+  "/root/repo/tests/crypto_aead_test.cc" "tests/CMakeFiles/deta_tests.dir/crypto_aead_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/crypto_aead_test.cc.o.d"
+  "/root/repo/tests/crypto_bigint_test.cc" "tests/CMakeFiles/deta_tests.dir/crypto_bigint_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/crypto_bigint_test.cc.o.d"
+  "/root/repo/tests/crypto_ec_test.cc" "tests/CMakeFiles/deta_tests.dir/crypto_ec_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/crypto_ec_test.cc.o.d"
+  "/root/repo/tests/crypto_paillier_test.cc" "tests/CMakeFiles/deta_tests.dir/crypto_paillier_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/crypto_paillier_test.cc.o.d"
+  "/root/repo/tests/crypto_sha_test.cc" "tests/CMakeFiles/deta_tests.dir/crypto_sha_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/crypto_sha_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/deta_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/fl_aggregation_test.cc" "tests/CMakeFiles/deta_tests.dir/fl_aggregation_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/fl_aggregation_test.cc.o.d"
+  "/root/repo/tests/fl_job_test.cc" "tests/CMakeFiles/deta_tests.dir/fl_job_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/fl_job_test.cc.o.d"
+  "/root/repo/tests/fl_ldp_test.cc" "tests/CMakeFiles/deta_tests.dir/fl_ldp_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/fl_ldp_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/deta_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/nn_test.cc" "tests/CMakeFiles/deta_tests.dir/nn_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/nn_test.cc.o.d"
+  "/root/repo/tests/security_e2e_test.cc" "tests/CMakeFiles/deta_tests.dir/security_e2e_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/security_e2e_test.cc.o.d"
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/deta_tests.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/deta_tests.dir/tensor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/deta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/deta_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/deta_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/deta_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/deta_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/deta_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/deta_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/deta_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/deta_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/deta_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
