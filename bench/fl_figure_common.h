@@ -12,12 +12,13 @@
 
 #include "bench_util.h"
 #include "core/deta_job.h"
+#include "fl/training_job.h"
 
 namespace deta::bench {
 
 struct FigureWorkload {
   std::string name;
-  fl::JobConfig config;
+  fl::ExecutionOptions config;
   int num_parties = 4;
   int num_aggregators = 3;
   std::function<data::Dataset()> make_train;
@@ -29,8 +30,8 @@ struct FigureWorkload {
 };
 
 struct FigureSeries {
-  std::vector<fl::RoundMetrics> ffl;
-  std::vector<fl::RoundMetrics> deta;
+  fl::JobResult ffl;
+  fl::JobResult deta;
 };
 
 inline std::vector<std::unique_ptr<fl::Party>> MakeWorkloadParties(
@@ -56,7 +57,7 @@ inline FigureSeries RunComparison(const FigureWorkload& w) {
   {
     // Warmup: one discarded round absorbs first-touch costs (page faults, allocator
     // growth) so neither measured system pays them.
-    fl::JobConfig warm = w.config;
+    fl::ExecutionOptions warm = w.config;
     warm.rounds = 1;
     warm.use_paillier = false;
     fl::FflJob warmup(warm, MakeWorkloadParties(w), w.model_factory, w.make_eval());
@@ -67,10 +68,10 @@ inline FigureSeries RunComparison(const FigureWorkload& w) {
     series.ffl = ffl.Run();
   }
   {
-    core::DetaJobConfig dc;
-    dc.base = w.config;
-    dc.num_aggregators = w.num_aggregators;
-    core::DetaJob deta(dc, MakeWorkloadParties(w), w.model_factory, w.make_eval());
+    core::DetaOptions deta_options;
+    deta_options.num_aggregators = w.num_aggregators;
+    core::DetaJob deta(w.config, deta_options, MakeWorkloadParties(w), w.model_factory,
+                       w.make_eval());
     series.deta = deta.Run();
   }
   return series;
@@ -101,10 +102,11 @@ inline void WriteSeriesCsv(const std::string& name, const FigureSeries& s) {
     return;
   }
   std::fprintf(f, "round,ffl_loss,ffl_acc,ffl_latency_s,deta_loss,deta_acc,deta_latency_s\n");
-  for (size_t i = 0; i < s.ffl.size(); ++i) {
-    std::fprintf(f, "%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n", s.ffl[i].round, s.ffl[i].loss,
-                 s.ffl[i].accuracy, s.ffl[i].cumulative_latency_s, s.deta[i].loss,
-                 s.deta[i].accuracy, s.deta[i].cumulative_latency_s);
+  for (size_t i = 0; i < s.ffl.rounds.size(); ++i) {
+    const fl::RoundMetrics& a = s.ffl.rounds[i];
+    const fl::RoundMetrics& b = s.deta.rounds[i];
+    std::fprintf(f, "%d,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f\n", a.round, a.loss, a.accuracy,
+                 a.cumulative_latency_s, b.loss, b.accuracy, b.cumulative_latency_s);
   }
   std::fclose(f);
   std::printf("(series written to %s)\n", path.c_str());
@@ -114,19 +116,23 @@ inline void PrintSeries(const std::string& title, const FigureSeries& s) {
   std::printf("\n--- %s ---\n", title.c_str());
   std::printf("%5s | %-10s %-10s %-12s | %-10s %-10s %-12s | %s\n", "round", "FFL-loss",
               "FFL-acc", "FFL-lat(s)", "DeTA-loss", "DeTA-acc", "DeTA-lat(s)", "overhead");
-  for (size_t i = 0; i < s.ffl.size(); ++i) {
-    double overhead = s.ffl[i].cumulative_latency_s > 0
-                          ? s.deta[i].cumulative_latency_s / s.ffl[i].cumulative_latency_s - 1.0
+  for (size_t i = 0; i < s.ffl.rounds.size(); ++i) {
+    const fl::RoundMetrics& a = s.ffl.rounds[i];
+    const fl::RoundMetrics& b = s.deta.rounds[i];
+    double overhead = a.cumulative_latency_s > 0
+                          ? b.cumulative_latency_s / a.cumulative_latency_s - 1.0
                           : 0.0;
     std::printf("%5d | %-10.4f %-10.4f %-12.3f | %-10.4f %-10.4f %-12.3f | %+.2fx\n",
-                s.ffl[i].round, s.ffl[i].loss, s.ffl[i].accuracy,
-                s.ffl[i].cumulative_latency_s, s.deta[i].loss, s.deta[i].accuracy,
-                s.deta[i].cumulative_latency_s, overhead);
+                a.round, a.loss, a.accuracy, a.cumulative_latency_s, b.loss, b.accuracy,
+                b.cumulative_latency_s, overhead);
   }
+  std::printf("one-time setup: FFL %.3fs, DeTA (attestation+provisioning) %.3fs\n",
+              s.ffl.setup_seconds, s.deta.setup_seconds);
   // Convergence parity summary.
   double max_loss_gap = 0.0;
-  for (size_t i = 0; i < s.ffl.size(); ++i) {
-    max_loss_gap = std::max(max_loss_gap, std::abs(s.ffl[i].loss - s.deta[i].loss));
+  for (size_t i = 0; i < s.ffl.rounds.size(); ++i) {
+    max_loss_gap =
+        std::max(max_loss_gap, std::abs(s.ffl.rounds[i].loss - s.deta.rounds[i].loss));
   }
   std::printf("max |loss gap| across rounds: %.3g  (paper: curves coincide)\n",
               max_loss_gap);

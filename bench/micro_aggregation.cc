@@ -1,8 +1,11 @@
 // Microbenchmarks for the aggregation algorithms, central vs partitioned: the partition
 // columns show the per-aggregator cost drop that makes expensive algorithms (median,
-// FLAME, Paillier) cheaper under DeTA.
+// FLAME, Paillier) cheaper under DeTA. The threads column exercises the deterministic
+// parallel-execution layer (common/parallel.h); results are bitwise-identical across
+// thread counts, only wall-clock changes.
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "fl/aggregation.h"
 
@@ -26,6 +29,7 @@ std::vector<fl::ModelUpdate> MakeUpdates(int parties, int64_t n) {
 void RunAlgorithm(benchmark::State& state, const std::string& name) {
   int parties = static_cast<int>(state.range(0));
   int64_t n = state.range(1);
+  parallel::ScopedThreads threads(static_cast<int>(state.range(2)));
   auto algorithm = fl::MakeAlgorithm(name);
   auto updates = MakeUpdates(parties, n);
   for (auto _ : state) {
@@ -44,12 +48,20 @@ void BM_Krum(benchmark::State& state) { RunAlgorithm(state, "krum"); }
 void BM_Flame(benchmark::State& state) { RunAlgorithm(state, "flame"); }
 void BM_TrimmedMean(benchmark::State& state) { RunAlgorithm(state, "trimmed_mean"); }
 
-// parties x coordinates; the 1/3-size rows model one DeTA aggregator's partition.
-#define AGG_ARGS \
-  ->Args({4, 200000})->Args({4, 66667})->Args({8, 200000})->Args({8, 66667})
+// parties x coordinates x threads; the 1/3-size rows model one DeTA aggregator's
+// partition, and the threads>1 rows show the parallel layer's scaling.
+#define AGG_ARGS                               \
+  ->ArgNames({"parties", "coords", "threads"}) \
+      ->Args({4, 200000, 1})                   \
+      ->Args({4, 200000, 2})                   \
+      ->Args({4, 200000, 4})                   \
+      ->Args({4, 66667, 1})                    \
+      ->Args({8, 200000, 1})                   \
+      ->Args({8, 66667, 1})
 
 BENCHMARK(BM_IterativeAveraging) AGG_ARGS;
-BENCHMARK(BM_CoordinateMedian) AGG_ARGS;
+BENCHMARK(BM_CoordinateMedian)
+    AGG_ARGS->Args({4, 1000000, 1})->Args({4, 1000000, 2})->Args({4, 1000000, 4});
 BENCHMARK(BM_Krum) AGG_ARGS;
 BENCHMARK(BM_Flame) AGG_ARGS;
 BENCHMARK(BM_TrimmedMean) AGG_ARGS;

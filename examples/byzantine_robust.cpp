@@ -69,15 +69,16 @@ int main() {
   std::printf("%-22s %-14s %-14s\n", "aggregation", "final acc", "final loss");
   for (const char* algorithm : {"iterative_averaging", "coordinate_median", "krum",
                                 "flame", "trimmed_mean"}) {
-    core::DetaJobConfig config;
-    config.base.rounds = 4;
-    config.base.train = tc;
-    config.base.algorithm = algorithm;
-    config.num_aggregators = 3;
-    core::DetaJob job(config, make_parties(), model_factory, eval);
-    auto metrics = job.Run();
-    std::printf("%-22s %-14.3f %-14.3f%s\n", algorithm, metrics.back().accuracy,
-                metrics.back().loss,
+    fl::ExecutionOptions options;
+    options.rounds = 4;
+    options.train = tc;
+    options.algorithm = algorithm;
+    core::DetaOptions deta_options;
+    deta_options.num_aggregators = 3;
+    core::DetaJob job(options, deta_options, make_parties(), model_factory, eval);
+    fl::JobResult result = job.Run();
+    std::printf("%-22s %-14.3f %-14.3f%s\n", algorithm, result.rounds.back().accuracy,
+                result.rounds.back().loss,
                 std::string(algorithm) == "iterative_averaging"
                     ? "   <- plain averaging is wrecked by the poisoner"
                     : "");

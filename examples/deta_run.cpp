@@ -21,6 +21,9 @@
 //   --train-examples=N --eval-examples=N dataset sizes
 //   --compare-baseline=0|1               also run centralized FFL and diff the models
 //   --seed=N                             reproducibility seed
+//   --threads=N                          worker threads for aggregation/crypto hot paths
+//                                        (0 = hardware concurrency; results are bitwise
+//                                        identical for any value)
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -28,6 +31,7 @@
 
 #include "common/logging.h"
 #include "core/deta_job.h"
+#include "fl/training_job.h"
 
 using namespace deta;
 
@@ -139,15 +143,17 @@ int main(int argc, char** argv) {
   train.ldp.noise_multiplier = static_cast<float>(flags.GetDouble("ldp-sigma", 0.05));
   train.ldp.clip_norm = static_cast<float>(flags.GetDouble("ldp-clip", 2.0));
 
-  core::DetaJobConfig config;
-  config.base.rounds = flags.GetInt("rounds", 5);
-  config.base.train = train;
-  config.base.algorithm = flags.Get("algorithm", "iterative_averaging");
-  config.base.use_paillier = flags.GetBool("paillier", false);
-  config.base.seed = seed;
-  config.num_aggregators = flags.GetInt("aggregators", 3);
-  config.enable_partition = flags.GetBool("partition", true);
-  config.enable_shuffle = flags.GetBool("shuffle", true);
+  fl::ExecutionOptions options;
+  options.rounds = flags.GetInt("rounds", 5);
+  options.train = train;
+  options.algorithm = flags.Get("algorithm", "iterative_averaging");
+  options.use_paillier = flags.GetBool("paillier", false);
+  options.seed = seed;
+  options.threads = flags.GetInt("threads", 0);
+  core::DetaOptions deta_options;
+  deta_options.num_aggregators = flags.GetInt("aggregators", 3);
+  deta_options.enable_partition = flags.GetBool("partition", true);
+  deta_options.enable_shuffle = flags.GetBool("shuffle", true);
 
   data::Dataset train_data = workload.make(train_examples, 7);
   data::Dataset eval_data = workload.make(eval_examples, 8);
@@ -168,40 +174,41 @@ int main(int argc, char** argv) {
   };
 
   std::printf("DeTA run: %d parties, %d aggregators, %d rounds, algorithm=%s, "
-              "partition=%d shuffle=%d paillier=%d ldp=%d\n",
-              parties, config.num_aggregators, config.base.rounds,
-              config.base.algorithm.c_str(), config.enable_partition ? 1 : 0,
-              config.enable_shuffle ? 1 : 0, config.base.use_paillier ? 1 : 0,
-              train.ldp.enabled ? 1 : 0);
+              "partition=%d shuffle=%d paillier=%d ldp=%d threads=%d\n",
+              parties, deta_options.num_aggregators, options.rounds,
+              options.algorithm.c_str(), deta_options.enable_partition ? 1 : 0,
+              deta_options.enable_shuffle ? 1 : 0, options.use_paillier ? 1 : 0,
+              train.ldp.enabled ? 1 : 0, options.threads);
   if (train.ldp.enabled) {
     std::printf("LDP: sigma=%.3f clip=%.3f -> per-round epsilon=%.2f at delta=1e-5\n",
                 train.ldp.noise_multiplier, train.ldp.clip_norm,
                 fl::GaussianMechanismEpsilon(train.ldp.noise_multiplier, 1e-5));
   }
 
-  core::DetaJob deta(config, make_parties(), workload.model_factory, eval_data);
-  auto metrics = deta.Run();
+  core::DetaJob deta(options, deta_options, make_parties(), workload.model_factory,
+                     eval_data);
+  fl::JobResult result = deta.Run();
   std::printf("\n%5s %10s %10s %14s\n", "round", "loss", "accuracy", "latency(s)");
-  for (const auto& m : metrics) {
+  for (const auto& m : result.rounds) {
     std::printf("%5d %10.4f %10.4f %14.3f\n", m.round, m.loss, m.accuracy,
                 m.cumulative_latency_s);
   }
-  std::printf("setup (attestation + provisioning): %.3fs\n", deta.attestation_seconds());
+  std::printf("setup (attestation + provisioning): %.3fs\n", result.setup_seconds);
 
   if (flags.GetBool("compare-baseline", false)) {
-    fl::FflJob ffl(config.base, make_parties(), workload.model_factory, eval_data);
-    auto baseline = ffl.Run();
+    fl::FflJob ffl(options, make_parties(), workload.model_factory, eval_data);
+    fl::JobResult baseline = ffl.Run();
     std::printf("\nbaseline FFL final: loss=%.4f acc=%.4f latency=%.3fs\n",
-                baseline.back().loss, baseline.back().accuracy,
-                baseline.back().cumulative_latency_s);
+                baseline.rounds.back().loss, baseline.rounds.back().accuracy,
+                baseline.rounds.back().cumulative_latency_s);
     float max_diff = 0.0f;
-    const auto& a = ffl.global_params();
-    const auto& b = deta.final_params();
+    const auto& a = baseline.final_params;
+    const auto& b = result.final_params;
     for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
       max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
     }
     std::printf("max parameter difference DeTA vs FFL: %g%s\n", max_diff,
-                train.ldp.enabled || config.base.use_paillier
+                train.ldp.enabled || options.use_paillier
                     ? " (noise/quantization expected)"
                     : (max_diff == 0.0f ? " (bit-exact)" : ""));
   }

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "core/deta_job.h"
+#include "fl/training_job.h"
 
 using namespace deta;
 
@@ -43,36 +44,39 @@ int main() {
     return parties;
   };
 
-  // 3. DeTA job: three decentralized aggregators, partitioning + shuffling on.
-  core::DetaJobConfig config;
-  config.base.rounds = 5;
-  config.base.train = train_config;
-  config.base.algorithm = "iterative_averaging";
-  config.num_aggregators = 3;
-  config.enable_partition = true;
-  config.enable_shuffle = true;
-  config.permutation_key_bits = 128;
+  // 3. DeTA job: three decentralized aggregators, partitioning + shuffling on. The same
+  //    fl::ExecutionOptions drives both the DeTA job and the centralized baseline.
+  fl::ExecutionOptions options;
+  options.rounds = 5;
+  options.train = train_config;
+  options.algorithm = "iterative_averaging";
+  core::DetaOptions deta_options;
+  deta_options.num_aggregators = 3;
+  deta_options.enable_partition = true;
+  deta_options.enable_shuffle = true;
+  deta_options.permutation_key_bits = 128;
 
   std::printf("== DeTA: 4 parties, 3 SEV-protected aggregators ==\n");
-  core::DetaJob deta(config, make_parties(), model_factory, eval);
-  auto deta_metrics = deta.Run();
+  core::DetaJob deta(options, deta_options, make_parties(), model_factory, eval);
+  fl::JobResult deta_result = deta.Run();
   std::printf("one-time attestation/setup: %.3fs (simulated SEV provisioning)\n",
-              deta.attestation_seconds());
+              deta_result.setup_seconds);
 
   // 4. The centralized baseline on the identical workload.
   std::printf("\n== Baseline: centralized FFL aggregator ==\n");
-  fl::FflJob ffl(config.base, make_parties(), model_factory, eval);
-  auto ffl_metrics = ffl.Run();
+  fl::FflJob ffl(options, make_parties(), model_factory, eval);
+  fl::JobResult ffl_result = ffl.Run();
 
   // 5. Verdict: same model, small overhead.
   std::printf("\n%5s  %22s  %22s\n", "round", "DeTA (loss/acc/lat)", "FFL (loss/acc/lat)");
-  for (size_t i = 0; i < deta_metrics.size(); ++i) {
-    std::printf("%5d  %7.4f %6.3f %6.2fs  %7.4f %6.3f %6.2fs\n", deta_metrics[i].round,
-                deta_metrics[i].loss, deta_metrics[i].accuracy,
-                deta_metrics[i].cumulative_latency_s, ffl_metrics[i].loss,
-                ffl_metrics[i].accuracy, ffl_metrics[i].cumulative_latency_s);
+  for (size_t i = 0; i < deta_result.rounds.size(); ++i) {
+    const fl::RoundMetrics& d = deta_result.rounds[i];
+    const fl::RoundMetrics& f = ffl_result.rounds[i];
+    std::printf("%5d  %7.4f %6.3f %6.2fs  %7.4f %6.3f %6.2fs\n", d.round, d.loss,
+                d.accuracy, d.cumulative_latency_s, f.loss, f.accuracy,
+                f.cumulative_latency_s);
   }
-  bool identical = deta.final_params() == ffl.global_params();
+  bool identical = deta_result.final_params == ffl_result.final_params;
   std::printf("\nfinal model parameters identical to the centralized baseline: %s\n",
               identical ? "YES (bit-exact)" : "no");
   return identical ? 0 : 1;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "crypto/chacha20.h"
 #include "nn/optimizer.h"
 
@@ -66,9 +67,12 @@ Observation Observe(const std::vector<float>& victim_grad, const AttackScenario&
   }
 
   obs.observed_values.resize(count);
-  for (size_t i = 0; i < count; ++i) {
-    obs.observed_values[i] = victim_grad[static_cast<size_t>(obs.true_indices[i])];
-  }
+  parallel::ParallelFor(0, static_cast<int64_t>(count), 1 << 15, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      obs.observed_values[static_cast<size_t>(i)] =
+          victim_grad[static_cast<size_t>(obs.true_indices[static_cast<size_t>(i)])];
+    }
+  });
 
   // The attacker's alignment: only the parties know the mapper, so the best an attacker
   // can do with an order-preserving fragment is stretch it uniformly across the gradient
@@ -394,18 +398,26 @@ namespace {
 double BatchBestMatchMse(const Tensor& reconstruction, const Tensor& truth) {
   int batch = truth.dim(0);
   int64_t row = truth.numel() / batch;
-  double total = 0.0;
-  for (int i = 0; i < batch; ++i) {
-    double best = std::numeric_limits<double>::infinity();
-    for (int j = 0; j < batch; ++j) {
-      double mse = 0.0;
-      for (int64_t k = 0; k < row; ++k) {
-        double d = static_cast<double>(truth[i * row + k]) - reconstruction[j * row + k];
-        mse += d * d;
+  // Each true example scores independently against all reconstructions; the final total
+  // folds per-example bests in index order, so the result is thread-count-invariant.
+  std::vector<double> best(static_cast<size_t>(batch));
+  parallel::ParallelFor(0, batch, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      double b = std::numeric_limits<double>::infinity();
+      for (int j = 0; j < batch; ++j) {
+        double mse = 0.0;
+        for (int64_t k = 0; k < row; ++k) {
+          double d = static_cast<double>(truth[i * row + k]) - reconstruction[j * row + k];
+          mse += d * d;
+        }
+        b = std::min(b, mse / static_cast<double>(row));
       }
-      best = std::min(best, mse / static_cast<double>(row));
+      best[static_cast<size_t>(i)] = b;
     }
-    total += best;
+  });
+  double total = 0.0;
+  for (double b : best) {
+    total += b;
   }
   return total / batch;
 }

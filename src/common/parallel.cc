@@ -1,0 +1,139 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <exception>
+
+namespace deta::parallel {
+
+namespace {
+
+std::atomic<int> g_default_threads{0};
+
+// Beyond this many workers extra oversubscription buys nothing; also bounds pool memory.
+constexpr int kMaxWorkers = 63;
+
+}  // namespace
+
+void SetDefaultThreads(int threads) {
+  g_default_threads.store(threads < 0 ? 0 : threads, std::memory_order_relaxed);
+}
+
+int DefaultThreads() {
+  const int t = g_default_threads.load(std::memory_order_relaxed);
+  if (t > 0) return t;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ScopedThreads::ScopedThreads(int threads)
+    : previous_(g_default_threads.load(std::memory_order_relaxed)) {
+  SetDefaultThreads(threads);
+}
+
+ScopedThreads::~ScopedThreads() { SetDefaultThreads(previous_); }
+
+// One parallel region. |next| hands out chunk indices; |slots| caps how many pool
+// workers may join (the caller always participates); |active| counts workers currently
+// inside WorkOn so the caller knows when every claimed chunk has finished.
+struct ThreadPool::Job {
+  const std::function<void(int64_t)>* fn = nullptr;
+  int64_t num_chunks = 0;
+  std::atomic<int64_t> next{0};
+  std::atomic<int> slots{0};
+  int active = 0;           // guarded by the pool's mutex_
+  int64_t error_chunk = -1;  // guarded by error_mutex
+  std::exception_ptr error;  // guarded by error_mutex
+  std::mutex error_mutex;
+};
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::EnsureWorkers(int count) {
+  count = std::min(count, kMaxWorkers);
+  while (static_cast<int>(workers_.size()) < count) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkOn(Job& job) {
+  for (;;) {
+    const int64_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.num_chunks) return;
+    try {
+      (*job.fn)(c);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (job.error_chunk < 0 || c < job.error_chunk) {
+        job.error_chunk = c;
+        job.error = std::current_exception();
+      }
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    Job* job = job_;
+    if (job == nullptr) continue;
+    // Late wakeups and extra workers bounce off the slot cap.
+    if (job->slots.fetch_sub(1, std::memory_order_relaxed) <= 0) continue;
+    ++job->active;
+    lock.unlock();
+    WorkOn(*job);
+    lock.lock();
+    // The submitting thread holds submit_mutex_ until |active| drains, so |job| stays
+    // alive for this decrement.
+    if (--job->active == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Run(int64_t num_chunks, const std::function<void(int64_t)>& fn,
+                     int threads) {
+  if (num_chunks <= 0) return;
+  const int64_t limit = std::min<int64_t>(num_chunks, threads);
+  std::unique_lock<std::mutex> submit(submit_mutex_, std::try_to_lock);
+  if (limit <= 1 || !submit.owns_lock()) {
+    // Nested or concurrent region (another thread owns the pool right now), or nothing
+    // to spread: run the identical chunks serially in index order.
+    for (int64_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.num_chunks = num_chunks;
+  job.slots.store(static_cast<int>(limit) - 1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    EnsureWorkers(static_cast<int>(limit) - 1);
+    job_ = &job;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+  WorkOn(job);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return job.active == 0; });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace deta::parallel

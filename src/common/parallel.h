@@ -1,0 +1,123 @@
+// Deterministic parallel execution for the aggregation/crypto hot paths.
+//
+// The contract that makes this safe to sprinkle over numeric code: chunk boundaries are a
+// pure function of (begin, end, grain) — never of the thread count — and ParallelReduce
+// combines per-chunk partials in ascending chunk order. Any result computed through this
+// API is therefore bitwise-identical whether it runs on 1 thread or 64, which is what
+// lets DeTA's "decentralized == centralized" bit-exactness guarantees survive threading.
+//
+// The pool is global and lazily started; it runs one parallel region at a time. A region
+// submitted while another is in flight (e.g. two DetaAggregator threads aggregating
+// concurrently, or a nested ParallelFor) executes serially on the calling thread — same
+// chunks, same order, same results — so composition can never deadlock.
+#ifndef DETA_COMMON_PARALLEL_H_
+#define DETA_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace deta::parallel {
+
+// Sets the number of threads parallel regions may use; 0 means one per hardware core.
+// Flows in from fl::ExecutionOptions::threads at job start. Thread-safe.
+void SetDefaultThreads(int threads);
+
+// The resolved thread count (always >= 1).
+int DefaultThreads();
+
+// Restores the previous thread count on scope exit. Used by benches and tests that sweep
+// thread counts.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int threads);
+  ~ScopedThreads();
+  ScopedThreads(const ScopedThreads&) = delete;
+  ScopedThreads& operator=(const ScopedThreads&) = delete;
+
+ private:
+  int previous_;
+};
+
+// Lazily-started shared worker pool. Use the ParallelFor/ParallelReduce wrappers below
+// rather than calling Run directly.
+class ThreadPool {
+ public:
+  static ThreadPool& Global();
+
+  // Executes fn(chunk) for every chunk in [0, num_chunks), spreading chunks over up to
+  // |threads| threads (the calling thread participates). Blocks until every chunk has
+  // completed. If chunks throw, the exception from the lowest-index throwing chunk is
+  // rethrown after all chunks finish.
+  void Run(int64_t num_chunks, const std::function<void(int64_t)>& fn, int threads);
+
+  ~ThreadPool();
+
+ private:
+  ThreadPool() = default;
+  struct Job;
+
+  void WorkerLoop();
+  // Spawns workers until |count| exist. Caller must hold mutex_.
+  void EnsureWorkers(int count);
+  // Claims and runs chunks until none remain, capturing the first (lowest-index)
+  // exception into the job.
+  static void WorkOn(Job& job);
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;        // guarded by mutex_
+  uint64_t generation_ = 0;   // guarded by mutex_; bumped per submitted job
+  bool stop_ = false;         // guarded by mutex_
+  std::mutex submit_mutex_;   // held for the duration of one pooled region
+};
+
+// Calls fn(chunk_begin, chunk_end) over [begin, end) split into fixed chunks of |grain|
+// indices (the last chunk may be short). Chunks may run concurrently and in any order;
+// fn must only touch state that is disjoint across chunks.
+template <typename Fn>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  if (end <= begin) return;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t chunks = (end - begin + grain - 1) / grain;
+  auto run_chunk = [&](int64_t c) {
+    const int64_t lo = begin + c * grain;
+    fn(lo, std::min(end, lo + grain));
+  };
+  const int threads = DefaultThreads();
+  if (threads <= 1 || chunks <= 1) {
+    for (int64_t c = 0; c < chunks; ++c) run_chunk(c);
+    return;
+  }
+  ThreadPool::Global().Run(chunks, run_chunk, threads);
+}
+
+// Deterministic map/reduce: acc = combine(acc, map(chunk_begin, chunk_end)) folded left
+// in ascending chunk order over the same fixed chunks as ParallelFor. Because chunking
+// ignores the thread count and the fold order is fixed, floating-point results are
+// bitwise-identical for any thread count (including 1).
+template <typename T, typename Map, typename Combine>
+T ParallelReduce(int64_t begin, int64_t end, int64_t grain, T identity, Map&& map,
+                 Combine&& combine) {
+  if (end <= begin) return identity;
+  grain = std::max<int64_t>(1, grain);
+  const int64_t chunks = (end - begin + grain - 1) / grain;
+  std::vector<T> partials(static_cast<size_t>(chunks), identity);
+  ParallelFor(begin, end, grain, [&](int64_t lo, int64_t hi) {
+    partials[static_cast<size_t>((lo - begin) / grain)] = map(lo, hi);
+  });
+  T acc = std::move(identity);
+  for (T& partial : partials) acc = combine(std::move(acc), std::move(partial));
+  return acc;
+}
+
+}  // namespace deta::parallel
+
+#endif  // DETA_COMMON_PARALLEL_H_

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "crypto/sha256.h"
 #include "net/codec.h"
 
@@ -16,34 +17,38 @@ namespace {
 // deployment this is the OVMF+workload digest; here a canonical manifest plays that role —
 // any tampering (e.g. a malicious aggregator binary) changes the measurement and fails
 // attestation, which is exactly the property the tests exercise.
-Bytes AggregatorImage(const DetaJobConfig& config) {
+Bytes AggregatorImage(const fl::ExecutionOptions& options) {
   net::Writer w;
   w.WriteString("deta-aggregator-image-v1");
-  w.WriteString(config.base.algorithm);
-  w.WriteU32(config.base.use_paillier ? 1 : 0);
+  w.WriteString(options.algorithm);
+  w.WriteU32(options.use_paillier ? 1 : 0);
   return w.Take();
 }
 
 }  // namespace
 
-DetaJob::DetaJob(DetaJobConfig config, std::vector<std::unique_ptr<fl::Party>> parties,
+DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
+                 std::vector<std::unique_ptr<fl::Party>> parties,
                  const fl::ModelFactory& global_factory, data::Dataset eval)
-    : config_(std::move(config)), global_model_(global_factory()), eval_(std::move(eval)) {
+    : options_(std::move(options)),
+      deta_(std::move(deta)),
+      global_model_(global_factory()),
+      eval_(std::move(eval)) {
   DETA_CHECK(!parties.empty());
-  DETA_CHECK_GT(config_.num_aggregators, 0);
+  DETA_CHECK_GT(deta_.num_aggregators, 0);
   crypto::SecureRng setup_rng(
-      StringToBytes("deta-job-setup-" + std::to_string(config_.base.seed)));
+      StringToBytes("deta-job-setup-" + std::to_string(options_.seed)));
 
   // --- Phase I: platforms, paused CVMs, attestation, token provisioning (steps 1-2) ---
   Stopwatch attest_watch;
   ras_ = std::make_unique<cc::RemoteAttestationService>(setup_rng);
-  Bytes image = AggregatorImage(config_);
+  Bytes image = AggregatorImage(options_);
   proxy_ = std::make_unique<cc::AttestationProxy>(
       ras_->RootKey(), crypto::Sha256Digest(image),
       crypto::SecureRng(setup_rng.NextBytes(32)));
 
   std::vector<std::string> aggregator_names;
-  for (int j = 0; j < config_.num_aggregators; ++j) {
+  for (int j = 0; j < deta_.num_aggregators; ++j) {
     std::string name = "aggregator" + std::to_string(j);
     platforms_.push_back(std::make_unique<cc::SevPlatform>(
         "platform" + std::to_string(j), *ras_, setup_rng));
@@ -61,15 +66,15 @@ DetaJob::DetaJob(DetaJobConfig config, std::vector<std::unique_ptr<fl::Party>> p
   material.total_params = global_model_->NumParameters();
   material.mapper_seed = setup_rng.NextBytes(32);
   material.permutation_key =
-      GeneratePermutationKey(config_.permutation_key_bits, setup_rng.NextBytes(32));
-  material.proportions = config_.proportions;
-  material.num_aggregators = config_.num_aggregators;
-  material.enable_partition = config_.enable_partition;
-  material.enable_shuffle = config_.enable_shuffle;
+      GeneratePermutationKey(deta_.permutation_key_bits, setup_rng.NextBytes(32));
+  material.proportions = deta_.proportions;
+  material.num_aggregators = deta_.num_aggregators;
+  material.enable_partition = deta_.enable_partition;
+  material.enable_shuffle = deta_.enable_shuffle;
   transform_ = material.BuildTransform();
 
   crypto::EcKeyPair broker_identity = crypto::GenerateEcKey(setup_rng);
-  if (config_.use_key_broker) {
+  if (deta_.use_key_broker) {
     key_broker_ = std::make_unique<KeyBroker>(material, broker_identity,
                                               static_cast<int>(parties.size()), bus_,
                                               crypto::SecureRng(setup_rng.NextBytes(32)));
@@ -77,8 +82,8 @@ DetaJob::DetaJob(DetaJobConfig config, std::vector<std::unique_ptr<fl::Party>> p
 
   // --- Paillier key material (trusted key broker; parties only) ---
   std::optional<crypto::PaillierKeyPair> paillier;
-  if (config_.base.use_paillier) {
-    paillier = crypto::GeneratePaillierKey(setup_rng, config_.base.paillier_modulus_bits);
+  if (options_.use_paillier) {
+    paillier = crypto::GeneratePaillierKey(setup_rng, options_.paillier_modulus_bits);
   }
 
   // --- Aggregator nodes (threads created at Run) ---
@@ -86,7 +91,7 @@ DetaJob::DetaJob(DetaJobConfig config, std::vector<std::unique_ptr<fl::Party>> p
   for (const auto& p : parties) {
     party_names.push_back(p->name());
   }
-  for (int j = 0; j < config_.num_aggregators; ++j) {
+  for (int j = 0; j < deta_.num_aggregators; ++j) {
     AggregatorConfig ac;
     ac.name = aggregator_names[static_cast<size_t>(j)];
     ac.index = j;
@@ -94,10 +99,10 @@ DetaJob::DetaJob(DetaJobConfig config, std::vector<std::unique_ptr<fl::Party>> p
                                  // index 0 is equivalent (names carry no bias) and
                                  // keeps runs reproducible.
     ac.num_parties = static_cast<int>(parties.size());
-    ac.num_aggregators = config_.num_aggregators;
-    ac.rounds = config_.base.rounds;
-    ac.algorithm = config_.base.algorithm;
-    ac.use_paillier = config_.base.use_paillier;
+    ac.num_aggregators = deta_.num_aggregators;
+    ac.rounds = options_.rounds;
+    ac.algorithm = options_.algorithm;
+    ac.use_paillier = options_.use_paillier;
     if (paillier.has_value()) {
       ac.paillier_public = paillier->pub;
     }
@@ -118,13 +123,13 @@ DetaJob::DetaJob(DetaJobConfig config, std::vector<std::unique_ptr<fl::Party>> p
     pc.token_registry = proxy_->TokenRegistry();
     pc.observer = "observer";
     pc.is_reporter = (i == 0);
-    pc.train = config_.base.train;
-    pc.use_paillier = config_.base.use_paillier;
+    pc.train = options_.train;
+    pc.use_paillier = options_.use_paillier;
     pc.paillier = paillier;
     pc.num_parties = static_cast<int>(parties.size());
     pc.initial_params = initial;
     std::shared_ptr<const Transform> party_transform = transform_;
-    if (config_.use_key_broker) {
+    if (deta_.use_key_broker) {
       pc.fetch_from_key_broker = true;
       pc.key_broker_public = broker_identity.public_key;
       party_transform = nullptr;  // built from broker-served material during setup
@@ -144,7 +149,11 @@ DetaJob::~DetaJob() {
   }
 }
 
-std::vector<fl::RoundMetrics> DetaJob::Run() {
+fl::JobResult DetaJob::Run() {
+  // Applies to the aggregator/party threads about to start: concurrent parallel regions
+  // (several aggregators aggregating at once) degrade gracefully to serial chunks with
+  // identical results — see common/parallel.h.
+  parallel::SetDefaultThreads(options_.threads);
   auto observer = bus_.CreateEndpoint("observer");
   if (key_broker_ != nullptr) {
     key_broker_->Start();
@@ -169,11 +178,12 @@ std::vector<fl::RoundMetrics> DetaJob::Run() {
 
   observer->Send(aggregators_[0]->name(), kJobStart, {});
 
-  const LatencyModel& lm = config_.base.latency;
-  std::vector<fl::RoundMetrics> metrics;
+  const LatencyModel& lm = options_.latency;
+  fl::JobResult result;
   // Attestation and registration are one-time setup (before training starts); the paper's
   // latency curves measure training rounds only, so setup is reported separately via
-  // attestation_seconds() rather than folded into round latency.
+  // JobResult::setup_seconds rather than folded into round latency.
+  result.setup_seconds = attestation_seconds_;
   double cumulative = 0.0;
 
   // Per-round report collection, tolerant of cross-round interleaving.
@@ -184,7 +194,7 @@ std::vector<fl::RoundMetrics> DetaJob::Run() {
 
   size_t num_parties = deta_parties_.size();
   size_t num_aggs = aggregators_.size();
-  for (int round = 1; round <= config_.base.rounds; ++round) {
+  for (int round = 1; round <= options_.rounds; ++round) {
     while (timings[round].size() < num_parties || agg_reports[round].size() < num_aggs ||
            reported_params.find(round) == reported_params.end()) {
       std::optional<net::Message> m = observer->Receive();
@@ -240,11 +250,11 @@ std::vector<fl::RoundMetrics> DetaJob::Run() {
     m.round_latency_s = round_latency;
     cumulative += round_latency;
     m.cumulative_latency_s = cumulative;
-    metrics.push_back(m);
+    result.rounds.push_back(m);
     LOG_INFO << "DeTA round " << round << ": loss=" << m.loss << " acc=" << m.accuracy
              << " latency=" << m.cumulative_latency_s << "s";
 
-    final_params_ = reported_params[round];
+    result.final_params = std::move(reported_params[round]);
     timings.erase(round);
     agg_reports.erase(round);
     reported_params.erase(round);
@@ -259,7 +269,7 @@ std::vector<fl::RoundMetrics> DetaJob::Run() {
   if (key_broker_ != nullptr) {
     key_broker_->Join();  // exits on its own after serving every party
   }
-  return metrics;
+  return result;
 }
 
 }  // namespace deta::core

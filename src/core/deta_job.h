@@ -20,12 +20,14 @@
 #include "core/deta_party.h"
 #include "core/key_broker.h"
 #include "core/transform.h"
-#include "fl/training_job.h"
+#include "fl/job_api.h"
 
 namespace deta::core {
 
-struct DetaJobConfig {
-  fl::JobConfig base;               // rounds, train config, algorithm, paillier, latency
+// Deployment shape of the decentralized aggregation layer. Execution knobs shared with
+// the FFL baseline (rounds, training, algorithm, Paillier, latency, seed, threads) come
+// from fl::ExecutionOptions instead.
+struct DetaOptions {
   int num_aggregators = 3;
   std::vector<double> proportions;  // optional custom partition proportions
   bool enable_partition = true;
@@ -39,24 +41,24 @@ struct DetaJobConfig {
 
 class DetaJob {
  public:
-  DetaJob(DetaJobConfig config, std::vector<std::unique_ptr<fl::Party>> parties,
+  DetaJob(fl::ExecutionOptions options, DetaOptions deta,
+          std::vector<std::unique_ptr<fl::Party>> parties,
           const fl::ModelFactory& global_factory, data::Dataset eval);
   ~DetaJob();
 
-  // Runs the full life cycle; returns per-round metrics.
-  std::vector<fl::RoundMetrics> Run();
+  // Runs the full life cycle; returns per-round metrics, the final global parameters,
+  // and setup time (platform attestation + token provisioning — one-time cost reported
+  // separately from round latency, matching the paper's measurement boundary).
+  fl::JobResult Run();
 
   // Post-run access for the security experiments: the aggregator CVMs (breachable) and
   // the transform (party-held secret state).
   const std::vector<std::shared_ptr<cc::Cvm>>& aggregator_cvms() const { return cvms_; }
   const Transform& transform() const { return *transform_; }
-  const std::vector<float>& final_params() const { return final_params_; }
-  // One-time setup cost (platform attestation + token provisioning), reported separately
-  // from the per-round training latency, matching the paper's measurement boundary.
-  double attestation_seconds() const { return attestation_seconds_; }
 
  private:
-  DetaJobConfig config_;
+  fl::ExecutionOptions options_;
+  DetaOptions deta_;
   std::unique_ptr<nn::Model> global_model_;
   data::Dataset eval_;
 
@@ -69,7 +71,6 @@ class DetaJob {
   std::shared_ptr<const Transform> transform_;
   std::vector<std::unique_ptr<DetaAggregator>> aggregators_;
   std::vector<std::unique_ptr<DetaParty>> deta_parties_;
-  std::vector<float> final_params_;
   double attestation_seconds_ = 0.0;
 };
 

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "crypto/chacha20.h"
 
 namespace deta::core {
@@ -70,9 +71,15 @@ std::vector<std::vector<float>> ModelMapper::Partition(const std::vector<float>&
   for (size_t p = 0; p < partition_indices_.size(); ++p) {
     const auto& indices = partition_indices_[p];
     fragments[p].resize(indices.size());
-    for (size_t i = 0; i < indices.size(); ++i) {
-      fragments[p][i] = flat[static_cast<size_t>(indices[i])];
-    }
+    float* out = fragments[p].data();
+    // Gather this partition's coordinates; chunks write disjoint slices of |out|.
+    parallel::ParallelFor(0, static_cast<int64_t>(indices.size()), 1 << 15,
+                          [&](int64_t lo, int64_t hi) {
+                            for (int64_t i = lo; i < hi; ++i) {
+                              out[i] = flat[static_cast<size_t>(
+                                  indices[static_cast<size_t>(i)])];
+                            }
+                          });
   }
   return fragments;
 }
@@ -83,9 +90,16 @@ std::vector<float> ModelMapper::Merge(const std::vector<std::vector<float>>& fra
   for (size_t p = 0; p < fragments.size(); ++p) {
     const auto& indices = partition_indices_[p];
     DETA_CHECK_EQ(fragments[p].size(), indices.size());
-    for (size_t i = 0; i < indices.size(); ++i) {
-      flat[static_cast<size_t>(indices[i])] = fragments[p][i];
-    }
+    const float* frag = fragments[p].data();
+    // Scatter back into the flat vector; partition index sets are disjoint by
+    // construction, as are chunks within one partition.
+    parallel::ParallelFor(0, static_cast<int64_t>(indices.size()), 1 << 15,
+                          [&](int64_t lo, int64_t hi) {
+                            for (int64_t i = lo; i < hi; ++i) {
+                              flat[static_cast<size_t>(indices[static_cast<size_t>(i)])] =
+                                  frag[i];
+                            }
+                          });
   }
   return flat;
 }

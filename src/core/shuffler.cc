@@ -1,6 +1,7 @@
 #include "core/shuffler.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "crypto/chacha20.h"
 #include "crypto/hmac.h"
 #include "net/codec.h"
@@ -37,9 +38,15 @@ std::vector<float> Shuffler::Shuffle(const std::vector<float>& fragment, uint64_
   std::vector<int64_t> perm =
       PermutationFor(round_id, partition, static_cast<int64_t>(fragment.size()));
   std::vector<float> out(fragment.size());
-  for (size_t i = 0; i < fragment.size(); ++i) {
-    out[i] = fragment[static_cast<size_t>(perm[i])];
-  }
+  // Gather through the permutation: disjoint writes, so chunks parallelize. (Deriving the
+  // permutation itself is a sequential Fisher-Yates and stays serial.)
+  parallel::ParallelFor(0, static_cast<int64_t>(fragment.size()), 1 << 15,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            out[static_cast<size_t>(i)] =
+                                fragment[static_cast<size_t>(perm[static_cast<size_t>(i)])];
+                          }
+                        });
   return out;
 }
 
@@ -48,9 +55,14 @@ std::vector<float> Shuffler::Unshuffle(const std::vector<float>& fragment, uint6
   std::vector<int64_t> perm =
       PermutationFor(round_id, partition, static_cast<int64_t>(fragment.size()));
   std::vector<float> out(fragment.size());
-  for (size_t i = 0; i < fragment.size(); ++i) {
-    out[static_cast<size_t>(perm[i])] = fragment[i];
-  }
+  // Scatter through the permutation: perm is a bijection, so writes are disjoint.
+  parallel::ParallelFor(0, static_cast<int64_t>(fragment.size()), 1 << 15,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            out[static_cast<size_t>(perm[static_cast<size_t>(i)])] =
+                                fragment[static_cast<size_t>(i)];
+                          }
+                        });
   return out;
 }
 

@@ -1,6 +1,7 @@
 #include "core/transform.h"
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace deta::core {
 
@@ -26,20 +27,35 @@ std::vector<std::vector<float>> Transform::Apply(const std::vector<float>& flat,
     fragments.push_back(flat);
   }
   if (config_.enable_shuffle) {
-    for (size_t p = 0; p < fragments.size(); ++p) {
-      fragments[p] = shuffler_->Shuffle(fragments[p], round_id, static_cast<int>(p));
-    }
+    // Partitions shuffle independently (each slot is replaced wholesale). When this outer
+    // loop wins the pool, the nested per-element ParallelFor inside Shuffle degrades to
+    // serial chunks — same results either way (common/parallel.h).
+    parallel::ParallelFor(0, static_cast<int64_t>(fragments.size()), 1,
+                          [&](int64_t lo, int64_t hi) {
+                            for (int64_t p = lo; p < hi; ++p) {
+                              fragments[static_cast<size_t>(p)] = shuffler_->Shuffle(
+                                  fragments[static_cast<size_t>(p)], round_id,
+                                  static_cast<int>(p));
+                            }
+                          });
   }
   return fragments;
 }
 
 std::vector<float> Transform::Invert(const std::vector<std::vector<float>>& fragments,
                                      uint64_t round_id) const {
-  std::vector<std::vector<float>> unshuffled = fragments;
+  std::vector<std::vector<float>> unshuffled(fragments.size());
   if (config_.enable_shuffle) {
-    for (size_t p = 0; p < unshuffled.size(); ++p) {
-      unshuffled[p] = shuffler_->Unshuffle(unshuffled[p], round_id, static_cast<int>(p));
-    }
+    parallel::ParallelFor(0, static_cast<int64_t>(fragments.size()), 1,
+                          [&](int64_t lo, int64_t hi) {
+                            for (int64_t p = lo; p < hi; ++p) {
+                              unshuffled[static_cast<size_t>(p)] = shuffler_->Unshuffle(
+                                  fragments[static_cast<size_t>(p)], round_id,
+                                  static_cast<int>(p));
+                            }
+                          });
+  } else {
+    unshuffled = fragments;
   }
   if (config_.enable_partition) {
     return mapper_->Merge(unshuffled);

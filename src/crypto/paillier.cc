@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace deta::crypto {
 
@@ -29,8 +30,40 @@ BigUint PaillierPublicKey::Encrypt(const BigUint& m, SecureRng& rng) const {
   return BigUint::MulMod(g_m, r_n, n_squared);
 }
 
+std::vector<BigUint> PaillierPublicKey::EncryptBatch(const std::vector<BigUint>& ms,
+                                                     SecureRng& rng) const {
+  // Each element gets its own SecureRng forked from |rng| in index order; the modexp
+  // fan-out below then cannot perturb the randomness stream, keeping ciphertexts
+  // reproducible across thread counts.
+  std::vector<Bytes> seeds(ms.size());
+  for (Bytes& seed : seeds) {
+    seed = rng.NextBytes(32);
+  }
+  std::vector<BigUint> out(ms.size());
+  parallel::ParallelFor(0, static_cast<int64_t>(ms.size()), 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      SecureRng local(seeds[static_cast<size_t>(i)]);
+      out[static_cast<size_t>(i)] = Encrypt(ms[static_cast<size_t>(i)], local);
+    }
+  });
+  return out;
+}
+
 BigUint PaillierPublicKey::AddCiphertexts(const BigUint& c1, const BigUint& c2) const {
   return BigUint::MulMod(c1, c2, n_squared);
+}
+
+std::vector<BigUint> PaillierPublicKey::AddCiphertextBatch(
+    const std::vector<BigUint>& c1, const std::vector<BigUint>& c2) const {
+  DETA_CHECK_EQ(c1.size(), c2.size());
+  std::vector<BigUint> out(c1.size());
+  parallel::ParallelFor(0, static_cast<int64_t>(c1.size()), 8, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      size_t k = static_cast<size_t>(i);
+      out[k] = AddCiphertexts(c1[k], c2[k]);
+    }
+  });
+  return out;
 }
 
 BigUint PaillierPublicKey::MulPlain(const BigUint& c, const BigUint& k) const {
@@ -40,6 +73,17 @@ BigUint PaillierPublicKey::MulPlain(const BigUint& c, const BigUint& k) const {
 BigUint PaillierPrivateKey::Decrypt(const BigUint& c, const PaillierPublicKey& pub) const {
   BigUint u = BigUint::PowMod(c, lambda, pub.n_squared);
   return BigUint::MulMod(LFunction(u, pub.n), mu, pub.n);
+}
+
+std::vector<BigUint> PaillierPrivateKey::DecryptBatch(const std::vector<BigUint>& cs,
+                                                      const PaillierPublicKey& pub) const {
+  std::vector<BigUint> out(cs.size());
+  parallel::ParallelFor(0, static_cast<int64_t>(cs.size()), 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      out[static_cast<size_t>(i)] = Decrypt(cs[static_cast<size_t>(i)], pub);
+    }
+  });
+  return out;
 }
 
 PaillierKeyPair GeneratePaillierKey(SecureRng& rng, size_t modulus_bits) {

@@ -21,8 +21,16 @@ struct PaillierPublicKey {
 
   // Encrypts m in [0, n) with fresh randomness from |rng|.
   BigUint Encrypt(const BigUint& m, SecureRng& rng) const;
+  // Encrypts every element of |ms|, spreading the modular exponentiations over the
+  // deterministic parallel layer (common/parallel.h). Per-element randomness is derived
+  // by drawing one seed per element from |rng| in index order before fanning out, so the
+  // ciphertext vector is identical for any thread count.
+  std::vector<BigUint> EncryptBatch(const std::vector<BigUint>& ms, SecureRng& rng) const;
   // Homomorphic addition: Dec(AddCiphertexts(c1, c2)) = Dec(c1) + Dec(c2) mod n.
   BigUint AddCiphertexts(const BigUint& c1, const BigUint& c2) const;
+  // Coordinate-wise AddCiphertexts over two equal-length vectors, in parallel.
+  std::vector<BigUint> AddCiphertextBatch(const std::vector<BigUint>& c1,
+                                          const std::vector<BigUint>& c2) const;
   // Homomorphic scalar multiply: Dec(MulPlain(c, k)) = k * Dec(c) mod n.
   BigUint MulPlain(const BigUint& c, const BigUint& k) const;
 };
@@ -32,6 +40,10 @@ struct PaillierPrivateKey {
   BigUint mu;      // (L(g^lambda mod n^2))^-1 mod n
 
   BigUint Decrypt(const BigUint& c, const PaillierPublicKey& pub) const;
+  // Decrypts every element of |cs| in parallel (decryption is deterministic, so no
+  // randomness bookkeeping is needed).
+  std::vector<BigUint> DecryptBatch(const std::vector<BigUint>& cs,
+                                    const PaillierPublicKey& pub) const;
 };
 
 struct PaillierKeyPair {

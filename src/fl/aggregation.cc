@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "net/codec.h"
 
 namespace deta::fl {
@@ -26,6 +27,14 @@ ModelUpdate DeserializeUpdate(const Bytes& data) {
 
 namespace {
 
+// Chunk sizes for the deterministic parallel layer (common/parallel.h). Boundaries are
+// fixed per (range, grain), so every result below is bitwise-identical for any thread
+// count. Cheap per-coordinate work gets large chunks; per-coordinate sorts get smaller
+// ones.
+constexpr int64_t kCoordGrain = 1 << 13;
+constexpr int64_t kSortGrain = 1 << 10;
+constexpr int64_t kReduceGrain = 1 << 15;
+
 void CheckUpdates(const std::vector<ModelUpdate>& updates) {
   DETA_CHECK_MSG(!updates.empty(), "aggregating zero updates");
   for (const auto& u : updates) {
@@ -34,32 +43,63 @@ void CheckUpdates(const std::vector<ModelUpdate>& updates) {
 }
 
 double SquaredDistance(const std::vector<float>& a, const std::vector<float>& b) {
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    double d = static_cast<double>(a[i]) - b[i];
-    s += d * d;
-  }
-  return s;
+  return parallel::ParallelReduce(
+      0, static_cast<int64_t>(a.size()), kReduceGrain, 0.0,
+      [&](int64_t lo, int64_t hi) {
+        double s = 0.0;
+        for (int64_t i = lo; i < hi; ++i) {
+          double d = static_cast<double>(a[static_cast<size_t>(i)]) -
+                     b[static_cast<size_t>(i)];
+          s += d * d;
+        }
+        return s;
+      },
+      [](double x, double y) { return x + y; });
 }
 
+struct DotAndNorms {
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+};
+
 double CosineDist(const std::vector<float>& a, const std::vector<float>& b) {
-  double dot = 0.0, na = 0.0, nb = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    dot += static_cast<double>(a[i]) * b[i];
-    na += static_cast<double>(a[i]) * a[i];
-    nb += static_cast<double>(b[i]) * b[i];
-  }
-  if (na == 0.0 || nb == 0.0) {
+  DotAndNorms r = parallel::ParallelReduce(
+      0, static_cast<int64_t>(a.size()), kReduceGrain, DotAndNorms{},
+      [&](int64_t lo, int64_t hi) {
+        DotAndNorms p;
+        for (int64_t i = lo; i < hi; ++i) {
+          size_t k = static_cast<size_t>(i);
+          p.dot += static_cast<double>(a[k]) * b[k];
+          p.na += static_cast<double>(a[k]) * a[k];
+          p.nb += static_cast<double>(b[k]) * b[k];
+        }
+        return p;
+      },
+      [](DotAndNorms x, DotAndNorms y) {
+        x.dot += y.dot;
+        x.na += y.na;
+        x.nb += y.nb;
+        return x;
+      });
+  if (r.na == 0.0 || r.nb == 0.0) {
     return 1.0;
   }
-  return 1.0 - dot / (std::sqrt(na) * std::sqrt(nb));
+  return 1.0 - r.dot / (std::sqrt(r.na) * std::sqrt(r.nb));
 }
 
 double Norm(const std::vector<float>& a) {
-  double s = 0.0;
-  for (float v : a) {
-    s += static_cast<double>(v) * v;
-  }
+  double s = parallel::ParallelReduce(
+      0, static_cast<int64_t>(a.size()), kReduceGrain, 0.0,
+      [&](int64_t lo, int64_t hi) {
+        double p = 0.0;
+        for (int64_t i = lo; i < hi; ++i) {
+          double v = a[static_cast<size_t>(i)];
+          p += v * v;
+        }
+        return p;
+      },
+      [](double x, double y) { return x + y; });
   return std::sqrt(s);
 }
 
@@ -84,13 +124,23 @@ std::vector<float> IterativeAveraging::Aggregate(const std::vector<ModelUpdate>&
     total_weight += u.weight;
   }
   DETA_CHECK_GT(total_weight, 0.0);
-  std::vector<float> out(updates[0].values.size(), 0.0f);
-  for (const auto& u : updates) {
-    float w = static_cast<float>(u.weight / total_weight);
-    for (size_t i = 0; i < out.size(); ++i) {
-      out[i] += w * u.values[i];
-    }
+  std::vector<float> weights(updates.size());
+  for (size_t p = 0; p < updates.size(); ++p) {
+    weights[p] = static_cast<float>(updates[p].weight / total_weight);
   }
+  std::vector<float> out(updates[0].values.size(), 0.0f);
+  // Coordinate-major: each coordinate accumulates over updates in index order, the same
+  // per-coordinate addition sequence as the serial update-major loop — bitwise equal.
+  parallel::ParallelFor(0, static_cast<int64_t>(out.size()), kCoordGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (size_t p = 0; p < updates.size(); ++p) {
+                            const float w = weights[p];
+                            const float* v = updates[p].values.data();
+                            for (int64_t i = lo; i < hi; ++i) {
+                              out[static_cast<size_t>(i)] += w * v[i];
+                            }
+                          }
+                        });
   return out;
 }
 
@@ -98,20 +148,22 @@ std::vector<float> CoordinateMedian::Aggregate(const std::vector<ModelUpdate>& u
   CheckUpdates(updates);
   size_t n = updates[0].values.size();
   std::vector<float> out(n);
-  std::vector<float> column(updates.size());
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t p = 0; p < updates.size(); ++p) {
-      column[p] = updates[p].values[i];
+  parallel::ParallelFor(0, static_cast<int64_t>(n), kSortGrain, [&](int64_t lo, int64_t hi) {
+    std::vector<float> column(updates.size());
+    for (int64_t i = lo; i < hi; ++i) {
+      for (size_t p = 0; p < updates.size(); ++p) {
+        column[p] = updates[p].values[static_cast<size_t>(i)];
+      }
+      size_t mid = column.size() / 2;
+      std::nth_element(column.begin(), column.begin() + static_cast<long>(mid), column.end());
+      float m = column[mid];
+      if (column.size() % 2 == 0) {
+        float lower = *std::max_element(column.begin(), column.begin() + static_cast<long>(mid));
+        m = (m + lower) / 2.0f;
+      }
+      out[static_cast<size_t>(i)] = m;
     }
-    size_t mid = column.size() / 2;
-    std::nth_element(column.begin(), column.begin() + static_cast<long>(mid), column.end());
-    float m = column[mid];
-    if (column.size() % 2 == 0) {
-      float lower = *std::max_element(column.begin(), column.begin() + static_cast<long>(mid));
-      m = (m + lower) / 2.0f;
-    }
-    out[i] = m;
-  }
+  });
   return out;
 }
 
@@ -123,6 +175,8 @@ std::vector<double> KrumScores(const std::vector<ModelUpdate>& updates, int byza
   int neighbours = std::max(1, n - byzantine - 2);
   std::vector<std::vector<double>> dist(static_cast<size_t>(n),
                                         std::vector<double>(static_cast<size_t>(n), 0.0));
+  // Each pair's distance is itself a deterministic parallel reduction over coordinates;
+  // the pair loop stays serial (n is small, coordinates are not).
   for (int i = 0; i < n; ++i) {
     for (int j = i + 1; j < n; ++j) {
       double d = SquaredDistance(updates[static_cast<size_t>(i)].values,
@@ -195,23 +249,26 @@ std::vector<float> Bulyan::Aggregate(const std::vector<ModelUpdate>& updates) co
   size_t len = updates[0].values.size();
   std::vector<float> out(len);
   int beta = std::max(1, select - 2 * byzantine_);
-  std::vector<float> column(static_cast<size_t>(select));
-  for (size_t i = 0; i < len; ++i) {
-    for (int k = 0; k < select; ++k) {
-      column[static_cast<size_t>(k)] = updates[order[static_cast<size_t>(k)]].values[i];
+  parallel::ParallelFor(0, static_cast<int64_t>(len), kSortGrain, [&](int64_t lo, int64_t hi) {
+    std::vector<float> column(static_cast<size_t>(select));
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int k = 0; k < select; ++k) {
+        column[static_cast<size_t>(k)] =
+            updates[order[static_cast<size_t>(k)]].values[static_cast<size_t>(i)];
+      }
+      // Average the beta values closest to the coordinate-wise median.
+      std::sort(column.begin(), column.end());
+      float median = column[column.size() / 2];
+      std::sort(column.begin(), column.end(), [median](float a, float b) {
+        return std::abs(a - median) < std::abs(b - median);
+      });
+      double s = 0.0;
+      for (int k = 0; k < beta; ++k) {
+        s += column[static_cast<size_t>(k)];
+      }
+      out[static_cast<size_t>(i)] = static_cast<float>(s / beta);
     }
-    // Average the beta values closest to the coordinate-wise median.
-    std::sort(column.begin(), column.end());
-    float median = column[column.size() / 2];
-    std::sort(column.begin(), column.end(), [median](float a, float b) {
-      return std::abs(a - median) < std::abs(b - median);
-    });
-    double s = 0.0;
-    for (int k = 0; k < beta; ++k) {
-      s += column[static_cast<size_t>(k)];
-    }
-    out[i] = static_cast<float>(s / beta);
-  }
+  });
   return out;
 }
 
@@ -251,15 +308,24 @@ std::vector<float> Flame::Aggregate(const std::vector<ModelUpdate>& updates) con
     norms.push_back(Norm(updates[i].values));
   }
   double clip = Median(norms);
-  // 3. Average the clipped survivors.
-  std::vector<float> out(updates[0].values.size(), 0.0f);
-  for (size_t i : kept) {
-    double norm = Norm(updates[i].values);
-    double scale = (norm > clip && norm > 0.0) ? clip / norm : 1.0;
-    for (size_t k = 0; k < out.size(); ++k) {
-      out[k] += static_cast<float>(updates[i].values[k] * scale);
-    }
+  // 3. Average the clipped survivors, coordinate-major (per-coordinate accumulation
+  //    order over |kept| is unchanged from the serial version).
+  std::vector<double> scales(kept.size());
+  for (size_t k = 0; k < kept.size(); ++k) {
+    double norm = norms[k];
+    scales[k] = (norm > clip && norm > 0.0) ? clip / norm : 1.0;
   }
+  std::vector<float> out(updates[0].values.size(), 0.0f);
+  parallel::ParallelFor(
+      0, static_cast<int64_t>(out.size()), kCoordGrain, [&](int64_t lo, int64_t hi) {
+        for (size_t k = 0; k < kept.size(); ++k) {
+          const double scale = scales[k];
+          const float* v = updates[kept[k]].values.data();
+          for (int64_t i = lo; i < hi; ++i) {
+            out[static_cast<size_t>(i)] += static_cast<float>(v[i] * scale);
+          }
+        }
+      });
   float inv = 1.0f / static_cast<float>(kept.size());
   for (auto& v : out) {
     v *= inv;
@@ -273,18 +339,21 @@ std::vector<float> TrimmedMean::Aggregate(const std::vector<ModelUpdate>& update
   DETA_CHECK_MSG(2 * trim_ < n, "trim " << trim_ << " too large for " << n << " updates");
   size_t len = updates[0].values.size();
   std::vector<float> out(len);
-  std::vector<float> column(static_cast<size_t>(n));
-  for (size_t i = 0; i < len; ++i) {
-    for (int p = 0; p < n; ++p) {
-      column[static_cast<size_t>(p)] = updates[static_cast<size_t>(p)].values[i];
+  parallel::ParallelFor(0, static_cast<int64_t>(len), kSortGrain, [&](int64_t lo, int64_t hi) {
+    std::vector<float> column(static_cast<size_t>(n));
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int p = 0; p < n; ++p) {
+        column[static_cast<size_t>(p)] =
+            updates[static_cast<size_t>(p)].values[static_cast<size_t>(i)];
+      }
+      std::sort(column.begin(), column.end());
+      double s = 0.0;
+      for (int p = trim_; p < n - trim_; ++p) {
+        s += column[static_cast<size_t>(p)];
+      }
+      out[static_cast<size_t>(i)] = static_cast<float>(s / (n - 2 * trim_));
     }
-    std::sort(column.begin(), column.end());
-    double s = 0.0;
-    for (int p = trim_; p < n - trim_; ++p) {
-      s += column[static_cast<size_t>(p)];
-    }
-    out[i] = static_cast<float>(s / (n - 2 * trim_));
-  }
+  });
   return out;
 }
 

@@ -1,0 +1,53 @@
+// The unified FFL/DeTA job API: one options struct shared by the centralized baseline
+// (fl::FflJob) and the decentralized deployment (core::DetaJob), and one result struct
+// returned by value from both Run() methods so neither job needs stateful post-run
+// getters.
+#ifndef DETA_FL_JOB_API_H_
+#define DETA_FL_JOB_API_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "fl/party.h"
+
+namespace deta::fl {
+
+struct RoundMetrics {
+  int round = 0;
+  double loss = 0.0;
+  double accuracy = 0.0;
+  double round_latency_s = 0.0;       // simulated seconds for this round
+  double cumulative_latency_s = 0.0;  // running total
+};
+
+// Execution knobs common to every training deployment. Deployment-specific settings
+// (aggregator count, partitioning, shuffling) live in core::DetaOptions.
+struct ExecutionOptions {
+  int rounds = 10;
+  TrainConfig train;
+  std::string algorithm = "iterative_averaging";
+  // When set, updates travel Paillier-encrypted and the algorithm is homomorphic
+  // averaging (the paper's "Paillier" configuration).
+  bool use_paillier = false;
+  size_t paillier_modulus_bits = 256;
+  LatencyModel latency;
+  uint64_t seed = 7;
+  // Worker threads for the deterministic parallel layer (common/parallel.h); 0 = one per
+  // hardware core. Numeric results are bitwise-identical for any value.
+  int threads = 0;
+};
+
+// Everything a training run produced.
+struct JobResult {
+  std::vector<RoundMetrics> rounds;
+  std::vector<float> final_params;
+  // One-time pre-training setup, reported separately from round latency: Paillier keygen
+  // for FflJob; platform attestation + token provisioning for DetaJob.
+  double setup_seconds = 0.0;
+};
+
+}  // namespace deta::fl
+
+#endif  // DETA_FL_JOB_API_H_

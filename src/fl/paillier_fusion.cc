@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "net/codec.h"
 
 namespace deta::fl {
@@ -34,61 +35,76 @@ PaillierVectorCodec::PaillierVectorCodec(const crypto::PaillierPublicKey& pub,
 
 std::vector<BigUint> PaillierVectorCodec::Encrypt(const std::vector<float>& values,
                                                   crypto::SecureRng& rng) const {
-  std::vector<BigUint> out;
-  out.reserve(CiphertextCount(values.size()));
-  for (size_t base = 0; base < values.size(); base += static_cast<size_t>(lanes_)) {
-    BigUint packed;
-    int count = static_cast<int>(std::min<size_t>(static_cast<size_t>(lanes_),
-                                                  values.size() - base));
-    // Lane 0 occupies the least-significant bits.
-    for (int lane = count - 1; lane >= 0; --lane) {
-      long long scaled =
-          std::llround(static_cast<double>(values[base + static_cast<size_t>(lane)]) * scale_);
-      BigUint lane_value;
-      if (scaled >= 0) {
-        lane_value = lane_offset_.Add(BigUint(static_cast<uint64_t>(scaled)));
-      } else {
-        lane_value = lane_offset_.Sub(BigUint(static_cast<uint64_t>(-scaled)));
+  // Lane-pack every block in parallel (packing is a pure function of |values|), then
+  // hand the blocks to the deterministic batch encryptor, which dominates.
+  size_t blocks = CiphertextCount(values.size());
+  std::vector<BigUint> packed(blocks);
+  parallel::ParallelFor(0, static_cast<int64_t>(blocks), 16, [&](int64_t lo, int64_t hi) {
+    for (int64_t bi = lo; bi < hi; ++bi) {
+      size_t base = static_cast<size_t>(bi) * static_cast<size_t>(lanes_);
+      int count = static_cast<int>(std::min<size_t>(static_cast<size_t>(lanes_),
+                                                    values.size() - base));
+      BigUint block;
+      // Lane 0 occupies the least-significant bits.
+      for (int lane = count - 1; lane >= 0; --lane) {
+        long long scaled =
+            std::llround(static_cast<double>(values[base + static_cast<size_t>(lane)]) * scale_);
+        BigUint lane_value;
+        if (scaled >= 0) {
+          lane_value = lane_offset_.Add(BigUint(static_cast<uint64_t>(scaled)));
+        } else {
+          lane_value = lane_offset_.Sub(BigUint(static_cast<uint64_t>(-scaled)));
+        }
+        block = block.ShiftLeft(static_cast<size_t>(lane_bits_)).Add(lane_value);
       }
-      packed = packed.ShiftLeft(static_cast<size_t>(lane_bits_)).Add(lane_value);
+      packed[static_cast<size_t>(bi)] = std::move(block);
     }
-    out.push_back(pub_.Encrypt(packed, rng));
-  }
-  return out;
+  });
+  return pub_.EncryptBatch(packed, rng);
 }
 
 void PaillierVectorCodec::AccumulateInPlace(std::vector<BigUint>& acc,
                                             const std::vector<BigUint>& other) const {
   DETA_CHECK_EQ(acc.size(), other.size());
-  for (size_t i = 0; i < acc.size(); ++i) {
-    acc[i] = pub_.AddCiphertexts(acc[i], other[i]);
-  }
+  parallel::ParallelFor(0, static_cast<int64_t>(acc.size()), 8, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      size_t k = static_cast<size_t>(i);
+      acc[k] = pub_.AddCiphertexts(acc[k], other[k]);
+    }
+  });
 }
 
 std::vector<float> PaillierVectorCodec::DecryptSum(const std::vector<BigUint>& ciphertexts,
                                                    const crypto::PaillierPrivateKey& priv,
                                                    size_t n, int num_addends) const {
   DETA_CHECK_EQ(ciphertexts.size(), CiphertextCount(n));
-  std::vector<float> out;
-  out.reserve(n);
+  std::vector<BigUint> plains = priv.DecryptBatch(ciphertexts, pub_);
+  std::vector<float> out(n);
   BigUint lane_mask = BigUint(1).ShiftLeft(static_cast<size_t>(lane_bits_)).Sub(BigUint(1));
+  BigUint lane_modulus = lane_mask.Add(BigUint(1));
   BigUint total_offset = lane_offset_.Mul(BigUint(static_cast<uint64_t>(num_addends)));
-  for (size_t ci = 0; ci < ciphertexts.size(); ++ci) {
-    BigUint packed = priv.Decrypt(ciphertexts[ci], pub_);
-    int count = static_cast<int>(
-        std::min<size_t>(static_cast<size_t>(lanes_), n - ci * static_cast<size_t>(lanes_)));
-    for (int lane = 0; lane < count; ++lane) {
-      BigUint lane_value = packed.Mod(lane_mask.Add(BigUint(1)));
-      packed = packed.ShiftRight(static_cast<size_t>(lane_bits_));
-      double v;
-      if (lane_value >= total_offset) {
-        v = static_cast<double>(lane_value.Sub(total_offset).ToU64());
-      } else {
-        v = -static_cast<double>(total_offset.Sub(lane_value).ToU64());
-      }
-      out.push_back(static_cast<float>(v / scale_));
-    }
-  }
+  // Unpacking writes disjoint [ci*lanes, ci*lanes+count) slices, so blocks parallelize.
+  parallel::ParallelFor(
+      0, static_cast<int64_t>(plains.size()), 16, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          size_t ci = static_cast<size_t>(i);
+          BigUint packed = std::move(plains[ci]);
+          int count = static_cast<int>(std::min<size_t>(static_cast<size_t>(lanes_),
+                                                        n - ci * static_cast<size_t>(lanes_)));
+          for (int lane = 0; lane < count; ++lane) {
+            BigUint lane_value = packed.Mod(lane_modulus);
+            packed = packed.ShiftRight(static_cast<size_t>(lane_bits_));
+            double v;
+            if (lane_value >= total_offset) {
+              v = static_cast<double>(lane_value.Sub(total_offset).ToU64());
+            } else {
+              v = -static_cast<double>(total_offset.Sub(lane_value).ToU64());
+            }
+            out[ci * static_cast<size_t>(lanes_) + static_cast<size_t>(lane)] =
+                static_cast<float>(v / scale_);
+          }
+        }
+      });
   return out;
 }
 

@@ -4,40 +4,47 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/parallel.h"
+#include "common/sim_clock.h"
 
 namespace deta::fl {
 
-FflJob::FflJob(JobConfig config, std::vector<std::unique_ptr<Party>> parties,
+FflJob::FflJob(ExecutionOptions options, std::vector<std::unique_ptr<Party>> parties,
                const ModelFactory& global_factory, data::Dataset eval)
-    : config_(std::move(config)),
+    : options_(std::move(options)),
       parties_(std::move(parties)),
       global_model_(global_factory()),
       eval_(std::move(eval)),
-      rng_(StringToBytes("ffl-job-" + std::to_string(config_.seed))) {
+      rng_(StringToBytes("ffl-job-" + std::to_string(options_.seed))) {
   DETA_CHECK(!parties_.empty());
-  algorithm_ = MakeAlgorithm(config_.algorithm);
+  algorithm_ = MakeAlgorithm(options_.algorithm);
   global_params_ = global_model_->GetFlatParams();
-  if (config_.use_paillier) {
-    paillier_ = crypto::GeneratePaillierKey(rng_, config_.paillier_modulus_bits);
+  if (options_.use_paillier) {
+    Stopwatch keygen_watch;
+    paillier_ = crypto::GeneratePaillierKey(rng_, options_.paillier_modulus_bits);
     codec_ = std::make_unique<PaillierVectorCodec>(paillier_->pub,
                                                    static_cast<int>(parties_.size()));
+    setup_seconds_ = keygen_watch.ElapsedSeconds();
   }
 }
 
-std::vector<RoundMetrics> FflJob::Run() {
-  std::vector<RoundMetrics> metrics;
-  metrics.reserve(static_cast<size_t>(config_.rounds));
-  for (int round = 1; round <= config_.rounds; ++round) {
-    metrics.push_back(RunRound(round));
-    LOG_INFO << "FFL round " << round << ": loss=" << metrics.back().loss
-             << " acc=" << metrics.back().accuracy
-             << " latency=" << metrics.back().cumulative_latency_s << "s";
+JobResult FflJob::Run() {
+  parallel::SetDefaultThreads(options_.threads);
+  JobResult result;
+  result.setup_seconds = setup_seconds_;
+  result.rounds.reserve(static_cast<size_t>(options_.rounds));
+  for (int round = 1; round <= options_.rounds; ++round) {
+    result.rounds.push_back(RunRound(round));
+    LOG_INFO << "FFL round " << round << ": loss=" << result.rounds.back().loss
+             << " acc=" << result.rounds.back().accuracy
+             << " latency=" << result.rounds.back().cumulative_latency_s << "s";
   }
-  return metrics;
+  result.final_params = global_params_;
+  return result;
 }
 
 RoundMetrics FflJob::RunRound(int round) {
-  const LatencyModel& lm = config_.latency;
+  const LatencyModel& lm = options_.latency;
   size_t update_bytes = global_params_.size() * sizeof(float);
 
   // --- Party phase: local training (parties run in parallel => max). ---
@@ -48,13 +55,13 @@ RoundMetrics FflJob::RunRound(int round) {
   for (auto& party : parties_) {
     Party::LocalResult local = party->RunLocalRound(global_params_, round);
     double party_time = local.train_seconds;
-    if (config_.use_paillier) {
+    if (options_.use_paillier) {
       Stopwatch enc_watch;
       ciphertexts.push_back(codec_->Encrypt(local.update.values, rng_));
       party_time += enc_watch.ElapsedSeconds();
       // Ciphertext expansion: each ciphertext is ~2*modulus bits.
       size_t ct_bytes =
-          ciphertexts.back().size() * (config_.paillier_modulus_bits / 4);
+          ciphertexts.back().size() * (options_.paillier_modulus_bits / 4);
       party_time += lm.TransferSeconds(ct_bytes);
     } else {
       party_time += lm.TransferSeconds(update_bytes);
@@ -66,7 +73,7 @@ RoundMetrics FflJob::RunRound(int round) {
   // --- Aggregation phase (central server). ---
   Stopwatch agg_watch;
   std::vector<float> aggregated;
-  if (config_.use_paillier) {
+  if (options_.use_paillier) {
     std::vector<crypto::BigUint> acc = ciphertexts[0];
     for (size_t p = 1; p < ciphertexts.size(); ++p) {
       codec_->AccumulateInPlace(acc, ciphertexts[p]);
@@ -85,11 +92,11 @@ RoundMetrics FflJob::RunRound(int round) {
 
   // --- Synchronization phase: download + apply. ---
   double down_phase = lm.TransferSeconds(update_bytes);
-  if (config_.train.kind == TrainConfig::UpdateKind::kGradient) {
+  if (options_.train.kind == TrainConfig::UpdateKind::kGradient) {
     // FedSGD: the aggregated vector is a mean gradient; apply one server-side SGD step.
     DETA_CHECK_EQ(aggregated.size(), global_params_.size());
     for (size_t i = 0; i < global_params_.size(); ++i) {
-      global_params_[i] -= config_.train.lr * aggregated[i];
+      global_params_[i] -= options_.train.lr * aggregated[i];
     }
   } else {
     global_params_ = std::move(aggregated);

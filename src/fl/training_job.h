@@ -12,55 +12,35 @@
 #include <optional>
 #include <vector>
 
-#include "common/sim_clock.h"
 #include "fl/aggregation.h"
+#include "fl/job_api.h"
 #include "fl/paillier_fusion.h"
 #include "fl/party.h"
 
 namespace deta::fl {
 
-struct RoundMetrics {
-  int round = 0;
-  double loss = 0.0;
-  double accuracy = 0.0;
-  double round_latency_s = 0.0;       // simulated seconds for this round
-  double cumulative_latency_s = 0.0;  // running total
-};
-
-struct JobConfig {
-  int rounds = 10;
-  TrainConfig train;
-  std::string algorithm = "iterative_averaging";
-  // When set, updates travel Paillier-encrypted and the algorithm is homomorphic
-  // averaging (the paper's "Paillier" configuration).
-  bool use_paillier = false;
-  size_t paillier_modulus_bits = 256;
-  LatencyModel latency;
-  uint64_t seed = 7;
-};
-
 class FflJob {
  public:
   // |eval| supplies the held-out loss/accuracy curves; parties keep their own shards.
-  FflJob(JobConfig config, std::vector<std::unique_ptr<Party>> parties,
+  FflJob(ExecutionOptions options, std::vector<std::unique_ptr<Party>> parties,
          const ModelFactory& global_factory, data::Dataset eval);
 
-  // Runs all rounds; returns per-round metrics.
-  std::vector<RoundMetrics> Run();
-
-  const std::vector<float>& global_params() const { return global_params_; }
+  // Runs all rounds; returns metrics, the final global parameters, and setup time
+  // (Paillier keygen when enabled).
+  JobResult Run();
 
  private:
   RoundMetrics RunRound(int round);
   RoundMetrics EvaluateRound(int round, double latency_s);
 
-  JobConfig config_;
+  ExecutionOptions options_;
   std::vector<std::unique_ptr<Party>> parties_;
   std::unique_ptr<nn::Model> global_model_;
   data::Dataset eval_;
   std::unique_ptr<AggregationAlgorithm> algorithm_;
   std::vector<float> global_params_;
   double cumulative_latency_ = 0.0;
+  double setup_seconds_ = 0.0;
 
   // Paillier state (shared keypair from the trusted key broker).
   std::optional<crypto::PaillierKeyPair> paillier_;

@@ -4,7 +4,9 @@
 #ifndef DETA_NET_CODEC_H_
 #define DETA_NET_CODEC_H_
 
+#include <bit>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,13 @@ class Writer {
   }
   void WriteString(const std::string& s) { WriteBytes(StringToBytes(s)); }
   void WriteFloatVector(const std::vector<float>& v) {
+    // The bulk path memcpys host floats straight into the little-endian wire format;
+    // that is only a valid encoding on little-endian IEEE-754 binary32 hosts.
+    static_assert(std::endian::native == std::endian::little,
+                  "WriteFloatVector memcpys host floats; port the bulk path before "
+                  "building on a big-endian target");
+    static_assert(sizeof(float) == 4 && std::numeric_limits<float>::is_iec559,
+                  "WriteFloatVector requires IEEE-754 binary32 floats");
     WriteU64(v.size());
     size_t old = buffer_.size();
     buffer_.resize(old + v.size() * sizeof(float));
@@ -90,6 +99,12 @@ class Reader {
   }
   std::string ReadString() { return BytesToString(ReadBytes()); }
   std::vector<float> ReadFloatVector() {
+    // Mirror of Writer::WriteFloatVector's bulk memcpy; same host-layout requirements.
+    static_assert(std::endian::native == std::endian::little,
+                  "ReadFloatVector memcpys wire bytes into host floats; port the bulk "
+                  "path before building on a big-endian target");
+    static_assert(sizeof(float) == 4 && std::numeric_limits<float>::is_iec559,
+                  "ReadFloatVector requires IEEE-754 binary32 floats");
     uint64_t n = ReadU64();
     DETA_CHECK_LE(pos_ + n * sizeof(float), data_.size());
     std::vector<float> out(n);

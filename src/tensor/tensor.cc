@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace deta {
@@ -148,14 +149,21 @@ float Tensor::Norm() const {
 
 namespace {
 
+// Elementwise kernels parallelize above this size; below it the fan-out overhead
+// outweighs the loop. The threshold also doubles as the chunk grain, so per-element
+// results (pure functions of one input element) are unchanged either way.
+constexpr int64_t kElementwiseGrain = 1 << 15;
+
 template <typename F>
 Tensor ElementwiseUnary(const Tensor& a, F f) {
   Tensor out(a.shape());
   const float* in = a.data();
   float* o = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    o[i] = f(in[i]);
-  }
+  parallel::ParallelFor(0, a.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      o[i] = f(in[i]);
+    }
+  });
   return out;
 }
 
@@ -167,9 +175,11 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, F f) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* o = out.data();
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    o[i] = f(pa[i], pb[i]);
-  }
+  parallel::ParallelFor(0, a.numel(), kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      o[i] = f(pa[i], pb[i]);
+    }
+  });
   return out;
 }
 
@@ -208,20 +218,28 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // ikj loop order for cache-friendly access to b and out rows.
-  for (int i = 0; i < m; ++i) {
-    for (int kk = 0; kk < k; ++kk) {
-      float av = pa[i * k + kk];
-      if (av == 0.0f) {
-        continue;
-      }
-      const float* brow = pb + static_cast<size_t>(kk) * n;
-      float* orow = po + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) {
-        orow[j] += av * brow[j];
+  // Rows of the output are independent, so parallelize over i with a grain sized so each
+  // chunk carries ~2^18 flops (grain depends only on k and n, keeping chunk boundaries —
+  // and thus results — independent of the thread count). Each row's kk-accumulation
+  // order matches the serial kernel, so outputs are bitwise-identical.
+  const int64_t row_flops = static_cast<int64_t>(k) * n;
+  const int64_t grain = std::max<int64_t>(1, (int64_t{1} << 18) / std::max<int64_t>(1, row_flops));
+  parallel::ParallelFor(0, m, grain, [&](int64_t lo, int64_t hi) {
+    // ikj loop order for cache-friendly access to b and out rows.
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int kk = 0; kk < k; ++kk) {
+        float av = pa[i * k + kk];
+        if (av == 0.0f) {
+          continue;
+        }
+        const float* brow = pb + static_cast<size_t>(kk) * n;
+        float* orow = po + static_cast<size_t>(i) * n;
+        for (int j = 0; j < n; ++j) {
+          orow[j] += av * brow[j];
+        }
       }
     }
-  }
+  });
   return out;
 }
 

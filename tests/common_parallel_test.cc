@@ -1,0 +1,161 @@
+// The deterministic parallel layer (common/parallel.h): static chunking must cover the
+// range exactly once, results must be bitwise-identical across thread counts, and
+// exceptions must propagate out of parallel regions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace deta::parallel {
+namespace {
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ScopedThreads scoped(threads);
+    const int64_t n = 10007;  // prime: last chunk is short
+    std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+    ParallelFor(0, n, 64, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+          << "index " << i << " at threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, ChunkBoundariesFollowGrain) {
+  // Boundaries must be begin + k*grain regardless of thread count.
+  for (int threads : {1, 8}) {
+    ScopedThreads scoped(threads);
+    std::mutex m;
+    std::vector<std::pair<int64_t, int64_t>> chunks;
+    ParallelFor(5, 103, 10, [&](int64_t lo, int64_t hi) {
+      std::lock_guard<std::mutex> lock(m);
+      chunks.emplace_back(lo, hi);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    ASSERT_EQ(chunks.size(), 10u);
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      EXPECT_EQ(chunks[c].first, 5 + static_cast<int64_t>(c) * 10);
+      EXPECT_EQ(chunks[c].second, std::min<int64_t>(103, chunks[c].first + 10));
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyAndSingleChunkRanges) {
+  ScopedThreads scoped(8);
+  int calls = 0;
+  ParallelFor(3, 3, 16, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(0, 5, 16, [&](int64_t lo, int64_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 5);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, ExceptionPropagates) {
+  for (int threads : {1, 2, 8}) {
+    ScopedThreads scoped(threads);
+    EXPECT_THROW(
+        ParallelFor(0, 1000, 10,
+                    [&](int64_t lo, int64_t) {
+                      if (lo >= 500) {
+                        throw std::runtime_error("chunk failed");
+                      }
+                    }),
+        std::runtime_error)
+        << "threads=" << threads;
+    // The pool must stay usable after a throwing region.
+    std::atomic<int64_t> sum{0};
+    ParallelFor(0, 100, 10, [&](int64_t lo, int64_t hi) {
+      sum.fetch_add(hi - lo, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 100);
+  }
+}
+
+TEST(ParallelForTest, NestedRegionsFallBackToSerial) {
+  ScopedThreads scoped(8);
+  std::vector<std::atomic<int>> hits(64 * 64);
+  ParallelFor(0, 64, 4, [&](int64_t olo, int64_t ohi) {
+    for (int64_t o = olo; o < ohi; ++o) {
+      ParallelFor(0, 64, 8, [&](int64_t ilo, int64_t ihi) {
+        for (int64_t i = ilo; i < ihi; ++i) {
+          hits[static_cast<size_t>(o * 64 + i)].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) {
+    ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelReduceTest, BitwiseIdenticalAcrossThreadCounts) {
+  // Sum of a float series whose result depends on association order: identical chunking
+  // plus the fixed left-fold must make every thread count agree bit for bit.
+  Rng rng(123);
+  const int64_t n = 1 << 17;
+  std::vector<float> values(static_cast<size_t>(n));
+  for (auto& v : values) {
+    v = rng.NextGaussian() * 1e-3f;
+  }
+  auto run = [&] {
+    return ParallelReduce(
+        0, n, 1 << 12, 0.0,
+        [&](int64_t lo, int64_t hi) {
+          double partial = 0.0;
+          for (int64_t i = lo; i < hi; ++i) {
+            partial += static_cast<double>(values[static_cast<size_t>(i)]);
+          }
+          return partial;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  double reference;
+  {
+    ScopedThreads scoped(1);
+    reference = run();
+  }
+  for (int threads : {2, 8}) {
+    ScopedThreads scoped(threads);
+    double out = run();
+    EXPECT_EQ(out, reference) << "threads=" << threads;  // bitwise, not approximate
+  }
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsIdentity) {
+  ScopedThreads scoped(4);
+  double out = ParallelReduce(
+      7, 7, 8, 42.0, [](int64_t, int64_t) { return 1.0; },
+      [](double a, double b) { return a + b; });
+  EXPECT_EQ(out, 42.0);
+}
+
+TEST(DefaultThreadsTest, ZeroMeansHardwareConcurrency) {
+  ScopedThreads scoped(0);
+  EXPECT_GE(DefaultThreads(), 1);
+}
+
+TEST(ScopedThreadsTest, RestoresPreviousValue) {
+  SetDefaultThreads(3);
+  {
+    ScopedThreads scoped(7);
+    EXPECT_EQ(DefaultThreads(), 7);
+  }
+  EXPECT_EQ(DefaultThreads(), 3);
+  SetDefaultThreads(0);
+}
+
+}  // namespace
+}  // namespace deta::parallel

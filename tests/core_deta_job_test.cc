@@ -6,6 +6,7 @@
 #include <set>
 
 #include "core/deta_job.h"
+#include "fl/training_job.h"
 
 namespace deta::core {
 namespace {
@@ -56,66 +57,64 @@ std::vector<std::unique_ptr<fl::Party>> MakeParties(int count, const fl::TrainCo
   return MakePartiesWith(SmallModelFactory(), count, tc);
 }
 
-fl::JobConfig BaseConfig() {
-  fl::JobConfig config;
-  config.rounds = 2;
-  config.train.batch_size = 16;
-  config.train.local_epochs = 1;
-  config.train.lr = 0.1f;
-  return config;
+fl::ExecutionOptions BaseOptions() {
+  fl::ExecutionOptions options;
+  options.rounds = 2;
+  options.train.batch_size = 16;
+  options.train.local_epochs = 1;
+  options.train.lr = 0.1f;
+  return options;
 }
 
 TEST(DetaJobTest, MatchesCentralizedBaselineBitExactly) {
-  fl::JobConfig base = BaseConfig();
+  fl::ExecutionOptions base = BaseOptions();
   fl::FflJob ffl(base, MakeParties(3, base.train), SmallModelFactory(), SmallMnist(40, 6));
-  auto ffl_metrics = ffl.Run();
+  fl::JobResult ffl_result = ffl.Run();
 
-  DetaJobConfig deta_config;
-  deta_config.base = base;
-  deta_config.num_aggregators = 3;
-  DetaJob deta(deta_config, MakeParties(3, base.train), SmallModelFactory(),
+  DetaOptions deta_options;
+  deta_options.num_aggregators = 3;
+  DetaJob deta(base, deta_options, MakeParties(3, base.train), SmallModelFactory(),
                SmallMnist(40, 6));
-  auto deta_metrics = deta.Run();
+  fl::JobResult deta_result = deta.Run();
 
-  ASSERT_EQ(ffl_metrics.size(), deta_metrics.size());
-  for (size_t i = 0; i < ffl_metrics.size(); ++i) {
-    EXPECT_DOUBLE_EQ(ffl_metrics[i].loss, deta_metrics[i].loss) << "round " << i;
-    EXPECT_DOUBLE_EQ(ffl_metrics[i].accuracy, deta_metrics[i].accuracy);
+  ASSERT_EQ(ffl_result.rounds.size(), deta_result.rounds.size());
+  for (size_t i = 0; i < ffl_result.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ffl_result.rounds[i].loss, deta_result.rounds[i].loss)
+        << "round " << i;
+    EXPECT_DOUBLE_EQ(ffl_result.rounds[i].accuracy, deta_result.rounds[i].accuracy);
   }
-  EXPECT_EQ(ffl.global_params(), deta.final_params());
+  EXPECT_EQ(ffl_result.final_params, deta_result.final_params);
 }
 
 TEST(DetaJobTest, CoordinateMedianMatchesBaseline) {
-  fl::JobConfig base = BaseConfig();
+  fl::ExecutionOptions base = BaseOptions();
   base.algorithm = "coordinate_median";
   fl::FflJob ffl(base, MakeParties(3, base.train), SmallModelFactory(), SmallMnist(40, 6));
-  ffl.Run();
+  fl::JobResult ffl_result = ffl.Run();
 
-  DetaJobConfig deta_config;
-  deta_config.base = base;
-  deta_config.num_aggregators = 2;
-  DetaJob deta(deta_config, MakeParties(3, base.train), SmallModelFactory(),
+  DetaOptions deta_options;
+  deta_options.num_aggregators = 2;
+  DetaJob deta(base, deta_options, MakeParties(3, base.train), SmallModelFactory(),
                SmallMnist(40, 6));
-  deta.Run();
-  EXPECT_EQ(ffl.global_params(), deta.final_params());
+  fl::JobResult deta_result = deta.Run();
+  EXPECT_EQ(ffl_result.final_params, deta_result.final_params);
 }
 
 TEST(DetaJobTest, FedSgdMatchesBaseline) {
-  fl::JobConfig base = BaseConfig();
+  fl::ExecutionOptions base = BaseOptions();
   base.rounds = 3;
   base.train.kind = fl::TrainConfig::UpdateKind::kGradient;
   fl::FflJob ffl(base, MakeParties(2, base.train), SmallModelFactory(), SmallMnist(40, 6));
-  ffl.Run();
+  fl::JobResult ffl_result = ffl.Run();
 
-  DetaJobConfig deta_config;
-  deta_config.base = base;
-  deta_config.num_aggregators = 3;
-  DetaJob deta(deta_config, MakeParties(2, base.train), SmallModelFactory(),
+  DetaOptions deta_options;
+  deta_options.num_aggregators = 3;
+  DetaJob deta(base, deta_options, MakeParties(2, base.train), SmallModelFactory(),
                SmallMnist(40, 6));
-  deta.Run();
+  fl::JobResult deta_result = deta.Run();
 
-  const auto& a = ffl.global_params();
-  const auto& b = deta.final_params();
+  const auto& a = ffl_result.final_params;
+  const auto& b = deta_result.final_params;
   ASSERT_EQ(a.size(), b.size());
   float max_diff = 0.0f;
   for (size_t i = 0; i < a.size(); ++i) {
@@ -125,39 +124,37 @@ TEST(DetaJobTest, FedSgdMatchesBaseline) {
 }
 
 TEST(DetaJobTest, CustomProportionsWork) {
-  fl::JobConfig base = BaseConfig();
+  fl::ExecutionOptions base = BaseOptions();
   base.rounds = 1;
-  DetaJobConfig deta_config;
-  deta_config.base = base;
-  deta_config.num_aggregators = 3;
-  deta_config.proportions = {0.6, 0.2, 0.2};
-  DetaJob deta(deta_config, MakeParties(2, base.train), SmallModelFactory(),
+  DetaOptions deta_options;
+  deta_options.num_aggregators = 3;
+  deta_options.proportions = {0.6, 0.2, 0.2};
+  DetaJob deta(base, deta_options, MakeParties(2, base.train), SmallModelFactory(),
                SmallMnist(30, 6));
-  auto metrics = deta.Run();
-  EXPECT_EQ(metrics.size(), 1u);
+  fl::JobResult result = deta.Run();
+  EXPECT_EQ(result.rounds.size(), 1u);
   // Partition sizes honor the proportions.
   const auto& mapper = deta.transform().mapper();
   EXPECT_GT(mapper.PartitionSize(0), mapper.PartitionSize(1) * 2);
 }
 
 TEST(DetaJobTest, PaillierFusionMatchesBaselineApproximately) {
-  fl::JobConfig base = BaseConfig();
+  fl::ExecutionOptions base = BaseOptions();
   base.rounds = 1;
   base.use_paillier = true;
   base.paillier_modulus_bits = 256;
   fl::FflJob ffl(base, MakePartiesWith(TinyMlpFactory(), 2, base.train), TinyMlpFactory(),
                  SmallMnist(30, 6));
-  ffl.Run();
+  fl::JobResult ffl_result = ffl.Run();
 
-  DetaJobConfig deta_config;
-  deta_config.base = base;
-  deta_config.num_aggregators = 2;
-  DetaJob deta(deta_config, MakePartiesWith(TinyMlpFactory(), 2, base.train),
+  DetaOptions deta_options;
+  deta_options.num_aggregators = 2;
+  DetaJob deta(base, deta_options, MakePartiesWith(TinyMlpFactory(), 2, base.train),
                TinyMlpFactory(), SmallMnist(30, 6));
-  deta.Run();
+  fl::JobResult deta_result = deta.Run();
 
-  const auto& a = ffl.global_params();
-  const auto& b = deta.final_params();
+  const auto& a = ffl_result.final_params;
+  const auto& b = deta_result.final_params;
   ASSERT_EQ(a.size(), b.size());
   float max_diff = 0.0f;
   for (size_t i = 0; i < a.size(); ++i) {
@@ -170,12 +167,11 @@ TEST(DetaJobTest, PaillierFusionMatchesBaselineApproximately) {
 // fragments — no aggregator holds a full update, and the fragments differ from the true
 // in-order coordinate values.
 TEST(DetaJobTest, BreachedAggregatorsHoldOnlyFragments) {
-  fl::JobConfig base = BaseConfig();
+  fl::ExecutionOptions base = BaseOptions();
   base.rounds = 1;
-  DetaJobConfig deta_config;
-  deta_config.base = base;
-  deta_config.num_aggregators = 3;
-  DetaJob deta(deta_config, MakeParties(2, base.train), SmallModelFactory(),
+  DetaOptions deta_options;
+  deta_options.num_aggregators = 3;
+  DetaJob deta(base, deta_options, MakeParties(2, base.train), SmallModelFactory(),
                SmallMnist(30, 6));
   deta.Run();
 
@@ -201,36 +197,55 @@ TEST(DetaJobTest, BreachedAggregatorsHoldOnlyFragments) {
 TEST(DetaJobTest, SingleAggregatorNoTransformModeWorks) {
   // §4.2: users can run one CVM-protected aggregator with partitioning/shuffling off
   // (e.g. for FLTrust-style algorithms needing the full model).
-  fl::JobConfig base = BaseConfig();
+  fl::ExecutionOptions base = BaseOptions();
   base.rounds = 1;
-  DetaJobConfig deta_config;
-  deta_config.base = base;
-  deta_config.num_aggregators = 1;
-  deta_config.enable_partition = false;
-  deta_config.enable_shuffle = false;
-  DetaJob deta(deta_config, MakeParties(2, base.train), SmallModelFactory(),
+  DetaOptions deta_options;
+  deta_options.num_aggregators = 1;
+  deta_options.enable_partition = false;
+  deta_options.enable_shuffle = false;
+  DetaJob deta(base, deta_options, MakeParties(2, base.train), SmallModelFactory(),
                SmallMnist(30, 6));
-  auto metrics = deta.Run();
-  EXPECT_EQ(metrics.size(), 1u);
+  fl::JobResult deta_result = deta.Run();
+  EXPECT_EQ(deta_result.rounds.size(), 1u);
 
   fl::FflJob ffl(base, MakeParties(2, base.train), SmallModelFactory(), SmallMnist(30, 6));
-  ffl.Run();
-  EXPECT_EQ(ffl.global_params(), deta.final_params());
+  fl::JobResult ffl_result = ffl.Run();
+  EXPECT_EQ(ffl_result.final_params, deta_result.final_params);
 }
 
 TEST(DetaJobTest, AttestationTimeReportedSeparately) {
-  fl::JobConfig base = BaseConfig();
+  fl::ExecutionOptions base = BaseOptions();
   base.rounds = 1;
-  DetaJobConfig deta_config;
-  deta_config.base = base;
-  deta_config.num_aggregators = 2;
-  DetaJob deta(deta_config, MakeParties(2, base.train), SmallModelFactory(),
+  DetaOptions deta_options;
+  deta_options.num_aggregators = 2;
+  DetaJob deta(base, deta_options, MakeParties(2, base.train), SmallModelFactory(),
                SmallMnist(30, 6));
-  auto metrics = deta.Run();
-  EXPECT_GT(deta.attestation_seconds(), 0.0);
-  // Round latency does not silently absorb attestation.
-  EXPECT_LT(metrics[0].round_latency_s, metrics[0].round_latency_s +
-                                            deta.attestation_seconds());
+  fl::JobResult result = deta.Run();
+  // One-time attestation/provisioning cost is reported in JobResult::setup_seconds and
+  // does not silently inflate per-round latency.
+  EXPECT_GT(result.setup_seconds, 0.0);
+  EXPECT_GT(result.rounds[0].round_latency_s, 0.0);
+}
+
+// The deterministic parallel layer must not change results: the whole FFL-vs-DeTA
+// bit-exactness contract has to hold at any thread count.
+TEST(DetaJobTest, ThreadCountDoesNotChangeResults) {
+  std::vector<float> reference;
+  for (int threads : {1, 2, 8}) {
+    fl::ExecutionOptions base = BaseOptions();
+    base.rounds = 1;
+    base.threads = threads;
+    DetaOptions deta_options;
+    deta_options.num_aggregators = 3;
+    DetaJob deta(base, deta_options, MakeParties(3, base.train), SmallModelFactory(),
+                 SmallMnist(30, 6));
+    fl::JobResult result = deta.Run();
+    if (reference.empty()) {
+      reference = result.final_params;
+    } else {
+      EXPECT_EQ(reference, result.final_params) << "threads=" << threads;
+    }
+  }
 }
 
 }  // namespace

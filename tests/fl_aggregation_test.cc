@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "fl/aggregation.h"
 
@@ -182,6 +183,37 @@ TEST(ShuffleInvarianceTest, AlgorithmsCommuteWithPermutation) {
     ASSERT_EQ(via_shuffle.size(), expected.size()) << name;
     for (size_t i = 0; i < n; ++i) {
       EXPECT_FLOAT_EQ(via_shuffle[i], expected[i]) << name << " coord " << i;
+    }
+  }
+}
+
+// The parallel layer's core contract: chunk boundaries depend only on the range and
+// grain, never the thread count, so every algorithm must produce bitwise-identical
+// outputs for any ExecutionOptions::threads value.
+TEST(ThreadInvarianceTest, AllAlgorithmsBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(42);
+  const size_t n = 50000;  // spans several chunks at the aggregation grain sizes
+  std::vector<ModelUpdate> updates;
+  for (int p = 0; p < 5; ++p) {
+    std::vector<float> v(n);
+    for (auto& x : v) {
+      x = rng.NextGaussian();
+    }
+    updates.push_back(MakeUpdate(std::move(v), 1.0 + p));
+  }
+
+  for (const char* name : {"iterative_averaging", "coordinate_median", "krum", "flame",
+                           "trimmed_mean", "multi_krum", "bulyan"}) {
+    auto algorithm = MakeAlgorithm(name);
+    std::vector<float> reference;
+    for (int threads : {1, 2, 8}) {
+      parallel::ScopedThreads scoped(threads);
+      auto out = algorithm->Aggregate(updates);
+      if (reference.empty()) {
+        reference = std::move(out);
+      } else {
+        EXPECT_EQ(out, reference) << name << " diverges at threads=" << threads;
+      }
     }
   }
 }

@@ -52,16 +52,19 @@ std::vector<std::unique_ptr<Party>> MakeParties(int count, const TrainConfig& tc
 }
 
 TEST(FflJobTest, FedAvgLossDecreases) {
-  JobConfig config;
-  config.rounds = 4;
-  config.train.batch_size = 16;
-  config.train.local_epochs = 1;
-  config.train.lr = 0.1f;
-  FflJob job(config, MakeParties(3, config.train), SmallModelFactory(), SmallMnist(60, 6));
-  auto metrics = job.Run();
+  ExecutionOptions options;
+  options.rounds = 4;
+  options.train.batch_size = 16;
+  options.train.local_epochs = 1;
+  options.train.lr = 0.1f;
+  FflJob job(options, MakeParties(3, options.train), SmallModelFactory(),
+             SmallMnist(60, 6));
+  JobResult result = job.Run();
+  const auto& metrics = result.rounds;
   ASSERT_EQ(metrics.size(), 4u);
   EXPECT_LT(metrics.back().loss, metrics.front().loss);
   EXPECT_GT(metrics.back().accuracy, 0.3);
+  EXPECT_FALSE(result.final_params.empty());
   // Latency accumulates monotonically.
   for (size_t i = 1; i < metrics.size(); ++i) {
     EXPECT_GT(metrics[i].cumulative_latency_s, metrics[i - 1].cumulative_latency_s);
@@ -70,49 +73,51 @@ TEST(FflJobTest, FedAvgLossDecreases) {
 }
 
 TEST(FflJobTest, FedSgdModeTrains) {
-  JobConfig config;
-  config.rounds = 25;
-  config.train.batch_size = 32;
-  config.train.lr = 0.15f;
-  config.train.kind = TrainConfig::UpdateKind::kGradient;
-  FflJob job(config, MakeParties(3, config.train), SmallModelFactory(), SmallMnist(60, 6));
-  auto metrics = job.Run();
-  EXPECT_LT(metrics.back().loss, metrics.front().loss);
+  ExecutionOptions options;
+  options.rounds = 25;
+  options.train.batch_size = 32;
+  options.train.lr = 0.15f;
+  options.train.kind = TrainConfig::UpdateKind::kGradient;
+  FflJob job(options, MakeParties(3, options.train), SmallModelFactory(),
+             SmallMnist(60, 6));
+  JobResult result = job.Run();
+  EXPECT_LT(result.rounds.back().loss, result.rounds.front().loss);
 }
 
 TEST(FflJobTest, CoordinateMedianConverges) {
-  JobConfig config;
-  config.rounds = 4;
-  config.algorithm = "coordinate_median";
-  config.train.batch_size = 16;
-  config.train.lr = 0.1f;
-  FflJob job(config, MakeParties(3, config.train), SmallModelFactory(), SmallMnist(60, 6));
-  auto metrics = job.Run();
-  EXPECT_LT(metrics.back().loss, metrics.front().loss);
+  ExecutionOptions options;
+  options.rounds = 4;
+  options.algorithm = "coordinate_median";
+  options.train.batch_size = 16;
+  options.train.lr = 0.1f;
+  FflJob job(options, MakeParties(3, options.train), SmallModelFactory(),
+             SmallMnist(60, 6));
+  JobResult result = job.Run();
+  EXPECT_LT(result.rounds.back().loss, result.rounds.front().loss);
 }
 
 TEST(FflJobTest, PaillierMatchesPlainAveraging) {
   // One round of Paillier fusion must reproduce plain uniform averaging up to the
   // fixed-point codec's quantization.
-  JobConfig plain_config;
-  plain_config.rounds = 1;
-  plain_config.train.batch_size = 16;
-  plain_config.train.lr = 0.1f;
+  ExecutionOptions plain_options;
+  plain_options.rounds = 1;
+  plain_options.train.batch_size = 16;
+  plain_options.train.lr = 0.1f;
   // Equal-sized shards make weighted and uniform averaging coincide.
-  FflJob plain(plain_config, MakePartiesWith(TinyMlpFactory(), 3, plain_config.train),
+  FflJob plain(plain_options, MakePartiesWith(TinyMlpFactory(), 3, plain_options.train),
                TinyMlpFactory(), SmallMnist(40, 6));
-  plain.Run();
+  JobResult plain_result = plain.Run();
 
-  JobConfig paillier_config = plain_config;
-  paillier_config.use_paillier = true;
-  paillier_config.paillier_modulus_bits = 256;
-  FflJob homomorphic(paillier_config,
-                     MakePartiesWith(TinyMlpFactory(), 3, paillier_config.train),
+  ExecutionOptions paillier_options = plain_options;
+  paillier_options.use_paillier = true;
+  paillier_options.paillier_modulus_bits = 256;
+  FflJob homomorphic(paillier_options,
+                     MakePartiesWith(TinyMlpFactory(), 3, paillier_options.train),
                      TinyMlpFactory(), SmallMnist(40, 6));
-  homomorphic.Run();
+  JobResult homomorphic_result = homomorphic.Run();
 
-  const auto& a = plain.global_params();
-  const auto& b = homomorphic.global_params();
+  const auto& a = plain_result.final_params;
+  const auto& b = homomorphic_result.final_params;
   ASSERT_EQ(a.size(), b.size());
   float max_diff = 0.0f;
   for (size_t i = 0; i < a.size(); ++i) {

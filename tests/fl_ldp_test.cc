@@ -130,13 +130,13 @@ TEST(LdpTest, LdpComposesWithFflTraining) {
     Rng rng(1234);
     return nn::BuildMlp(14 * 14, {16}, 10, rng);
   };
-  JobConfig config;
-  config.rounds = 6;
-  config.train.batch_size = 16;
-  config.train.lr = 0.1f;
-  config.train.ldp.enabled = true;
-  config.train.ldp.clip_norm = 2.0f;
-  config.train.ldp.noise_multiplier = 0.05f;
+  ExecutionOptions options;
+  options.rounds = 6;
+  options.train.batch_size = 16;
+  options.train.lr = 0.1f;
+  options.train.ldp.enabled = true;
+  options.train.ldp.clip_norm = 2.0f;
+  options.train.ldp.noise_multiplier = 0.05f;
 
   Rng split_rng(9);
   auto shards = data::SplitIid(train, 3, split_rng);
@@ -144,11 +144,11 @@ TEST(LdpTest, LdpComposesWithFflTraining) {
   for (int i = 0; i < 3; ++i) {
     parties.push_back(std::make_unique<Party>("party" + std::to_string(i),
                                               shards[static_cast<size_t>(i)], factory,
-                                              config.train, 100 + i));
+                                              options.train, 100 + i));
   }
-  FflJob job(config, std::move(parties), factory, eval);
-  auto metrics = job.Run();
-  EXPECT_LT(metrics.back().loss, metrics.front().loss);
+  FflJob job(options, std::move(parties), factory, eval);
+  JobResult result = job.Run();
+  EXPECT_LT(result.rounds.back().loss, result.rounds.front().loss);
 }
 
 }  // namespace

@@ -50,15 +50,16 @@ PipelineRun RunAndBreach(bool enable_shuffle) {
   parties.push_back(std::make_unique<fl::Party>("party0", run.party0_data, factory, tc, 1));
   parties.push_back(std::make_unique<fl::Party>("party1", party1_data, factory, tc, 2));
 
-  core::DetaJobConfig config;
-  config.base.rounds = 1;
-  config.base.train = tc;
-  config.num_aggregators = 2;
-  config.enable_partition = true;
-  config.enable_shuffle = enable_shuffle;
+  fl::ExecutionOptions options;
+  options.rounds = 1;
+  options.train = tc;
+  core::DetaOptions deta_options;
+  deta_options.num_aggregators = 2;
+  deta_options.enable_partition = true;
+  deta_options.enable_shuffle = enable_shuffle;
 
-  run.job = std::make_unique<core::DetaJob>(config, std::move(parties), factory,
-                                            full.Subset({4, 5, 6, 7}));
+  run.job = std::make_unique<core::DetaJob>(options, deta_options, std::move(parties),
+                                            factory, full.Subset({4, 5, 6, 7}));
   {
     auto model = factory();
     run.initial_params = model->GetFlatParams();
