@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Repository check gate: tier-1 build + full test suite, then a ThreadSanitizer build
+# of the concurrency-sensitive surface (message bus / protocol threads / parallel
+# layer). Run from anywhere; builds land in build/ and build-tsan/ at the repo root.
+#
+# Usage: scripts/check.sh [--tier1-only]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "==> tier-1: configure + build"
+cmake -B build -S . >/dev/null
+cmake --build build -j "${jobs}"
+
+echo "==> tier-1: ctest"
+(cd build && ctest --output-on-failure -j "${jobs}")
+
+if [[ "${1:-}" == "--tier1-only" ]]; then
+  echo "==> OK (tier-1 only)"
+  exit 0
+fi
+
+echo "==> tsan: configure + build (DETA_SANITIZE=thread)"
+cmake -B build-tsan -S . -DDETA_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${jobs}"
+
+# The TSan gate covers the suites that exercise real threads: the bus and its fault
+# injector, retry/secure-channel, the deterministic parallel layer, and the
+# aggregator/party/job protocol stack. Filtering keeps the (slow, ~10x) sanitized run
+# feasible on small containers.
+tsan_filter='MessageBus*:FaultInjector*:Retry*:SecureChannel*:Codec*:ParallelFor*:ParallelReduce*:DefaultThreads*:ThreadInvariance*:AggregatorNode*:KeyBroker*:Auth*:DetaJobFaultTest.QuorumFailureIsTypedNotAHang'
+echo "==> tsan: net/core/parallel suites"
+TSAN_OPTIONS="halt_on_error=1" \
+  ./build-tsan/tests/deta_tests --gtest_filter="${tsan_filter}"
+
+echo "==> OK"

@@ -23,6 +23,39 @@ Bytes RegistrationTranscript(const std::string& party, const Bytes& party_share,
   return w.Take();
 }
 
+// Shared responder-side core: derive a channel from |registration| and build the wire
+// ack. Returns nullopt on a malformed share.
+struct RegistrationAck {
+  Bytes ack_wire;
+  net::SecureChannel channel;
+};
+
+std::optional<RegistrationAck> BuildRegistrationAck(const std::string& responder,
+                                                    const net::Message& registration,
+                                                    const crypto::BigUint& token_private,
+                                                    crypto::SecureRng& rng) {
+  std::optional<crypto::EcPoint> party_point = Curve().Decode(registration.payload);
+  if (!party_point.has_value() || party_point->is_infinity) {
+    LOG_WARNING << responder << ": malformed registration share from "
+                << registration.from;
+    return std::nullopt;
+  }
+  crypto::EcKeyPair ephemeral = crypto::GenerateEcKey(rng);
+  Bytes my_share = Curve().Encode(ephemeral.public_key);
+  Bytes transcript =
+      RegistrationTranscript(registration.from, registration.payload, my_share);
+  crypto::EcdsaSignature sig = crypto::EcdsaSign(token_private, transcript);
+
+  net::Writer w;
+  w.WriteBytes(my_share);
+  w.WriteBytes(sig.Serialize());
+
+  Bytes master = crypto::EcdhSharedSecret(ephemeral.private_key, *party_point);
+  return RegistrationAck{
+      w.Take(), net::SecureChannel(master, ChannelId(registration.from, responder),
+                                   net::ChannelRole::kResponder)};
+}
+
 }  // namespace
 
 std::string ChannelId(const std::string& party, const std::string& aggregator) {
@@ -30,11 +63,13 @@ std::string ChannelId(const std::string& party, const std::string& aggregator) {
 }
 
 bool VerifyAggregator(net::Endpoint& endpoint, const std::string& aggregator,
-                      const crypto::EcPoint& token_public, crypto::SecureRng& rng) {
+                      const crypto::EcPoint& token_public, crypto::SecureRng& rng,
+                      const net::RetryPolicy& policy) {
   Bytes nonce = rng.NextBytes(32);
-  endpoint.Send(aggregator, kAuthChallenge, nonce);
-  std::optional<net::Message> reply = endpoint.ReceiveType(kAuthResponse);
-  if (!reply.has_value() || reply->from != aggregator) {
+  std::optional<net::Message> reply =
+      net::RequestReply(endpoint, aggregator, kAuthChallenge, nonce, kAuthResponse,
+                        policy);
+  if (!reply.has_value()) {
     return false;
   }
   if (reply->payload.size() != 64) {
@@ -49,16 +84,18 @@ bool VerifyAggregator(net::Endpoint& endpoint, const std::string& aggregator,
   return ok;
 }
 
-std::optional<net::SecureChannel> RegisterWithAggregator(net::Endpoint& endpoint,
-                                                         const std::string& aggregator,
-                                                         const crypto::EcPoint& token_public,
-                                                         crypto::SecureRng& rng) {
+std::optional<net::SecureChannel> RegisterWithAggregator(
+    net::Endpoint& endpoint, const std::string& aggregator,
+    const crypto::EcPoint& token_public, crypto::SecureRng& rng,
+    const net::RetryPolicy& policy) {
   crypto::EcKeyPair ephemeral = crypto::GenerateEcKey(rng);
   Bytes my_share = Curve().Encode(ephemeral.public_key);
-  endpoint.Send(aggregator, kAuthRegister, my_share);
 
-  std::optional<net::Message> ack = endpoint.ReceiveType(kAuthRegisterAck);
-  if (!ack.has_value() || ack->from != aggregator) {
+  // The same share is retransmitted on every attempt, so the responder's
+  // RegistrationCache recognises re-registrations and keeps the channel keys stable.
+  std::optional<net::Message> ack = net::RequestReply(
+      endpoint, aggregator, kAuthRegister, my_share, kAuthRegisterAck, policy);
+  if (!ack.has_value()) {
     return std::nullopt;
   }
   net::Reader r(ack->payload);
@@ -79,7 +116,8 @@ std::optional<net::SecureChannel> RegisterWithAggregator(net::Endpoint& endpoint
     return std::nullopt;
   }
   Bytes master = crypto::EcdhSharedSecret(ephemeral.private_key, *their_point);
-  return net::SecureChannel(master, ChannelId(endpoint.name(), aggregator));
+  return net::SecureChannel(master, ChannelId(endpoint.name(), aggregator),
+                            net::ChannelRole::kInitiator);
 }
 
 void AnswerChallenge(net::Endpoint& endpoint, const net::Message& challenge,
@@ -91,26 +129,36 @@ void AnswerChallenge(net::Endpoint& endpoint, const net::Message& challenge,
 std::optional<std::pair<std::string, net::SecureChannel>> AcceptRegistration(
     net::Endpoint& endpoint, const net::Message& registration,
     const crypto::BigUint& token_private, crypto::SecureRng& rng) {
-  std::optional<crypto::EcPoint> party_point = Curve().Decode(registration.payload);
-  if (!party_point.has_value() || party_point->is_infinity) {
-    LOG_WARNING << endpoint.name() << ": malformed registration share from "
-                << registration.from;
+  std::optional<RegistrationAck> ack =
+      BuildRegistrationAck(endpoint.name(), registration, token_private, rng);
+  if (!ack.has_value()) {
     return std::nullopt;
   }
-  crypto::EcKeyPair ephemeral = crypto::GenerateEcKey(rng);
-  Bytes my_share = Curve().Encode(ephemeral.public_key);
-  Bytes transcript = RegistrationTranscript(registration.from, registration.payload, my_share);
-  crypto::EcdsaSignature sig = crypto::EcdsaSign(token_private, transcript);
+  endpoint.Send(registration.from, kAuthRegisterAck, ack->ack_wire);
+  return std::make_pair(registration.from, std::move(ack->channel));
+}
 
-  net::Writer w;
-  w.WriteBytes(my_share);
-  w.WriteBytes(sig.Serialize());
-  endpoint.Send(registration.from, kAuthRegisterAck, w.Take());
-
-  Bytes master = crypto::EcdhSharedSecret(ephemeral.private_key, *party_point);
-  return std::make_pair(registration.from,
-                        net::SecureChannel(master, ChannelId(registration.from,
-                                                             endpoint.name())));
+std::optional<std::pair<std::string, net::SecureChannel>> RegistrationCache::Accept(
+    net::Endpoint& endpoint, const net::Message& registration,
+    const crypto::BigUint& token_private, crypto::SecureRng& rng) {
+  auto it = entries_.find(registration.from);
+  if (it != entries_.end() && it->second.party_share == registration.payload) {
+    // Retransmitted registration: the party never saw our ack (or a duplicate survived
+    // in flight). Re-send the identical ack so both sides converge on the same keys;
+    // the channel created for the first copy stays valid.
+    LOG_DEBUG << endpoint.name() << ": re-acking registration from "
+              << registration.from;
+    endpoint.Send(registration.from, kAuthRegisterAck, it->second.ack_wire);
+    return std::nullopt;
+  }
+  std::optional<RegistrationAck> ack =
+      BuildRegistrationAck(endpoint.name(), registration, token_private, rng);
+  if (!ack.has_value()) {
+    return std::nullopt;
+  }
+  entries_[registration.from] = Entry{registration.payload, ack->ack_wire};
+  endpoint.Send(registration.from, kAuthRegisterAck, ack->ack_wire);
+  return std::make_pair(registration.from, std::move(ack->channel));
 }
 
 }  // namespace deta::core

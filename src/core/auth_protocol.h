@@ -9,15 +9,24 @@
 //      exchange, with the aggregator signing the handshake transcript using the same
 //      token (authenticated key agreement; the TLS stand-in). All subsequent model-update
 //      traffic is sealed on the resulting channel.
+//
+// All party-side waits are bounded (net/retry.h): a lost challenge, response, register or
+// ack is retransmitted with capped exponential backoff, and replies are matched by sender
+// so a delayed reply from another aggregator cannot fail the current handshake.
+// Retransmitted registrations are handled idempotently on the responder via
+// RegistrationCache — the cached ack re-establishes the *same* channel keys, so both
+// sides agree on channel state no matter which copy of which message survived.
 #ifndef DETA_CORE_AUTH_PROTOCOL_H_
 #define DETA_CORE_AUTH_PROTOCOL_H_
 
+#include <map>
 #include <optional>
 #include <string>
 
 #include "crypto/ec.h"
 #include "crypto/ecdsa.h"
 #include "net/message_bus.h"
+#include "net/retry.h"
 #include "net/secure_channel.h"
 
 namespace deta::core {
@@ -33,27 +42,53 @@ std::string ChannelId(const std::string& party, const std::string& aggregator);
 
 // --- party side ---
 
-// Step 1: challenge-response verification of one aggregator. Blocking.
+// Step 1: challenge-response verification of one aggregator. Bounded: retransmits the
+// challenge per |policy| and fails (false) when the aggregator stays unresponsive.
 bool VerifyAggregator(net::Endpoint& endpoint, const std::string& aggregator,
-                      const crypto::EcPoint& token_public, crypto::SecureRng& rng);
+                      const crypto::EcPoint& token_public, crypto::SecureRng& rng,
+                      const net::RetryPolicy& policy = {});
 
-// Step 2: registration + authenticated ECDH. Returns the established channel, or nullopt
-// if the transcript signature fails.
-std::optional<net::SecureChannel> RegisterWithAggregator(net::Endpoint& endpoint,
-                                                         const std::string& aggregator,
-                                                         const crypto::EcPoint& token_public,
-                                                         crypto::SecureRng& rng);
+// Step 2: registration + authenticated ECDH. Returns the established channel (initiator
+// role), or nullopt if the transcript signature fails or the aggregator stays silent.
+std::optional<net::SecureChannel> RegisterWithAggregator(
+    net::Endpoint& endpoint, const std::string& aggregator,
+    const crypto::EcPoint& token_public, crypto::SecureRng& rng,
+    const net::RetryPolicy& policy = {});
 
 // --- aggregator side ---
 
-// Responds to one kAuthChallenge message.
+// Responds to one kAuthChallenge message. Naturally idempotent: a retransmitted
+// challenge is simply answered again.
 void AnswerChallenge(net::Endpoint& endpoint, const net::Message& challenge,
                      const crypto::BigUint& token_private);
 
-// Handles one kAuthRegister message; returns (party name, channel) on success.
+// Handles one kAuthRegister message; returns (party name, responder-role channel) on
+// success. NOT idempotent under retransmission — prefer RegistrationCache in any event
+// loop that can see the same registration twice.
 std::optional<std::pair<std::string, net::SecureChannel>> AcceptRegistration(
     net::Endpoint& endpoint, const net::Message& registration,
     const crypto::BigUint& token_private, crypto::SecureRng& rng);
+
+// Responder-side registration state: caches the ack sent to each party so a
+// retransmitted registration (same party, same ECDH share) is answered with the
+// identical ack — re-deriving the same master secret — instead of re-keying a channel
+// the party may already be using. A registration with a *different* share (the party
+// restarted) re-keys and returns the fresh channel.
+class RegistrationCache {
+ public:
+  // Processes one kAuthRegister message, always replying to the party. Returns a channel
+  // only when one was (re-)created; nullopt for cached re-acks and malformed shares.
+  std::optional<std::pair<std::string, net::SecureChannel>> Accept(
+      net::Endpoint& endpoint, const net::Message& registration,
+      const crypto::BigUint& token_private, crypto::SecureRng& rng);
+
+ private:
+  struct Entry {
+    Bytes party_share;
+    Bytes ack_wire;
+  };
+  std::map<std::string, Entry> entries_;
+};
 
 }  // namespace deta::core
 

@@ -8,6 +8,11 @@
 
 namespace deta::core {
 
+namespace {
+// Event-loop tick granularity: deadlines and retransmissions are checked this often.
+constexpr int kTickMs = 50;
+}  // namespace
+
 DetaAggregator::DetaAggregator(AggregatorConfig config, net::MessageBus& bus,
                                std::shared_ptr<cc::Cvm> cvm, crypto::SecureRng rng)
     : config_(std::move(config)), bus_(bus), cvm_(std::move(cvm)), rng_(std::move(rng)) {
@@ -41,46 +46,115 @@ void DetaAggregator::Join() {
 }
 
 void DetaAggregator::Run() {
+  idle_deadline_ = Clock::now() + std::chrono::milliseconds(config_.idle_timeout_ms);
   for (;;) {
-    std::optional<net::Message> m = endpoint_->Receive();
-    if (!m.has_value()) {
-      return;  // endpoint closed
-    }
-    if (m->type == kAuthChallenge) {
-      AnswerChallenge(*endpoint_, *m, token_private_);
-    } else if (m->type == kAuthRegister) {
-      auto result = AcceptRegistration(*endpoint_, *m, token_private_, rng_);
-      if (result.has_value()) {
-        channels_.insert(std::move(*result));
+    std::optional<net::Message> m = endpoint_->ReceiveFor(kTickMs);
+    if (m.has_value()) {
+      idle_deadline_ = Clock::now() + std::chrono::milliseconds(config_.idle_timeout_ms);
+      if (draining_) {
+        // Any traffic is evidence some party is still recovering its result.
+        drain_deadline_ =
+            Clock::now() + std::chrono::milliseconds(config_.drain_timeout_ms);
       }
-    } else if (m->type == kJobStart) {
-      DETA_CHECK_MSG(config_.is_initiator, "job.start sent to a follower aggregator");
-      BeginRound(1);
-    } else if (m->type == kRoundUpload) {
-      HandleUpload(*m);
-    } else if (m->type == kRoundDone) {
-      net::Reader r(m->payload);
-      HandleRoundDone(static_cast<int>(r.ReadU32()));
-    } else if (m->type == kShutdown) {
+      Dispatch(*m);
+    } else if (endpoint_->closed()) {
       return;
-    } else {
-      LOG_WARNING << config_.name << ": unexpected message type " << m->type;
     }
+    OnTick();
     if (finished_) {
       return;
     }
   }
 }
 
-void DetaAggregator::BeginRound(int round) {
-  current_round_ = round;
-  followers_done_ = 0;
-  LOG_DEBUG << config_.name << ": beginning round " << round;
+void DetaAggregator::Dispatch(const net::Message& m) {
+  if (m.type == kAuthChallenge) {
+    AnswerChallenge(*endpoint_, m, token_private_);
+  } else if (m.type == kAuthRegister) {
+    auto result = registrations_.Accept(*endpoint_, m, token_private_, rng_);
+    if (result.has_value()) {
+      channels_.insert_or_assign(result->first, std::move(result->second));
+    }
+  } else if (m.type == kJobStart) {
+    HandleJobStart(m);
+  } else if (m.type == kRoundBegin) {
+    HandleRoundBegin(m);
+  } else if (m.type == kRoundUpload) {
+    HandleUpload(m);
+  } else if (m.type == kRoundDone) {
+    net::Reader r(m.payload);
+    MarkRoundDone(m.from, static_cast<int>(r.ReadU32()));
+  } else if (m.type == kPartyDone) {
+    done_parties_.insert(m.from);
+  } else if (m.type == kShutdown) {
+    if (last_aggregated_round_ >= config_.rounds) {
+      // Completion fanout from the initiator. Don't vanish yet: a party whose final
+      // round.result was lost still needs this node alive to re-serve it.
+      done_pending_ = false;  // the fanout doubles as the round.done ack
+      StartDraining();
+    } else {
+      finished_ = true;
+    }
+  } else {
+    LOG_WARNING << config_.name << ": unexpected message type " << m.type;
+  }
+}
+
+void DetaAggregator::HandleJobStart(const net::Message& m) {
+  if (!config_.is_initiator) {
+    LOG_WARNING << config_.name << ": job.start sent to a follower aggregator — ignored";
+    return;
+  }
+  if (current_round_ == 0) {
+    StartCollecting(1);
+    SendRoundBegin();
+    done_.clear();
+    begin_attempts_ = 1;
+    next_begin_resend_ =
+        Clock::now() + std::chrono::milliseconds(config_.retry.TimeoutForAttempt(0));
+  }
+  // Ack even for a duplicate job.start: the first ack may have been dropped.
+  endpoint_->Send(m.from, kJobStartAck, {});
+}
+
+void DetaAggregator::SendRoundBegin() {
   net::Writer w;
-  w.WriteU32(static_cast<uint32_t>(round));
+  w.WriteU32(static_cast<uint32_t>(current_round_));
   for (const std::string& party : config_.party_names) {
     endpoint_->Send(party, kRoundBegin, w.buffer());
   }
+  // Followers get the round notice too, so their collection deadline starts even when
+  // every upload to them is delayed or dropped.
+  for (const std::string& peer : config_.aggregator_names) {
+    if (peer != config_.name) {
+      endpoint_->Send(peer, kRoundBegin, w.buffer());
+    }
+  }
+}
+
+void DetaAggregator::HandleRoundBegin(const net::Message& m) {
+  net::Reader r(m.payload);
+  int round = static_cast<int>(r.ReadU32());
+  if (config_.is_initiator) {
+    LOG_WARNING << config_.name << ": initiator received round.begin — ignored";
+    return;
+  }
+  // round.begin for round r+1 is the implicit ack of our round.done for round r.
+  if (done_pending_ && round > done_round_) {
+    done_pending_ = false;
+  }
+  if (round <= last_aggregated_round_ || (collecting_ && round <= current_round_)) {
+    return;  // retransmission of a round we already know about
+  }
+  StartCollecting(round);
+}
+
+void DetaAggregator::StartCollecting(int round) {
+  current_round_ = round;
+  collecting_ = true;
+  round_deadline_ =
+      Clock::now() + std::chrono::milliseconds(config_.round_timeout_ms);
+  LOG_DEBUG << config_.name << ": collecting round " << round;
 }
 
 void DetaAggregator::HandleUpload(const net::Message& m) {
@@ -92,9 +166,26 @@ void DetaAggregator::HandleUpload(const net::Message& m) {
   net::Reader r(m.payload);
   int round = static_cast<int>(r.ReadU32());
   if (round <= last_aggregated_round_) {
-    LOG_WARNING << config_.name << ": dropping straggler fragment from " << m.from
-                << " for completed round " << round;
+    if (round == result_round_ && !result_plain_.empty()) {
+      // The party is retransmitting because it never saw our result — re-serve it.
+      ResendResult(m.from);
+    } else {
+      LOG_WARNING << config_.name << ": dropping straggler fragment from " << m.from
+                  << " for completed round " << round;
+    }
     return;
+  }
+  if (!collecting_) {
+    // Follower whose round.begin is still in flight: the first upload starts the round.
+    StartCollecting(round);
+  }
+  if (round != current_round_) {
+    LOG_WARNING << config_.name << ": upload from " << m.from << " for round " << round
+                << " while collecting round " << current_round_;
+    return;
+  }
+  if (staged_.count(m.from)) {
+    return;  // retransmission of a fragment we already hold
   }
   Bytes sealed = r.ReadBytes();
   std::optional<Bytes> fragment = channel->second.Open(sealed);
@@ -106,14 +197,13 @@ void DetaAggregator::HandleUpload(const net::Message& m) {
   // material the §6 breach experiments dump.
   cvm_->GuestWrite("update:" + m.from + ":r" + std::to_string(round), *fragment);
   staged_[m.from] = std::move(*fragment);
-  int quorum = config_.quorum > 0 ? config_.quorum : config_.num_parties;
-  if (static_cast<int>(staged_.size()) >= quorum) {
-    last_aggregated_round_ = round;
-    AggregateAndDistribute(round);
+  int early = config_.quorum > 0 ? config_.quorum : config_.num_parties;
+  if (static_cast<int>(staged_.size()) >= early) {
+    Aggregate(round);
   }
 }
 
-void DetaAggregator::AggregateAndDistribute(int round) {
+void DetaAggregator::Aggregate(int round) {
   Stopwatch watch;
   Bytes result_payload;
 
@@ -140,9 +230,23 @@ void DetaAggregator::AggregateAndDistribute(int round) {
     aggregated.weight = 1.0;
     result_payload = fl::SerializeUpdate(aggregated);
   }
+  std::vector<std::string> missing;
+  for (const std::string& party : config_.party_names) {
+    if (!staged_.count(party)) {
+      missing.push_back(party);
+    }
+  }
   staged_.clear();
+  last_aggregated_round_ = round;
+  collecting_ = false;
+  result_round_ = round;
+  result_plain_ = result_payload;
   cvm_->GuestWrite("aggregated:r" + std::to_string(round), result_payload);
   double agg_seconds = watch.ElapsedSeconds();
+  if (!missing.empty()) {
+    LOG_WARNING << config_.name << ": aggregated round " << round << " without "
+                << missing.size() << " part" << (missing.size() == 1 ? "y" : "ies");
+  }
 
   // Distribute AU[A_j] back to every party over its secure channel.
   for (auto& [party, channel] : channels_) {
@@ -152,40 +256,82 @@ void DetaAggregator::AggregateAndDistribute(int round) {
     endpoint_->Send(party, kRoundResult, w.Take());
   }
 
-  // Timing report for the latency model.
+  // Timing + dropout report for the observer.
   if (!config_.observer.empty()) {
     net::Writer w;
     w.WriteU32(static_cast<uint32_t>(round));
     w.WriteDouble(agg_seconds);
     w.WriteU64(result_payload.size());
+    w.WriteU32(static_cast<uint32_t>(missing.size()));
+    for (const std::string& party : missing) {
+      w.WriteString(party);
+    }
     endpoint_->Send(config_.observer, kAggReport, w.Take());
   }
 
   // Synchronization: followers notify the initiator; the initiator counts itself.
-  net::Writer w;
-  w.WriteU32(static_cast<uint32_t>(round));
   if (config_.is_initiator) {
-    HandleRoundDone(round);
+    MarkRoundDone(config_.name, round);
   } else {
-    endpoint_->Send(config_.initiator_name, kRoundDone, w.Take());
+    done_pending_ = true;
+    done_round_ = round;
+    done_attempts_ = 1;
+    next_done_resend_ =
+        Clock::now() + std::chrono::milliseconds(config_.retry.TimeoutForAttempt(0));
+    SendRoundDone();
   }
 }
 
-void DetaAggregator::HandleRoundDone(int round) {
-  DETA_CHECK_MSG(config_.is_initiator, "round.done received by a follower");
+void DetaAggregator::ResendResult(const std::string& party) {
+  auto channel = channels_.find(party);
+  if (channel == channels_.end()) {
+    return;
+  }
+  LOG_DEBUG << config_.name << ": re-serving round " << result_round_ << " result to "
+            << party;
+  net::Writer w;
+  w.WriteU32(static_cast<uint32_t>(result_round_));
+  w.WriteBytes(channel->second.Seal(result_plain_, rng_));
+  endpoint_->Send(party, kRoundResult, w.Take());
+}
+
+void DetaAggregator::SendRoundDone() {
+  net::Writer w;
+  w.WriteU32(static_cast<uint32_t>(done_round_));
+  endpoint_->Send(config_.initiator_name, kRoundDone, w.Take());
+}
+
+void DetaAggregator::MarkRoundDone(const std::string& aggregator, int round) {
+  if (!config_.is_initiator) {
+    LOG_WARNING << config_.name << ": round.done received by a follower";
+    return;
+  }
   if (round != current_round_) {
     LOG_WARNING << config_.name << ": stale round.done for round " << round;
     return;
   }
-  ++followers_done_;
-  if (followers_done_ < config_.num_aggregators) {
+  // A set, not a counter: a retransmitted round.done from the same follower must not
+  // count twice. Completion needs every aggregator including ourselves, and our own
+  // name only lands here after our own aggregation.
+  done_.insert(aggregator);
+  if (static_cast<int>(done_.size()) < config_.num_aggregators) {
     return;
   }
   if (current_round_ < config_.rounds) {
-    BeginRound(current_round_ + 1);
+    done_.clear();
+    StartCollecting(current_round_ + 1);
+    SendRoundBegin();
+    begin_attempts_ = 1;
+    next_begin_resend_ =
+        Clock::now() + std::chrono::milliseconds(config_.retry.TimeoutForAttempt(0));
     return;
   }
-  // Training complete: fan out shutdown to parties and follower aggregators.
+  // Training complete: fan out shutdown to parties and follower aggregators, then
+  // drain rather than exit — a party whose final round.result was dropped recovers by
+  // retransmitting its upload, which only works while this node is still answering.
+  // Parties and followers that miss the (unacknowledged) shutdown exit on their own —
+  // parties deterministically after their final round, followers when their own drain
+  // runs dry.
   for (const std::string& party : config_.party_names) {
     endpoint_->Send(party, kShutdown, {});
   }
@@ -194,8 +340,98 @@ void DetaAggregator::HandleRoundDone(int round) {
       endpoint_->Send(peer, kShutdown, {});
     }
   }
-  finished_ = true;
   LOG_INFO << config_.name << ": training complete after " << config_.rounds << " rounds";
+  StartDraining();
+}
+
+void DetaAggregator::StartDraining() {
+  if (draining_) {
+    return;
+  }
+  draining_ = true;
+  drain_deadline_ = Clock::now() + std::chrono::milliseconds(config_.drain_timeout_ms);
+  LOG_DEBUG << config_.name << ": draining";
+}
+
+void DetaAggregator::FailRound(int round, int have, int need) {
+  LOG_WARNING << config_.name << ": quorum failure in round " << round << " (" << have
+              << "/" << need << " fragments at deadline)";
+  if (!config_.observer.empty()) {
+    net::Writer w;
+    w.WriteU32(static_cast<uint32_t>(round));
+    w.WriteU32(static_cast<uint32_t>(have));
+    w.WriteU32(static_cast<uint32_t>(need));
+    endpoint_->Send(config_.observer, kAggFailed, w.Take());
+  }
+  finished_ = true;
+}
+
+void DetaAggregator::OnTick() {
+  if (finished_) {
+    return;
+  }
+  Clock::time_point now = Clock::now();
+
+  if (draining_) {
+    bool all_confirmed = true;
+    for (const std::string& party : config_.party_names) {
+      if (!done_parties_.count(party)) {
+        all_confirmed = false;
+        break;
+      }
+    }
+    if (all_confirmed || now >= drain_deadline_) {
+      finished_ = true;
+    }
+    return;  // no round deadlines or retransmissions apply while draining
+  }
+
+  // Round-collection deadline: aggregate what we have if the floor is met, otherwise
+  // fail the round with a typed error instead of waiting forever.
+  if (collecting_ && now >= round_deadline_) {
+    int have = static_cast<int>(staged_.size());
+    int need = config_.min_quorum > 0 ? config_.min_quorum : config_.num_parties;
+    if (have >= need) {
+      Aggregate(current_round_);
+    } else {
+      FailRound(current_round_, have, need);
+      return;
+    }
+  }
+
+  // Initiator: keep nudging parties (and followers) with round.begin until the round
+  // completes — recovers parties whose original notice was dropped.
+  if (config_.is_initiator && current_round_ > 0 &&
+      static_cast<int>(done_.size()) < config_.num_aggregators &&
+      begin_attempts_ < config_.retry.max_attempts && now >= next_begin_resend_) {
+    SendRoundBegin();
+    next_begin_resend_ = now + std::chrono::milliseconds(
+                                   config_.retry.TimeoutForAttempt(begin_attempts_));
+    ++begin_attempts_;
+  }
+
+  // Follower: retransmit round.done until the next round.begin (or shutdown) acks it.
+  if (done_pending_ && now >= next_done_resend_) {
+    if (done_attempts_ >= config_.retry.max_attempts) {
+      done_pending_ = false;
+      if (done_round_ >= config_.rounds) {
+        // Final round and the initiator never advanced us: assume it is gone, but keep
+        // serving cached results to straggling parties before exiting.
+        StartDraining();
+      }
+      return;
+    }
+    SendRoundDone();
+    next_done_resend_ = now + std::chrono::milliseconds(
+                                  config_.retry.TimeoutForAttempt(done_attempts_));
+    ++done_attempts_;
+  }
+
+  if (now >= idle_deadline_) {
+    LOG_WARNING << config_.name << ": no traffic for " << config_.idle_timeout_ms
+                << "ms — giving up";
+    finished_ = true;
+  }
 }
 
 }  // namespace deta::core

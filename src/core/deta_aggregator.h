@@ -3,8 +3,17 @@
 // thread with an event loop over bus messages.
 //
 // Roles: one aggregator is the *initiator* — it starts each training round by notifying
-// the parties and advances to the next round once every follower reports completion
-// ("Inter-Aggregator Training Synchronization"). The rest are followers.
+// the parties and the follower aggregators, and advances to the next round once every
+// aggregator reports completion ("Inter-Aggregator Training Synchronization"). The rest
+// are followers.
+//
+// The event loop never blocks unboundedly: it ticks on a short receive timeout and uses
+// the ticks to (a) retransmit round.begin / round.done with capped backoff, (b) enforce a
+// per-round collection deadline — aggregating the staged subset when a minimum quorum is
+// met and reporting the absentees, or emitting a typed agg.failed to the observer when it
+// is not — and (c) bail out on a global idle backstop instead of hanging. A party whose
+// round.result was dropped recovers by retransmitting its upload: uploads for an
+// already-aggregated round are answered with a re-sealed copy of the cached result.
 //
 // Everything secret the aggregator handles (its auth token, received fragments, the
 // aggregated result) lives in the CVM's encrypted memory, so the breach experiments can
@@ -12,9 +21,11 @@
 #ifndef DETA_CORE_DETA_AGGREGATOR_H_
 #define DETA_CORE_DETA_AGGREGATOR_H_
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 
@@ -23,16 +34,22 @@
 #include "fl/aggregation.h"
 #include "fl/paillier_fusion.h"
 #include "net/message_bus.h"
+#include "net/retry.h"
 
 namespace deta::core {
 
 // Round-protocol message tags.
 inline constexpr char kJobStart[] = "job.start";
+inline constexpr char kJobStartAck[] = "job.start_ack";
 inline constexpr char kRoundBegin[] = "round.begin";
 inline constexpr char kRoundUpload[] = "round.upload";
 inline constexpr char kRoundResult[] = "round.result";
 inline constexpr char kRoundDone[] = "round.done";
 inline constexpr char kAggReport[] = "agg.report";
+inline constexpr char kAggFailed[] = "agg.failed";
+// Sent by each party to every aggregator when it exits; lets aggregators stop draining
+// early instead of waiting out the drain quiet period.
+inline constexpr char kPartyDone[] = "party.done";
 inline constexpr char kShutdown[] = "shutdown";
 
 struct AggregatorConfig {
@@ -46,6 +63,24 @@ struct AggregatorConfig {
   // Late fragments for an already-aggregated round are dropped — tolerates stragglers in
   // the asynchronous-training setting §8.2 discusses.
   int quorum = 0;
+  // Minimum fragments required when the round deadline expires. 0 = all parties must
+  // arrive before the deadline (any absence is a quorum failure); > 0 = aggregate the
+  // staged subset at the deadline and report the missing parties as dropouts.
+  int min_quorum = 0;
+  // Deadline for collecting one round's uploads, measured from when this aggregator
+  // learns the round started. Must exceed the retry policy's total budget or parties
+  // lose their retransmission window.
+  int round_timeout_ms = 10000;
+  // Backstop: exit (with a warning) if no message arrives for this long.
+  int idle_timeout_ms = 60000;
+  // After the final round the aggregator *drains* instead of exiting: it keeps
+  // re-serving the cached round result to parties whose copy was lost, until every
+  // party confirms completion (party.done) or the mailbox stays quiet for this long.
+  // Must exceed the retry policy's capped per-attempt timeout, or the drain can end
+  // between two retransmissions of a party that still needs the result.
+  int drain_timeout_ms = 4000;
+  // Retransmission pacing for round.begin / round.done.
+  net::RetryPolicy retry;
   std::string algorithm = "iterative_averaging";
   // Paillier fusion: aggregate ciphertexts homomorphically instead of plaintext floats.
   bool use_paillier = false;
@@ -76,11 +111,22 @@ class DetaAggregator {
   const std::shared_ptr<cc::Cvm>& cvm() const { return cvm_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   void Run();
+  void Dispatch(const net::Message& m);
+  void OnTick();
+  void HandleJobStart(const net::Message& m);
+  void HandleRoundBegin(const net::Message& m);
   void HandleUpload(const net::Message& m);
-  void AggregateAndDistribute(int round);
-  void HandleRoundDone(int round);
-  void BeginRound(int round);
+  void StartCollecting(int round);
+  void Aggregate(int round);
+  void ResendResult(const std::string& party);
+  void SendRoundBegin();
+  void SendRoundDone();
+  void MarkRoundDone(const std::string& aggregator, int round);
+  void FailRound(int round, int have, int need);
+  void StartDraining();
 
   AggregatorConfig config_;
   net::MessageBus& bus_;
@@ -91,12 +137,35 @@ class DetaAggregator {
   std::unique_ptr<fl::AggregationAlgorithm> algorithm_;
   std::unique_ptr<fl::PaillierVectorCodec> paillier_codec_;
 
+  RegistrationCache registrations_;
   std::map<std::string, net::SecureChannel> channels_;  // party -> channel
   // Per-round fragment staging: party -> serialized fragment payload.
   std::map<std::string, Bytes> staged_;
   int current_round_ = 0;
   int last_aggregated_round_ = 0;
-  int followers_done_ = 0;
+  bool collecting_ = false;
+  Clock::time_point round_deadline_;
+  // Cached result of the last aggregated round, re-sealed on demand for parties whose
+  // round.result was lost.
+  int result_round_ = 0;
+  Bytes result_plain_;
+  // Initiator: aggregators (including self) that completed the current round.
+  std::set<std::string> done_;
+  // Initiator: round.begin retransmission state.
+  int begin_attempts_ = 0;
+  Clock::time_point next_begin_resend_;
+  // Follower: round.done retransmission state (pending until acked by the next
+  // round.begin or shutdown).
+  bool done_pending_ = false;
+  int done_round_ = 0;
+  int done_attempts_ = 0;
+  Clock::time_point next_done_resend_;
+  Clock::time_point idle_deadline_;
+  // Post-final-round drain state: still serving cached results, exiting once every
+  // party confirmed completion or the mailbox has been quiet long enough.
+  bool draining_ = false;
+  Clock::time_point drain_deadline_;
+  std::set<std::string> done_parties_;
   bool finished_ = false;
   std::thread thread_;
 };

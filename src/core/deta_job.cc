@@ -1,7 +1,9 @@
 #include "core/deta_job.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <set>
 
 #include "common/check.h"
 #include "common/logging.h"
@@ -75,8 +77,10 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
 
   crypto::EcKeyPair broker_identity = crypto::GenerateEcKey(setup_rng);
   if (deta_.use_key_broker) {
-    key_broker_ = std::make_unique<KeyBroker>(material, broker_identity,
-                                              static_cast<int>(parties.size()), bus_,
+    // expected_parties = 0: the broker serves (and re-serves) until the job stops it
+    // after the ready barrier — under fault injection a party may need a re-serve after
+    // every party has already been served once.
+    key_broker_ = std::make_unique<KeyBroker>(material, broker_identity, 0, bus_,
                                               crypto::SecureRng(setup_rng.NextBytes(32)));
   }
 
@@ -101,6 +105,10 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
     ac.num_parties = static_cast<int>(parties.size());
     ac.num_aggregators = deta_.num_aggregators;
     ac.rounds = options_.rounds;
+    ac.quorum = deta_.quorum;
+    ac.min_quorum = deta_.min_quorum;
+    ac.round_timeout_ms = options_.round_timeout_ms;
+    ac.retry = options_.retry;
     ac.algorithm = options_.algorithm;
     ac.use_paillier = options_.use_paillier;
     if (paillier.has_value()) {
@@ -128,6 +136,8 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
     pc.paillier = paillier;
     pc.num_parties = static_cast<int>(parties.size());
     pc.initial_params = initial;
+    pc.rounds = options_.rounds;
+    pc.retry = options_.retry;
     std::shared_ptr<const Transform> party_transform = transform_;
     if (deta_.use_key_broker) {
       pc.fetch_from_key_broker = true;
@@ -149,11 +159,37 @@ DetaJob::~DetaJob() {
   }
 }
 
+void DetaJob::ShutdownAll(net::Endpoint& observer) {
+  for (auto& agg : aggregators_) {
+    observer.Send(agg->name(), kShutdown, {});
+  }
+  for (auto& party : deta_parties_) {
+    observer.Send(party->name(), kShutdown, {});
+    // The message alone cannot interrupt a party blocked in mid-round result
+    // collection (selective receive stashes it); closing the mailbox can.
+    party->Shutdown();
+  }
+  if (key_broker_ != nullptr) {
+    key_broker_->Stop();
+  }
+}
+
 fl::JobResult DetaJob::Run() {
   // Applies to the aggregator/party threads about to start: concurrent parallel regions
   // (several aggregators aggregating at once) degrade gracefully to serial chunks with
   // identical results — see common/parallel.h.
   parallel::SetDefaultThreads(options_.threads);
+
+  // Fault injection covers the protocol fabric only: the observer is the measurement
+  // harness, so its reports (and its control messages) are exempted — a "dropped" timing
+  // report would be a harness bug, not a protocol fault.
+  if (options_.fault_plan.enabled()) {
+    net::FaultPlan plan = options_.fault_plan;
+    plan.immune.insert("observer");
+    bus_.SetFaultPlan(plan);
+    LOG_INFO << "DeTA job: fault injection enabled (seed " << plan.seed << ")";
+  }
+
   auto observer = bus_.CreateEndpoint("observer");
   if (key_broker_ != nullptr) {
     key_broker_->Start();
@@ -165,40 +201,104 @@ fl::JobResult DetaJob::Run() {
     party->Start();
   }
 
-  // Wait for every party to finish verification + registration.
-  for (size_t i = 0; i < deta_parties_.size(); ++i) {
-    std::optional<net::Message> m = observer->ReceiveType(kPartyReady);
-    DETA_CHECK(m.has_value());
-    DETA_CHECK_MSG(!m->payload.empty() && m->payload[0] == 1,
-                   "party " << m->from << " failed aggregator verification");
-  }
-  LOG_INFO << "DeTA job: all " << deta_parties_.size()
-           << " parties verified and registered with " << aggregators_.size()
-           << " aggregators";
-
-  observer->Send(aggregators_[0]->name(), kJobStart, {});
-
-  const LatencyModel& lm = options_.latency;
   fl::JobResult result;
   // Attestation and registration are one-time setup (before training starts); the paper's
   // latency curves measure training rounds only, so setup is reported separately via
   // JobResult::setup_seconds rather than folded into round latency.
   result.setup_seconds = attestation_seconds_;
+
+  // Bounded ready barrier: every party reports the outcome of verification +
+  // registration, or the barrier times out. Either failure is a typed result, not a hang.
+  for (size_t i = 0; i < deta_parties_.size(); ++i) {
+    std::optional<net::Message> m =
+        observer->ReceiveTypeFor(kPartyReady, options_.setup_timeout_ms);
+    if (!m.has_value()) {
+      result.status = fl::JobStatus::kSetupFailed;
+      result.error = "timed out waiting for party readiness";
+    } else if (m->payload.empty() || m->payload[0] != 1) {
+      result.status = fl::JobStatus::kSetupFailed;
+      result.error = "party " + m->from + " failed aggregator verification";
+    } else {
+      continue;
+    }
+    LOG_ERROR << "DeTA job: " << result.error;
+    ShutdownAll(*observer);
+    return result;
+  }
+  LOG_INFO << "DeTA job: all " << deta_parties_.size()
+           << " parties verified and registered with " << aggregators_.size()
+           << " aggregators";
+  if (key_broker_ != nullptr) {
+    key_broker_->Stop();  // every party holds the material once it reports ready
+  }
+
+  // Acked job start, so a stalled initiator is a typed error instead of a silent hang.
+  // (Observer traffic is exempt from fault injection, so this succeeds first try when
+  // the initiator is healthy.)
+  if (!net::RequestReply(*observer, aggregators_[0]->name(), kJobStart, {}, kJobStartAck,
+                         options_.retry)
+           .has_value()) {
+    result.status = fl::JobStatus::kStalled;
+    result.error = "initiator " + aggregators_[0]->name() + " did not ack job start";
+    ShutdownAll(*observer);
+    return result;
+  }
+
+  const LatencyModel& lm = options_.latency;
   double cumulative = 0.0;
 
-  // Per-round report collection, tolerant of cross-round interleaving.
+  // Per-round report collection, tolerant of cross-round interleaving and dropouts.
   std::map<int, std::vector<std::pair<double, double>>> timings;  // round -> (train, trans)
   std::map<int, uint64_t> upload_bytes;
   std::map<int, std::vector<std::pair<double, uint64_t>>> agg_reports;
   std::map<int, std::vector<float>> reported_params;
+  std::map<int, std::set<std::string>> dropouts;  // round -> absent/skipping parties
 
-  size_t num_parties = deta_parties_.size();
+  std::set<std::string> active;  // parties still participating
+  for (const auto& p : deta_parties_) {
+    active.insert(p->name());
+  }
+  const std::string reporter = deta_parties_[0]->name();
+  std::vector<float> last_params = global_model_->GetFlatParams();
   size_t num_aggs = aggregators_.size();
-  for (int round = 1; round <= options_.rounds; ++round) {
-    while (timings[round].size() < num_parties || agg_reports[round].size() < num_aggs ||
-           reported_params.find(round) == reported_params.end()) {
-      std::optional<net::Message> m = observer->Receive();
-      DETA_CHECK_MSG(m.has_value(), "observer endpoint closed mid-training");
+
+  // Worst case for one round under faults: an aggregator runs to its collection
+  // deadline, parties spend their whole retry budget, plus scheduling slack.
+  const int round_budget_ms =
+      2 * options_.round_timeout_ms + options_.retry.TotalBudgetMs() + 5000;
+
+  for (int round = 1; round <= options_.rounds && result.ok(); ++round) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(round_budget_ms);
+    auto round_complete = [&] {
+      // Every active party either reported timing or skipped; every aggregator
+      // reported; the global params arrived unless the reporter sat the round out.
+      size_t accounted = timings[round].size();
+      for (const std::string& p : dropouts[round]) {
+        if (active.count(p)) {
+          ++accounted;
+        }
+      }
+      bool params_ready = reported_params.count(round) > 0 ||
+                          dropouts[round].count(reporter) > 0 ||
+                          !active.count(reporter);
+      return accounted >= active.size() && agg_reports[round].size() >= num_aggs &&
+             params_ready;
+    };
+    while (!round_complete()) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        result.status = fl::JobStatus::kStalled;
+        result.error = "no progress in round " + std::to_string(round) + " within " +
+                       std::to_string(round_budget_ms) + "ms";
+        break;
+      }
+      std::optional<net::Message> m =
+          observer->ReceiveFor(static_cast<int>(left.count()));
+      if (!m.has_value()) {
+        continue;  // deadline check on the next pass
+      }
       net::Reader r(m->payload);
       if (m->type == kPartyTiming) {
         int rd = static_cast<int>(r.ReadU32());
@@ -212,17 +312,40 @@ fl::JobResult DetaJob::Run() {
         double agg_s = r.ReadDouble();
         uint64_t bytes = r.ReadU64();
         agg_reports[rd].push_back({agg_s, bytes});
+        uint32_t missing = r.ReadU32();
+        for (uint32_t i = 0; i < missing; ++i) {
+          dropouts[rd].insert(r.ReadString());
+        }
       } else if (m->type == kPartyReport) {
         int rd = static_cast<int>(r.ReadU32());
         reported_params[rd] = r.ReadFloatVector();
+      } else if (m->type == kPartyRoundSkipped) {
+        int rd = static_cast<int>(r.ReadU32());
+        dropouts[rd].insert(m->from);
+        LOG_WARNING << "observer: party " << m->from << " skipped round " << rd;
       } else if (m->type == kPartyFailed) {
         int rd = static_cast<int>(r.ReadU32());
         std::string reason = r.ReadString();
-        DETA_CHECK_MSG(false, "party " << m->from << " aborted round " << rd << ": "
-                                       << reason);
+        LOG_WARNING << "observer: party " << m->from << " failed in round " << rd
+                    << ": " << reason << " — continuing without it";
+        dropouts[rd].insert(m->from);
+        active.erase(m->from);
+      } else if (m->type == kAggFailed) {
+        int rd = static_cast<int>(r.ReadU32());
+        int have = static_cast<int>(r.ReadU32());
+        int need = static_cast<int>(r.ReadU32());
+        result.status = fl::JobStatus::kQuorumFailed;
+        result.error = "aggregator " + m->from + " failed quorum in round " +
+                       std::to_string(rd) + " (" + std::to_string(have) + "/" +
+                       std::to_string(need) + " fragments)";
+        break;
       } else {
         LOG_WARNING << "observer: unexpected message " << m->type;
       }
+    }
+    if (!result.ok()) {
+      LOG_ERROR << "DeTA job: " << result.error;
+      break;
     }
 
     // --- latency model for this round (see common/sim_clock.h) ---
@@ -241,8 +364,12 @@ fl::JobResult DetaJob::Run() {
     agg_phase += lm.rtt_seconds;  // initiator/follower sync
     double round_latency = party_phase + agg_phase + lm.TransferSeconds(down_bytes);
 
-    // --- evaluation on the reporter's merged global model ---
-    global_model_->SetFlatParams(reported_params[round]);
+    // --- evaluation on the reporter's merged global model (or, if the reporter sat
+    // this round out, its last synchronized state) ---
+    if (reported_params.count(round)) {
+      last_params = std::move(reported_params[round]);
+    }
+    global_model_->SetFlatParams(last_params);
     fl::RoundMetrics m;
     m.round = round;
     m.loss = nn::MeanLoss(*global_model_, eval_.images, eval_.labels, eval_.classes);
@@ -251,15 +378,28 @@ fl::JobResult DetaJob::Run() {
     cumulative += round_latency;
     m.cumulative_latency_s = cumulative;
     result.rounds.push_back(m);
+    if (!dropouts[round].empty()) {
+      result.per_round_dropouts[round] = std::vector<std::string>(
+          dropouts[round].begin(), dropouts[round].end());
+    }
     LOG_INFO << "DeTA round " << round << ": loss=" << m.loss << " acc=" << m.accuracy
-             << " latency=" << m.cumulative_latency_s << "s";
+             << " latency=" << m.cumulative_latency_s << "s"
+             << (dropouts[round].empty()
+                     ? ""
+                     : " dropouts=" + std::to_string(dropouts[round].size()));
 
-    result.final_params = std::move(reported_params[round]);
+    result.final_params = last_params;
     timings.erase(round);
     agg_reports.erase(round);
     reported_params.erase(round);
+    dropouts.erase(round);
   }
 
+  // On failure, release every thread still waiting on protocol traffic; on success the
+  // initiator has already fanned out shutdown and parties exit after their final round.
+  if (!result.ok()) {
+    ShutdownAll(*observer);
+  }
   for (auto& party : deta_parties_) {
     party->Join();
   }
@@ -267,7 +407,8 @@ fl::JobResult DetaJob::Run() {
     agg->Join();
   }
   if (key_broker_ != nullptr) {
-    key_broker_->Join();  // exits on its own after serving every party
+    key_broker_->Stop();
+    key_broker_->Join();
   }
   return result;
 }

@@ -37,6 +37,12 @@ struct DetaOptions {
   // instead of handing parties a pre-built transform. Default on: this is the paper's
   // deployment shape; turning it off removes the broker round-trip from setup.
   bool use_key_broker = true;
+  // Aggregate as soon as this many party fragments arrive (0 = all parties).
+  int quorum = 0;
+  // Minimum fragments required when an aggregator's round deadline expires; parties
+  // missing at that point are recorded as dropouts for the round. 0 = every party must
+  // arrive (an absence at the deadline is a quorum failure).
+  int min_quorum = 0;
 };
 
 class DetaJob {
@@ -55,8 +61,13 @@ class DetaJob {
   // the transform (party-held secret state).
   const std::vector<std::shared_ptr<cc::Cvm>>& aggregator_cvms() const { return cvms_; }
   const Transform& transform() const { return *transform_; }
+  // Post-run access for the fault-injection tests: delivered/dropped traffic counters.
+  const net::MessageBus& bus() const { return bus_; }
 
  private:
+  // Fans out shutdown to every aggregator and party and stops the broker, so failure
+  // paths leave no thread waiting on a message that will never come.
+  void ShutdownAll(net::Endpoint& observer);
   fl::ExecutionOptions options_;
   DetaOptions deta_;
   std::unique_ptr<nn::Model> global_model_;

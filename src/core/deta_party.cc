@@ -1,6 +1,7 @@
 #include "core/deta_party.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
 #include "common/logging.h"
@@ -8,6 +9,17 @@
 #include "net/codec.h"
 
 namespace deta::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+constexpr int kTickMs = 50;
+
+int MsUntil(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                    Clock::now());
+  return static_cast<int>(std::max<int64_t>(0, left.count()));
+}
+}  // namespace
 
 DetaParty::DetaParty(std::unique_ptr<fl::Party> local, DetaPartyConfig config,
                      std::shared_ptr<const Transform> transform, net::MessageBus& bus,
@@ -50,8 +62,8 @@ bool DetaParty::SetupChannels() {
   // Fetch the shared transform material from the trusted key broker first: the mapper
   // seed and the permutation key exist only in participant-controlled domains.
   if (config_.fetch_from_key_broker) {
-    std::optional<TransformMaterial> material =
-        FetchTransformMaterial(*endpoint_, config_.key_broker_public, rng_);
+    std::optional<TransformMaterial> material = FetchTransformMaterial(
+        *endpoint_, config_.key_broker_public, rng_, config_.retry);
     if (!material.has_value()) {
       return false;
     }
@@ -70,11 +82,11 @@ bool DetaParty::SetupChannels() {
       LOG_WARNING << name() << ": no attestation token on record for " << agg;
       return false;
     }
-    if (!VerifyAggregator(*endpoint_, agg, token->second, rng_)) {
+    if (!VerifyAggregator(*endpoint_, agg, token->second, rng_, config_.retry)) {
       return false;
     }
-    std::optional<net::SecureChannel> channel =
-        RegisterWithAggregator(*endpoint_, agg, token->second, rng_);
+    std::optional<net::SecureChannel> channel = RegisterWithAggregator(
+        *endpoint_, agg, token->second, rng_, config_.retry);
     if (!channel.has_value()) {
       return false;
     }
@@ -89,17 +101,49 @@ void DetaParty::Run() {
   if (!setup_ok_) {
     return;
   }
+  int last_round = 0;
+  // Exit notice: tells every aggregator this party needs nothing more, so draining
+  // aggregators can stop early. Best-effort — a lost notice just means the aggregator
+  // waits out its drain quiet period.
+  auto announce_done = [this] {
+    for (const std::string& agg : config_.aggregator_names) {
+      endpoint_->Send(agg, kPartyDone, {});
+    }
+  };
+  Clock::time_point idle_deadline =
+      Clock::now() + std::chrono::milliseconds(config_.idle_timeout_ms);
   for (;;) {
-    std::optional<net::Message> m = endpoint_->Receive();
-    if (!m.has_value() || m->type == kShutdown) {
+    if (config_.rounds > 0 && last_round >= config_.rounds) {
+      announce_done();
+      return;  // final round done — do not depend on the shutdown message arriving
+    }
+    std::optional<net::Message> m = endpoint_->ReceiveFor(kTickMs);
+    if (!m.has_value()) {
+      if (endpoint_->closed()) {
+        return;
+      }
+      if (Clock::now() >= idle_deadline) {
+        LOG_WARNING << name() << ": no traffic for " << config_.idle_timeout_ms
+                    << "ms — giving up";
+        return;
+      }
+      continue;
+    }
+    idle_deadline = Clock::now() + std::chrono::milliseconds(config_.idle_timeout_ms);
+    if (m->type == kShutdown) {
+      announce_done();
       return;
     }
     if (m->type == kRoundBegin) {
       net::Reader r(m->payload);
-      RunRound(static_cast<int>(r.ReadU32()));
-      if (round_failed_) {
-        return;  // aborted mid-round; observer was notified
+      int round = static_cast<int>(r.ReadU32());
+      if (round <= last_round) {
+        continue;  // retransmitted notice for a round we already ran
       }
+      RunRound(round);
+      last_round = round;
+    } else if (m->type == kRoundResult) {
+      LOG_DEBUG << name() << ": late round result between rounds — ignored";
     } else {
       LOG_WARNING << name() << ": unexpected message type " << m->type;
     }
@@ -129,65 +173,130 @@ void DetaParty::RunRound(int round) {
   }
   double transform_seconds = transform_watch.ElapsedSeconds();
 
-  // --- upload Trans(LU[P]) fragment j to aggregator j over its secure channel ---
-  for (size_t j = 0; j < payloads.size(); ++j) {
-    const std::string& agg = config_.aggregator_names[j];
-    net::Writer w;
-    w.WriteU32(static_cast<uint32_t>(round));
-    w.WriteBytes(channels_.at(agg).Seal(payloads[j], rng_));
-    endpoint_->Send(agg, kRoundUpload, w.Take());
-  }
-
-  // --- collect AU[A_j] from all aggregators ---
+  // --- upload Trans(LU[P]) fragment j to aggregator j, collect AU[A_j] back ---
+  // Upload and collection are one retry loop: each attempt (re-)sends the fragment to
+  // every aggregator whose result is still missing, then waits one backoff slice for
+  // results. Re-sends are re-sealed so the aggregator's replay window accepts them; the
+  // aggregator answers a re-send for an already-aggregated round with the cached result.
+  // The loop is bounded by result_timeout_ms, not by the retry budget: an aggregator
+  // that is merely slow (still waiting on other parties' uploads) is indistinguishable
+  // from a lossy link, and giving up after a handful of retransmissions would turn
+  // benign scheduling skew into spurious round skips. Retransmission cadence plateaus
+  // at the policy's capped timeout.
+  //
   // CPU-time stopwatch: counts the (potentially expensive, e.g. Paillier) result
   // processing but not the blocking waits on the network.
   Stopwatch result_watch;
-  std::vector<std::vector<float>> aggregated(payloads.size());
-  for (size_t received = 0; received < payloads.size(); ++received) {
-    std::optional<net::Message> m =
-        config_.result_timeout_ms > 0
-            ? endpoint_->ReceiveTypeFor(kRoundResult, config_.result_timeout_ms)
-            : endpoint_->ReceiveType(kRoundResult);
-    if (!m.has_value()) {
-      // Dead or unreachable aggregator: abort this round and tell the observer rather
-      // than hanging the deployment forever.
-      LOG_ERROR << name() << ": no round result within " << config_.result_timeout_ms
-                << "ms (aggregator down?); aborting round " << round;
-      if (!config_.observer.empty()) {
-        net::Writer w;
-        w.WriteU32(static_cast<uint32_t>(round));
-        w.WriteString("round result timeout");
-        endpoint_->Send(config_.observer, kPartyFailed, w.Take());
+  size_t num_aggs = payloads.size();
+  std::vector<std::vector<float>> aggregated(num_aggs);
+  std::vector<bool> have(num_aggs, false);
+  size_t received = 0;
+  Clock::time_point overall_deadline =
+      Clock::now() + std::chrono::milliseconds(config_.result_timeout_ms > 0
+                                                   ? config_.result_timeout_ms
+                                                   : (1 << 30));
+  for (int attempt = 0; received < num_aggs; ++attempt) {
+    bool any_reachable = false;
+    for (size_t j = 0; j < num_aggs; ++j) {
+      if (have[j]) {
+        continue;
       }
-      round_failed_ = true;
-      return;
-    }
-    // Map the sender back to its partition index.
-    auto it = std::find(config_.aggregator_names.begin(), config_.aggregator_names.end(),
-                        m->from);
-    DETA_CHECK_MSG(it != config_.aggregator_names.end(),
-                   "round result from unknown aggregator " << m->from);
-    size_t j = static_cast<size_t>(it - config_.aggregator_names.begin());
-    net::Reader r(m->payload);
-    int result_round = static_cast<int>(r.ReadU32());
-    DETA_CHECK_EQ(result_round, round);
-    std::optional<Bytes> payload = channels_.at(m->from).Open(r.ReadBytes());
-    DETA_CHECK_MSG(payload.has_value(), "failed to open aggregated fragment");
-    if (config_.use_paillier) {
-      std::vector<crypto::BigUint> ct = fl::DeserializeCiphertexts(*payload);
-      size_t fragment_len = static_cast<size_t>(
-          transform_->config().enable_partition
-              ? transform_->mapper().PartitionSize(static_cast<int>(j))
-              : static_cast<int64_t>(global_params_.size()));
-      aggregated[j] = paillier_codec_->DecryptSum(ct, config_.paillier->priv, fragment_len,
-                                                  config_.num_parties);
-      float inv = 1.0f / static_cast<float>(config_.num_parties);
-      for (auto& v : aggregated[j]) {
-        v *= inv;
+      const std::string& agg = config_.aggregator_names[j];
+      net::Writer w;
+      w.WriteU32(static_cast<uint32_t>(round));
+      w.WriteBytes(channels_.at(agg).Seal(payloads[j], rng_));
+      if (endpoint_->Send(agg, kRoundUpload, w.Take())) {
+        any_reachable = true;
       }
-    } else {
-      aggregated[j] = fl::DeserializeUpdate(*payload).values;
     }
+    if (!any_reachable) {
+      break;  // every aggregator we still need is gone — skip, don't wait out the clock
+    }
+    Clock::time_point slice_deadline =
+        Clock::now() +
+        std::chrono::milliseconds(config_.retry.TimeoutForAttempt(attempt));
+    if (slice_deadline > overall_deadline) {
+      slice_deadline = overall_deadline;
+    }
+    while (received < num_aggs) {
+      int wait_ms = MsUntil(slice_deadline);
+      if (wait_ms == 0) {
+        break;
+      }
+      std::optional<net::Message> m = endpoint_->ReceiveTypeFor(kRoundResult, wait_ms);
+      if (!m.has_value()) {
+        if (endpoint_->closed()) {
+          return;
+        }
+        break;  // slice expired — retransmit to the silent aggregators
+      }
+      auto it = std::find(config_.aggregator_names.begin(),
+                          config_.aggregator_names.end(), m->from);
+      if (it == config_.aggregator_names.end()) {
+        LOG_WARNING << name() << ": round result from unknown aggregator " << m->from;
+        continue;
+      }
+      size_t j = static_cast<size_t>(it - config_.aggregator_names.begin());
+      net::Reader r(m->payload);
+      int result_round = static_cast<int>(r.ReadU32());
+      if (result_round != round) {
+        LOG_DEBUG << name() << ": stale round " << result_round << " result from "
+                  << m->from << " — ignored";
+        continue;
+      }
+      if (have[j]) {
+        continue;  // duplicate (a re-served result we already decoded)
+      }
+      std::optional<Bytes> payload = channels_.at(m->from).Open(r.ReadBytes());
+      if (!payload.has_value()) {
+        LOG_WARNING << name() << ": failed to open aggregated fragment from " << m->from;
+        continue;
+      }
+      if (config_.use_paillier) {
+        std::vector<crypto::BigUint> ct = fl::DeserializeCiphertexts(*payload);
+        size_t fragment_len = static_cast<size_t>(
+            transform_->config().enable_partition
+                ? transform_->mapper().PartitionSize(static_cast<int>(j))
+                : static_cast<int64_t>(global_params_.size()));
+        aggregated[j] = paillier_codec_->DecryptSum(ct, config_.paillier->priv,
+                                                    fragment_len, config_.num_parties);
+        float inv = 1.0f / static_cast<float>(config_.num_parties);
+        for (auto& v : aggregated[j]) {
+          v *= inv;
+        }
+      } else {
+        aggregated[j] = fl::DeserializeUpdate(*payload).values;
+      }
+      have[j] = true;
+      ++received;
+    }
+    if (Clock::now() >= overall_deadline) {
+      break;
+    }
+  }
+
+  if (received < num_aggs) {
+    // Graceful degradation: one or more aggregators stayed silent all the way to the
+    // collection deadline. Skip the round — keep the last synchronized params — and
+    // keep going; the observer records the absence.
+    std::vector<std::string> silent;
+    for (size_t j = 0; j < num_aggs; ++j) {
+      if (!have[j]) {
+        silent.push_back(config_.aggregator_names[j]);
+      }
+    }
+    LOG_WARNING << name() << ": skipping round " << round << " (" << silent.size()
+                << " aggregator(s) unresponsive)";
+    if (!config_.observer.empty()) {
+      net::Writer w;
+      w.WriteU32(static_cast<uint32_t>(round));
+      w.WriteU32(static_cast<uint32_t>(silent.size()));
+      for (const std::string& agg : silent) {
+        w.WriteString(agg);
+      }
+      endpoint_->Send(config_.observer, kPartyRoundSkipped, w.Take());
+    }
+    return;
   }
 
   double result_seconds = result_watch.ElapsedSeconds();

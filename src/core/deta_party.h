@@ -3,6 +3,13 @@
 // register and establish secure channels, then per round: local train, Trans (partition +
 // shuffle), sealed upload to each aggregator, collect aggregated fragments, Trans^-1
 // (un-shuffle + merge), and synchronize the local model. Runs as a real thread.
+//
+// Fault tolerance: every wait is bounded. Uploads are retransmitted (re-sealed, so the
+// channel replay window accepts them) to any aggregator whose result has not arrived;
+// an aggregator that stays silent all the way to the collection deadline causes the
+// party to *skip* the round — params stay at the last synchronized state, the observer
+// is told via party.round_skipped, and the party keeps participating — rather than
+// aborting the job.
 #ifndef DETA_CORE_DETA_PARTY_H_
 #define DETA_CORE_DETA_PARTY_H_
 
@@ -16,12 +23,14 @@
 #include "core/key_broker.h"
 #include "core/transform.h"
 #include "fl/party.h"
+#include "net/retry.h"
 
 namespace deta::core {
 
 inline constexpr char kPartyReady[] = "party.ready";
 inline constexpr char kPartyTiming[] = "party.timing";
 inline constexpr char kPartyReport[] = "party.report";
+inline constexpr char kPartyRoundSkipped[] = "party.round_skipped";
 inline constexpr char kPartyFailed[] = "party.failed";
 
 struct DetaPartyConfig {
@@ -44,9 +53,16 @@ struct DetaPartyConfig {
   // from the trusted key broker during setup instead of receiving a pre-built transform.
   bool fetch_from_key_broker = false;
   crypto::EcPoint key_broker_public;
-  // How long to wait for each aggregator's round result before declaring it dead and
-  // aborting the round (0 = wait forever).
+  // Total rounds in the job; after the final round the party exits on its own, so a
+  // dropped shutdown message cannot strand it (0 = exit only on shutdown/idle timeout).
+  int rounds = 0;
+  // Retransmission pacing for setup handshakes and per-round uploads.
+  net::RetryPolicy retry;
+  // Overall ceiling on one round's upload + result collection; the round is skipped
+  // when it expires (0 = no ceiling — wait for shutdown).
   int result_timeout_ms = 120000;
+  // Backstop: exit (with a warning) when no message arrives for this long between rounds.
+  int idle_timeout_ms = 60000;
 };
 
 class DetaParty {
@@ -63,6 +79,10 @@ class DetaParty {
 
   void Start();
   void Join();
+  // Closes the party's mailbox, waking any in-flight wait (including mid-round result
+  // collection, which a queued shutdown message cannot interrupt). Used by the job's
+  // failure paths; on the happy path the party exits on its own after the final round.
+  void Shutdown() { endpoint_->Close(); }
 
   const std::string& name() const { return local_->name(); }
   // True once the setup phase (verification + registration) succeeded.
@@ -85,7 +105,6 @@ class DetaParty {
   std::map<std::string, net::SecureChannel> channels_;  // aggregator -> channel
   std::vector<float> global_params_;
   bool setup_ok_ = false;
-  bool round_failed_ = false;
   std::thread thread_;
 };
 

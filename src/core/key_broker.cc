@@ -62,11 +62,16 @@ KeyBroker::KeyBroker(TransformMaterial material, crypto::EcKeyPair identity,
   endpoint_ = bus.CreateEndpoint(kEndpointName);
 }
 
-KeyBroker::~KeyBroker() { Join(); }
+KeyBroker::~KeyBroker() {
+  Stop();
+  Join();
+}
 
 void KeyBroker::Start() {
   thread_ = std::thread([this] { Run(); });
 }
+
+void KeyBroker::Stop() { endpoint_->Close(); }
 
 void KeyBroker::Join() {
   if (thread_.joinable()) {
@@ -76,43 +81,59 @@ void KeyBroker::Join() {
 
 void KeyBroker::Run() {
   Bytes material_wire = material_.Serialize();
-  int served = 0;
-  while (served < expected_parties_) {
+  RegistrationCache registrations;
+  std::map<std::string, net::SecureChannel> channels;
+  std::set<std::string> served;
+  while (expected_parties_ <= 0 ||
+         static_cast<int>(served.size()) < expected_parties_) {
     std::optional<net::Message> m = endpoint_->Receive();
     if (!m.has_value()) {
-      return;
+      return;  // endpoint closed (Stop)
     }
     if (m->type == kAuthChallenge) {
       AnswerChallenge(*endpoint_, *m, identity_.private_key);
     } else if (m->type == kAuthRegister) {
-      auto result = AcceptRegistration(*endpoint_, *m, identity_.private_key, rng_);
-      if (!result.has_value()) {
+      auto result = registrations.Accept(*endpoint_, *m, identity_.private_key, rng_);
+      if (result.has_value()) {
+        channels.insert_or_assign(result->first, std::move(result->second));
+      }
+    } else if (m->type == kKeyBrokerFetch) {
+      auto it = channels.find(m->from);
+      if (it == channels.end()) {
+        LOG_WARNING << "key broker: fetch from unregistered party " << m->from;
         continue;
       }
-      endpoint_->Send(result->first, kKeyBrokerMaterial,
-                      result->second.Seal(material_wire, rng_));
-      ++served;
-      LOG_DEBUG << "key broker: served transform material to " << result->first << " ("
-                << served << "/" << expected_parties_ << ")";
+      // Re-seal per fetch: each reply carries a fresh channel sequence number, so a
+      // retransmitted fetch gets a reply the party's replay window still accepts.
+      endpoint_->Send(m->from, kKeyBrokerMaterial,
+                      it->second.Seal(material_wire, rng_));
+      bool first = served.insert(m->from).second;
+      LOG_DEBUG << "key broker: served transform material to " << m->from
+                << (first ? "" : " (re-serve)") << " (" << served.size() << "/"
+                << (expected_parties_ > 0 ? std::to_string(expected_parties_) : "∞")
+                << ")";
     } else {
       LOG_WARNING << "key broker: unexpected message type " << m->type;
     }
   }
 }
 
-std::optional<TransformMaterial> FetchTransformMaterial(net::Endpoint& endpoint,
-                                                        const crypto::EcPoint& broker_public,
-                                                        crypto::SecureRng& rng) {
-  if (!VerifyAggregator(endpoint, KeyBroker::kEndpointName, broker_public, rng)) {
+std::optional<TransformMaterial> FetchTransformMaterial(
+    net::Endpoint& endpoint, const crypto::EcPoint& broker_public,
+    crypto::SecureRng& rng, const net::RetryPolicy& policy) {
+  if (!VerifyAggregator(endpoint, KeyBroker::kEndpointName, broker_public, rng,
+                        policy)) {
     LOG_WARNING << endpoint.name() << ": key broker failed identity challenge";
     return std::nullopt;
   }
-  std::optional<net::SecureChannel> channel =
-      RegisterWithAggregator(endpoint, KeyBroker::kEndpointName, broker_public, rng);
+  std::optional<net::SecureChannel> channel = RegisterWithAggregator(
+      endpoint, KeyBroker::kEndpointName, broker_public, rng, policy);
   if (!channel.has_value()) {
     return std::nullopt;
   }
-  std::optional<net::Message> m = endpoint.ReceiveType(kKeyBrokerMaterial);
+  std::optional<net::Message> m = net::RequestReply(
+      endpoint, KeyBroker::kEndpointName, kKeyBrokerFetch, {}, kKeyBrokerMaterial,
+      policy);
   if (!m.has_value()) {
     return std::nullopt;
   }

@@ -5,13 +5,17 @@
 // shared transform material — the permutation key and the model-mapper seed — and serves
 // it to parties over the same authenticated-ECDH channel construction used for
 // aggregators: parties know the broker's identity public key out of band, challenge it,
-// register, and receive the material sealed on the resulting channel. Aggregators never
-// talk to the broker, so the material never exists outside participant-controlled
-// domains.
+// register, then *pull* the material with an explicit fetch request answered on the
+// sealed channel. The pull (rather than a push after registration) makes the exchange a
+// request/reply pair the party can retransmit when the bus drops either direction.
+// Aggregators never talk to the broker, so the material never exists outside
+// participant-controlled domains.
 #ifndef DETA_CORE_KEY_BROKER_H_
 #define DETA_CORE_KEY_BROKER_H_
 
+#include <map>
 #include <memory>
+#include <set>
 #include <thread>
 
 #include "core/auth_protocol.h"
@@ -19,6 +23,7 @@
 
 namespace deta::core {
 
+inline constexpr char kKeyBrokerFetch[] = "kb.fetch";
 inline constexpr char kKeyBrokerMaterial[] = "kb.material";
 
 // Everything a party needs to construct the shared Transform deterministically.
@@ -41,8 +46,11 @@ struct TransformMaterial {
 class KeyBroker {
  public:
   // |identity| is the broker's long-lived signing key; its public half is distributed to
-  // parties out of band (like the AP's token registry). Serves exactly |expected_parties|
-  // fetches, then exits.
+  // parties out of band (like the AP's token registry). With |expected_parties| > 0 the
+  // broker exits once that many *distinct* parties have been served (retransmitted
+  // fetches are re-served without advancing the count); with |expected_parties| <= 0 it
+  // serves until Stop() — the right mode under fault injection, where a party may still
+  // need a retransmission after every party has been served once.
   KeyBroker(TransformMaterial material, crypto::EcKeyPair identity, int expected_parties,
             net::MessageBus& bus, crypto::SecureRng rng);
   ~KeyBroker();
@@ -51,6 +59,8 @@ class KeyBroker {
   KeyBroker& operator=(const KeyBroker&) = delete;
 
   void Start();
+  // Closes the broker endpoint; the service thread drains and exits. Idempotent.
+  void Stop();
   void Join();
 
   static constexpr char kEndpointName[] = "key-broker";
@@ -67,11 +77,11 @@ class KeyBroker {
   std::thread thread_;
 };
 
-// Party-side: verify the broker, register, receive and open the material. Blocking;
-// nullopt if any verification step fails.
-std::optional<TransformMaterial> FetchTransformMaterial(net::Endpoint& endpoint,
-                                                        const crypto::EcPoint& broker_public,
-                                                        crypto::SecureRng& rng);
+// Party-side: verify the broker, register, fetch and open the material. Every wait is
+// bounded by |policy|; nullopt if verification fails or the broker stays unresponsive.
+std::optional<TransformMaterial> FetchTransformMaterial(
+    net::Endpoint& endpoint, const crypto::EcPoint& broker_public,
+    crypto::SecureRng& rng, const net::RetryPolicy& policy = {});
 
 }  // namespace deta::core
 

@@ -6,11 +6,14 @@
 #define DETA_FL_JOB_API_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/sim_clock.h"
 #include "fl/party.h"
+#include "net/fault.h"
+#include "net/retry.h"
 
 namespace deta::fl {
 
@@ -37,7 +40,42 @@ struct ExecutionOptions {
   // Worker threads for the deterministic parallel layer (common/parallel.h); 0 = one per
   // hardware core. Numeric results are bitwise-identical for any value.
   int threads = 0;
+  // Seeded fault injection for the protocol fabric (DetaJob only: the FFL baseline does
+  // all aggregation in-process with no bus traffic). Disabled by default; the observer
+  // endpoint is always exempted, so measurement reports are never faulted.
+  net::FaultPlan fault_plan;
+  // Retransmission pacing for every bounded protocol wait (handshakes, uploads,
+  // round synchronization).
+  net::RetryPolicy retry;
+  // Per-round deadline at each aggregator for collecting party uploads. Must exceed
+  // retry.TotalBudgetMs() or retransmissions cannot finish inside the round.
+  int round_timeout_ms = 10000;
+  // Deadline for the setup barrier (attestation, verification, registration) per party.
+  int setup_timeout_ms = 30000;
 };
+
+// How a training run ended. Anything but kOk means the run degraded past what the
+// protocol's retries and quorum rules could absorb.
+enum class JobStatus {
+  kOk = 0,
+  kSetupFailed,   // a party failed verification/registration or the barrier timed out
+  kQuorumFailed,  // an aggregator's round deadline expired below its minimum quorum
+  kStalled,       // no observable progress within the observer's per-round deadline
+};
+
+inline const char* JobStatusName(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk:
+      return "ok";
+    case JobStatus::kSetupFailed:
+      return "setup_failed";
+    case JobStatus::kQuorumFailed:
+      return "quorum_failed";
+    case JobStatus::kStalled:
+      return "stalled";
+  }
+  return "unknown";
+}
 
 // Everything a training run produced.
 struct JobResult {
@@ -46,6 +84,15 @@ struct JobResult {
   // One-time pre-training setup, reported separately from round latency: Paillier keygen
   // for FflJob; platform attestation + token provisioning for DetaJob.
   double setup_seconds = 0.0;
+  JobStatus status = JobStatus::kOk;
+  // Human-readable failure description; empty when status == kOk.
+  std::string error;
+  // round -> sorted party names absent from that round: parties missing from at least
+  // one aggregator's aggregation, parties that skipped the round (unresponsive
+  // aggregators), and parties that failed outright.
+  std::map<int, std::vector<std::string>> per_round_dropouts;
+
+  bool ok() const { return status == JobStatus::kOk; }
 };
 
 }  // namespace deta::fl

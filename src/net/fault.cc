@@ -1,0 +1,89 @@
+#include "net/fault.h"
+
+namespace deta::net {
+
+namespace {
+
+// SplitMix64 finalizer: the avalanche everything below is built on.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a over the directed edge; stable across platforms (no std::hash).
+uint64_t EdgeHash(const std::string& from, const std::string& to) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto absorb = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h = (h ^ c) * 0x100000001b3ULL;
+    }
+    h = (h ^ 0x1f) * 0x100000001b3ULL;  // separator so ("ab","c") != ("a","bc")
+  };
+  absorb(from);
+  absorb(to);
+  return h;
+}
+
+// Uniform double in [0, 1) for decision |stream| of message |n| on one edge.
+double Uniform(uint64_t seed, uint64_t edge, uint64_t n, uint64_t stream) {
+  uint64_t h = Mix(seed ^ Mix(edge + stream * 0x9e3779b97f4a7c15ULL) ^ Mix(n));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool FaultPlan::enabled() const {
+  if (default_rates.any()) {
+    return true;
+  }
+  for (const EdgeFault& e : overrides) {
+    if (e.rates.any()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), override_faults_(plan_.overrides.size(), 0) {}
+
+FaultDecision FaultInjector::Decide(const std::string& from, const std::string& to,
+                                    const std::string& type) {
+  FaultDecision d;
+  if (plan_.immune.count(from) > 0 || plan_.immune.count(to) > 0) {
+    return d;
+  }
+  // The counter ticks for every non-immune message so the schedule is independent of
+  // which override (if any) matches.
+  uint64_t edge = EdgeHash(from, to);
+  uint64_t n = edge_counter_[{from, to}]++;
+  // First matching override with fault budget left wins; exhausted overrides stop
+  // matching so later messages fall through.
+  const FaultRates* rates = &plan_.default_rates;
+  size_t chosen = plan_.overrides.size();
+  for (size_t i = 0; i < plan_.overrides.size(); ++i) {
+    const EdgeFault& e = plan_.overrides[i];
+    if ((e.from.empty() || e.from == from) && (e.to.empty() || e.to == to) &&
+        (e.type_prefix.empty() || type.rfind(e.type_prefix, 0) == 0)) {
+      if (e.max_faults > 0 &&
+          override_faults_[i] >= static_cast<uint64_t>(e.max_faults)) {
+        continue;
+      }
+      rates = &e.rates;
+      chosen = i;
+      break;
+    }
+  }
+  d.drop = Uniform(plan_.seed, edge, n, 1) < rates->drop;
+  d.duplicate = Uniform(plan_.seed, edge, n, 2) < rates->duplicate;
+  d.reorder = Uniform(plan_.seed, edge, n, 3) < rates->reorder;
+  d.delay = Uniform(plan_.seed, edge, n, 4) < rates->delay;
+  if (chosen < plan_.overrides.size() && (d.drop || d.duplicate || d.reorder || d.delay)) {
+    ++override_faults_[chosen];
+  }
+  return d;
+}
+
+}  // namespace deta::net

@@ -1,6 +1,7 @@
 #include "net/message_bus.h"
 
 #include <chrono>
+#include <thread>
 
 #include "common/check.h"
 #include "common/logging.h"
@@ -14,13 +15,45 @@ Endpoint::~Endpoint() {
   bus_->Unregister(name_);
 }
 
+bool Endpoint::AlreadySeen(const Message& m) {
+  if (m.seq == 0) {
+    return false;
+  }
+  return !seen_[m.from].insert(m.seq).second;
+}
+
+std::optional<Message> Endpoint::PopDeduped(int timeout_ms) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    std::optional<Message> m;
+    if (timeout_ms < 0) {
+      m = mailbox_.Pop();
+    } else {
+      auto remaining = deadline - std::chrono::steady_clock::now();
+      if (remaining <= std::chrono::steady_clock::duration::zero()) {
+        return std::nullopt;
+      }
+      m = mailbox_.PopFor(remaining);
+    }
+    if (!m.has_value()) {
+      return std::nullopt;  // timeout or closed; closed() disambiguates
+    }
+    if (AlreadySeen(*m)) {
+      LOG_DEBUG << name_ << ": suppressing duplicate " << m->type << " from " << m->from
+                << " (seq " << m->seq << ")";
+      continue;
+    }
+    return m;
+  }
+}
+
 std::optional<Message> Endpoint::Receive() {
   if (!stashed_.empty()) {
     Message m = std::move(stashed_.front());
     stashed_.erase(stashed_.begin());
     return m;
   }
-  return mailbox_.Pop();
+  return PopDeduped(-1);
 }
 
 std::optional<Message> Endpoint::ReceiveType(const std::string& type) {
@@ -32,7 +65,7 @@ std::optional<Message> Endpoint::ReceiveType(const std::string& type) {
     }
   }
   for (;;) {
-    std::optional<Message> m = mailbox_.Pop();
+    std::optional<Message> m = PopDeduped(-1);
     if (!m.has_value()) {
       return std::nullopt;
     }
@@ -49,12 +82,20 @@ std::optional<Message> Endpoint::ReceiveFor(int timeout_ms) {
     stashed_.erase(stashed_.begin());
     return m;
   }
-  return mailbox_.PopFor(std::chrono::milliseconds(timeout_ms));
+  return PopDeduped(timeout_ms);
 }
 
 std::optional<Message> Endpoint::ReceiveTypeFor(const std::string& type, int timeout_ms) {
+  return ReceiveMatchFor(type, "", timeout_ms);
+}
+
+std::optional<Message> Endpoint::ReceiveMatchFor(const std::string& type,
+                                                 const std::string& from, int timeout_ms) {
+  auto matches = [&](const Message& m) {
+    return m.type == type && (from.empty() || m.from == from);
+  };
   for (size_t i = 0; i < stashed_.size(); ++i) {
-    if (stashed_[i].type == type) {
+    if (matches(stashed_[i])) {
       Message m = std::move(stashed_[i]);
       stashed_.erase(stashed_.begin() + static_cast<long>(i));
       return m;
@@ -62,28 +103,30 @@ std::optional<Message> Endpoint::ReceiveTypeFor(const std::string& type, int tim
   }
   auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   for (;;) {
-    auto remaining = deadline - std::chrono::steady_clock::now();
-    if (remaining <= std::chrono::steady_clock::duration::zero()) {
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining <= std::chrono::milliseconds::zero()) {
       return std::nullopt;
     }
-    std::optional<Message> m = mailbox_.PopFor(remaining);
+    std::optional<Message> m = PopDeduped(static_cast<int>(remaining.count()));
     if (!m.has_value()) {
       return std::nullopt;  // timeout or closed
     }
-    if (m->type == type) {
+    if (matches(*m)) {
       return m;
     }
     stashed_.push_back(std::move(*m));
   }
 }
 
-void Endpoint::Send(const std::string& to, const std::string& type, Bytes payload) {
+bool Endpoint::Send(const std::string& to, const std::string& type, Bytes payload) {
   Message m;
   m.from = name_;
   m.to = to;
   m.type = type;
   m.payload = std::move(payload);
-  bus_->Send(std::move(m));
+  m.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  return bus_->Send(std::move(m));
 }
 
 void Endpoint::Close() { mailbox_.Close(); }
@@ -97,26 +140,89 @@ std::unique_ptr<Endpoint> MessageBus::CreateEndpoint(const std::string& name) {
   return endpoint;
 }
 
-void MessageBus::Send(Message message) {
-  bool delivered = false;
-  std::string type = message.type;
-  std::string to = message.to;
+void MessageBus::SetFaultPlan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (plan.enabled()) {
+    injector_ = std::make_unique<FaultInjector>(std::move(plan));
+  } else {
+    injector_.reset();
+  }
+  held_.clear();
+}
+
+void MessageBus::Deliver(Message message) {
+  auto it = endpoints_.find(message.to);
+  if (it == endpoints_.end() || it->second->mailbox_.closed()) {
+    ++dropped_count_;
+    ++dropped_by_type_[message.type];
+    LOG_DEBUG << "dropping message " << message.type << " to "
+              << (it == endpoints_.end() ? "unknown" : "closed") << " endpoint "
+              << message.to;
+    return;
+  }
+  total_bytes_ += message.WireSize();
+  ++message_count_;
+  edge_bytes_[{message.from, message.to}] += message.WireSize();
+  // Push happens under the bus lock so the target cannot unregister mid-delivery; the
+  // mailbox push never blocks (unbounded queue), so this cannot deadlock.
+  it->second->mailbox_.Push(std::move(message));
+}
+
+bool MessageBus::Send(Message message) {
+  FaultDecision d;
+  int delay_ms = 0;
   {
-    // Push happens under the bus lock so the target cannot unregister mid-delivery; the
-    // mailbox push never blocks (unbounded queue), so this cannot deadlock.
     std::lock_guard<std::mutex> lock(mutex_);
-    total_bytes_ += message.WireSize();
-    ++message_count_;
-    edge_bytes_[{message.from, message.to}] += message.WireSize();
-    auto it = endpoints_.find(message.to);
-    if (it != endpoints_.end()) {
-      it->second->mailbox_.Push(std::move(message));
-      delivered = true;
+    if (injector_ != nullptr) {
+      d = injector_->Decide(message.from, message.to, message.type);
+      delay_ms = injector_->plan().delay_ms;
     }
   }
-  if (!delivered) {
-    LOG_WARNING << "dropping message " << type << " to unknown endpoint " << to;
+  if (d.delay && delay_ms > 0) {
+    // Blocks the *sender*, like a slow link; messages on other edges overtake freely.
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
   }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto target = endpoints_.find(message.to);
+  bool accepted = target != endpoints_.end() && !target->second->mailbox_.closed();
+  if (!accepted) {
+    LOG_WARNING << "dropping message " << message.type << " to "
+                << (target == endpoints_.end() ? "unknown" : "closed") << " endpoint "
+                << message.to;
+  }
+  std::pair<std::string, std::string> edge{message.from, message.to};
+  // Release any message held back on this edge *after* processing the current one, so a
+  // reorder fault swaps it behind its successor.
+  std::optional<Message> release;
+  auto held = held_.find(edge);
+  if (held != held_.end()) {
+    release = std::move(held->second);
+    held_.erase(held);
+  }
+  if (d.drop) {
+    ++dropped_count_;
+    ++dropped_by_type_[message.type];
+    LOG_DEBUG << "fault: dropping " << message.type << " " << message.from << " -> "
+              << message.to;
+  } else if (d.reorder && !release.has_value()) {
+    // Held until the edge's next send. If the slot was just vacated, deliver normally —
+    // holding two would starve the first.
+    held_.emplace(edge, std::move(message));
+  } else {
+    bool duplicate = d.duplicate;
+    Message copy;
+    if (duplicate) {
+      copy = message;
+    }
+    Deliver(std::move(message));
+    if (duplicate) {
+      Deliver(std::move(copy));
+    }
+  }
+  if (release.has_value()) {
+    Deliver(std::move(*release));
+  }
+  return accepted;
 }
 
 void MessageBus::Unregister(const std::string& name) {
@@ -140,10 +246,34 @@ uint64_t MessageBus::MessageCount() const {
   return message_count_;
 }
 
+uint64_t MessageBus::DroppedCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_count_;
+}
+
+uint64_t MessageBus::DroppedCount(const std::string& type) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = dropped_by_type_.find(type);
+  return it == dropped_by_type_.end() ? 0 : it->second;
+}
+
+uint64_t MessageBus::DroppedCountWithPrefix(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t n = 0;
+  for (const auto& [type, count] : dropped_by_type_) {
+    if (type.rfind(prefix, 0) == 0) {
+      n += count;
+    }
+  }
+  return n;
+}
+
 void MessageBus::ResetStats() {
   std::lock_guard<std::mutex> lock(mutex_);
   total_bytes_ = 0;
   message_count_ = 0;
+  dropped_count_ = 0;
+  dropped_by_type_.clear();
   edge_bytes_.clear();
 }
 

@@ -1,21 +1,32 @@
 // In-process message transport. Every logical node (party, aggregator, attestation proxy)
 // registers an endpoint and gets a blocking mailbox; Send() routes by name. The bus also
-// keeps per-edge byte counters feeding the latency model (DESIGN.md "Simulated time").
+// keeps per-edge byte counters feeding the latency model (DESIGN.md "Simulated time"),
+// counting *delivered* traffic only, and an optional seeded fault-injection layer
+// (net/fault.h) that drops / delays / duplicates / reorders messages deterministically.
 //
 // This is the stand-in for the paper's gRPC/TLS deployment fabric: nodes run on real
 // threads and communicate only through messages, so the initiator/follower aggregator
-// protocol and the two-phase auth handshake execute as genuine message exchanges.
+// protocol and the two-phase auth handshake execute as genuine message exchanges — and,
+// with a fault plan installed, as genuinely lossy ones.
+//
+// Reliability contract: every message carries a per-sender sequence tag. The bus may
+// deliver a tagged message zero, one, or two times; receiving endpoints suppress
+// duplicates (same sender + tag), so retransmissions — which carry fresh tags — are the
+// only way to recover from loss. See net/retry.h for the retransmission helper.
 #ifndef DETA_NET_MESSAGE_BUS_H_
 #define DETA_NET_MESSAGE_BUS_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "common/bytes.h"
 #include "common/queue.h"
+#include "net/fault.h"
 
 namespace deta::net {
 
@@ -24,8 +35,12 @@ struct Message {
   std::string to;
   std::string type;  // protocol message kind, e.g. "upload_update"
   Bytes payload;
+  // Per-sender sequence tag for duplicate suppression; 0 = untagged (never deduped).
+  uint64_t seq = 0;
 
-  size_t WireSize() const { return from.size() + to.size() + type.size() + payload.size(); }
+  size_t WireSize() const {
+    return from.size() + to.size() + type.size() + payload.size() + sizeof(seq);
+  }
 };
 
 class MessageBus;
@@ -42,7 +57,8 @@ class Endpoint {
 
   // Blocks until a message arrives or the endpoint closes; nullopt on close.
   std::optional<Message> Receive();
-  // Bounded variant: nullopt after |timeout_ms| with no message.
+  // Bounded variant: nullopt after |timeout_ms| with no message. Use closed() to tell a
+  // timeout from a closed endpoint.
   std::optional<Message> ReceiveFor(int timeout_ms);
   // Blocks until a message of |type| arrives, queueing others aside (simple selective
   // receive; keeps protocol code linear).
@@ -50,15 +66,34 @@ class Endpoint {
   // Like ReceiveType but gives up after |timeout_ms| (nullopt on timeout/close). Lets
   // protocol code survive dead peers instead of blocking forever.
   std::optional<Message> ReceiveTypeFor(const std::string& type, int timeout_ms);
-  void Send(const std::string& to, const std::string& type, Bytes payload);
+  // Like ReceiveTypeFor but additionally matches the sender, so a delayed or duplicated
+  // reply from peer A cannot be mistaken for peer B's reply. Non-matching messages are
+  // stashed for later receives.
+  std::optional<Message> ReceiveMatchFor(const std::string& type, const std::string& from,
+                                         int timeout_ms);
+  // Routes a message; returns false when the target endpoint does not exist or has
+  // closed its mailbox (i.e. retransmitting is pointless). A message lost to fault
+  // injection still returns true — by design indistinguishable from network loss.
+  bool Send(const std::string& to, const std::string& type, Bytes payload);
   void Close();
+  // True once Close() ran (or the destructor did). Distinguishes "timed out" from
+  // "endpoint closed" after a nullopt ReceiveFor/ReceiveTypeFor.
+  bool closed() const { return mailbox_.closed(); }
 
  private:
   friend class MessageBus;
+  // Pops one message with duplicate suppression; nullopt on timeout (timeout_ms >= 0
+  // exhausted) or close.
+  std::optional<Message> PopDeduped(int timeout_ms);
+  bool AlreadySeen(const Message& m);
+
   std::string name_;
   MessageBus* bus_;
   BlockingQueue<Message> mailbox_;
-  std::vector<Message> stashed_;  // out-of-order messages set aside by ReceiveType
+  std::atomic<uint64_t> next_seq_{1};
+  std::vector<Message> stashed_;  // out-of-order messages set aside by ReceiveType*
+  // Receiver-thread-only dedup state: sender -> sequence tags already delivered.
+  std::map<std::string, std::set<uint64_t>> seen_;
 };
 
 class MessageBus {
@@ -68,24 +103,44 @@ class MessageBus {
   // Creates (registers) an endpoint. Name must be unique among live endpoints.
   std::unique_ptr<Endpoint> CreateEndpoint(const std::string& name);
 
-  // Routes a message; drops it (with a warning) if the target does not exist.
-  void Send(Message message);
+  // Routes a message; drops it (with a warning) if the target does not exist. Returns
+  // false when the target is missing or closed (see Endpoint::Send).
+  bool Send(Message message);
 
-  // Total bytes ever sent across the bus / per directed edge.
+  // Installs a fault plan. Call before traffic starts; replaces any previous plan and
+  // resets the per-edge fault schedule.
+  void SetFaultPlan(FaultPlan plan);
+
+  // Total bytes / messages *delivered* across the bus (per directed edge for EdgeBytes).
+  // Undelivered traffic — unknown or closed target, fault-injected drops — is counted in
+  // DroppedCount instead, so it cannot inflate the simulated latency model.
   uint64_t TotalBytes() const;
   uint64_t EdgeBytes(const std::string& from, const std::string& to) const;
   uint64_t MessageCount() const;
+  uint64_t DroppedCount() const;
+  // Dropped messages of one type (exact match), e.g. "auth.challenge".
+  uint64_t DroppedCount(const std::string& type) const;
+  // Dropped messages whose type starts with |prefix|, e.g. "auth.".
+  uint64_t DroppedCountWithPrefix(const std::string& prefix) const;
   void ResetStats();
 
  private:
   friend class Endpoint;
   void Unregister(const std::string& name);
+  // Under mutex_: counts + pushes to the target mailbox; bumps drop stats otherwise.
+  void Deliver(Message message);
 
   mutable std::mutex mutex_;
   std::map<std::string, Endpoint*> endpoints_;
   std::map<std::pair<std::string, std::string>, uint64_t> edge_bytes_;
   uint64_t total_bytes_ = 0;
   uint64_t message_count_ = 0;
+  uint64_t dropped_count_ = 0;
+  std::map<std::string, uint64_t> dropped_by_type_;
+  std::unique_ptr<FaultInjector> injector_;
+  // Reorder holdback: at most one in-flight message per edge, released right after the
+  // edge's next send (so a held message is delivered out of order but never starved).
+  std::map<std::pair<std::string, std::string>, Message> held_;
 };
 
 }  // namespace deta::net

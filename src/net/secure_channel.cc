@@ -2,15 +2,44 @@
 
 namespace deta::net {
 
-SecureChannel::SecureChannel(const Bytes& master_secret, std::string channel_id)
-    : aead_(master_secret), channel_id_(std::move(channel_id)) {}
+SecureChannel::SecureChannel(const Bytes& master_secret, std::string channel_id,
+                             ChannelRole role)
+    : aead_(master_secret), channel_id_(std::move(channel_id)), role_(role) {}
 
-Bytes SecureChannel::Seal(const Bytes& plaintext, crypto::SecureRng& rng) const {
-  return aead_.Seal(plaintext, StringToBytes(channel_id_), rng);
+Bytes SecureChannel::AssociatedData(ChannelRole sender, uint64_t seq) const {
+  Bytes ad = StringToBytes(channel_id_);
+  const char* direction = sender == ChannelRole::kInitiator ? "|i->r|" : "|r->i|";
+  Bytes dir = StringToBytes(direction);
+  ad.insert(ad.end(), dir.begin(), dir.end());
+  AppendU64(ad, seq);
+  return ad;
 }
 
-std::optional<Bytes> SecureChannel::Open(const Bytes& frame) const {
-  return aead_.Open(frame, StringToBytes(channel_id_));
+Bytes SecureChannel::Seal(const Bytes& plaintext, crypto::SecureRng& rng) {
+  uint64_t seq = ++send_seq_;
+  Bytes frame;
+  AppendU64(frame, seq);
+  Bytes sealed = aead_.Seal(plaintext, AssociatedData(role_, seq), rng);
+  frame.insert(frame.end(), sealed.begin(), sealed.end());
+  return frame;
+}
+
+std::optional<Bytes> SecureChannel::Open(const Bytes& frame) {
+  if (frame.size() < sizeof(uint64_t)) {
+    return std::nullopt;
+  }
+  uint64_t seq = ReadU64(frame, 0);
+  if (seq <= last_accepted_) {
+    return std::nullopt;  // replayed or superseded frame
+  }
+  Bytes sealed(frame.begin() + sizeof(uint64_t), frame.end());
+  ChannelRole sender =
+      role_ == ChannelRole::kInitiator ? ChannelRole::kResponder : ChannelRole::kInitiator;
+  std::optional<Bytes> plaintext = aead_.Open(sealed, AssociatedData(sender, seq));
+  if (plaintext.has_value()) {
+    last_accepted_ = seq;  // only authenticated frames advance the window
+  }
+  return plaintext;
 }
 
 }  // namespace deta::net

@@ -1,7 +1,13 @@
-// Established secure channel state: AEAD framing bound to a channel identity. Key
-// agreement (ECDH) and endpoint authentication (ECDSA over attestation tokens) happen in
-// the two-phase auth protocol (src/core/auth_protocol.h); this class is the record layer —
-// the stand-in for TLS in the paper's deployment.
+// Established secure channel state: AEAD framing bound to a channel identity, a
+// direction, and a monotonically increasing sequence number. Key agreement (ECDH) and
+// endpoint authentication (ECDSA over attestation tokens) happen in the two-phase auth
+// protocol (src/core/auth_protocol.h); this class is the record layer — the stand-in for
+// TLS in the paper's deployment.
+//
+// Frame layout: seq(8, LE) || aead_frame. The AEAD associated data is
+// channel_id || direction || seq, where the direction label depends on the sender's role,
+// so a frame can neither be replayed on another channel, nor reflected back to its
+// sender, nor replayed on the same channel (Open rejects non-monotonic sequences).
 #ifndef DETA_NET_SECURE_CHANNEL_H_
 #define DETA_NET_SECURE_CHANNEL_H_
 
@@ -12,20 +18,36 @@
 
 namespace deta::net {
 
+// Which side of the handshake this channel object belongs to: the initiator (the party,
+// who started the registration) or the responder (aggregator / key broker).
+enum class ChannelRole { kInitiator, kResponder };
+
 class SecureChannel {
  public:
-  // |master_secret| from key agreement; |channel_id| binds frames to this channel (it is
-  // the AEAD associated data, so frames cannot be replayed across channels).
-  SecureChannel(const Bytes& master_secret, std::string channel_id);
+  // |master_secret| from key agreement; |channel_id| binds frames to this channel.
+  SecureChannel(const Bytes& master_secret, std::string channel_id, ChannelRole role);
 
-  Bytes Seal(const Bytes& plaintext, crypto::SecureRng& rng) const;
-  std::optional<Bytes> Open(const Bytes& frame) const;
+  // Seals |plaintext| with the next outbound sequence number. Not idempotent: a
+  // retransmitted protocol message must be re-sealed, not re-sent byte-for-byte, or the
+  // receiver's monotonicity check will discard it as a replay.
+  Bytes Seal(const Bytes& plaintext, crypto::SecureRng& rng);
+
+  // Verifies and decrypts; nullopt on authentication failure, on a frame sealed for the
+  // other direction (reflection), and on a sequence number at or below the last accepted
+  // one (replay / reordering past an already-accepted frame).
+  std::optional<Bytes> Open(const Bytes& frame);
 
   const std::string& channel_id() const { return channel_id_; }
+  ChannelRole role() const { return role_; }
 
  private:
+  Bytes AssociatedData(ChannelRole sender, uint64_t seq) const;
+
   crypto::Aead aead_;
   std::string channel_id_;
+  ChannelRole role_;
+  uint64_t send_seq_ = 0;       // last sequence number sealed
+  uint64_t last_accepted_ = 0;  // last sequence number successfully opened
 };
 
 }  // namespace deta::net

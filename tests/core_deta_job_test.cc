@@ -248,5 +248,105 @@ TEST(DetaJobTest, ThreadCountDoesNotChangeResults) {
   }
 }
 
+// The acceptance bar for the robustness layer: a seeded plan dropping ~5% of all
+// protocol messages — including auth handshake and key-broker traffic — must converge
+// bit-identically to the fault-free run, because every lost message is retransmitted
+// and every receiver is idempotent.
+TEST(DetaJobFaultTest, FivePercentDropConvergesBitExact) {
+  fl::ExecutionOptions base = BaseOptions();
+  DetaOptions deta_options;
+  deta_options.num_aggregators = 3;
+
+  DetaJob clean(base, deta_options, MakePartiesWith(TinyMlpFactory(), 3, base.train),
+                TinyMlpFactory(), SmallMnist(30, 6));
+  fl::JobResult clean_result = clean.Run();
+  ASSERT_EQ(clean_result.status, fl::JobStatus::kOk);
+
+  fl::ExecutionOptions faulty = base;
+  faulty.fault_plan.seed = 7;
+  faulty.fault_plan.default_rates.drop = 0.05;
+  // Guarantee the interesting setup paths are hit regardless of how load-dependent
+  // retransmissions shift the per-edge schedules: burst-drop exactly the first
+  // two-phase-auth challenge and the first key-broker fetch.
+  net::EdgeFault first_auth;
+  first_auth.type_prefix = "auth.challenge";
+  first_auth.rates.drop = 1.0;
+  first_auth.max_faults = 1;
+  net::EdgeFault first_fetch;
+  first_fetch.type_prefix = "kb.fetch";
+  first_fetch.rates.drop = 1.0;
+  first_fetch.max_faults = 1;
+  faulty.fault_plan.overrides = {first_auth, first_fetch};
+  DetaJob deta(faulty, deta_options, MakePartiesWith(TinyMlpFactory(), 3, faulty.train),
+               TinyMlpFactory(), SmallMnist(30, 6));
+  fl::JobResult result = deta.Run();
+
+  EXPECT_EQ(result.status, fl::JobStatus::kOk);
+  EXPECT_TRUE(result.ok());
+  // The plan actually exercised the interesting paths: at least one two-phase-auth
+  // message and one key-broker message were lost and recovered.
+  EXPECT_GE(deta.bus().DroppedCountWithPrefix("auth."), 1u);
+  EXPECT_GE(deta.bus().DroppedCountWithPrefix("kb."), 1u);
+  EXPECT_GT(deta.bus().DroppedCount(), 0u);
+  // No party was fully dropped, so every round completed with everyone aboard...
+  ASSERT_EQ(result.rounds.size(), clean_result.rounds.size());
+  EXPECT_TRUE(result.per_round_dropouts.empty());
+  // ...and the result is bitwise identical to the fault-free run.
+  EXPECT_EQ(result.final_params, clean_result.final_params);
+  for (size_t i = 0; i < result.rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(result.rounds[i].loss, clean_result.rounds[i].loss) << "round " << i;
+  }
+}
+
+// A party whose uploads never arrive is skipped per round — recorded, not fatal — and
+// the same fault seed reproduces the same dropout schedule.
+TEST(DetaJobFaultTest, DropoutScheduleIsDeterministic) {
+  auto run = [] {
+    fl::ExecutionOptions base = BaseOptions();
+    base.fault_plan.seed = 5;
+    net::EdgeFault fault;
+    fault.from = "party2";
+    fault.type_prefix = "round.upload";
+    fault.rates.drop = 1.0;
+    base.fault_plan.overrides.push_back(fault);
+    DetaOptions deta_options;
+    deta_options.num_aggregators = 2;
+    deta_options.quorum = 2;  // aggregate once the two live parties are in
+    DetaJob deta(base, deta_options, MakePartiesWith(TinyMlpFactory(), 3, base.train),
+                 TinyMlpFactory(), SmallMnist(30, 6));
+    return deta.Run();
+  };
+  fl::JobResult first = run();
+  EXPECT_EQ(first.status, fl::JobStatus::kOk);
+  ASSERT_EQ(first.rounds.size(), 2u);
+  std::map<int, std::vector<std::string>> expected = {{1, {"party2"}}, {2, {"party2"}}};
+  EXPECT_EQ(first.per_round_dropouts, expected);
+
+  fl::JobResult second = run();
+  EXPECT_EQ(second.per_round_dropouts, first.per_round_dropouts);
+  EXPECT_EQ(second.final_params, first.final_params);
+}
+
+// When no quorum can form, the job ends with a typed error instead of hanging.
+TEST(DetaJobFaultTest, QuorumFailureIsTypedNotAHang) {
+  fl::ExecutionOptions base = BaseOptions();
+  base.fault_plan.seed = 5;
+  net::EdgeFault fault;
+  fault.type_prefix = "round.upload";  // every upload from every party
+  fault.rates.drop = 1.0;
+  base.fault_plan.overrides.push_back(fault);
+  base.round_timeout_ms = 700;    // keep the doomed round short; setup pacing stays default
+  base.setup_timeout_ms = 120000;  // sanitizer builds slow the auth handshakes ~10-20x
+  DetaOptions deta_options;
+  deta_options.num_aggregators = 2;
+  DetaJob deta(base, deta_options, MakePartiesWith(TinyMlpFactory(), 2, base.train),
+               TinyMlpFactory(), SmallMnist(30, 6));
+  fl::JobResult result = deta.Run();
+  EXPECT_EQ(result.status, fl::JobStatus::kQuorumFailed);
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_TRUE(result.rounds.empty());
+}
+
 }  // namespace
 }  // namespace deta::core

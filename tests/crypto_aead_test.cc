@@ -66,20 +66,24 @@ TEST_F(AeadTest, WrongKeyRejected) {
 TEST(SecureChannelTest, BindsFramesToChannelId) {
   SecureRng rng(StringToBytes("chan"));
   Bytes master = StringToBytes("shared-master-secret");
-  net::SecureChannel a(master, "chan:party0:aggregator1");
-  net::SecureChannel b(master, "chan:party0:aggregator2");
+  net::SecureChannel a(master, "chan:party0:aggregator1", net::ChannelRole::kInitiator);
+  net::SecureChannel a_peer(master, "chan:party0:aggregator1",
+                            net::ChannelRole::kResponder);
+  net::SecureChannel b(master, "chan:party0:aggregator2", net::ChannelRole::kResponder);
   Bytes frame = a.Seal(StringToBytes("fragment"), rng);
-  EXPECT_TRUE(a.Open(frame).has_value());
+  EXPECT_TRUE(a_peer.Open(frame).has_value());
   // Same key, different channel id: cross-channel replay is rejected.
   EXPECT_FALSE(b.Open(frame).has_value());
 }
 
 TEST(SecureChannelTest, LargePayloadRoundTrip) {
   SecureRng rng(StringToBytes("chan2"));
-  net::SecureChannel chan(StringToBytes("k"), "chan:x:y");
+  net::SecureChannel sender(StringToBytes("k"), "chan:x:y", net::ChannelRole::kInitiator);
+  net::SecureChannel receiver(StringToBytes("k"), "chan:x:y",
+                              net::ChannelRole::kResponder);
   Bytes big = rng.NextBytes(1 << 18);  // 256 KiB, spans many ChaCha blocks
-  Bytes frame = chan.Seal(big, rng);
-  auto opened = chan.Open(frame);
+  Bytes frame = sender.Seal(big, rng);
+  auto opened = receiver.Open(frame);
   ASSERT_TRUE(opened.has_value());
   EXPECT_EQ(*opened, big);
 }

@@ -4,7 +4,9 @@
 #include <thread>
 
 #include "net/codec.h"
+#include "net/fault.h"
 #include "net/message_bus.h"
+#include "net/retry.h"
 #include "net/secure_channel.h"
 
 namespace deta::net {
@@ -83,8 +85,33 @@ TEST(MessageBusTest, NameReusableAfterDestruction) {
 TEST(MessageBusTest, UnknownTargetDropped) {
   MessageBus bus;
   auto a = bus.CreateEndpoint("a");
-  a->Send("ghost", "x", {});  // no crash; message dropped (with a warning)
-  EXPECT_EQ(bus.MessageCount(), 1u);
+  // Undelivered traffic must not count as delivered: it would inflate the byte counters
+  // that feed the simulated latency model.
+  EXPECT_FALSE(a->Send("ghost", "x", {}));
+  EXPECT_EQ(bus.MessageCount(), 0u);
+  EXPECT_EQ(bus.TotalBytes(), 0u);
+  EXPECT_EQ(bus.DroppedCount(), 1u);
+  EXPECT_EQ(bus.DroppedCount("x"), 1u);
+}
+
+TEST(MessageBusTest, SendToClosedEndpointFails) {
+  MessageBus bus;
+  auto a = bus.CreateEndpoint("a");
+  auto b = bus.CreateEndpoint("b");
+  b->Close();
+  EXPECT_FALSE(a->Send("b", "x", {}));
+  EXPECT_EQ(bus.DroppedCount(), 1u);
+  EXPECT_EQ(bus.MessageCount(), 0u);
+}
+
+TEST(MessageBusTest, ClosedFlagDisambiguatesTimeout) {
+  MessageBus bus;
+  auto a = bus.CreateEndpoint("a");
+  EXPECT_FALSE(a->ReceiveFor(10).has_value());
+  EXPECT_FALSE(a->closed());  // genuine timeout
+  a->Close();
+  EXPECT_FALSE(a->ReceiveFor(10).has_value());
+  EXPECT_TRUE(a->closed());  // closed, not slow
 }
 
 TEST(MessageBusTest, ByteAccounting) {
@@ -206,6 +233,311 @@ TEST(MessageBusTest, FanInFromManySenders) {
     t.join();
   }
   EXPECT_EQ(received, kSenders * kEach);
+}
+
+// --- fault injection ---
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.default_rates.drop = 0.3;
+  plan.default_rates.duplicate = 0.2;
+  plan.default_rates.reorder = 0.15;
+  FaultInjector x(plan);
+  FaultInjector y(plan);
+  for (int i = 0; i < 300; ++i) {
+    const std::string to = i % 2 ? "b" : "c";
+    FaultDecision dx = x.Decide("a", to, "t");
+    FaultDecision dy = y.Decide("a", to, "t");
+    EXPECT_EQ(dx.drop, dy.drop) << i;
+    EXPECT_EQ(dx.duplicate, dy.duplicate) << i;
+    EXPECT_EQ(dx.reorder, dy.reorder) << i;
+  }
+}
+
+TEST(FaultInjectorTest, DifferentSeedDifferentSchedule) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.default_rates.drop = 0.5;
+  FaultPlan other = plan;
+  other.seed = 43;
+  FaultInjector x(plan);
+  FaultInjector y(other);
+  int disagreements = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (x.Decide("a", "b", "t").drop != y.Decide("a", "b", "t").drop) {
+      ++disagreements;
+    }
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+TEST(FaultInjectorTest, ImmuneEndpointsNeverFaulted) {
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.default_rates.drop = 1.0;
+  plan.immune.insert("observer");
+  FaultInjector inj(plan);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(inj.Decide("a", "observer", "t").drop);
+    EXPECT_FALSE(inj.Decide("observer", "a", "t").drop);
+    EXPECT_TRUE(inj.Decide("a", "b", "t").drop);
+  }
+}
+
+TEST(FaultInjectorTest, OverrideMatchesPrefixAndWildcards) {
+  FaultPlan plan;
+  plan.seed = 9;
+  EdgeFault only_uploads;
+  only_uploads.from = "p0";
+  only_uploads.type_prefix = "round.upload";
+  only_uploads.rates.drop = 1.0;
+  plan.overrides.push_back(only_uploads);
+  FaultInjector inj(plan);
+  EXPECT_TRUE(inj.Decide("p0", "agg0", "round.upload").drop);
+  EXPECT_TRUE(inj.Decide("p0", "agg1", "round.upload").drop);  // empty |to| = any target
+  EXPECT_FALSE(inj.Decide("p0", "agg0", "round.done").drop);
+  EXPECT_FALSE(inj.Decide("p1", "agg0", "round.upload").drop);
+}
+
+TEST(FaultInjectorTest, MaxFaultsBudgetExhausts) {
+  FaultPlan plan;
+  plan.seed = 2;
+  EdgeFault burst;
+  burst.type_prefix = "t";
+  burst.rates.drop = 1.0;
+  burst.max_faults = 2;
+  plan.overrides.push_back(burst);
+  FaultInjector inj(plan);
+  EXPECT_TRUE(inj.Decide("a", "b", "t").drop);
+  EXPECT_TRUE(inj.Decide("a", "b", "t").drop);
+  // Budget spent: the override stops matching and the defaults (no faults) apply.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(inj.Decide("a", "b", "t").drop) << i;
+  }
+}
+
+TEST(MessageBusTest, FaultDropIsCountedNotDelivered) {
+  MessageBus bus;
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.default_rates.drop = 1.0;
+  bus.SetFaultPlan(plan);
+  auto a = bus.CreateEndpoint("a");
+  auto b = bus.CreateEndpoint("b");
+  // A fault-dropped message looks like network loss to the sender: Send succeeds.
+  EXPECT_TRUE(a->Send("b", "lost", {}));
+  EXPECT_FALSE(b->ReceiveFor(30).has_value());
+  EXPECT_EQ(bus.MessageCount(), 0u);
+  EXPECT_EQ(bus.DroppedCount(), 1u);
+  EXPECT_EQ(bus.DroppedCountWithPrefix("lo"), 1u);
+}
+
+TEST(MessageBusTest, BusDuplicatesAreSuppressedByReceiver) {
+  MessageBus bus;
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.default_rates.duplicate = 1.0;
+  bus.SetFaultPlan(plan);
+  auto a = bus.CreateEndpoint("a");
+  auto b = bus.CreateEndpoint("b");
+  a->Send("b", "once", StringToBytes("payload"));
+  auto first = b->ReceiveFor(1000);
+  ASSERT_TRUE(first.has_value());
+  // The duplicate carries the same sequence tag and must be invisible to the receiver.
+  EXPECT_FALSE(b->ReceiveFor(50).has_value());
+  // Distinct sends (fresh tags) are NOT deduplicated.
+  a->Send("b", "twice", {});
+  a->Send("b", "twice", {});
+  EXPECT_TRUE(b->ReceiveFor(1000).has_value());
+  EXPECT_TRUE(b->ReceiveFor(1000).has_value());
+}
+
+TEST(MessageBusTest, ReorderSwapsAdjacentMessages) {
+  MessageBus bus;
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.default_rates.reorder = 1.0;
+  bus.SetFaultPlan(plan);
+  auto a = bus.CreateEndpoint("a");
+  auto b = bus.CreateEndpoint("b");
+  a->Send("b", "m1", {});
+  a->Send("b", "m2", {});
+  a->Send("b", "m3", {});
+  a->Send("b", "m4", {});
+  // One-slot holdback: each held message is released right after its successor.
+  EXPECT_EQ(b->Receive()->type, "m2");
+  EXPECT_EQ(b->Receive()->type, "m1");
+  EXPECT_EQ(b->Receive()->type, "m4");
+  EXPECT_EQ(b->Receive()->type, "m3");
+}
+
+TEST(MessageBusTest, ReceiveTypeSelectsAcrossReorderedDelivery) {
+  MessageBus bus;
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.default_rates.reorder = 1.0;
+  bus.SetFaultPlan(plan);
+  auto a = bus.CreateEndpoint("a");
+  auto b = bus.CreateEndpoint("b");
+  a->Send("b", "wanted", StringToBytes("w"));
+  a->Send("b", "other", StringToBytes("o"));
+  // Delivered other-then-wanted; selective receive still finds the wanted message and
+  // stashes the rest in delivery order.
+  auto m = b->ReceiveTypeFor("wanted", 1000);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(BytesToString(m->payload), "w");
+  auto rest = b->Receive();
+  ASSERT_TRUE(rest.has_value());
+  EXPECT_EQ(rest->type, "other");
+}
+
+TEST(MessageBusTest, SameSeedSameDropSchedule) {
+  auto run = [](uint64_t seed) {
+    MessageBus bus;
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.default_rates.drop = 0.4;
+    bus.SetFaultPlan(plan);
+    auto a = bus.CreateEndpoint("a");
+    auto b = bus.CreateEndpoint("b");
+    std::vector<bool> delivered;
+    for (int i = 0; i < 100; ++i) {
+      a->Send("b", "t", {});
+      delivered.push_back(b->ReceiveFor(5).has_value());
+    }
+    return delivered;
+  };
+  EXPECT_EQ(run(21), run(21));
+  EXPECT_NE(run(21), run(22));
+}
+
+// --- bounded request/reply ---
+
+TEST(RetryTest, RequestReplyRecoversFromDrops) {
+  MessageBus bus;
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.default_rates.drop = 0.5;  // both directions lossy
+  bus.SetFaultPlan(plan);
+  auto client = bus.CreateEndpoint("client");
+  auto server = bus.CreateEndpoint("server");
+  std::thread responder([&] {
+    // Idempotent echo server: answers every request that survives the bus.
+    for (;;) {
+      auto m = server->Receive();
+      if (!m.has_value()) {
+        return;
+      }
+      server->Send(m->from, "rep", m->payload);
+    }
+  });
+  RetryPolicy policy;
+  policy.initial_timeout_ms = 50;
+  policy.max_attempts = 10;
+  for (int i = 0; i < 8; ++i) {
+    auto reply = RequestReply(*client, "server", "req", StringToBytes("ping"), "rep",
+                              policy);
+    ASSERT_TRUE(reply.has_value()) << i;
+    EXPECT_EQ(BytesToString(reply->payload), "ping");
+  }
+  EXPECT_GT(bus.DroppedCount(), 0u);  // the retries actually did something
+  server->Close();
+  responder.join();
+}
+
+TEST(RetryTest, RequestReplyMatchesSender) {
+  MessageBus bus;
+  auto client = bus.CreateEndpoint("client");
+  auto right = bus.CreateEndpoint("right");
+  auto wrong = bus.CreateEndpoint("wrong");
+  // A stray reply of the right type from the wrong peer must not satisfy the call.
+  wrong->Send("client", "rep", StringToBytes("impostor"));
+  std::thread responder([&] {
+    auto m = right->Receive();
+    ASSERT_TRUE(m.has_value());
+    right->Send(m->from, "rep", StringToBytes("genuine"));
+  });
+  auto reply = RequestReply(*client, "right", "req", {}, "rep");
+  responder.join();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->from, "right");
+  EXPECT_EQ(BytesToString(reply->payload), "genuine");
+}
+
+TEST(RetryTest, RequestReplyFailsFastOnDeadPeer) {
+  MessageBus bus;
+  auto client = bus.CreateEndpoint("client");
+  RetryPolicy policy;
+  policy.initial_timeout_ms = 20;
+  policy.max_attempts = 3;
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(RequestReply(*client, "ghost", "req", {}, "rep", policy).has_value());
+  // Send fails immediately for a nonexistent endpoint — no pointless backoff.
+  EXPECT_LT(std::chrono::steady_clock::now() - start, std::chrono::milliseconds(500));
+}
+
+TEST(RetryTest, BackoffIsCappedAndBounded) {
+  RetryPolicy policy;
+  policy.initial_timeout_ms = 100;
+  policy.backoff = 2.0;
+  policy.max_timeout_ms = 400;
+  policy.max_attempts = 5;
+  EXPECT_EQ(policy.TimeoutForAttempt(0), 100);
+  EXPECT_EQ(policy.TimeoutForAttempt(1), 200);
+  EXPECT_EQ(policy.TimeoutForAttempt(2), 400);
+  EXPECT_EQ(policy.TimeoutForAttempt(3), 400);  // capped
+  EXPECT_EQ(policy.TotalBudgetMs(), 100 + 200 + 400 + 400 + 400);
+}
+
+// --- secure channel hardening ---
+
+TEST(SecureChannelTest, ReplayRejected) {
+  crypto::SecureRng rng(StringToBytes("replay"));
+  Bytes master = StringToBytes("master");
+  SecureChannel sender(master, "chan:p:a", ChannelRole::kInitiator);
+  SecureChannel receiver(master, "chan:p:a", ChannelRole::kResponder);
+  Bytes frame = sender.Seal(StringToBytes("msg"), rng);
+  EXPECT_TRUE(receiver.Open(frame).has_value());
+  // Byte-identical replay: the sequence number is no longer fresh.
+  EXPECT_FALSE(receiver.Open(frame).has_value());
+}
+
+TEST(SecureChannelTest, ReflectionRejected) {
+  crypto::SecureRng rng(StringToBytes("reflect"));
+  Bytes master = StringToBytes("master");
+  SecureChannel initiator(master, "chan:p:a", ChannelRole::kInitiator);
+  SecureChannel responder(master, "chan:p:a", ChannelRole::kResponder);
+  // A frame bounced back at its own sender fails: the direction label in the
+  // associated data does not match.
+  Bytes frame = initiator.Seal(StringToBytes("msg"), rng);
+  EXPECT_FALSE(initiator.Open(frame).has_value());
+  Bytes back = responder.Seal(StringToBytes("msg"), rng);
+  EXPECT_FALSE(responder.Open(back).has_value());
+  // The legitimate directions still work.
+  EXPECT_TRUE(responder.Open(frame).has_value());
+  EXPECT_TRUE(initiator.Open(back).has_value());
+}
+
+TEST(SecureChannelTest, NonMonotonicSequenceRejected) {
+  crypto::SecureRng rng(StringToBytes("mono"));
+  Bytes master = StringToBytes("master");
+  SecureChannel sender(master, "chan:p:a", ChannelRole::kInitiator);
+  SecureChannel receiver(master, "chan:p:a", ChannelRole::kResponder);
+  Bytes f1 = sender.Seal(StringToBytes("one"), rng);
+  Bytes f2 = sender.Seal(StringToBytes("two"), rng);
+  // Newest first: accepted and advances the window past the older frame.
+  EXPECT_TRUE(receiver.Open(f2).has_value());
+  EXPECT_FALSE(receiver.Open(f1).has_value());
+}
+
+TEST(SecureChannelTest, TruncatedFrameRejected) {
+  crypto::SecureRng rng(StringToBytes("trunc"));
+  SecureChannel sender(StringToBytes("k"), "chan:p:a", ChannelRole::kInitiator);
+  SecureChannel receiver(StringToBytes("k"), "chan:p:a", ChannelRole::kResponder);
+  Bytes frame = sender.Seal(StringToBytes("msg"), rng);
+  EXPECT_FALSE(receiver.Open(Bytes(frame.begin(), frame.begin() + 4)).has_value());
+  EXPECT_FALSE(receiver.Open({}).has_value());
 }
 
 }  // namespace
