@@ -5,6 +5,8 @@
 // thread counts, only wall-clock changes.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "fl/aggregation.h"
@@ -68,4 +70,4 @@ BENCHMARK(BM_TrimmedMean) AGG_ARGS;
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DETA_BENCH_MAIN();

@@ -3,6 +3,8 @@
 // permutation derivation), and Paillier fusion.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "common/parallel.h"
 #include "core/shuffler.h"
 #include "crypto/aead.h"
@@ -170,4 +172,4 @@ BENCHMARK(BM_PermutationDerivation)->Arg(10000)->Arg(100000)->Arg(1000000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DETA_BENCH_MAIN();

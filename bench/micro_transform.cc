@@ -2,6 +2,8 @@
 // Trans/Trans^-1 pipeline at model-update sizes from tiny MLPs to VGG-scale vectors.
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "core/transform.h"
 
 namespace {
@@ -74,4 +76,4 @@ BENCHMARK(BM_FullTransform)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DETA_BENCH_MAIN();

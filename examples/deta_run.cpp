@@ -24,12 +24,14 @@
 //   --threads=N                          worker threads for aggregation/crypto hot paths
 //                                        (0 = hardware concurrency; results are bitwise
 //                                        identical for any value)
+//   --telemetry-out=FILE                 write the run's telemetry snapshot as JSON
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "core/deta_job.h"
 #include "fl/training_job.h"
 
@@ -211,6 +213,16 @@ int main(int argc, char** argv) {
                 train.ldp.enabled || options.use_paillier
                     ? " (noise/quantization expected)"
                     : (max_diff == 0.0f ? " (bit-exact)" : ""));
+  }
+
+  std::string telemetry_out = flags.Get("telemetry-out", "");
+  if (!telemetry_out.empty()) {
+    // The DeTA run's own delta (not process-global), so the baseline comparison above
+    // cannot leak its counters into the artifact.
+    if (!telemetry::WriteJsonFile(result.telemetry, telemetry_out)) {
+      return 1;
+    }
+    std::printf("telemetry written to %s\n", telemetry_out.c_str());
   }
   return 0;
 }

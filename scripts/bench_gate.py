@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""CI gate over telemetry JSON artifacts (common/telemetry.h::ToJson output).
+
+Fails (exit 1) when any must-be-zero counter is nonzero in any of the given
+snapshots. The defaults encode the fault-free contract of the protocol fabric:
+on a run with no FaultPlan installed, nothing may be dropped, no secure-channel
+frame may be rejected, no retry budget may be exhausted, and nothing may log at
+WARNING or above.
+
+Usage:
+  scripts/bench_gate.py telemetry1.json [telemetry2.json ...]
+      [--forbid COUNTER_PREFIX ...]   extra must-be-zero counter prefixes
+      [--require COUNTER ...]         counters that must be present AND nonzero
+
+Counter prefixes match exact names or any dotted child (e.g. "net.bus.dropped"
+matches "net.bus.dropped" and "net.bus.dropped.upload").
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_FORBIDDEN = [
+    "net.bus.dropped",          # undeliverable messages (unknown/closed endpoint)
+    "net.bus.fault_dropped",    # fault-injected losses: requires a FaultPlan
+    "net.channel.open_rejected",  # tampered/replayed/malformed secure frames
+    "net.retry.exhausted",      # a peer stayed unresponsive through the whole budget
+    "common.log.warnings",
+    "common.log.errors",
+]
+
+
+def matches(prefix: str, name: str) -> bool:
+    return name == prefix or name.startswith(prefix + ".")
+
+
+def check_snapshot(path: str, forbidden, required) -> list:
+    try:
+        with open(path, encoding="utf-8") as f:
+            snapshot = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable telemetry JSON: {e}"]
+
+    errors = []
+    counters = snapshot.get("counters")
+    if not isinstance(counters, dict):
+        return [f"{path}: no 'counters' object — not a telemetry snapshot?"]
+
+    for name, value in sorted(counters.items()):
+        for prefix in forbidden:
+            if matches(prefix, name) and value != 0:
+                errors.append(f"{path}: must-be-zero counter {name} = {value}")
+                break
+    for name in required:
+        if counters.get(name, 0) == 0:
+            errors.append(f"{path}: required counter {name} is missing or zero")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("snapshots", nargs="+", help="telemetry JSON files")
+    parser.add_argument("--forbid", action="append", default=[],
+                        help="extra must-be-zero counter prefix")
+    parser.add_argument("--require", action="append", default=[],
+                        help="counter that must be present and nonzero")
+    args = parser.parse_args()
+
+    forbidden = DEFAULT_FORBIDDEN + args.forbid
+    all_errors = []
+    for path in args.snapshots:
+        all_errors.extend(check_snapshot(path, forbidden, args.require))
+
+    if all_errors:
+        for e in all_errors:
+            print(f"bench_gate: FAIL {e}", file=sys.stderr)
+        return 1
+    print(f"bench_gate: OK ({len(args.snapshots)} snapshot(s) clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

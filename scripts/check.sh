@@ -1,14 +1,65 @@
 #!/usr/bin/env bash
 # Repository check gate: tier-1 build + full test suite, then a ThreadSanitizer build
 # of the concurrency-sensitive surface (message bus / protocol threads / parallel
-# layer). Run from anywhere; builds land in build/ and build-tsan/ at the repo root.
+# layer). Run from anywhere; builds land in build*/ directories at the repo root.
 #
-# Usage: scripts/check.sh [--tier1-only]
+# Usage: scripts/check.sh [--tier1-only] [--preset debug|release|asan|tsan]
+#
+#   (no flags)        tier-1 (RelWithDebInfo build + full ctest) then the TSan gate —
+#                     unchanged historical behaviour.
+#   --tier1-only      tier-1 only, skip the TSan gate.
+#   --preset NAME     run exactly one CI leg:
+#     debug           Debug build + full ctest                    (build-debug/)
+#     release         Release build + full ctest                  (build-release/)
+#     asan            ASan+UBSan build + full ctest               (build-asan/)
+#     tsan            TSan build + concurrency-suite gtest filter (build-tsan/)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "${repo_root}"
 jobs="$(nproc 2>/dev/null || echo 2)"
+
+# The TSan gate covers the suites that exercise real threads: the bus and its fault
+# injector, retry/secure-channel, the deterministic parallel layer, telemetry, and the
+# aggregator/party/job protocol stack. Filtering keeps the (slow, ~10x) sanitized run
+# feasible on small containers.
+tsan_filter='MessageBus*:FaultInjector*:Retry*:SecureChannel*:Codec*:ParallelFor*:ParallelReduce*:DefaultThreads*:ThreadInvariance*:AggregatorNode*:KeyBroker*:Auth*:Telemetry*:DetaJobFaultTest.QuorumFailureIsTypedNotAHang'
+
+cmake_flags_for_preset() {
+  case "$1" in
+    debug)   echo "-DCMAKE_BUILD_TYPE=Debug" ;;
+    release) echo "-DCMAKE_BUILD_TYPE=Release" ;;
+    asan)    echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DDETA_SANITIZE=address,undefined" ;;
+    tsan)    echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DDETA_SANITIZE=thread" ;;
+    *)       echo "unknown preset: $1 (debug|release|asan|tsan)" >&2; exit 2 ;;
+  esac
+}
+
+run_preset() {
+  local preset="$1"
+  local build_dir="build-${preset}"
+  local flags
+  flags="$(cmake_flags_for_preset "${preset}")"
+  echo "==> ${preset}: configure + build (${build_dir})"
+  # shellcheck disable=SC2086
+  cmake -B "${build_dir}" -S . ${flags} >/dev/null
+  cmake --build "${build_dir}" -j "${jobs}"
+  if [[ "${preset}" == "tsan" ]]; then
+    echo "==> ${preset}: net/core/parallel/telemetry suites"
+    TSAN_OPTIONS="halt_on_error=1" \
+      "./${build_dir}/tests/deta_tests" --gtest_filter="${tsan_filter}"
+  else
+    echo "==> ${preset}: ctest"
+    (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+  fi
+  echo "==> OK (${preset})"
+}
+
+if [[ "${1:-}" == "--preset" ]]; then
+  [[ -n "${2:-}" ]] || { echo "--preset requires an argument" >&2; exit 2; }
+  run_preset "$2"
+  exit 0
+fi
 
 echo "==> tier-1: configure + build"
 cmake -B build -S . >/dev/null
@@ -22,17 +73,5 @@ if [[ "${1:-}" == "--tier1-only" ]]; then
   exit 0
 fi
 
-echo "==> tsan: configure + build (DETA_SANITIZE=thread)"
-cmake -B build-tsan -S . -DDETA_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "${jobs}"
-
-# The TSan gate covers the suites that exercise real threads: the bus and its fault
-# injector, retry/secure-channel, the deterministic parallel layer, and the
-# aggregator/party/job protocol stack. Filtering keeps the (slow, ~10x) sanitized run
-# feasible on small containers.
-tsan_filter='MessageBus*:FaultInjector*:Retry*:SecureChannel*:Codec*:ParallelFor*:ParallelReduce*:DefaultThreads*:ThreadInvariance*:AggregatorNode*:KeyBroker*:Auth*:DetaJobFaultTest.QuorumFailureIsTypedNotAHang'
-echo "==> tsan: net/core/parallel suites"
-TSAN_OPTIONS="halt_on_error=1" \
-  ./build-tsan/tests/deta_tests --gtest_filter="${tsan_filter}"
-
+run_preset tsan
 echo "==> OK"

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "common/telemetry.h"
+
 namespace deta {
 
 namespace {
@@ -48,6 +50,12 @@ LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 namespace internal {
 
 void EmitLog(LogLevel level, const char* file, int line, const std::string& message) {
+  // Elevated lines feed the "no warnings" CI gate even when stderr goes unread.
+  if (level == LogLevel::kWarning) {
+    DETA_COUNTER("common.log.warnings").Increment();
+  } else if (level == LogLevel::kError) {
+    DETA_COUNTER("common.log.errors").Increment();
+  }
   using Clock = std::chrono::steady_clock;
   static const Clock::time_point start = Clock::now();
   double elapsed = std::chrono::duration<double>(Clock::now() - start).count();

@@ -22,7 +22,9 @@ LogLevel GetLogLevel();
 
 namespace internal {
 
-// Emits one formatted log line to stderr; thread-safe.
+// Emits one formatted log line to stderr; thread-safe. Lines at kWarning/kError also
+// bump the telemetry counters `common.log.warnings` / `common.log.errors`, so tests and
+// the CI bench gate can assert "this run logged no warnings".
 void EmitLog(LogLevel level, const char* file, int line, const std::string& message);
 
 class LogMessage {
@@ -52,16 +54,26 @@ class NullStream {
   }
 };
 
+// Lets the ternary in DETA_LOG discard the stream expression as void.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
 }  // namespace internal
 }  // namespace deta
 
+// Leveled log statement. Expression form (not a dangling if/else): when the level is
+// below the process threshold the whole right-hand side — including every operand
+// streamed into it — is skipped, so hot paths (MessageBus delivery, per-fragment
+// protocol handlers) pay one atomic load and nothing else for a disabled LOG_DEBUG.
 #define DETA_LOG(level)                                                         \
-  if (static_cast<int>(::deta::LogLevel::level) <                               \
-      static_cast<int>(::deta::GetLogLevel()))                                  \
-    ;                                                                           \
-  else                                                                          \
-    ::deta::internal::LogMessage(::deta::LogLevel::level, __FILE__, __LINE__)   \
-        .stream()
+  (static_cast<int>(::deta::LogLevel::level) <                                  \
+   static_cast<int>(::deta::GetLogLevel()))                                     \
+      ? (void)0                                                                 \
+      : ::deta::internal::Voidify() &                                           \
+            ::deta::internal::LogMessage(::deta::LogLevel::level, __FILE__,     \
+                                         __LINE__)                              \
+                .stream()
 
 #define LOG_DEBUG DETA_LOG(kDebug)
 #define LOG_INFO DETA_LOG(kInfo)

@@ -16,6 +16,9 @@ constexpr int kMaxWorkers = 63;
 
 void SetDefaultThreads(int threads) {
   g_default_threads.store(threads < 0 ? 0 : threads, std::memory_order_relaxed);
+  telemetry::MetricsRegistry::Global()
+      .GetGauge("common.parallel.threads")
+      .Set(DefaultThreads());
 }
 
 int DefaultThreads() {
@@ -65,6 +68,9 @@ void ThreadPool::EnsureWorkers(int count) {
   while (static_cast<int>(workers_.size()) < count) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  telemetry::MetricsRegistry::Global()
+      .GetGauge("common.parallel.pool.workers")
+      .Set(static_cast<double>(workers_.size()));
 }
 
 void ThreadPool::WorkOn(Job& job) {
@@ -129,9 +135,13 @@ void ThreadPool::Run(int64_t num_chunks, const std::function<void(int64_t)>& fn,
   wake_cv_.notify_all();
   WorkOn(job);
   {
+    // Drain wait: the submitting thread ran out of chunks but pool workers are still
+    // finishing theirs. Long waits here mean chunk granularity is too coarse.
+    WallStopwatch drain_watch;
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [&] { return job.active == 0; });
     job_ = nullptr;
+    internal::RegionMetrics::Get().drain_wait_s.Record(drain_watch.ElapsedSeconds());
   }
   if (job.error) std::rethrow_exception(job.error);
 }

@@ -22,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/telemetry.h"
+
 namespace deta::parallel {
 
 // Sets the number of threads parallel regions may use; 0 means one per hardware core.
@@ -79,6 +81,36 @@ class ThreadPool {
   std::mutex submit_mutex_;   // held for the duration of one pooled region
 };
 
+namespace internal {
+
+// Telemetry handles for the parallel layer, resolved once. Bundled so every metric is
+// *registered* on the first region regardless of which execution path (serial vs
+// pooled) runs — keeping the metric set identical across thread counts, which the
+// telemetry determinism contract requires. Region/chunk counters count logical work
+// (pure functions of begin/end/grain), never threads, so their values are
+// thread-count-invariant too; only the duration histograms vary.
+struct RegionMetrics {
+  telemetry::Counter& regions;
+  telemetry::Counter& chunks;
+  telemetry::Histogram& region_wall_s;
+  telemetry::Histogram& drain_wait_s;  // recorded by ThreadPool::Run (pooled path only)
+
+  static RegionMetrics& Get() {
+    static RegionMetrics& metrics = *new RegionMetrics{
+        telemetry::MetricsRegistry::Global().GetCounter("common.parallel.regions"),
+        telemetry::MetricsRegistry::Global().GetCounter("common.parallel.chunks"),
+        telemetry::MetricsRegistry::Global().GetHistogram("common.parallel.region.wall_s",
+                                                          telemetry::Unit::kSeconds),
+        telemetry::MetricsRegistry::Global().GetHistogram(
+            "common.parallel.pool.drain_wait_s", telemetry::Unit::kSeconds)};
+    // Present in every snapshot even if the pool never spawns (threads=1 runs).
+    telemetry::MetricsRegistry::Global().GetGauge("common.parallel.pool.workers");
+    return metrics;
+  }
+};
+
+}  // namespace internal
+
 // Calls fn(chunk_begin, chunk_end) over [begin, end) split into fixed chunks of |grain|
 // indices (the last chunk may be short). Chunks may run concurrently and in any order;
 // fn must only touch state that is disjoint across chunks.
@@ -87,6 +119,10 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
   if (end <= begin) return;
   grain = std::max<int64_t>(1, grain);
   const int64_t chunks = (end - begin + grain - 1) / grain;
+  internal::RegionMetrics& metrics = internal::RegionMetrics::Get();
+  metrics.regions.Increment();
+  metrics.chunks.Add(static_cast<uint64_t>(chunks));
+  WallStopwatch region_watch;
   auto run_chunk = [&](int64_t c) {
     const int64_t lo = begin + c * grain;
     fn(lo, std::min(end, lo + grain));
@@ -94,9 +130,10 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
   const int threads = DefaultThreads();
   if (threads <= 1 || chunks <= 1) {
     for (int64_t c = 0; c < chunks; ++c) run_chunk(c);
-    return;
+  } else {
+    ThreadPool::Global().Run(chunks, run_chunk, threads);
   }
-  ThreadPool::Global().Run(chunks, run_chunk, threads);
+  metrics.region_wall_s.Record(region_watch.ElapsedSeconds());
 }
 
 // Deterministic map/reduce: acc = combine(acc, map(chunk_begin, chunk_end)) folded left

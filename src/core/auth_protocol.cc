@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "crypto/hmac.h"
 #include "net/codec.h"
 
@@ -65,6 +66,8 @@ std::string ChannelId(const std::string& party, const std::string& aggregator) {
 bool VerifyAggregator(net::Endpoint& endpoint, const std::string& aggregator,
                       const crypto::EcPoint& token_public, crypto::SecureRng& rng,
                       const net::RetryPolicy& policy) {
+  telemetry::Span span("core.auth.verify");
+  DETA_COUNTER("core.auth.verify_started").Increment();
   Bytes nonce = rng.NextBytes(32);
   std::optional<net::Message> reply =
       net::RequestReply(endpoint, aggregator, kAuthChallenge, nonce, kAuthResponse,
@@ -80,6 +83,8 @@ bool VerifyAggregator(net::Endpoint& endpoint, const std::string& aggregator,
   if (!ok) {
     LOG_WARNING << endpoint.name() << ": aggregator " << aggregator
                 << " failed token challenge — refusing to register";
+  } else {
+    DETA_COUNTER("core.auth.verify_ok").Increment();
   }
   return ok;
 }
@@ -88,6 +93,8 @@ std::optional<net::SecureChannel> RegisterWithAggregator(
     net::Endpoint& endpoint, const std::string& aggregator,
     const crypto::EcPoint& token_public, crypto::SecureRng& rng,
     const net::RetryPolicy& policy) {
+  telemetry::Span span("core.auth.register");
+  DETA_COUNTER("core.auth.register_started").Increment();
   crypto::EcKeyPair ephemeral = crypto::GenerateEcKey(rng);
   Bytes my_share = Curve().Encode(ephemeral.public_key);
 
@@ -116,6 +123,7 @@ std::optional<net::SecureChannel> RegisterWithAggregator(
     return std::nullopt;
   }
   Bytes master = crypto::EcdhSharedSecret(ephemeral.private_key, *their_point);
+  DETA_COUNTER("core.auth.register_ok").Increment();
   return net::SecureChannel(master, ChannelId(endpoint.name(), aggregator),
                             net::ChannelRole::kInitiator);
 }

@@ -4,6 +4,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/sim_clock.h"
+#include "common/telemetry.h"
 #include "net/codec.h"
 
 namespace deta::core {
@@ -204,6 +205,9 @@ void DetaAggregator::HandleUpload(const net::Message& m) {
 }
 
 void DetaAggregator::Aggregate(int round) {
+  telemetry::Span span("core.deta_agg.aggregate");
+  DETA_COUNTER("core.deta_agg.rounds_aggregated").Increment();
+  DETA_COUNTER("core.deta_agg.fragments").Add(staged_.size());
   Stopwatch watch;
   Bytes result_payload;
 

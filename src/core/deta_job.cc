@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "crypto/sha256.h"
 #include "net/codec.h"
 
@@ -180,6 +181,14 @@ fl::JobResult DetaJob::Run() {
   // identical results — see common/parallel.h.
   parallel::SetDefaultThreads(options_.threads);
 
+  // Per-run telemetry is a Delta over the process-global registry, so concurrent runs in
+  // one process would bleed into each other — tests run jobs one at a time.
+  const telemetry::TelemetrySnapshot telemetry_start = telemetry::Snapshot();
+  auto finish_telemetry = [&](fl::JobResult& r, double sim_seconds) {
+    r.telemetry = telemetry::Delta(telemetry_start, telemetry::Snapshot());
+    r.telemetry.sim_seconds = sim_seconds;
+  };
+
   // Fault injection covers the protocol fabric only: the observer is the measurement
   // harness, so its reports (and its control messages) are exempted — a "dropped" timing
   // report would be a harness bug, not a protocol fault.
@@ -223,6 +232,7 @@ fl::JobResult DetaJob::Run() {
     }
     LOG_ERROR << "DeTA job: " << result.error;
     ShutdownAll(*observer);
+    finish_telemetry(result, 0.0);
     return result;
   }
   LOG_INFO << "DeTA job: all " << deta_parties_.size()
@@ -241,11 +251,15 @@ fl::JobResult DetaJob::Run() {
     result.status = fl::JobStatus::kStalled;
     result.error = "initiator " + aggregators_[0]->name() + " did not ack job start";
     ShutdownAll(*observer);
+    finish_telemetry(result, 0.0);
     return result;
   }
 
   const LatencyModel& lm = options_.latency;
   double cumulative = 0.0;
+  // Drives the sim_s stamps on the per-round spans below; advanced by each round's
+  // modelled latency once the round's reports are in.
+  SimClock sim_clock;
 
   // Per-round report collection, tolerant of cross-round interleaving and dropouts.
   std::map<int, std::vector<std::pair<double, double>>> timings;  // round -> (train, trans)
@@ -268,6 +282,7 @@ fl::JobResult DetaJob::Run() {
       2 * options_.round_timeout_ms + options_.retry.TotalBudgetMs() + 5000;
 
   for (int round = 1; round <= options_.rounds && result.ok(); ++round) {
+    telemetry::Span round_span("core.deta_job.round", &sim_clock);
     auto deadline = std::chrono::steady_clock::now() +
                     std::chrono::milliseconds(round_budget_ms);
     auto round_complete = [&] {
@@ -363,6 +378,10 @@ fl::JobResult DetaJob::Run() {
     agg_phase *= (1.0 + lm.sev_compute_overhead);
     agg_phase += lm.rtt_seconds;  // initiator/follower sync
     double round_latency = party_phase + agg_phase + lm.TransferSeconds(down_bytes);
+    sim_clock.Advance(round_latency);
+    DETA_COUNTER("core.deta_job.rounds").Increment();
+    DETA_HISTOGRAM("core.deta_job.round_latency_s", ::deta::telemetry::Unit::kSeconds)
+        .Record(round_latency);
 
     // --- evaluation on the reporter's merged global model (or, if the reporter sat
     // this round out, its last synchronized state) ---
@@ -410,6 +429,8 @@ fl::JobResult DetaJob::Run() {
     key_broker_->Stop();
     key_broker_->Join();
   }
+  // Snapshot after every node thread has joined, so all their metric writes are folded in.
+  finish_telemetry(result, cumulative);
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/sim_clock.h"
+#include "common/telemetry.h"
 #include "net/codec.h"
 
 namespace deta::core {
@@ -151,6 +152,8 @@ void DetaParty::Run() {
 }
 
 void DetaParty::RunRound(int round) {
+  telemetry::Span span("core.deta_party.round");
+  DETA_COUNTER("core.deta_party.rounds").Increment();
   // --- local training ---
   fl::Party::LocalResult local = local_->RunLocalRound(global_params_, round);
 

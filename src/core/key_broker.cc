@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "net/codec.h"
 
 namespace deta::core {
@@ -121,6 +122,10 @@ void KeyBroker::Run() {
 std::optional<TransformMaterial> FetchTransformMaterial(
     net::Endpoint& endpoint, const crypto::EcPoint& broker_public,
     crypto::SecureRng& rng, const net::RetryPolicy& policy) {
+  // Spans the whole verify -> register -> fetch handshake, so `span.core.kb.fetch.*`
+  // histograms report end-to-end handshake latency including retries.
+  telemetry::Span span("core.kb.fetch");
+  DETA_COUNTER("core.kb.fetch_started").Increment();
   if (!VerifyAggregator(endpoint, KeyBroker::kEndpointName, broker_public, rng,
                         policy)) {
     LOG_WARNING << endpoint.name() << ": key broker failed identity challenge";
@@ -142,6 +147,7 @@ std::optional<TransformMaterial> FetchTransformMaterial(
     LOG_WARNING << endpoint.name() << ": key broker material failed to unseal";
     return std::nullopt;
   }
+  DETA_COUNTER("core.kb.fetch_ok").Increment();
   return TransformMaterial::Deserialize(*material);
 }
 

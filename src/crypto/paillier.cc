@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 
 namespace deta::crypto {
 
@@ -35,6 +36,10 @@ std::vector<BigUint> PaillierPublicKey::EncryptBatch(const std::vector<BigUint>&
   // Each element gets its own SecureRng forked from |rng| in index order; the modexp
   // fan-out below then cannot perturb the randomness stream, keeping ciphertexts
   // reproducible across thread counts.
+  telemetry::Span span("crypto.paillier.encrypt_batch");
+  DETA_COUNTER("crypto.paillier.encrypt_ops").Add(ms.size());
+  DETA_HISTOGRAM("crypto.paillier.encrypt_batch_size", ::deta::telemetry::Unit::kCount)
+      .Record(static_cast<double>(ms.size()));
   std::vector<Bytes> seeds(ms.size());
   for (Bytes& seed : seeds) {
     seed = rng.NextBytes(32);
@@ -56,6 +61,10 @@ BigUint PaillierPublicKey::AddCiphertexts(const BigUint& c1, const BigUint& c2) 
 std::vector<BigUint> PaillierPublicKey::AddCiphertextBatch(
     const std::vector<BigUint>& c1, const std::vector<BigUint>& c2) const {
   DETA_CHECK_EQ(c1.size(), c2.size());
+  telemetry::Span span("crypto.paillier.add_batch");
+  DETA_COUNTER("crypto.paillier.add_ops").Add(c1.size());
+  DETA_HISTOGRAM("crypto.paillier.add_batch_size", ::deta::telemetry::Unit::kCount)
+      .Record(static_cast<double>(c1.size()));
   std::vector<BigUint> out(c1.size());
   parallel::ParallelFor(0, static_cast<int64_t>(c1.size()), 8, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
@@ -77,6 +86,10 @@ BigUint PaillierPrivateKey::Decrypt(const BigUint& c, const PaillierPublicKey& p
 
 std::vector<BigUint> PaillierPrivateKey::DecryptBatch(const std::vector<BigUint>& cs,
                                                       const PaillierPublicKey& pub) const {
+  telemetry::Span span("crypto.paillier.decrypt_batch");
+  DETA_COUNTER("crypto.paillier.decrypt_ops").Add(cs.size());
+  DETA_HISTOGRAM("crypto.paillier.decrypt_batch_size", ::deta::telemetry::Unit::kCount)
+      .Record(static_cast<double>(cs.size()));
   std::vector<BigUint> out(cs.size());
   parallel::ParallelFor(0, static_cast<int64_t>(cs.size()), 1, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/telemetry.h"
 #include "net/codec.h"
 
 namespace deta::fl {
@@ -357,30 +358,59 @@ std::vector<float> TrimmedMean::Aggregate(const std::vector<ModelUpdate>& update
   return out;
 }
 
+namespace {
+
+// Telemetry decorator wrapped around every factory-made algorithm: per-call counters
+// plus a `span.fl.aggregation.<name>.wall_s` latency histogram. Delegation is a plain
+// virtual call, so the numeric results are untouched.
+class InstrumentedAlgorithm : public AggregationAlgorithm {
+ public:
+  explicit InstrumentedAlgorithm(std::unique_ptr<AggregationAlgorithm> inner)
+      : inner_(std::move(inner)) {
+    span_name_ = "fl.aggregation.";
+    span_name_.append(inner_->Name());
+  }
+
+  std::vector<float> Aggregate(const std::vector<ModelUpdate>& updates) const override {
+    telemetry::Span span(span_name_);
+    DETA_COUNTER("fl.aggregation.calls").Increment();
+    DETA_COUNTER("fl.aggregation.updates_in").Add(updates.size());
+    if (!updates.empty()) {
+      DETA_HISTOGRAM("fl.aggregation.vector_len", ::deta::telemetry::Unit::kCount)
+          .Record(static_cast<double>(updates[0].values.size()));
+    }
+    return inner_->Aggregate(updates);
+  }
+
+  std::string Name() const override { return inner_->Name(); }
+
+ private:
+  std::unique_ptr<AggregationAlgorithm> inner_;
+  std::string span_name_;
+};
+
+}  // namespace
+
 std::unique_ptr<AggregationAlgorithm> MakeAlgorithm(const std::string& name) {
+  std::unique_ptr<AggregationAlgorithm> algo;
   if (name == "iterative_averaging") {
-    return std::make_unique<IterativeAveraging>();
+    algo = std::make_unique<IterativeAveraging>();
+  } else if (name == "coordinate_median") {
+    algo = std::make_unique<CoordinateMedian>();
+  } else if (name == "krum") {
+    algo = std::make_unique<Krum>(1);
+  } else if (name == "flame") {
+    algo = std::make_unique<Flame>();
+  } else if (name == "trimmed_mean") {
+    algo = std::make_unique<TrimmedMean>(1);
+  } else if (name == "multi_krum") {
+    algo = std::make_unique<MultiKrum>(1, 3);
+  } else if (name == "bulyan") {
+    algo = std::make_unique<Bulyan>(1);
+  } else {
+    DETA_CHECK_MSG(false, "unknown aggregation algorithm: " << name);
   }
-  if (name == "coordinate_median") {
-    return std::make_unique<CoordinateMedian>();
-  }
-  if (name == "krum") {
-    return std::make_unique<Krum>(1);
-  }
-  if (name == "flame") {
-    return std::make_unique<Flame>();
-  }
-  if (name == "trimmed_mean") {
-    return std::make_unique<TrimmedMean>(1);
-  }
-  if (name == "multi_krum") {
-    return std::make_unique<MultiKrum>(1, 3);
-  }
-  if (name == "bulyan") {
-    return std::make_unique<Bulyan>(1);
-  }
-  DETA_CHECK_MSG(false, "unknown aggregation algorithm: " << name);
-  return nullptr;
+  return std::make_unique<InstrumentedAlgorithm>(std::move(algo));
 }
 
 }  // namespace deta::fl

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/sim_clock.h"
+#include "common/telemetry.h"
 #include "fl/party.h"
 #include "net/fault.h"
 #include "net/retry.h"
@@ -91,6 +92,10 @@ struct JobResult {
   // one aggregator's aggregation, parties that skipped the round (unresponsive
   // aggregators), and parties that failed outright.
   std::map<int, std::vector<std::string>> per_round_dropouts;
+  // Telemetry accumulated by *this run* (a Delta of the process-global registry between
+  // job start and end). Counter values are thread-count-invariant on fault-free runs;
+  // duration histograms are not (see DESIGN.md "Observability").
+  telemetry::TelemetrySnapshot telemetry;
 
   bool ok() const { return status == JobStatus::kOk; }
 };

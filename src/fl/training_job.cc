@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/sim_clock.h"
+#include "common/telemetry.h"
 
 namespace deta::fl {
 
@@ -30,16 +31,22 @@ FflJob::FflJob(ExecutionOptions options, std::vector<std::unique_ptr<Party>> par
 
 JobResult FflJob::Run() {
   parallel::SetDefaultThreads(options_.threads);
+  const telemetry::TelemetrySnapshot telemetry_start = telemetry::Snapshot();
   JobResult result;
   result.setup_seconds = setup_seconds_;
   result.rounds.reserve(static_cast<size_t>(options_.rounds));
   for (int round = 1; round <= options_.rounds; ++round) {
-    result.rounds.push_back(RunRound(round));
+    {
+      telemetry::Span round_span("fl.ffl.round");
+      result.rounds.push_back(RunRound(round));
+      DETA_COUNTER("fl.ffl.rounds").Increment();
+    }
     LOG_INFO << "FFL round " << round << ": loss=" << result.rounds.back().loss
              << " acc=" << result.rounds.back().accuracy
              << " latency=" << result.rounds.back().cumulative_latency_s << "s";
   }
   result.final_params = global_params_;
+  result.telemetry = telemetry::Delta(telemetry_start, telemetry::Snapshot());
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/telemetry.h"
 
 namespace deta::net {
 
@@ -150,11 +151,24 @@ void MessageBus::SetFaultPlan(FaultPlan plan) {
   held_.clear();
 }
 
+telemetry::Counter& MessageBus::TopicCounter(const char* kind, const std::string& type) {
+  std::string key(kind);
+  key.push_back('.');
+  key.append(type, 0, type.find('.'));
+  auto [it, inserted] = topic_counters_.try_emplace(key, nullptr);
+  if (inserted) {
+    it->second = &telemetry::MetricsRegistry::Global().GetCounter(it->first);
+  }
+  return *it->second;
+}
+
 void MessageBus::Deliver(Message message) {
   auto it = endpoints_.find(message.to);
   if (it == endpoints_.end() || it->second->mailbox_.closed()) {
     ++dropped_count_;
     ++dropped_by_type_[message.type];
+    DETA_COUNTER("net.bus.dropped").Increment();
+    TopicCounter("net.bus.dropped", message.type).Increment();
     LOG_DEBUG << "dropping message " << message.type << " to "
               << (it == endpoints_.end() ? "unknown" : "closed") << " endpoint "
               << message.to;
@@ -163,6 +177,9 @@ void MessageBus::Deliver(Message message) {
   total_bytes_ += message.WireSize();
   ++message_count_;
   edge_bytes_[{message.from, message.to}] += message.WireSize();
+  DETA_COUNTER("net.bus.delivered").Increment();
+  DETA_COUNTER("net.bus.delivered_bytes").Add(message.WireSize());
+  TopicCounter("net.bus.delivered", message.type).Increment();
   // Push happens under the bus lock so the target cannot unregister mid-delivery; the
   // mailbox push never blocks (unbounded queue), so this cannot deadlock.
   it->second->mailbox_.Push(std::move(message));
@@ -183,6 +200,9 @@ bool MessageBus::Send(Message message) {
     std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
   }
   std::lock_guard<std::mutex> lock(mutex_);
+  DETA_COUNTER("net.bus.sent").Increment();
+  DETA_COUNTER("net.bus.sent_bytes").Add(message.WireSize());
+  TopicCounter("net.bus.sent", message.type).Increment();
   auto target = endpoints_.find(message.to);
   bool accepted = target != endpoints_.end() && !target->second->mailbox_.closed();
   if (!accepted) {
@@ -202,6 +222,10 @@ bool MessageBus::Send(Message message) {
   if (d.drop) {
     ++dropped_count_;
     ++dropped_by_type_[message.type];
+    // Deliberate (fault-injected) losses get their own counter so the CI bench gate can
+    // insist net.bus.dropped stays zero on fault-free runs.
+    DETA_COUNTER("net.bus.fault_dropped").Increment();
+    TopicCounter("net.bus.fault_dropped", message.type).Increment();
     LOG_DEBUG << "fault: dropping " << message.type << " " << message.from << " -> "
               << message.to;
   } else if (d.reorder && !release.has_value()) {
@@ -212,6 +236,8 @@ bool MessageBus::Send(Message message) {
     bool duplicate = d.duplicate;
     Message copy;
     if (duplicate) {
+      DETA_COUNTER("net.bus.duplicated").Increment();
+      TopicCounter("net.bus.duplicated", message.type).Increment();
       copy = message;
     }
     Deliver(std::move(message));

@@ -28,6 +28,10 @@
 #include "common/queue.h"
 #include "net/fault.h"
 
+namespace deta::telemetry {
+class Counter;
+}  // namespace deta::telemetry
+
 namespace deta::net {
 
 struct Message {
@@ -129,8 +133,13 @@ class MessageBus {
   void Unregister(const std::string& name);
   // Under mutex_: counts + pushes to the target mailbox; bumps drop stats otherwise.
   void Deliver(Message message);
+  // Under mutex_: cached telemetry counter for "<kind>.<topic prefix>", where the topic
+  // prefix is the message type up to its first '.' (e.g. "auth" for "auth.challenge").
+  // The cache avoids a registry lookup per message on the delivery path.
+  deta::telemetry::Counter& TopicCounter(const char* kind, const std::string& type);
 
   mutable std::mutex mutex_;
+  std::map<std::string, deta::telemetry::Counter*> topic_counters_;
   std::map<std::string, Endpoint*> endpoints_;
   std::map<std::pair<std::string, std::string>, uint64_t> edge_bytes_;
   uint64_t total_bytes_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 
 namespace deta::net {
 
@@ -30,9 +31,11 @@ std::optional<Message> RequestReply(Endpoint& endpoint, const std::string& to,
                                     const std::string& reply_type,
                                     const RetryPolicy& policy) {
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    DETA_COUNTER("net.retry.attempts").Increment();
     if (!endpoint.Send(to, request_type, payload)) {
       LOG_WARNING << endpoint.name() << ": " << to << " is gone; abandoning "
                   << request_type;
+      DETA_COUNTER("net.retry.peer_gone").Increment();
       return std::nullopt;
     }
     std::optional<Message> reply =
@@ -43,6 +46,11 @@ std::optional<Message> RequestReply(Endpoint& endpoint, const std::string& to,
     if (endpoint.closed()) {
       return std::nullopt;  // we are shutting down, not the peer timing out
     }
+    // Timed-out attempt. The backoff total sums the *configured* per-attempt timeouts
+    // (deterministic), not wall time actually slept.
+    DETA_COUNTER("net.retry.timeouts").Increment();
+    DETA_COUNTER("net.retry.backoff_ms_total")
+        .Add(static_cast<uint64_t>(policy.TimeoutForAttempt(attempt)));
     if (attempt + 1 < policy.max_attempts) {
       LOG_DEBUG << endpoint.name() << ": no " << reply_type << " from " << to
                 << " within " << policy.TimeoutForAttempt(attempt) << "ms; retransmitting "
@@ -52,6 +60,7 @@ std::optional<Message> RequestReply(Endpoint& endpoint, const std::string& to,
   }
   LOG_WARNING << endpoint.name() << ": " << to << " unresponsive after "
               << policy.max_attempts << " " << request_type << " attempts";
+  DETA_COUNTER("net.retry.exhausted").Increment();
   return std::nullopt;
 }
 

@@ -1,5 +1,7 @@
 #include "net/secure_channel.h"
 
+#include "common/telemetry.h"
+
 namespace deta::net {
 
 SecureChannel::SecureChannel(const Bytes& master_secret, std::string channel_id,
@@ -16,6 +18,7 @@ Bytes SecureChannel::AssociatedData(ChannelRole sender, uint64_t seq) const {
 }
 
 Bytes SecureChannel::Seal(const Bytes& plaintext, crypto::SecureRng& rng) {
+  DETA_COUNTER("net.channel.seal").Increment();
   uint64_t seq = ++send_seq_;
   Bytes frame;
   AppendU64(frame, seq);
@@ -26,10 +29,12 @@ Bytes SecureChannel::Seal(const Bytes& plaintext, crypto::SecureRng& rng) {
 
 std::optional<Bytes> SecureChannel::Open(const Bytes& frame) {
   if (frame.size() < sizeof(uint64_t)) {
+    DETA_COUNTER("net.channel.open_rejected").Increment();
     return std::nullopt;
   }
   uint64_t seq = ReadU64(frame, 0);
   if (seq <= last_accepted_) {
+    DETA_COUNTER("net.channel.open_rejected").Increment();
     return std::nullopt;  // replayed or superseded frame
   }
   Bytes sealed(frame.begin() + sizeof(uint64_t), frame.end());
@@ -38,6 +43,9 @@ std::optional<Bytes> SecureChannel::Open(const Bytes& frame) {
   std::optional<Bytes> plaintext = aead_.Open(sealed, AssociatedData(sender, seq));
   if (plaintext.has_value()) {
     last_accepted_ = seq;  // only authenticated frames advance the window
+    DETA_COUNTER("net.channel.open_ok").Increment();
+  } else {
+    DETA_COUNTER("net.channel.open_rejected").Increment();
   }
   return plaintext;
 }
