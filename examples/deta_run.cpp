@@ -24,6 +24,10 @@
 //   --threads=N                          worker threads for aggregation/crypto hot paths
 //                                        (0 = hardware concurrency; results are bitwise
 //                                        identical for any value)
+//   --checkpoint-dir=DIR                 durable per-role snapshots under DIR (src/persist/)
+//   --checkpoint-every=N                 snapshot cadence in rounds (default 1)
+//   --resume=0|1                         resume from the newest job snapshot in
+//                                        --checkpoint-dir instead of starting fresh
 //   --telemetry-out=FILE                 write the run's telemetry snapshot as JSON
 #include <cstdio>
 #include <cstring>
@@ -152,6 +156,9 @@ int main(int argc, char** argv) {
   options.use_paillier = flags.GetBool("paillier", false);
   options.seed = seed;
   options.threads = flags.GetInt("threads", 0);
+  options.checkpoint.dir = flags.Get("checkpoint-dir", "");
+  options.checkpoint.every_n_rounds = flags.GetInt("checkpoint-every", 1);
+  options.checkpoint.resume = flags.GetBool("resume", false);
   core::DetaOptions deta_options;
   deta_options.num_aggregators = flags.GetInt("aggregators", 3);
   deta_options.enable_partition = flags.GetBool("partition", true);
@@ -190,6 +197,14 @@ int main(int argc, char** argv) {
   core::DetaJob deta(options, deta_options, make_parties(), workload.model_factory,
                      eval_data);
   fl::JobResult result = deta.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed (%s): %s\n", fl::JobStatusName(result.status),
+                 result.error.c_str());
+    return 1;
+  }
+  if (result.resumed_from_round > 0) {
+    std::printf("resumed from round %d\n", result.resumed_from_round);
+  }
   std::printf("\n%5s %10s %10s %14s\n", "round", "loss", "accuracy", "latency(s)");
   for (const auto& m : result.rounds) {
     std::printf("%5d %10.4f %10.4f %14.3f\n", m.round, m.loss, m.accuracy,

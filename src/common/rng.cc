@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/check.h"
 
@@ -81,6 +82,32 @@ Rng Rng::Fork(uint64_t stream_id) {
   uint64_t base = NextU64();
   uint64_t sm = base ^ (stream_id * 0x9e3779b97f4a7c15ULL + 0x1234567890abcdefULL);
   return Rng(SplitMix64(sm));
+}
+
+Bytes Rng::SerializeState() const {
+  Bytes out;
+  for (uint64_t word : s_) {
+    AppendU64(out, word);
+  }
+  out.push_back(have_spare_gaussian_ ? 1 : 0);
+  uint32_t spare_bits = 0;
+  static_assert(sizeof(spare_bits) == sizeof(spare_gaussian_));
+  std::memcpy(&spare_bits, &spare_gaussian_, sizeof(spare_bits));
+  AppendU32(out, spare_bits);
+  return out;
+}
+
+bool Rng::RestoreState(const Bytes& data) {
+  if (data.size() != 4 * sizeof(uint64_t) + 1 + sizeof(uint32_t)) {
+    return false;
+  }
+  for (int i = 0; i < 4; ++i) {
+    s_[i] = ReadU64(data, static_cast<size_t>(i) * sizeof(uint64_t));
+  }
+  have_spare_gaussian_ = data[4 * sizeof(uint64_t)] != 0;
+  uint32_t spare_bits = ReadU32(data, 4 * sizeof(uint64_t) + 1);
+  std::memcpy(&spare_gaussian_, &spare_bits, sizeof(spare_bits));
+  return true;
 }
 
 }  // namespace deta

@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/bytes.h"
+
 namespace deta {
 
 // xoshiro256** seeded via SplitMix64. Deterministic across platforms.
@@ -28,6 +30,12 @@ class Rng {
 
   // Derives an independent child stream, e.g. one per party or per round.
   Rng Fork(uint64_t stream_id);
+
+  // Full generator state (xoshiro words + the Box-Muller spare), for checkpoint/resume:
+  // a restored Rng continues the exact stream the serialized one would have produced.
+  Bytes SerializeState() const;
+  // False (state unchanged) when |data| is not a serialized Rng state.
+  bool RestoreState(const Bytes& data);
 
   // In-place Fisher-Yates shuffle.
   template <typename T>

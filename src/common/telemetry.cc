@@ -274,16 +274,32 @@ TelemetrySnapshot Snapshot() { return MetricsRegistry::Global().Snapshot(); }
 void Reset() { MetricsRegistry::Global().Reset(); }
 
 std::string TelemetrySnapshot::DeterministicSignature() const {
+  return DeterministicSignature("");
+}
+
+std::string TelemetrySnapshot::DeterministicSignature(const std::string& prefix) const {
+  auto matches = [&prefix](const std::string& name) {
+    return name.compare(0, prefix.size(), prefix) == 0;
+  };
   std::string out;
   for (const auto& [name, value] : counters) {
+    if (!matches(name)) {
+      continue;
+    }
     out.append("counter ").append(name).append("=").append(std::to_string(value));
     out.push_back('\n');
   }
   for (const auto& [name, value] : gauges) {
+    if (!matches(name)) {
+      continue;
+    }
     (void)value;  // gauge values are run configuration, not workload facts
     out.append("gauge ").append(name).push_back('\n');
   }
   for (const auto& [name, h] : histograms) {
+    if (!matches(name)) {
+      continue;
+    }
     out.append("hist ").append(name).append(" unit=").append(UnitName(h.unit));
     if (h.unit != Unit::kSeconds) {
       out.append(" count=").append(std::to_string(h.count)).append(" buckets=");

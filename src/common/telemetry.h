@@ -114,6 +114,11 @@ struct TelemetrySnapshot {
   // histograms not in Unit::kSeconds — count plus bucket contents. Two fault-free runs
   // of the same workload at different thread counts produce byte-identical signatures.
   std::string DeterministicSignature() const;
+  // Same, restricted to metrics whose name starts with |prefix|. Crash/resume tests use
+  // this: protocol-fabric counters (retries, channel seals) legitimately differ when a
+  // role dies and is revived, but the training-progress metrics under "core.deta_job."
+  // must not.
+  std::string DeterministicSignature(const std::string& prefix) const;
 };
 
 // after - before, element-wise: counters/histogram contents subtract (values missing

@@ -169,4 +169,36 @@ std::optional<std::pair<std::string, net::SecureChannel>> RegistrationCache::Acc
   return std::make_pair(registration.from, std::move(ack->channel));
 }
 
+Bytes RegistrationCache::Serialize() const {
+  net::Writer w;
+  w.WriteU32(static_cast<uint32_t>(entries_.size()));
+  for (const auto& [party, entry] : entries_) {
+    w.WriteString(party);
+    w.WriteBytes(entry.party_share);
+    w.WriteBytes(entry.ack_wire);
+  }
+  return w.Take();
+}
+
+bool RegistrationCache::Deserialize(const Bytes& data) {
+  try {
+    net::Reader r(data);
+    uint32_t count = r.ReadU32();
+    std::map<std::string, Entry> entries;
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string party = r.ReadString();
+      Bytes share = r.ReadBytes();
+      Bytes ack = r.ReadBytes();
+      entries[std::move(party)] = Entry{std::move(share), std::move(ack)};
+    }
+    if (!r.AtEnd()) {
+      return false;
+    }
+    entries_ = std::move(entries);
+    return true;
+  } catch (const CheckFailure&) {
+    return false;
+  }
+}
+
 }  // namespace deta::core

@@ -82,6 +82,12 @@ class RegistrationCache {
       net::Endpoint& endpoint, const net::Message& registration,
       const crypto::BigUint& token_private, crypto::SecureRng& rng);
 
+  // Cache contents for checkpoint/resume. The cached acks carry ECDH transcript
+  // material — callers must seal the blob before it reaches disk.
+  Bytes Serialize() const;
+  // Replaces the cache contents; false (cache unchanged) on a malformed blob.
+  bool Deserialize(const Bytes& data);
+
  private:
   struct Entry {
     Bytes party_share;

@@ -12,6 +12,10 @@ namespace deta::core {
 namespace {
 // Event-loop tick granularity: deadlines and retransmissions are checked this often.
 constexpr int kTickMs = 50;
+// Added to restored channels' outbound sequence counters: seals issued after the
+// snapshot but before the crash burned sequence numbers the peer has already accepted;
+// jumping past them keeps the peer's monotonic replay window satisfied.
+constexpr uint64_t kResumeSeqSlack = uint64_t{1} << 20;
 }  // namespace
 
 DetaAggregator::DetaAggregator(AggregatorConfig config, net::MessageBus& bus,
@@ -47,6 +51,13 @@ void DetaAggregator::Join() {
 }
 
 void DetaAggregator::Run() {
+  if (config_.resume) {
+    if (!RestoreFromSnapshot()) {
+      LOG_ERROR << config_.name << ": resume requested but no usable snapshot";
+      finished_ = true;
+      return;
+    }
+  }
   idle_deadline_ = Clock::now() + std::chrono::milliseconds(config_.idle_timeout_ms);
   for (;;) {
     std::optional<net::Message> m = endpoint_->ReceiveFor(kTickMs);
@@ -75,6 +86,9 @@ void DetaAggregator::Dispatch(const net::Message& m) {
     auto result = registrations_.Accept(*endpoint_, m, token_private_, rng_);
     if (result.has_value()) {
       channels_.insert_or_assign(result->first, std::move(result->second));
+      // Registered channels are durable state: without them a crash before the first
+      // aggregation would leave the revived node unable to open any party's uploads.
+      SaveState(last_aggregated_round_);
     }
   } else if (m.type == kJobStart) {
     HandleJobStart(m);
@@ -107,7 +121,12 @@ void DetaAggregator::HandleJobStart(const net::Message& m) {
     return;
   }
   if (current_round_ == 0) {
-    StartCollecting(1);
+    // Resume-aware: a freshly constructed initiator starts at round 1; one revived or
+    // restored from a snapshot picks up right after its last aggregated round.
+    StartCollecting(last_aggregated_round_ + 1);
+    if (finished_) {
+      return;  // injected crash fired inside StartCollecting
+    }
     SendRoundBegin();
     done_.clear();
     begin_attempts_ = 1;
@@ -151,6 +170,17 @@ void DetaAggregator::HandleRoundBegin(const net::Message& m) {
 }
 
 void DetaAggregator::StartCollecting(int round) {
+  if (config_.crash_at_round > 0 && round == config_.crash_at_round) {
+    // Injected crash: die before staging any of round |round|'s fragments, exactly as a
+    // process kill at the round boundary would. Every caller checks finished_ after
+    // this returns. The job driver revives a replacement from the last snapshot.
+    LOG_WARNING << config_.name << ": injected crash at round " << round;
+    DETA_COUNTER("persist.crash.injected").Increment();
+    crashed_.store(true);
+    finished_ = true;
+    endpoint_->Close();
+    return;
+  }
   current_round_ = round;
   collecting_ = true;
   round_deadline_ =
@@ -179,6 +209,9 @@ void DetaAggregator::HandleUpload(const net::Message& m) {
   if (!collecting_) {
     // Follower whose round.begin is still in flight: the first upload starts the round.
     StartCollecting(round);
+    if (finished_) {
+      return;  // injected crash fired inside StartCollecting
+    }
   }
   if (round != current_round_) {
     LOG_WARNING << config_.name << ": upload from " << m.from << " for round " << round
@@ -246,6 +279,10 @@ void DetaAggregator::Aggregate(int round) {
   result_round_ = round;
   result_plain_ = result_payload;
   cvm_->GuestWrite("aggregated:r" + std::to_string(round), result_payload);
+  // Crash consistency: the snapshot lands on disk *before* any party or peer can
+  // observe this round as complete (result distribution / round.done below). A crash
+  // at any later point revives into a state that can re-serve this round's result.
+  SaveState(round);
   double agg_seconds = watch.ElapsedSeconds();
   if (!missing.empty()) {
     LOG_WARNING << config_.name << ": aggregated round " << round << " without "
@@ -324,6 +361,9 @@ void DetaAggregator::MarkRoundDone(const std::string& aggregator, int round) {
   if (current_round_ < config_.rounds) {
     done_.clear();
     StartCollecting(current_round_ + 1);
+    if (finished_) {
+      return;  // injected crash fired inside StartCollecting
+    }
     SendRoundBegin();
     begin_attempts_ = 1;
     next_begin_resend_ =
@@ -346,6 +386,103 @@ void DetaAggregator::MarkRoundDone(const std::string& aggregator, int round) {
   }
   LOG_INFO << config_.name << ": training complete after " << config_.rounds << " rounds";
   StartDraining();
+}
+
+void DetaAggregator::SaveState(int round) {
+  if (config_.store == nullptr || config_.checkpoint_every <= 0 ||
+      round % config_.checkpoint_every != 0) {
+    return;
+  }
+  persist::Snapshot snapshot;
+  snapshot.role = config_.name;
+  snapshot.round = round;
+  net::Writer agg;
+  agg.WriteU32(static_cast<uint32_t>(result_round_));
+  agg.WriteU32(static_cast<uint32_t>(last_aggregated_round_));
+  snapshot.Add(persist::SectionType::kRaw, "agg", agg.Take());
+  persist::SealKey seal = persist::SealKey::Derive(config_.seal_seed, config_.name);
+  snapshot.Add(persist::SectionType::kRaw, "result",
+               seal.Seal(result_plain_, rng_));
+  net::Writer ch;
+  ch.WriteU32(static_cast<uint32_t>(channels_.size()));
+  for (const auto& [party, channel] : channels_) {
+    ch.WriteString(party);
+    ch.WriteBytes(channel.SerializeState());
+  }
+  snapshot.Add(persist::SectionType::kChannelState, "channels",
+               seal.Seal(ch.Take(), rng_));
+  snapshot.Add(persist::SectionType::kRegistrationCache, "registrations",
+               seal.Seal(registrations_.Serialize(), rng_));
+  snapshot.Add(persist::SectionType::kRngState, "rng",
+               seal.Seal(rng_.SerializeState(), rng_));
+  if (!config_.store->Write(snapshot)) {
+    LOG_WARNING << config_.name << ": snapshot write failed for round " << round;
+  }
+}
+
+bool DetaAggregator::RestoreFromSnapshot() {
+  if (config_.store == nullptr) {
+    return false;
+  }
+  std::optional<persist::Snapshot> snapshot =
+      config_.resume_max_round >= 0
+          ? config_.store->LoadAt(config_.name, config_.resume_max_round)
+          : config_.store->Load(config_.name);
+  if (!snapshot.has_value()) {
+    return false;
+  }
+  if (config_.resume_max_round >= 0 && snapshot->round != config_.resume_max_round) {
+    LOG_WARNING << config_.name << ": no snapshot at round " << config_.resume_max_round;
+    return false;
+  }
+  persist::SealKey seal = persist::SealKey::Derive(config_.seal_seed, config_.name);
+  const persist::Section* agg = snapshot->Find("agg");
+  const persist::Section* result = snapshot->Find("result");
+  const persist::Section* channels = snapshot->Find("channels");
+  const persist::Section* registrations = snapshot->Find("registrations");
+  const persist::Section* rng_section = snapshot->Find("rng");
+  if (agg == nullptr || result == nullptr || channels == nullptr ||
+      registrations == nullptr || rng_section == nullptr) {
+    return false;
+  }
+  try {
+    net::Reader r(agg->data);
+    int result_round = static_cast<int>(r.ReadU32());
+    int last_aggregated = static_cast<int>(r.ReadU32());
+    std::optional<Bytes> result_plain = seal.Open(result->data);
+    std::optional<Bytes> channels_plain = seal.Open(channels->data);
+    std::optional<Bytes> registrations_plain = seal.Open(registrations->data);
+    std::optional<Bytes> rng_plain = seal.Open(rng_section->data);
+    if (!result_plain.has_value() || !channels_plain.has_value() ||
+        !registrations_plain.has_value() || !rng_plain.has_value()) {
+      return false;
+    }
+    std::map<std::string, net::SecureChannel> restored;
+    net::Reader cr(*channels_plain);
+    uint32_t count = cr.ReadU32();
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string party = cr.ReadString();
+      std::optional<net::SecureChannel> channel =
+          net::SecureChannel::DeserializeState(cr.ReadBytes(), kResumeSeqSlack);
+      if (!channel.has_value()) {
+        return false;
+      }
+      restored.emplace(std::move(party), std::move(*channel));
+    }
+    if (!registrations_.Deserialize(*registrations_plain) ||
+        !rng_.RestoreState(*rng_plain)) {
+      return false;
+    }
+    channels_ = std::move(restored);
+    result_round_ = result_round;
+    result_plain_ = std::move(*result_plain);
+    last_aggregated_round_ = last_aggregated;
+    LOG_INFO << config_.name << ": resumed from snapshot at round " << snapshot->round
+             << " (generation " << snapshot->generation << ")";
+    return true;
+  } catch (const CheckFailure&) {
+    return false;
+  }
 }
 
 void DetaAggregator::StartDraining() {

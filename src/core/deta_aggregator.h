@@ -21,6 +21,7 @@
 #ifndef DETA_CORE_DETA_AGGREGATOR_H_
 #define DETA_CORE_DETA_AGGREGATOR_H_
 
+#include <atomic>
 #include <chrono>
 #include <map>
 #include <memory>
@@ -35,6 +36,7 @@
 #include "fl/paillier_fusion.h"
 #include "net/message_bus.h"
 #include "net/retry.h"
+#include "persist/state_store.h"
 
 namespace deta::core {
 
@@ -91,6 +93,24 @@ struct AggregatorConfig {
   std::string initiator_name;
   std::vector<std::string> party_names;
   std::vector<std::string> aggregator_names;
+
+  // --- durability (src/persist/) ---
+  // Snapshot store, owned by the job; null disables persistence.
+  persist::StateStore* store = nullptr;
+  // Snapshot cadence (every Nth aggregated round; registration-time state is always
+  // saved so a crash before the first aggregation is still recoverable).
+  int checkpoint_every = 1;
+  // Restore channels / registration cache / result cache / round counter from the
+  // newest verifiable snapshot before entering the event loop.
+  bool resume = false;
+  // With resume: require the restored snapshot to be for exactly this round (>= 0);
+  // -1 accepts the newest. Whole-job resume pins every role to one consistent cut.
+  int resume_max_round = -1;
+  // Fault injection: kill this aggregator when it starts collecting round
+  // |crash_at_round| (0 = never).
+  int crash_at_round = 0;
+  // Seed for the snapshot sealing key (stand-in for CVM sealed storage; job-provided).
+  uint64_t seal_seed = 0;
 };
 
 class DetaAggregator {
@@ -110,6 +130,10 @@ class DetaAggregator {
   const std::string& name() const { return config_.name; }
   const std::shared_ptr<cc::Cvm>& cvm() const { return cvm_; }
 
+  // True after an injected crash fault fired; the job driver polls this and revives the
+  // aggregator from its latest snapshot.
+  bool crashed() const { return crashed_.load(); }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -127,6 +151,10 @@ class DetaAggregator {
   void MarkRoundDone(const std::string& aggregator, int round);
   void FailRound(int round, int have, int need);
   void StartDraining();
+  // Writes a snapshot of the durable state (round counter, result cache, channels,
+  // registration cache, RNG) for completed round |round|.
+  void SaveState(int round);
+  bool RestoreFromSnapshot();
 
   AggregatorConfig config_;
   net::MessageBus& bus_;
@@ -167,6 +195,7 @@ class DetaAggregator {
   Clock::time_point drain_deadline_;
   std::set<std::string> done_parties_;
   bool finished_ = false;
+  std::atomic<bool> crashed_{false};
   std::thread thread_;
 };
 

@@ -42,6 +42,61 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
   crypto::SecureRng setup_rng(
       StringToBytes("deta-job-setup-" + std::to_string(options_.seed)));
 
+  // --- Durability: one StateStore shared by every role of this job. ---
+  if (!options_.checkpoint.dir.empty()) {
+    persist::StateStoreOptions so;
+    so.dir = options_.checkpoint.dir;
+    so.keep = options_.checkpoint.keep;
+    store_ = std::make_unique<persist::StateStore>(so);
+  }
+  if (!options_.fault_plan.crashes.empty()) {
+    DETA_CHECK_MSG(store_ != nullptr,
+                   "crash faults require checkpoint.dir (roles revive from snapshots)");
+    DETA_CHECK_MSG(options_.checkpoint.every_n_rounds == 1,
+                   "crash faults require checkpoint.every_n_rounds == 1 — an in-run "
+                   "revive can only rejoin losslessly from the previous round");
+  }
+  // Whole-job resume: load the job snapshot (the consistent cut every role restores to)
+  // before any role is configured. A missing/mismatched snapshot is a typed setup
+  // failure surfaced from Run(), not a silent fresh start.
+  const bool whole_job_resume = store_ != nullptr && options_.checkpoint.resume;
+  if (whole_job_resume) {
+    std::optional<persist::Snapshot> job_snap = store_->Load("job");
+    const persist::Section* config =
+        job_snap.has_value() ? job_snap->Find("config") : nullptr;
+    const persist::Section* observer_state =
+        job_snap.has_value() ? job_snap->Find("observer") : nullptr;
+    std::optional<std::vector<float>> params =
+        job_snap.has_value() ? job_snap->FindFloats("params") : std::nullopt;
+    if (!job_snap.has_value()) {
+      resume_failed_ = true;
+      resume_error_ =
+          "resume requested but no verifiable job snapshot in " + options_.checkpoint.dir;
+    } else if (config == nullptr || config->data != ConfigDigest(parties.size())) {
+      resume_failed_ = true;
+      resume_error_ = "job snapshot was written by a different configuration "
+                      "(seed/topology/algorithm mismatch)";
+    } else if (!params.has_value() || observer_state == nullptr ||
+               params->size() != static_cast<size_t>(global_model_->NumParameters())) {
+      resume_failed_ = true;
+      resume_error_ = "job snapshot is missing sections or sized for a different model";
+    } else {
+      try {
+        net::Reader r(observer_state->data);
+        resume_cumulative_ = r.ReadDouble();
+        resume_round_ = job_snap->round;
+        resume_params_ = std::move(*params);
+        global_model_->SetFlatParams(resume_params_);
+        LOG_INFO << "DeTA job: resuming from job snapshot at round " << resume_round_
+                 << " (generation " << job_snap->generation << ")";
+      } catch (const CheckFailure&) {
+        resume_failed_ = true;
+        resume_error_ = "job snapshot observer section is malformed";
+      }
+    }
+  }
+  const bool resume_roles = whole_job_resume && !resume_failed_;
+
   // --- Phase I: platforms, paused CVMs, attestation, token provisioning (steps 1-2) ---
   Stopwatch attest_watch;
   ras_ = std::make_unique<cc::RemoteAttestationService>(setup_rng);
@@ -78,12 +133,22 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
 
   crypto::EcKeyPair broker_identity = crypto::GenerateEcKey(setup_rng);
   if (deta_.use_key_broker) {
+    KeyBrokerDurability kbd;
+    kbd.store = store_.get();
+    kbd.resume = resume_roles;
+    kbd.crash_after_serves = options_.fault_plan.CrashRoundFor(KeyBroker::kEndpointName);
+    kbd.seal_seed = options_.seed;
     // expected_parties = 0: the broker serves (and re-serves) until the job stops it
     // after the ready barrier — under fault injection a party may need a re-serve after
     // every party has already been served once.
     key_broker_ = std::make_unique<KeyBroker>(material, broker_identity, 0, bus_,
-                                              crypto::SecureRng(setup_rng.NextBytes(32)));
+                                              crypto::SecureRng(setup_rng.NextBytes(32)),
+                                              kbd);
   }
+  // Retained for crash revives: a replacement broker is rebuilt from the same material
+  // and identity; replacement aggregators/parties from the retained configs below.
+  material_ = material;
+  broker_identity_ = broker_identity;
 
   // --- Paillier key material (trusted key broker; parties only) ---
   std::optional<crypto::PaillierKeyPair> paillier;
@@ -119,6 +184,15 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
     ac.initiator_name = aggregator_names[0];
     ac.party_names = party_names;
     ac.aggregator_names = aggregator_names;
+    ac.store = store_.get();
+    ac.checkpoint_every = options_.checkpoint.every_n_rounds;
+    ac.seal_seed = options_.seed;
+    ac.crash_at_round = options_.fault_plan.CrashRoundFor(ac.name);
+    if (resume_roles) {
+      ac.resume = true;
+      ac.resume_max_round = resume_round_;  // pin to the job snapshot's consistent cut
+    }
+    agg_configs_.push_back(ac);
     aggregators_.push_back(std::make_unique<DetaAggregator>(
         ac, bus_, cvms_[static_cast<size_t>(j)],
         crypto::SecureRng(setup_rng.NextBytes(32))));
@@ -139,15 +213,125 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
     pc.initial_params = initial;
     pc.rounds = options_.rounds;
     pc.retry = options_.retry;
+    pc.store = store_.get();
+    pc.checkpoint_every = options_.checkpoint.every_n_rounds;
+    pc.seal_seed = options_.seed;
+    pc.crash_at_round = options_.fault_plan.CrashRoundFor(parties[i]->name());
+    if (options_.fault_plan.CrashRoundFor(KeyBroker::kEndpointName) > 0) {
+      // A broker crash strands the fetch mid-handshake; retry the whole handshake while
+      // the job driver revives the replacement broker.
+      pc.broker_fetch_attempts = 5;
+    }
+    if (resume_roles) {
+      pc.resume = true;
+      pc.resume_max_round = resume_round_;
+    }
     std::shared_ptr<const Transform> party_transform = transform_;
     if (deta_.use_key_broker) {
       pc.fetch_from_key_broker = true;
       pc.key_broker_public = broker_identity.public_key;
       party_transform = nullptr;  // built from broker-served material during setup
     }
+    party_transform_ = party_transform;
+    party_configs_.push_back(pc);
     deta_parties_.push_back(std::make_unique<DetaParty>(
         std::move(parties[i]), pc, party_transform, bus_,
         crypto::SecureRng(setup_rng.NextBytes(32))));
+  }
+  revive_rng_ = crypto::SecureRng(setup_rng.NextBytes(32));
+}
+
+Bytes DetaJob::ConfigDigest(size_t num_parties) const {
+  net::Writer w;
+  w.WriteString("deta-job-config-v1");
+  w.WriteU64(options_.seed);
+  w.WriteString(options_.algorithm);
+  w.WriteU32(options_.use_paillier ? 1 : 0);
+  w.WriteU32(static_cast<uint32_t>(num_parties));
+  w.WriteU32(static_cast<uint32_t>(deta_.num_aggregators));
+  w.WriteU32(deta_.enable_partition ? 1 : 0);
+  w.WriteU32(deta_.enable_shuffle ? 1 : 0);
+  w.WriteU32(deta_.use_key_broker ? 1 : 0);
+  // rounds/threads deliberately excluded: a resumed run may extend the round count, and
+  // numeric results are thread-count-invariant by construction.
+  return crypto::Sha256Digest(w.Take());
+}
+
+void DetaJob::SaveJobState(int round, const std::vector<float>& params,
+                           double cumulative) {
+  if (store_ == nullptr || options_.checkpoint.every_n_rounds <= 0 ||
+      round % options_.checkpoint.every_n_rounds != 0) {
+    return;
+  }
+  persist::Snapshot snapshot;
+  snapshot.role = "job";
+  snapshot.round = round;
+  snapshot.AddFloats(persist::SectionType::kModelParams, "params", params);
+  net::Writer w;
+  w.WriteDouble(cumulative);
+  snapshot.Add(persist::SectionType::kRaw, "observer", w.Take());
+  snapshot.Add(persist::SectionType::kRaw, "config",
+               ConfigDigest(deta_parties_.size()));
+  if (!store_->Write(snapshot)) {
+    LOG_WARNING << "DeTA job: job snapshot write failed for round " << round;
+  }
+}
+
+void DetaJob::ReviveCrashedRoles(net::Endpoint& observer, bool job_started) {
+  if (key_broker_ != nullptr && key_broker_->crashed()) {
+    key_broker_->Join();
+    key_broker_.reset();  // destroy first: the endpoint name must unregister
+    KeyBrokerDurability kbd;
+    kbd.store = store_.get();
+    kbd.resume = true;
+    kbd.seal_seed = options_.seed;
+    key_broker_ = std::make_unique<KeyBroker>(
+        material_, broker_identity_, 0, bus_,
+        crypto::SecureRng(revive_rng_.NextBytes(32)), kbd);
+    key_broker_->Start();
+    DETA_COUNTER("persist.role_revived").Increment();
+    LOG_INFO << "DeTA job: revived key broker from snapshot";
+  }
+  for (size_t j = 0; j < aggregators_.size(); ++j) {
+    if (!aggregators_[j]->crashed()) {
+      continue;
+    }
+    aggregators_[j]->Join();
+    AggregatorConfig ac = agg_configs_[j];
+    ac.crash_at_round = 0;
+    ac.resume = true;
+    ac.resume_max_round = -1;  // in-run revive: newest snapshot is the right one
+    aggregators_[j].reset();
+    aggregators_[j] = std::make_unique<DetaAggregator>(
+        ac, bus_, cvms_[j], crypto::SecureRng(revive_rng_.NextBytes(32)));
+    aggregators_[j]->Start();
+    DETA_COUNTER("persist.role_revived").Increment();
+    LOG_INFO << "DeTA job: revived " << ac.name << " from snapshot";
+    if (ac.is_initiator && job_started) {
+      // The revived initiator owns the round protocol again but starts idle; a fresh
+      // job.start makes it resume collecting at last_aggregated_round + 1.
+      observer.Send(ac.name, kJobStart, {});
+    }
+  }
+  for (size_t i = 0; i < deta_parties_.size(); ++i) {
+    if (!deta_parties_[i]->crashed()) {
+      continue;
+    }
+    deta_parties_[i]->Join();
+    std::unique_ptr<fl::Party> local = deta_parties_[i]->TakeLocal();
+    DetaPartyConfig pc = party_configs_[i];
+    pc.crash_at_round = 0;
+    pc.resume = true;
+    pc.resume_max_round = -1;
+    pc.announce_ready = false;  // the ready barrier already passed
+    std::string name = local->name();
+    deta_parties_[i].reset();
+    deta_parties_[i] = std::make_unique<DetaParty>(
+        std::move(local), pc, party_transform_, bus_,
+        crypto::SecureRng(revive_rng_.NextBytes(32)));
+    deta_parties_[i]->Start();
+    DETA_COUNTER("persist.role_revived").Increment();
+    LOG_INFO << "DeTA job: revived " << name << " from snapshot";
   }
 }
 
@@ -176,6 +360,16 @@ void DetaJob::ShutdownAll(net::Endpoint& observer) {
 }
 
 fl::JobResult DetaJob::Run() {
+  // A requested resume that found no usable/matching job snapshot is a typed failure —
+  // never a silent fresh start that would overwrite the snapshots it failed to read.
+  if (resume_failed_) {
+    fl::JobResult result;
+    result.status = fl::JobStatus::kSetupFailed;
+    result.error = resume_error_;
+    LOG_ERROR << "DeTA job: " << result.error;
+    return result;
+  }
+
   // Applies to the aggregator/party threads about to start: concurrent parallel regions
   // (several aggregators aggregating at once) degrade gracefully to serial chunks with
   // identical results — see common/parallel.h.
@@ -215,12 +409,32 @@ fl::JobResult DetaJob::Run() {
   // latency curves measure training rounds only, so setup is reported separately via
   // JobResult::setup_seconds rather than folded into round latency.
   result.setup_seconds = attestation_seconds_;
+  result.resumed_from_round = resume_round_;
+
+  // With crash faults configured the observer doubles as the supervisor: every bounded
+  // wait below is sliced into short ticks so a crashed role is revived within ~50ms
+  // instead of stalling the phase for its full timeout.
+  const bool crash_mode = !options_.fault_plan.crashes.empty();
+  auto receive_ready = [&]() -> std::optional<net::Message> {
+    if (!crash_mode) {
+      return observer->ReceiveTypeFor(kPartyReady, options_.setup_timeout_ms);
+    }
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(options_.setup_timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      ReviveCrashedRoles(*observer, /*job_started=*/false);
+      std::optional<net::Message> m = observer->ReceiveTypeFor(kPartyReady, 50);
+      if (m.has_value()) {
+        return m;
+      }
+    }
+    return std::nullopt;
+  };
 
   // Bounded ready barrier: every party reports the outcome of verification +
   // registration, or the barrier times out. Either failure is a typed result, not a hang.
   for (size_t i = 0; i < deta_parties_.size(); ++i) {
-    std::optional<net::Message> m =
-        observer->ReceiveTypeFor(kPartyReady, options_.setup_timeout_ms);
+    std::optional<net::Message> m = receive_ready();
     if (!m.has_value()) {
       result.status = fl::JobStatus::kSetupFailed;
       result.error = "timed out waiting for party readiness";
@@ -244,10 +458,26 @@ fl::JobResult DetaJob::Run() {
 
   // Acked job start, so a stalled initiator is a typed error instead of a silent hang.
   // (Observer traffic is exempt from fault injection, so this succeeds first try when
-  // the initiator is healthy.)
-  if (!net::RequestReply(*observer, aggregators_[0]->name(), kJobStart, {}, kJobStartAck,
-                         options_.retry)
-           .has_value()) {
+  // the initiator is healthy.) Under crash faults, RequestReply's fast abort on a dead
+  // endpoint would burn the whole retry budget before the supervisor could revive the
+  // initiator — so interleave send / short wait / revive manually instead.
+  bool job_started = false;
+  if (!crash_mode) {
+    job_started = net::RequestReply(*observer, aggregators_[0]->name(), kJobStart, {},
+                                    kJobStartAck, options_.retry)
+                      .has_value();
+  } else {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(options_.setup_timeout_ms);
+    while (!job_started && std::chrono::steady_clock::now() < deadline) {
+      observer->Send(aggregators_[0]->name(), kJobStart, {});
+      job_started = observer->ReceiveTypeFor(kJobStartAck, 250).has_value();
+      if (!job_started) {
+        ReviveCrashedRoles(*observer, /*job_started=*/true);
+      }
+    }
+  }
+  if (!job_started) {
     result.status = fl::JobStatus::kStalled;
     result.error = "initiator " + aggregators_[0]->name() + " did not ack job start";
     ShutdownAll(*observer);
@@ -256,7 +486,7 @@ fl::JobResult DetaJob::Run() {
   }
 
   const LatencyModel& lm = options_.latency;
-  double cumulative = 0.0;
+  double cumulative = resume_cumulative_;
   // Drives the sim_s stamps on the per-round spans below; advanced by each round's
   // modelled latency once the round's reports are in.
   SimClock sim_clock;
@@ -273,7 +503,13 @@ fl::JobResult DetaJob::Run() {
     active.insert(p->name());
   }
   const std::string reporter = deta_parties_[0]->name();
+  // On whole-job resume the constructor loaded the job snapshot's params into the global
+  // model, so this is the restored consistent cut (and already the final params if the
+  // requested round count was reached before the crash).
   std::vector<float> last_params = global_model_->GetFlatParams();
+  if (resume_round_ > 0) {
+    result.final_params = last_params;
+  }
   size_t num_aggs = aggregators_.size();
 
   // Worst case for one round under faults: an aggregator runs to its collection
@@ -281,7 +517,7 @@ fl::JobResult DetaJob::Run() {
   const int round_budget_ms =
       2 * options_.round_timeout_ms + options_.retry.TotalBudgetMs() + 5000;
 
-  for (int round = 1; round <= options_.rounds && result.ok(); ++round) {
+  for (int round = resume_round_ + 1; round <= options_.rounds && result.ok(); ++round) {
     telemetry::Span round_span("core.deta_job.round", &sim_clock);
     auto deadline = std::chrono::steady_clock::now() +
                     std::chrono::milliseconds(round_budget_ms);
@@ -309,8 +545,12 @@ fl::JobResult DetaJob::Run() {
                        std::to_string(round_budget_ms) + "ms";
         break;
       }
-      std::optional<net::Message> m =
-          observer->ReceiveFor(static_cast<int>(left.count()));
+      int wait_ms = static_cast<int>(left.count());
+      if (crash_mode) {
+        ReviveCrashedRoles(*observer, /*job_started=*/true);
+        wait_ms = std::min(wait_ms, 50);
+      }
+      std::optional<net::Message> m = observer->ReceiveFor(wait_ms);
       if (!m.has_value()) {
         continue;  // deadline check on the next pass
       }
@@ -354,6 +594,8 @@ fl::JobResult DetaJob::Run() {
                        std::to_string(rd) + " (" + std::to_string(have) + "/" +
                        std::to_string(need) + " fragments)";
         break;
+      } else if (m->type == kJobStartAck) {
+        // Ack for the job.start kick sent to a revived initiator; nothing to do.
       } else {
         LOG_WARNING << "observer: unexpected message " << m->type;
       }
@@ -408,6 +650,7 @@ fl::JobResult DetaJob::Run() {
                      : " dropouts=" + std::to_string(dropouts[round].size()));
 
     result.final_params = last_params;
+    SaveJobState(round, last_params, cumulative);
     timings.erase(round);
     agg_reports.erase(round);
     reported_params.erase(round);

@@ -21,6 +21,7 @@
 #include "core/key_broker.h"
 #include "core/transform.h"
 #include "fl/job_api.h"
+#include "persist/state_store.h"
 
 namespace deta::core {
 
@@ -68,6 +69,17 @@ class DetaJob {
   // Fans out shutdown to every aggregator and party and stops the broker, so failure
   // paths leave no thread waiting on a message that will never come.
   void ShutdownAll(net::Endpoint& observer);
+  // Crash-fault orchestration: detects roles whose injected crash fired and replaces
+  // each with a new instance resumed from its latest snapshot. The revived role rejoins
+  // the in-flight run (re-registering where needed); no-op when nothing crashed.
+  void ReviveCrashedRoles(net::Endpoint& observer, bool job_started);
+  // Binds a job snapshot to the options that wrote it, so a resume under a different
+  // topology/seed is rejected instead of silently diverging. |num_parties| is passed in
+  // because the digest is first needed before the party list is materialized.
+  Bytes ConfigDigest(size_t num_parties) const;
+  // Writes the job-level snapshot (global params + observer accumulators) for round |r|.
+  void SaveJobState(int round, const std::vector<float>& params, double cumulative);
+
   fl::ExecutionOptions options_;
   DetaOptions deta_;
   std::unique_ptr<nn::Model> global_model_;
@@ -83,6 +95,27 @@ class DetaJob {
   std::vector<std::unique_ptr<DetaAggregator>> aggregators_;
   std::vector<std::unique_ptr<DetaParty>> deta_parties_;
   double attestation_seconds_ = 0.0;
+
+  // --- durability / crash-fault orchestration state ---
+  std::unique_ptr<persist::StateStore> store_;
+  // Retained construction inputs so crashed roles can be rebuilt identically.
+  TransformMaterial material_;
+  crypto::EcKeyPair broker_identity_;
+  std::vector<AggregatorConfig> agg_configs_;
+  std::vector<DetaPartyConfig> party_configs_;
+  // Transform handed to (re)constructed parties: null in key-broker mode (parties build
+  // it from broker-served or snapshot-restored material).
+  std::shared_ptr<const Transform> party_transform_;
+  // Reseeded from setup entropy at the end of construction; the placeholder seed is
+  // never drawn from (SecureRng has no default constructor).
+  crypto::SecureRng revive_rng_{StringToBytes("deta-job-revive-placeholder")};
+  // Whole-job resume (checkpoint.resume): round of the job snapshot all roles restore
+  // to, plus the observer accumulators restored from it.
+  int resume_round_ = 0;
+  std::vector<float> resume_params_;
+  double resume_cumulative_ = 0.0;
+  bool resume_failed_ = false;
+  std::string resume_error_;
 };
 
 }  // namespace deta::core

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/sim_clock.h"
 #include "common/telemetry.h"
+#include "core/auth_protocol.h"
 #include "net/codec.h"
 
 namespace deta::core {
@@ -26,11 +28,12 @@ DetaParty::DetaParty(std::unique_ptr<fl::Party> local, DetaPartyConfig config,
                      std::shared_ptr<const Transform> transform, net::MessageBus& bus,
                      crypto::SecureRng rng)
     : local_(std::move(local)),
+      name_(local_->name()),
       config_(std::move(config)),
       transform_(std::move(transform)),
       bus_(bus),
       rng_(std::move(rng)) {
-  endpoint_ = bus_.CreateEndpoint(local_->name());
+  endpoint_ = bus_.CreateEndpoint(name_);
   global_params_ = config_.initial_params;
   DETA_CHECK_EQ(static_cast<int64_t>(global_params_.size()), local_->ParameterCount());
   if (!config_.fetch_from_key_broker) {
@@ -61,14 +64,32 @@ void DetaParty::Join() {
 
 bool DetaParty::SetupChannels() {
   // Fetch the shared transform material from the trusted key broker first: the mapper
-  // seed and the permutation key exist only in participant-controlled domains.
-  if (config_.fetch_from_key_broker) {
-    std::optional<TransformMaterial> material = FetchTransformMaterial(
-        *endpoint_, config_.key_broker_public, rng_, config_.retry);
+  // seed and the permutation key exist only in participant-controlled domains. A resumed
+  // party that restored sealed material from its snapshot already has a transform and
+  // skips the broker entirely — the broker may no longer be running.
+  if (config_.fetch_from_key_broker && transform_ == nullptr) {
+    std::optional<TransformMaterial> material;
+    int attempts = std::max(1, config_.broker_fetch_attempts);
+    for (int attempt = 0; attempt < attempts && !material.has_value(); ++attempt) {
+      if (attempt > 0) {
+        // The broker endpoint did not exist for the previous attempt (crashed, or not
+        // yet revived); RequestReply fails fast in that case, so pace the retries.
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        // The aborted handshake can leave stale replies queued (a challenge response
+        // for a nonce we no longer hold, a surplus ack, sealed material). Drain them,
+        // or every retry pairs its fresh challenge with the previous attempt's reply
+        // and fails verification one step behind, forever.
+        while (endpoint_->ReceiveFor(1).has_value()) {
+        }
+      }
+      material = FetchTransformMaterial(*endpoint_, config_.key_broker_public, rng_,
+                                        config_.retry);
+    }
     if (!material.has_value()) {
       return false;
     }
     transform_ = material->BuildTransform();
+    material_ = std::move(material);
     if (config_.aggregator_names.size() !=
         static_cast<size_t>(transform_->num_partitions())) {
       LOG_WARNING << name() << ": broker material partition count mismatch";
@@ -97,12 +118,29 @@ bool DetaParty::SetupChannels() {
 }
 
 void DetaParty::Run() {
+  bool resumed = false;
+  if (config_.resume) {
+    resumed = RestoreFromSnapshot();
+    if (!resumed) {
+      LOG_ERROR << name() << ": resume requested but no usable snapshot";
+      if (config_.announce_ready) {
+        endpoint_->Send(config_.observer, kPartyReady, Bytes{uint8_t{0}});
+      }
+      return;
+    }
+  }
   setup_ok_ = SetupChannels();
-  endpoint_->Send(config_.observer, kPartyReady, Bytes{setup_ok_ ? uint8_t{1} : uint8_t{0}});
+  if (config_.announce_ready) {
+    endpoint_->Send(config_.observer, kPartyReady,
+                    Bytes{setup_ok_ ? uint8_t{1} : uint8_t{0}});
+  }
   if (!setup_ok_) {
     return;
   }
-  int last_round = 0;
+  if (!resumed) {
+    SaveState(0);  // post-setup baseline: resumable before the first round completes
+  }
+  int last_round = resume_round_;
   // Exit notice: tells every aggregator this party needs nothing more, so draining
   // aggregators can stop early. Best-effort — a lost notice just means the aggregator
   // waits out its drain quiet period.
@@ -141,14 +179,110 @@ void DetaParty::Run() {
       if (round <= last_round) {
         continue;  // retransmitted notice for a round we already ran
       }
+      if (config_.crash_at_round > 0 && round == config_.crash_at_round) {
+        // Injected crash: die before doing any of round |round|'s work, exactly as a
+        // process kill between rounds would. The job driver revives a replacement from
+        // the last durable snapshot (round - 1).
+        LOG_WARNING << name() << ": injected crash at round " << round;
+        DETA_COUNTER("persist.crash.injected").Increment();
+        crashed_.store(true);
+        endpoint_->Close();
+        return;
+      }
       RunRound(round);
+      if (endpoint_->closed()) {
+        return;
+      }
       last_round = round;
+      SaveState(round);
     } else if (m->type == kRoundResult) {
       LOG_DEBUG << name() << ": late round result between rounds — ignored";
+    } else if (m->type == kAuthRegisterAck || m->type == kAuthResponse) {
+      // A slow reply races the handshake's retransmission, so the aggregator answers
+      // twice and the surplus ack or challenge response pops out here. Expected
+      // protocol fallout, not a fault.
+      LOG_DEBUG << name() << ": surplus " << m->type << " — ignored";
     } else {
       LOG_WARNING << name() << ": unexpected message type " << m->type;
     }
   }
+}
+
+void DetaParty::SaveState(int round) {
+  if (config_.store == nullptr || config_.checkpoint_every <= 0 ||
+      round % config_.checkpoint_every != 0) {
+    return;
+  }
+  persist::Snapshot snapshot;
+  snapshot.role = name_;
+  snapshot.round = round;
+  snapshot.AddFloats(persist::SectionType::kModelParams, "params", global_params_);
+  snapshot.Add(persist::SectionType::kTrainerState, "trainer",
+               local_->SerializeTrainerState());
+  persist::SealKey seal = persist::SealKey::Derive(config_.seal_seed, name_);
+  snapshot.Add(persist::SectionType::kRngState, "rng",
+               seal.Seal(rng_.SerializeState(), rng_));
+  if (material_.has_value()) {
+    snapshot.Add(persist::SectionType::kKeyMaterial, "material",
+                 seal.Seal(material_->Serialize(), rng_));
+  }
+  if (!config_.store->Write(snapshot)) {
+    LOG_WARNING << name_ << ": snapshot write failed for round " << round;
+  }
+}
+
+bool DetaParty::RestoreFromSnapshot() {
+  if (config_.store == nullptr) {
+    return false;
+  }
+  std::optional<persist::Snapshot> snapshot =
+      config_.resume_max_round >= 0
+          ? config_.store->LoadAt(name_, config_.resume_max_round)
+          : config_.store->Load(name_);
+  if (!snapshot.has_value()) {
+    return false;
+  }
+  if (config_.resume_max_round >= 0 && snapshot->round != config_.resume_max_round) {
+    // Whole-job resume needs every role at the same cut; an older snapshot would
+    // silently rewind this party against the rest of the federation.
+    LOG_WARNING << name_ << ": no snapshot at round " << config_.resume_max_round;
+    return false;
+  }
+  std::optional<std::vector<float>> params = snapshot->FindFloats("params");
+  if (!params.has_value() ||
+      static_cast<int64_t>(params->size()) != local_->ParameterCount()) {
+    return false;
+  }
+  const persist::Section* trainer = snapshot->Find("trainer");
+  if (trainer == nullptr || !local_->RestoreTrainerState(trainer->data)) {
+    return false;
+  }
+  persist::SealKey seal = persist::SealKey::Derive(config_.seal_seed, name_);
+  const persist::Section* rng_section = snapshot->Find("rng");
+  if (rng_section != nullptr) {
+    std::optional<Bytes> rng_state = seal.Open(rng_section->data);
+    if (!rng_state.has_value() || !rng_.RestoreState(*rng_state)) {
+      return false;
+    }
+  }
+  const persist::Section* material = snapshot->Find("material");
+  if (material != nullptr) {
+    std::optional<Bytes> plain = seal.Open(material->data);
+    if (!plain.has_value()) {
+      return false;
+    }
+    try {
+      material_ = TransformMaterial::Deserialize(*plain);
+    } catch (const CheckFailure&) {
+      return false;
+    }
+    transform_ = material_->BuildTransform();
+  }
+  global_params_ = std::move(*params);
+  resume_round_ = snapshot->round;
+  LOG_INFO << name_ << ": resumed from snapshot at round " << resume_round_
+           << " (generation " << snapshot->generation << ")";
+  return true;
 }
 
 void DetaParty::RunRound(int round) {
@@ -198,6 +332,7 @@ void DetaParty::RunRound(int round) {
       Clock::now() + std::chrono::milliseconds(config_.result_timeout_ms > 0
                                                    ? config_.result_timeout_ms
                                                    : (1 << 30));
+  int unreachable_streak = 0;
   for (int attempt = 0; received < num_aggs; ++attempt) {
     bool any_reachable = false;
     for (size_t j = 0; j < num_aggs; ++j) {
@@ -213,8 +348,22 @@ void DetaParty::RunRound(int round) {
       }
     }
     if (!any_reachable) {
-      break;  // every aggregator we still need is gone — skip, don't wait out the clock
+      // Every aggregator we still need is gone. That is terminal when they were shut
+      // down — but transient when one crashed and the job driver is mid-revive (its
+      // endpoint only reappears once the replacement starts). Tolerate a few
+      // consecutive all-unreachable passes before declaring the round skipped.
+      if (++unreachable_streak >= 3 || endpoint_->closed()) {
+        break;
+      }
+      int sleep_ms = std::min(config_.retry.TimeoutForAttempt(attempt),
+                              MsUntil(overall_deadline));
+      if (sleep_ms == 0) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      continue;
     }
+    unreachable_streak = 0;
     Clock::time_point slice_deadline =
         Clock::now() +
         std::chrono::milliseconds(config_.retry.TimeoutForAttempt(attempt));

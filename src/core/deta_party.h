@@ -13,6 +13,7 @@
 #ifndef DETA_CORE_DETA_PARTY_H_
 #define DETA_CORE_DETA_PARTY_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -24,6 +25,7 @@
 #include "core/transform.h"
 #include "fl/party.h"
 #include "net/retry.h"
+#include "persist/state_store.h"
 
 namespace deta::core {
 
@@ -63,6 +65,28 @@ struct DetaPartyConfig {
   int result_timeout_ms = 120000;
   // Backstop: exit (with a warning) when no message arrives for this long between rounds.
   int idle_timeout_ms = 60000;
+
+  // --- durability (src/persist/) ---
+  // Snapshot store, owned by the job; null disables persistence.
+  persist::StateStore* store = nullptr;
+  // Snapshot cadence (every Nth completed round; the post-setup state is always saved).
+  int checkpoint_every = 1;
+  // Restore from the newest verifiable snapshot before setup. Setup fails if none loads.
+  bool resume = false;
+  // With resume: require the restored snapshot to be for exactly this round (>= 0).
+  // Whole-job resume uses this to pin every role to one consistent cut; -1 = newest.
+  int resume_max_round = -1;
+  // Send the kPartyReady barrier message (disabled for in-run revives: the barrier
+  // already completed and the observer is no longer listening for it).
+  bool announce_ready = true;
+  // Fault injection: kill this party when round |crash_at_round| begins (0 = never).
+  int crash_at_round = 0;
+  // Seed for the snapshot sealing key (stand-in for CVM sealed storage; job-provided).
+  uint64_t seal_seed = 0;
+  // Attempts for the key-broker material fetch during setup. The job raises this when a
+  // broker crash is planned: the fetch aborts instantly while the broker is down, and a
+  // plain retry budget would be burned before the revive lands.
+  int broker_fetch_attempts = 1;
 };
 
 class DetaParty {
@@ -84,17 +108,31 @@ class DetaParty {
   // failure paths; on the happy path the party exits on its own after the final round.
   void Shutdown() { endpoint_->Close(); }
 
-  const std::string& name() const { return local_->name(); }
+  const std::string& name() const { return name_; }
   // True once the setup phase (verification + registration) succeeded.
   bool setup_ok() const { return setup_ok_; }
   const std::vector<float>& final_params() const { return global_params_; }
+
+  // True after an injected crash fault fired; the job driver polls this and revives the
+  // party from its latest snapshot.
+  bool crashed() const { return crashed_.load(); }
+  // Releases the local trainer so a revived replacement party can own it (its durable
+  // iteration state is restored from the snapshot anyway; handing the object over avoids
+  // re-partitioning the dataset). Call only after Join().
+  std::unique_ptr<fl::Party> TakeLocal() { return std::move(local_); }
 
  private:
   void Run();
   bool SetupChannels();
   void RunRound(int round);
+  // Writes a snapshot for completed round |round| (respects checkpoint_every).
+  void SaveState(int round);
+  // Restores params/trainer/rng/material from the store; false when nothing verifiable
+  // matches the configured resume point.
+  bool RestoreFromSnapshot();
 
   std::unique_ptr<fl::Party> local_;
+  std::string name_;
   DetaPartyConfig config_;
   std::shared_ptr<const Transform> transform_;
   net::MessageBus& bus_;
@@ -104,7 +142,12 @@ class DetaParty {
 
   std::map<std::string, net::SecureChannel> channels_;  // aggregator -> channel
   std::vector<float> global_params_;
+  // Broker-served transform material, retained (and snapshotted sealed) so a resumed
+  // party can rebuild its transform without a live broker.
+  std::optional<TransformMaterial> material_;
+  int resume_round_ = 0;
   bool setup_ok_ = false;
+  std::atomic<bool> crashed_{false};
   std::thread thread_;
 };
 

@@ -55,10 +55,12 @@ std::shared_ptr<Transform> TransformMaterial::BuildTransform() const {
 }
 
 KeyBroker::KeyBroker(TransformMaterial material, crypto::EcKeyPair identity,
-                     int expected_parties, net::MessageBus& bus, crypto::SecureRng rng)
+                     int expected_parties, net::MessageBus& bus, crypto::SecureRng rng,
+                     KeyBrokerDurability durability)
     : material_(std::move(material)),
       identity_(std::move(identity)),
       expected_parties_(expected_parties),
+      durability_(durability),
       rng_(std::move(rng)) {
   endpoint_ = bus.CreateEndpoint(kEndpointName);
 }
@@ -81,12 +83,13 @@ void KeyBroker::Join() {
 }
 
 void KeyBroker::Run() {
+  if (durability_.resume && !RestoreFromSnapshot()) {
+    LOG_WARNING << "key broker: resume requested but no usable snapshot — "
+                   "starting with fresh session state";
+  }
   Bytes material_wire = material_.Serialize();
-  RegistrationCache registrations;
-  std::map<std::string, net::SecureChannel> channels;
-  std::set<std::string> served;
   while (expected_parties_ <= 0 ||
-         static_cast<int>(served.size()) < expected_parties_) {
+         static_cast<int>(served_.size()) < expected_parties_) {
     std::optional<net::Message> m = endpoint_->Receive();
     if (!m.has_value()) {
       return;  // endpoint closed (Stop)
@@ -94,13 +97,25 @@ void KeyBroker::Run() {
     if (m->type == kAuthChallenge) {
       AnswerChallenge(*endpoint_, *m, identity_.private_key);
     } else if (m->type == kAuthRegister) {
-      auto result = registrations.Accept(*endpoint_, *m, identity_.private_key, rng_);
+      auto result = registrations_.Accept(*endpoint_, *m, identity_.private_key, rng_);
       if (result.has_value()) {
-        channels.insert_or_assign(result->first, std::move(result->second));
+        channels_.insert_or_assign(result->first, std::move(result->second));
+        SaveState();
       }
     } else if (m->type == kKeyBrokerFetch) {
-      auto it = channels.find(m->from);
-      if (it == channels.end()) {
+      if (durability_.crash_after_serves > 0 && !served_.count(m->from) &&
+          static_cast<int>(served_.size()) + 1 >= durability_.crash_after_serves) {
+        // Injected crash: die instead of serving the Nth distinct party. The job
+        // driver revives a replacement; the stranded party restarts its whole
+        // verify/register/fetch handshake against it.
+        LOG_WARNING << "key broker: injected crash before serving " << m->from;
+        DETA_COUNTER("persist.crash.injected").Increment();
+        crashed_.store(true);
+        endpoint_->Close();
+        return;
+      }
+      auto it = channels_.find(m->from);
+      if (it == channels_.end()) {
         LOG_WARNING << "key broker: fetch from unregistered party " << m->from;
         continue;
       }
@@ -108,14 +123,105 @@ void KeyBroker::Run() {
       // retransmitted fetch gets a reply the party's replay window still accepts.
       endpoint_->Send(m->from, kKeyBrokerMaterial,
                       it->second.Seal(material_wire, rng_));
-      bool first = served.insert(m->from).second;
+      bool first = served_.insert(m->from).second;
+      if (first) {
+        SaveState();
+      }
       LOG_DEBUG << "key broker: served transform material to " << m->from
-                << (first ? "" : " (re-serve)") << " (" << served.size() << "/"
+                << (first ? "" : " (re-serve)") << " (" << served_.size() << "/"
                 << (expected_parties_ > 0 ? std::to_string(expected_parties_) : "∞")
                 << ")";
     } else {
       LOG_WARNING << "key broker: unexpected message type " << m->type;
     }
+  }
+}
+
+void KeyBroker::SaveState() {
+  if (durability_.store == nullptr) {
+    return;
+  }
+  persist::Snapshot snapshot;
+  snapshot.role = kEndpointName;
+  snapshot.round = static_cast<int>(served_.size());  // serve progress, not a round
+  persist::SealKey seal = persist::SealKey::Derive(durability_.seal_seed, kEndpointName);
+  net::Writer ch;
+  ch.WriteU32(static_cast<uint32_t>(channels_.size()));
+  for (const auto& [party, channel] : channels_) {
+    ch.WriteString(party);
+    ch.WriteBytes(channel.SerializeState());
+  }
+  snapshot.Add(persist::SectionType::kChannelState, "channels",
+               seal.Seal(ch.Take(), rng_));
+  snapshot.Add(persist::SectionType::kRegistrationCache, "registrations",
+               seal.Seal(registrations_.Serialize(), rng_));
+  snapshot.Add(persist::SectionType::kRngState, "rng",
+               seal.Seal(rng_.SerializeState(), rng_));
+  net::Writer sw;
+  sw.WriteU32(static_cast<uint32_t>(served_.size()));
+  for (const std::string& party : served_) {
+    sw.WriteString(party);
+  }
+  snapshot.Add(persist::SectionType::kRaw, "served", sw.Take());
+  if (!durability_.store->Write(snapshot)) {
+    LOG_WARNING << "key broker: snapshot write failed";
+  }
+}
+
+bool KeyBroker::RestoreFromSnapshot() {
+  if (durability_.store == nullptr) {
+    return false;
+  }
+  std::optional<persist::Snapshot> snapshot = durability_.store->Load(kEndpointName);
+  if (!snapshot.has_value()) {
+    return false;
+  }
+  persist::SealKey seal = persist::SealKey::Derive(durability_.seal_seed, kEndpointName);
+  const persist::Section* channels = snapshot->Find("channels");
+  const persist::Section* registrations = snapshot->Find("registrations");
+  const persist::Section* rng_section = snapshot->Find("rng");
+  const persist::Section* served = snapshot->Find("served");
+  if (channels == nullptr || registrations == nullptr || rng_section == nullptr ||
+      served == nullptr) {
+    return false;
+  }
+  try {
+    std::optional<Bytes> channels_plain = seal.Open(channels->data);
+    std::optional<Bytes> registrations_plain = seal.Open(registrations->data);
+    std::optional<Bytes> rng_plain = seal.Open(rng_section->data);
+    if (!channels_plain.has_value() || !registrations_plain.has_value() ||
+        !rng_plain.has_value()) {
+      return false;
+    }
+    std::map<std::string, net::SecureChannel> restored;
+    net::Reader cr(*channels_plain);
+    uint32_t count = cr.ReadU32();
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string party = cr.ReadString();
+      std::optional<net::SecureChannel> channel =
+          net::SecureChannel::DeserializeState(cr.ReadBytes(), uint64_t{1} << 20);
+      if (!channel.has_value()) {
+        return false;
+      }
+      restored.emplace(std::move(party), std::move(*channel));
+    }
+    std::set<std::string> served_names;
+    net::Reader sr(served->data);
+    uint32_t served_count = sr.ReadU32();
+    for (uint32_t i = 0; i < served_count; ++i) {
+      served_names.insert(sr.ReadString());
+    }
+    if (!registrations_.Deserialize(*registrations_plain) ||
+        !rng_.RestoreState(*rng_plain)) {
+      return false;
+    }
+    channels_ = std::move(restored);
+    served_ = std::move(served_names);
+    LOG_INFO << "key broker: resumed with " << served_.size()
+             << " parties already served (generation " << snapshot->generation << ")";
+    return true;
+  } catch (const CheckFailure&) {
+    return false;
   }
 }
 

@@ -13,6 +13,7 @@
 #ifndef DETA_CORE_KEY_BROKER_H_
 #define DETA_CORE_KEY_BROKER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <set>
@@ -20,6 +21,7 @@
 
 #include "core/auth_protocol.h"
 #include "core/transform.h"
+#include "persist/state_store.h"
 
 namespace deta::core {
 
@@ -43,6 +45,18 @@ struct TransformMaterial {
   std::shared_ptr<Transform> BuildTransform() const;
 };
 
+// Durability / fault-injection knobs for the broker (src/persist/). The transform
+// material itself is not snapshotted: the job that constructs the broker owns it and
+// re-supplies it on revive, so the snapshot carries only the service's session state
+// (registration cache, channels, serve progress, RNG) — all sealed.
+struct KeyBrokerDurability {
+  persist::StateStore* store = nullptr;  // null disables persistence
+  bool resume = false;                   // restore session state before serving
+  // Fault injection: crash instead of serving the Nth *distinct* party (0 = never).
+  int crash_after_serves = 0;
+  uint64_t seal_seed = 0;  // snapshot sealing key seed (job-provided)
+};
+
 class KeyBroker {
  public:
   // |identity| is the broker's long-lived signing key; its public half is distributed to
@@ -52,7 +66,8 @@ class KeyBroker {
   // serves until Stop() — the right mode under fault injection, where a party may still
   // need a retransmission after every party has been served once.
   KeyBroker(TransformMaterial material, crypto::EcKeyPair identity, int expected_parties,
-            net::MessageBus& bus, crypto::SecureRng rng);
+            net::MessageBus& bus, crypto::SecureRng rng,
+            KeyBrokerDurability durability = {});
   ~KeyBroker();
 
   KeyBroker(const KeyBroker&) = delete;
@@ -66,14 +81,25 @@ class KeyBroker {
   static constexpr char kEndpointName[] = "key-broker";
   const crypto::EcPoint& identity_public() const { return identity_.public_key; }
 
+  // True after an injected crash fault fired; the job driver polls this and revives a
+  // replacement broker (same material/identity) that resumes from the snapshot.
+  bool crashed() const { return crashed_.load(); }
+
  private:
   void Run();
+  void SaveState();
+  bool RestoreFromSnapshot();
 
   TransformMaterial material_;
   crypto::EcKeyPair identity_;
   int expected_parties_;
+  KeyBrokerDurability durability_;
   std::unique_ptr<net::Endpoint> endpoint_;
   crypto::SecureRng rng_;
+  RegistrationCache registrations_;
+  std::map<std::string, net::SecureChannel> channels_;
+  std::set<std::string> served_;
+  std::atomic<bool> crashed_{false};
   std::thread thread_;
 };
 

@@ -1,5 +1,6 @@
 #include "crypto/chacha20.h"
 
+#include <algorithm>
 #include <cstring>
 #include <random>
 
@@ -153,6 +154,41 @@ Bytes SecureRng::NextBytes(size_t n) {
     b = NextByte();
   }
   return out;
+}
+
+Bytes SecureRng::SerializeState() const {
+  Bytes out;
+  out.insert(out.end(), key_.begin(), key_.end());
+  out.insert(out.end(), nonce_.begin(), nonce_.end());
+  AppendU32(out, counter_);
+  AppendU64(out, static_cast<uint64_t>(pos_));
+  // The unconsumed keystream block is stored verbatim: replaying it exactly avoids
+  // having to re-derive a partially consumed block across the counter/nonce rollover.
+  AppendU64(out, static_cast<uint64_t>(block_.size()));
+  out.insert(out.end(), block_.begin(), block_.end());
+  return out;
+}
+
+bool SecureRng::RestoreState(const Bytes& data) {
+  const size_t fixed = kChaChaKeySize + kChaChaNonceSize + sizeof(uint32_t) +
+                       2 * sizeof(uint64_t);
+  if (data.size() < fixed) {
+    return false;
+  }
+  size_t offset = kChaChaKeySize + kChaChaNonceSize;
+  uint32_t counter = ReadU32(data, offset);
+  uint64_t pos = ReadU64(data, offset + sizeof(uint32_t));
+  uint64_t block_size = ReadU64(data, offset + sizeof(uint32_t) + sizeof(uint64_t));
+  if (block_size > 64 || pos > block_size || data.size() != fixed + block_size) {
+    return false;
+  }
+  std::copy(data.begin(), data.begin() + kChaChaKeySize, key_.begin());
+  std::copy(data.begin() + kChaChaKeySize, data.begin() + static_cast<long>(offset),
+            nonce_.begin());
+  counter_ = counter;
+  pos_ = static_cast<size_t>(pos);
+  block_.assign(data.begin() + static_cast<long>(fixed), data.end());
+  return true;
 }
 
 }  // namespace deta::crypto

@@ -52,6 +52,13 @@ class SecureRng {
     return out;
   }
 
+  // Exact generator state (key, nonce, block counter, unconsumed keystream), for
+  // checkpoint/resume: a restored SecureRng continues the identical stream. The state
+  // contains the stream key — callers must seal it before it reaches disk.
+  Bytes SerializeState() const;
+  // False (state unchanged) when |data| is not a serialized SecureRng state.
+  bool RestoreState(const Bytes& data);
+
  private:
   void Refill();
 

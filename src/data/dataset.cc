@@ -345,4 +345,62 @@ Batcher::Batch Batcher::Next() {
   return Batch{std::move(subset.images), std::move(subset.labels)};
 }
 
+Bytes Batcher::SerializeState() const {
+  Bytes out;
+  Bytes rng_state = rng_.SerializeState();
+  AppendU32(out, static_cast<uint32_t>(rng_state.size()));
+  out.insert(out.end(), rng_state.begin(), rng_state.end());
+  AppendU64(out, static_cast<uint64_t>(order_.size()));
+  for (int index : order_) {
+    AppendU32(out, static_cast<uint32_t>(index));
+  }
+  AppendU64(out, static_cast<uint64_t>(cursor_));
+  return out;
+}
+
+bool Batcher::RestoreState(const Bytes& data) {
+  size_t offset = 0;
+  if (data.size() < sizeof(uint32_t)) {
+    return false;
+  }
+  uint32_t rng_size = ReadU32(data, offset);
+  offset += sizeof(uint32_t);
+  if (data.size() < offset + rng_size) {
+    return false;
+  }
+  Bytes rng_state(data.begin() + static_cast<long>(offset),
+                  data.begin() + static_cast<long>(offset + rng_size));
+  offset += rng_size;
+  if (data.size() < offset + sizeof(uint64_t)) {
+    return false;
+  }
+  uint64_t order_size = ReadU64(data, offset);
+  offset += sizeof(uint64_t);
+  if (order_size != static_cast<uint64_t>(dataset_.Size()) ||
+      data.size() != offset + order_size * sizeof(uint32_t) + sizeof(uint64_t)) {
+    return false;
+  }
+  std::vector<int> order(static_cast<size_t>(order_size));
+  for (auto& index : order) {
+    uint32_t v = ReadU32(data, offset);
+    offset += sizeof(uint32_t);
+    if (v >= order_size) {
+      return false;
+    }
+    index = static_cast<int>(v);
+  }
+  uint64_t cursor = ReadU64(data, offset);
+  if (cursor > order_size) {
+    return false;
+  }
+  Rng restored(0);
+  if (!restored.RestoreState(rng_state)) {
+    return false;
+  }
+  rng_ = restored;
+  order_ = std::move(order);
+  cursor_ = static_cast<size_t>(cursor);
+  return true;
+}
+
 }  // namespace deta::data

@@ -86,6 +86,14 @@ class Batcher {
   Batch Next();
   int BatchesPerEpoch() const;
 
+  // Exact iteration state (shuffle RNG, current epoch order, cursor) for
+  // checkpoint/resume: a restored Batcher emits the identical batch sequence the
+  // original would have. Contains no dataset contents, only indices.
+  Bytes SerializeState() const;
+  // False (state unchanged) on a malformed blob or an index out of range for the
+  // dataset this Batcher wraps.
+  bool RestoreState(const Bytes& data);
+
  private:
   const Dataset& dataset_;
   int batch_size_;

@@ -26,6 +26,24 @@ struct RoundMetrics {
   double cumulative_latency_s = 0.0;  // running total
 };
 
+// Durable checkpoint/resume knobs (src/persist/). With |dir| empty, nothing is
+// persisted and every other field is ignored.
+struct CheckpointOptions {
+  // Directory for role snapshots; created on demand. Each role writes its own
+  // "<role>.g<generation>.snap" files; the job driver writes a "job" snapshot that
+  // anchors whole-job resume.
+  std::string dir;
+  // Snapshot cadence: every Nth completed round. Crash faults (FaultPlan::crashes)
+  // require 1 — an in-run revive can only rejoin losslessly from the previous round.
+  int every_n_rounds = 1;
+  // Snapshots retained per role (older generations are pruned).
+  int keep = 3;
+  // Resume a previous run from the newest verifiable job snapshot in |dir| instead of
+  // starting fresh. The job configuration (seed, topology, algorithm) must match the
+  // one that wrote the snapshot.
+  bool resume = false;
+};
+
 // Execution knobs common to every training deployment. Deployment-specific settings
 // (aggregator count, partitioning, shuffling) live in core::DetaOptions.
 struct ExecutionOptions {
@@ -53,6 +71,8 @@ struct ExecutionOptions {
   int round_timeout_ms = 10000;
   // Deadline for the setup barrier (attestation, verification, registration) per party.
   int setup_timeout_ms = 30000;
+  // Durable checkpoint/resume (disabled unless checkpoint.dir is set).
+  CheckpointOptions checkpoint;
 };
 
 // How a training run ended. Anything but kOk means the run degraded past what the
@@ -96,6 +116,9 @@ struct JobResult {
   // job start and end). Counter values are thread-count-invariant on fault-free runs;
   // duration histograms are not (see DESIGN.md "Observability").
   telemetry::TelemetrySnapshot telemetry;
+  // Round the run resumed from (0 = started fresh). With checkpoint.resume, `rounds`
+  // holds only the newly executed rounds [resumed_from_round+1, rounds].
+  int resumed_from_round = 0;
 
   bool ok() const { return status == JobStatus::kOk; }
 };

@@ -51,6 +51,12 @@ class Party {
   int64_t ParameterCount() const { return model_->NumParameters(); }
   const data::Dataset& dataset() const { return dataset_; }
 
+  // The party's only cross-round mutable state is the batch iterator (the model is
+  // reset from the global parameters each round); these delegate to it so a restored
+  // party trains on the identical batch sequence.
+  Bytes SerializeTrainerState() const { return batcher_.SerializeState(); }
+  bool RestoreTrainerState(const Bytes& data) { return batcher_.RestoreState(data); }
+
  private:
   std::string name_;
   data::Dataset dataset_;

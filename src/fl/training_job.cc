@@ -7,8 +7,14 @@
 #include "common/parallel.h"
 #include "common/sim_clock.h"
 #include "common/telemetry.h"
+#include "crypto/sha256.h"
+#include "net/codec.h"
 
 namespace deta::fl {
+
+namespace {
+constexpr char kFflJobRole[] = "ffl-job";
+}  // namespace
 
 FflJob::FflJob(ExecutionOptions options, std::vector<std::unique_ptr<Party>> parties,
                const ModelFactory& global_factory, data::Dataset eval)
@@ -27,20 +33,136 @@ FflJob::FflJob(ExecutionOptions options, std::vector<std::unique_ptr<Party>> par
                                                    static_cast<int>(parties_.size()));
     setup_seconds_ = keygen_watch.ElapsedSeconds();
   }
+  if (!options_.checkpoint.dir.empty()) {
+    persist::StateStoreOptions so;
+    so.dir = options_.checkpoint.dir;
+    so.keep = options_.checkpoint.keep;
+    store_ = std::make_unique<persist::StateStore>(so);
+    if (options_.checkpoint.resume && !RestoreFromSnapshot()) {
+      resume_failed_ = true;  // resume_error_ set by RestoreFromSnapshot
+    }
+  }
+}
+
+Bytes FflJob::ConfigDigest() const {
+  net::Writer w;
+  w.WriteString("ffl-job-config-v1");
+  w.WriteU64(options_.seed);
+  w.WriteString(options_.algorithm);
+  w.WriteU32(options_.use_paillier ? 1 : 0);
+  w.WriteU32(static_cast<uint32_t>(parties_.size()));
+  // rounds/threads excluded: a resumed run may extend the round count, and results are
+  // thread-count-invariant.
+  return crypto::Sha256Digest(w.Take());
+}
+
+void FflJob::SaveState(int round) {
+  if (store_ == nullptr || options_.checkpoint.every_n_rounds <= 0 ||
+      round % options_.checkpoint.every_n_rounds != 0) {
+    return;
+  }
+  persist::Snapshot snapshot;
+  snapshot.role = kFflJobRole;
+  snapshot.round = round;
+  snapshot.AddFloats(persist::SectionType::kModelParams, "params", global_params_);
+  net::Writer w;
+  w.WriteDouble(cumulative_latency_);
+  snapshot.Add(persist::SectionType::kRaw, "observer", w.Take());
+  snapshot.Add(persist::SectionType::kRaw, "config", ConfigDigest());
+  for (const auto& party : parties_) {
+    snapshot.Add(persist::SectionType::kTrainerState, "trainer:" + party->name(),
+                 party->SerializeTrainerState());
+  }
+  persist::SealKey seal = persist::SealKey::Derive(options_.seed, kFflJobRole);
+  snapshot.Add(persist::SectionType::kRngState, "rng",
+               seal.Seal(rng_.SerializeState(), rng_));
+  if (!store_->Write(snapshot)) {
+    LOG_WARNING << "FFL job: snapshot write failed for round " << round;
+  }
+}
+
+bool FflJob::RestoreFromSnapshot() {
+  std::optional<persist::Snapshot> snapshot = store_->Load(kFflJobRole);
+  if (!snapshot.has_value()) {
+    resume_error_ =
+        "resume requested but no verifiable job snapshot in " + options_.checkpoint.dir;
+    return false;
+  }
+  const persist::Section* config = snapshot->Find("config");
+  if (config == nullptr || config->data != ConfigDigest()) {
+    resume_error_ = "job snapshot was written by a different configuration";
+    return false;
+  }
+  std::optional<std::vector<float>> params = snapshot->FindFloats("params");
+  const persist::Section* observer = snapshot->Find("observer");
+  if (!params.has_value() || observer == nullptr ||
+      params->size() != global_params_.size()) {
+    resume_error_ = "job snapshot is missing sections or sized for a different model";
+    return false;
+  }
+  try {
+    net::Reader r(observer->data);
+    double cumulative = r.ReadDouble();
+    // Stage trainer restores so a bad section leaves no party half-restored.
+    for (const auto& party : parties_) {
+      const persist::Section* trainer = snapshot->Find("trainer:" + party->name());
+      if (trainer == nullptr) {
+        resume_error_ = "job snapshot is missing trainer state for " + party->name();
+        return false;
+      }
+    }
+    persist::SealKey seal = persist::SealKey::Derive(options_.seed, kFflJobRole);
+    const persist::Section* rng_section = snapshot->Find("rng");
+    std::optional<Bytes> rng_plain =
+        rng_section != nullptr ? seal.Open(rng_section->data) : std::nullopt;
+    if (!rng_plain.has_value()) {
+      resume_error_ = "job snapshot RNG state is missing or failed to unseal";
+      return false;
+    }
+    for (const auto& party : parties_) {
+      if (!party->RestoreTrainerState(
+              snapshot->Find("trainer:" + party->name())->data)) {
+        resume_error_ = "trainer state for " + party->name() + " failed to restore";
+        return false;
+      }
+    }
+    if (!rng_.RestoreState(*rng_plain)) {
+      resume_error_ = "job snapshot RNG state is malformed";
+      return false;
+    }
+    global_params_ = std::move(*params);
+    cumulative_latency_ = cumulative;
+    resume_round_ = snapshot->round;
+    LOG_INFO << "FFL job: resuming from round " << resume_round_ << " (generation "
+             << snapshot->generation << ")";
+    return true;
+  } catch (const CheckFailure&) {
+    resume_error_ = "job snapshot observer section is malformed";
+    return false;
+  }
 }
 
 JobResult FflJob::Run() {
   parallel::SetDefaultThreads(options_.threads);
   const telemetry::TelemetrySnapshot telemetry_start = telemetry::Snapshot();
   JobResult result;
+  if (resume_failed_) {
+    // Never degrade a failed resume into a silent fresh start over the same directory.
+    result.status = JobStatus::kSetupFailed;
+    result.error = resume_error_;
+    LOG_ERROR << "FFL job: " << result.error;
+    return result;
+  }
   result.setup_seconds = setup_seconds_;
+  result.resumed_from_round = resume_round_;
   result.rounds.reserve(static_cast<size_t>(options_.rounds));
-  for (int round = 1; round <= options_.rounds; ++round) {
+  for (int round = resume_round_ + 1; round <= options_.rounds; ++round) {
     {
       telemetry::Span round_span("fl.ffl.round");
       result.rounds.push_back(RunRound(round));
       DETA_COUNTER("fl.ffl.rounds").Increment();
     }
+    SaveState(round);
     LOG_INFO << "FFL round " << round << ": loss=" << result.rounds.back().loss
              << " acc=" << result.rounds.back().accuracy
              << " latency=" << result.rounds.back().cumulative_latency_s << "s";

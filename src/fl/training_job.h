@@ -16,6 +16,7 @@
 #include "fl/job_api.h"
 #include "fl/paillier_fusion.h"
 #include "fl/party.h"
+#include "persist/state_store.h"
 
 namespace deta::fl {
 
@@ -32,6 +33,12 @@ class FflJob {
  private:
   RoundMetrics RunRound(int round);
   RoundMetrics EvaluateRound(int round, double latency_s);
+  // Durable checkpoint/resume (options.checkpoint). The FFL job runs every party
+  // in-process, so one snapshot captures the whole deployment: global params, per-party
+  // trainer state, observer accumulators, and the (sealed) job RNG.
+  Bytes ConfigDigest() const;
+  void SaveState(int round);
+  bool RestoreFromSnapshot();
 
   ExecutionOptions options_;
   std::vector<std::unique_ptr<Party>> parties_;
@@ -46,6 +53,11 @@ class FflJob {
   std::optional<crypto::PaillierKeyPair> paillier_;
   std::unique_ptr<PaillierVectorCodec> codec_;
   crypto::SecureRng rng_;
+
+  std::unique_ptr<persist::StateStore> store_;
+  int resume_round_ = 0;
+  bool resume_failed_ = false;
+  std::string resume_error_;
 };
 
 }  // namespace deta::fl

@@ -41,6 +41,16 @@ struct EdgeFault {
   int max_faults = 0;
 };
 
+// A process-crash fault: the named role kills itself at a deterministic point and stays
+// dead until the job driver revives it from its last durable snapshot (src/persist/).
+// For parties and aggregators |at_round| is the round whose begin/collect phase triggers
+// the crash; for the key broker it counts distinct parties served (the broker has no
+// round clock). Crash faults require checkpointing to be on — the driver enforces it.
+struct CrashFault {
+  std::string role;
+  int at_round = 1;
+};
+
 struct FaultPlan {
   uint64_t seed = 0;
   FaultRates default_rates;          // applied to every non-immune edge
@@ -50,8 +60,22 @@ struct FaultPlan {
   // its evaluation observer here: the observer is measurement harness, not deployed
   // protocol fabric.
   std::set<std::string> immune;
+  // Role crashes (distinct from message faults: these kill whole processes, not
+  // messages, and are orchestrated by the job driver rather than the bus injector).
+  std::vector<CrashFault> crashes;
 
+  // True when any *message* fault can fire; crash faults do not flow through the bus
+  // injector and are intentionally excluded.
   bool enabled() const;
+  // Crash round configured for |role| (0 = this role never crashes).
+  int CrashRoundFor(const std::string& role) const {
+    for (const CrashFault& crash : crashes) {
+      if (crash.role == role) {
+        return crash.at_round;
+      }
+    }
+    return 0;
+  }
 };
 
 // What the injector decided for one message.

@@ -126,7 +126,7 @@ bool Endpoint::Send(const std::string& to, const std::string& type, Bytes payloa
   m.to = to;
   m.type = type;
   m.payload = std::move(payload);
-  m.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  m.seq = bus_->next_seq_.fetch_add(1, std::memory_order_relaxed);
   return bus_->Send(std::move(m));
 }
 

@@ -94,7 +94,6 @@ class Endpoint {
   std::string name_;
   MessageBus* bus_;
   BlockingQueue<Message> mailbox_;
-  std::atomic<uint64_t> next_seq_{1};
   std::vector<Message> stashed_;  // out-of-order messages set aside by ReceiveType*
   // Receiver-thread-only dedup state: sender -> sequence tags already delivered.
   std::map<std::string, std::set<uint64_t>> seen_;
@@ -147,6 +146,11 @@ class MessageBus {
   uint64_t dropped_count_ = 0;
   std::map<std::string, uint64_t> dropped_by_type_;
   std::unique_ptr<FaultInjector> injector_;
+  // Sequence tags are drawn from one bus-wide counter, not per endpoint: receivers dedup
+  // on (sender name, tag), and a crashed role revived under the same name must never
+  // reuse a tag its previous incarnation already sent, or the retransmission would be
+  // suppressed as a duplicate.
+  std::atomic<uint64_t> next_seq_{1};
   // Reorder holdback: at most one in-flight message per edge, released right after the
   // edge's next send (so a held message is delivered out of order but never starved).
   std::map<std::pair<std::string, std::string>, Message> held_;

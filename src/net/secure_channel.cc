@@ -1,12 +1,53 @@
 #include "net/secure_channel.h"
 
+#include "common/check.h"
 #include "common/telemetry.h"
+#include "net/codec.h"
 
 namespace deta::net {
 
 SecureChannel::SecureChannel(const Bytes& master_secret, std::string channel_id,
                              ChannelRole role)
-    : aead_(master_secret), channel_id_(std::move(channel_id)), role_(role) {}
+    : aead_(master_secret),
+      master_secret_(master_secret),
+      channel_id_(std::move(channel_id)),
+      role_(role) {}
+
+Bytes SecureChannel::SerializeState() const {
+  net::Writer w;
+  w.WriteString(channel_id_);
+  w.WriteU32(role_ == ChannelRole::kInitiator ? 0 : 1);
+  w.WriteU64(send_seq_);
+  w.WriteU64(last_accepted_);
+  w.WriteBytes(master_secret_);
+  return w.Take();
+}
+
+std::optional<SecureChannel> SecureChannel::DeserializeState(const Bytes& data,
+                                                             uint64_t send_seq_slack) {
+  try {
+    net::Reader r(data);
+    std::string channel_id = r.ReadString();
+    uint32_t role_tag = r.ReadU32();
+    if (role_tag > 1) {
+      return std::nullopt;
+    }
+    uint64_t send_seq = r.ReadU64();
+    uint64_t last_accepted = r.ReadU64();
+    Bytes master = r.ReadBytes();
+    if (!r.AtEnd() || master.empty()) {
+      return std::nullopt;
+    }
+    SecureChannel channel(master, std::move(channel_id),
+                          role_tag == 0 ? ChannelRole::kInitiator
+                                        : ChannelRole::kResponder);
+    channel.send_seq_ = send_seq + send_seq_slack;
+    channel.last_accepted_ = last_accepted;
+    return channel;
+  } catch (const CheckFailure&) {
+    return std::nullopt;
+  }
+}
 
 Bytes SecureChannel::AssociatedData(ChannelRole sender, uint64_t seq) const {
   Bytes ad = StringToBytes(channel_id_);

@@ -40,10 +40,24 @@ class SecureChannel {
   const std::string& channel_id() const { return channel_id_; }
   ChannelRole role() const { return role_; }
 
+  // Channel state for checkpoint/resume: master secret, identity, role, and both
+  // sequence counters. Contains the master secret — callers must seal it before it
+  // reaches disk (persist::SealKey).
+  Bytes SerializeState() const;
+  // Rebuilds a channel from SerializeState output. |send_seq_slack| is added to the
+  // restored outbound counter: frames sealed after the snapshot but before the crash
+  // consumed sequence numbers the peer has already accepted, and the peer's monotonic
+  // replay window silently discards any reuse. The slack (2^20 in the resume paths —
+  // far more than one round can send) jumps past that burned range; the window only
+  // requires inbound sequences to increase, not to be dense.
+  static std::optional<SecureChannel> DeserializeState(const Bytes& data,
+                                                       uint64_t send_seq_slack = 0);
+
  private:
   Bytes AssociatedData(ChannelRole sender, uint64_t seq) const;
 
   crypto::Aead aead_;
+  Bytes master_secret_;  // retained for SerializeState
   std::string channel_id_;
   ChannelRole role_;
   uint64_t send_seq_ = 0;       // last sequence number sealed

@@ -4,85 +4,125 @@
 
 #include "common/logging.h"
 #include "crypto/sha256.h"
-#include "net/codec.h"
+#include "persist/codec.h"
+#include "persist/state_store.h"
 
 namespace deta::nn {
 
 namespace {
-constexpr char kMagic[] = "DETA-CKPT";
-constexpr uint32_t kVersion = 1;
+
+constexpr char kCheckpointRole[] = "model-checkpoint";
+constexpr char kParamsSection[] = "params";
+constexpr char kArchSection[] = "arch";
+constexpr char kOptimizerSection[] = "optimizer";
+
+Bytes ReadWholeFile(const std::string& path) {
+  std::optional<Bytes> blob = persist::ReadFile(path);
+  return blob.has_value() ? std::move(*blob) : Bytes{};
+}
+
+persist::Snapshot BuildSnapshot(const std::vector<float>& params) {
+  persist::Snapshot snapshot;
+  snapshot.role = kCheckpointRole;
+  snapshot.AddFloats(persist::SectionType::kModelParams, kParamsSection, params);
+  return snapshot;
+}
+
 }  // namespace
 
+Bytes ArchitectureDigest(const Model& model) {
+  Bytes description;
+  for (const Var& p : model.params()) {
+    const Tensor::Shape& shape = p.shape();
+    AppendU32(description, static_cast<uint32_t>(shape.size()));
+    for (int dim : shape) {
+      AppendU32(description, static_cast<uint32_t>(dim));
+    }
+  }
+  return crypto::Sha256Digest(description);
+}
+
+const char* CheckpointStatusName(CheckpointStatus status) {
+  switch (status) {
+    case CheckpointStatus::kOk:
+      return "ok";
+    case CheckpointStatus::kIoError:
+      return "io_error";
+    case CheckpointStatus::kCorrupt:
+      return "corrupt";
+    case CheckpointStatus::kArchitectureMismatch:
+      return "architecture_mismatch";
+  }
+  return "unknown";
+}
+
 Bytes SerializeCheckpoint(const std::vector<float>& params) {
-  net::Writer w;
-  w.WriteString(kMagic);
-  w.WriteU32(kVersion);
-  w.WriteFloatVector(params);
-  Bytes body = w.Take();
-  Bytes digest = crypto::Sha256Digest(body);
-  net::Writer framed;
-  framed.WriteBytes(body);
-  framed.WriteBytes(digest);
-  return framed.Take();
+  return persist::SerializeSnapshot(BuildSnapshot(params));
 }
 
 std::optional<std::vector<float>> ParseCheckpoint(const Bytes& blob) {
-  try {
-    net::Reader framed(blob);
-    Bytes body = framed.ReadBytes();
-    Bytes digest = framed.ReadBytes();
-    if (!ConstantTimeEqual(digest, crypto::Sha256Digest(body))) {
-      LOG_WARNING << "checkpoint digest mismatch (corrupted file?)";
-      return std::nullopt;
-    }
-    net::Reader r(body);
-    if (r.ReadString() != kMagic) {
-      return std::nullopt;
-    }
-    if (r.ReadU32() != kVersion) {
-      LOG_WARNING << "unsupported checkpoint version";
-      return std::nullopt;
-    }
-    return r.ReadFloatVector();
-  } catch (const CheckFailure&) {
-    return std::nullopt;  // truncated / malformed framing
+  std::optional<persist::Snapshot> snapshot = persist::ParseSnapshot(blob);
+  if (!snapshot.has_value() || snapshot->role != kCheckpointRole) {
+    LOG_WARNING << "checkpoint rejected (corrupted or not a model checkpoint)";
+    return std::nullopt;
   }
+  return snapshot->FindFloats(kParamsSection);
 }
 
 bool SaveCheckpoint(const Model& model, const std::string& path) {
-  Bytes blob = SerializeCheckpoint(model.GetFlatParams());
-  FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return false;
-  }
-  size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
-  std::fclose(f);
-  return written == blob.size();
+  return SaveCheckpointWithOptimizer(model, nullptr, path);
 }
 
 bool LoadCheckpoint(Model& model, const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return false;
+  return LoadCheckpointInto(model, nullptr, path) == CheckpointStatus::kOk;
+}
+
+bool SaveCheckpointWithOptimizer(const Model& model, const Sgd* sgd,
+                                 const std::string& path) {
+  persist::Snapshot snapshot = BuildSnapshot(model.GetFlatParams());
+  snapshot.Add(persist::SectionType::kRaw, kArchSection, ArchitectureDigest(model));
+  if (sgd != nullptr) {
+    snapshot.Add(persist::SectionType::kOptimizerState, kOptimizerSection,
+                 sgd->SerializeState());
   }
-  Bytes blob;
-  uint8_t buffer[4096];
-  size_t n = 0;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
-    blob.insert(blob.end(), buffer, buffer + n);
+  return persist::AtomicWriteFile(path, persist::SerializeSnapshot(snapshot));
+}
+
+CheckpointStatus LoadCheckpointInto(Model& model, Sgd* sgd, const std::string& path) {
+  Bytes blob = ReadWholeFile(path);
+  if (blob.empty()) {
+    return CheckpointStatus::kIoError;
   }
-  std::fclose(f);
-  std::optional<std::vector<float>> params = ParseCheckpoint(blob);
+  std::optional<persist::Snapshot> snapshot = persist::ParseSnapshot(blob);
+  if (!snapshot.has_value() || snapshot->role != kCheckpointRole) {
+    LOG_WARNING << "checkpoint rejected (corrupted or not a model checkpoint)";
+    return CheckpointStatus::kCorrupt;
+  }
+  const persist::Section* arch = snapshot->Find(kArchSection);
+  if (arch != nullptr && arch->data != ArchitectureDigest(model)) {
+    LOG_WARNING << "checkpoint architecture digest does not match model";
+    return CheckpointStatus::kArchitectureMismatch;
+  }
+  std::optional<std::vector<float>> params = snapshot->FindFloats(kParamsSection);
   if (!params.has_value()) {
-    return false;
+    return CheckpointStatus::kCorrupt;
   }
+  // Pre-digest checkpoints carry no architecture section; the count check is the only
+  // compatibility signal left for those.
   if (static_cast<int64_t>(params->size()) != model.NumParameters()) {
     LOG_WARNING << "checkpoint parameter count " << params->size()
                 << " does not match model (" << model.NumParameters() << ")";
-    return false;
+    return CheckpointStatus::kArchitectureMismatch;
+  }
+  if (sgd != nullptr) {
+    const persist::Section* opt = snapshot->Find(kOptimizerSection);
+    if (opt != nullptr && !sgd->RestoreState(opt->data)) {
+      LOG_WARNING << "checkpoint optimizer state rejected";
+      return CheckpointStatus::kCorrupt;
+    }
   }
   model.SetFlatParams(*params);
-  return true;
+  return CheckpointStatus::kOk;
 }
 
 }  // namespace deta::nn

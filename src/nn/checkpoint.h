@@ -1,6 +1,8 @@
-// Model checkpointing: versioned binary serialization of a parameter vector with an
-// integrity digest. Parties use this to persist/restore global models across process
-// restarts; the format is self-describing enough to reject mismatched architectures.
+// Model checkpointing, now a thin wrapper over the durable snapshot codec
+// (src/persist/codec.h): a checkpoint is a persist::Snapshot with role
+// "model-checkpoint" carrying the flat parameter vector, optionally the optimizer's
+// momentum buffers, and an architecture digest (a hash of the per-parameter shapes) so
+// restoring into a mismatched model is a *typed* error, not a silent count check.
 #ifndef DETA_NN_CHECKPOINT_H_
 #define DETA_NN_CHECKPOINT_H_
 
@@ -10,19 +12,44 @@
 
 #include "common/bytes.h"
 #include "nn/models.h"
+#include "nn/optimizer.h"
 
 namespace deta::nn {
 
-// Serializes a checkpoint blob: magic, version, parameter count, raw float data, and a
-// SHA-256 digest over all of it.
+// SHA-256 over the model's per-parameter shapes (rank + dims, in parameter order).
+// Two models agree iff their parameter tensors are layout-compatible.
+Bytes ArchitectureDigest(const Model& model);
+
+// How a checkpoint restore ended.
+enum class CheckpointStatus {
+  kOk = 0,
+  kIoError,                // file missing/unreadable/unwritable
+  kCorrupt,                // digest mismatch, truncation, or malformed framing
+  kArchitectureMismatch,   // valid checkpoint for a different model architecture
+};
+
+const char* CheckpointStatusName(CheckpointStatus status);
+
+// Serializes a checkpoint blob: a persist snapshot with the parameter vector and (via
+// the overload) architecture digest + optimizer state, integrity-protected by the
+// codec's SHA-256 frame.
 Bytes SerializeCheckpoint(const std::vector<float>& params);
 // Parses and verifies a checkpoint blob; nullopt if malformed, truncated, or corrupted.
 std::optional<std::vector<float>> ParseCheckpoint(const Bytes& blob);
 
-// File convenience wrappers. Save returns false on I/O failure.
+// File convenience wrappers (atomic write-rename; Save returns false on I/O failure).
 bool SaveCheckpoint(const Model& model, const std::string& path);
 // Loads into |model|; false on I/O failure, corruption, or parameter-count mismatch.
 bool LoadCheckpoint(Model& model, const std::string& path);
+
+// Full-fidelity variants: persist the architecture digest and, when |sgd| is non-null,
+// its momentum buffers, so training resumes with identical optimizer dynamics.
+bool SaveCheckpointWithOptimizer(const Model& model, const Sgd* sgd,
+                                 const std::string& path);
+// Restores parameters (and optimizer state into |sgd| when present in the file and
+// |sgd| != nullptr). Returns kArchitectureMismatch when the checkpoint was written by
+// a model whose parameter shapes differ from |model|'s.
+CheckpointStatus LoadCheckpointInto(Model& model, Sgd* sgd, const std::string& path);
 
 }  // namespace deta::nn
 

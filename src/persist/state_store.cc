@@ -1,0 +1,225 @@
+#include "persist/state_store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/sim_clock.h"
+#include "common/telemetry.h"
+
+namespace deta::persist {
+
+namespace {
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+bool SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return false;
+  }
+  bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+// mkdir -p. Returns false when a component cannot be created.
+bool MakeDirs(const std::string& dir) {
+  if (dir.empty() || dir == "/" || dir == ".") {
+    return true;
+  }
+  struct stat st{};
+  if (::stat(dir.c_str(), &st) == 0) {
+    return S_ISDIR(st.st_mode);
+  }
+  if (!MakeDirs(ParentDir(dir))) {
+    return false;
+  }
+  return ::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST;
+}
+
+}  // namespace
+
+bool AtomicWriteFile(const std::string& path, const Bytes& blob) {
+  if (!MakeDirs(ParentDir(path))) {
+    LOG_WARNING << "persist: cannot create directory for " << path;
+    return false;
+  }
+  std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    LOG_WARNING << "persist: cannot open " << tmp << " for writing";
+    return false;
+  }
+  bool ok = blob.empty() || std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+  ok = std::fflush(f) == 0 && ok;
+  // The data must be on stable storage *before* the rename publishes the file name,
+  // or a crash can expose a fully-named, partially-written snapshot.
+  ok = ::fsync(fileno(f)) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    LOG_WARNING << "persist: rename " << tmp << " -> " << path << " failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  // Make the rename itself durable: the directory entry is metadata of the directory.
+  return SyncDir(ParentDir(path));
+}
+
+std::optional<Bytes> ReadFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return std::nullopt;
+  }
+  Bytes blob;
+  uint8_t buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    blob.insert(blob.end(), buffer, buffer + n);
+  }
+  std::fclose(f);
+  return blob;
+}
+
+StateStore::StateStore(StateStoreOptions options) : options_(std::move(options)) {
+  DETA_CHECK(!options_.dir.empty());
+  if (options_.keep < 1) {
+    options_.keep = 1;
+  }
+  MakeDirs(options_.dir);
+}
+
+std::string StateStore::PathFor(const std::string& role, uint64_t generation) const {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".g%012" PRIu64 ".snap", generation);
+  return options_.dir + "/" + role + suffix;
+}
+
+std::vector<uint64_t> StateStore::GenerationsLocked(const std::string& role) const {
+  std::vector<uint64_t> generations;
+  DIR* d = ::opendir(options_.dir.c_str());
+  if (d == nullptr) {
+    return generations;
+  }
+  const std::string prefix = role + ".g";
+  const std::string suffix = ".snap";
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    std::string digits =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    if (digits.empty() || digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    generations.push_back(std::strtoull(digits.c_str(), nullptr, 10));
+  }
+  ::closedir(d);
+  std::sort(generations.begin(), generations.end());
+  return generations;
+}
+
+std::vector<uint64_t> StateStore::Generations(const std::string& role) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GenerationsLocked(role);
+}
+
+bool StateStore::Write(Snapshot& snapshot) {
+  DETA_CHECK(!snapshot.role.empty());
+  telemetry::Span span("persist.snapshot.write");
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<uint64_t> generations = GenerationsLocked(snapshot.role);
+  snapshot.generation = generations.empty() ? 1 : generations.back() + 1;
+  Bytes blob = SerializeSnapshot(snapshot);
+  if (!AtomicWriteFile(PathFor(snapshot.role, snapshot.generation), blob)) {
+    return false;
+  }
+  DETA_COUNTER("persist.snapshot.written").Increment();
+  DETA_COUNTER("persist.snapshot.bytes_written").Add(blob.size());
+  PruneLocked(snapshot.role);
+  return true;
+}
+
+void StateStore::PruneLocked(const std::string& role) {
+  std::vector<uint64_t> generations = GenerationsLocked(role);
+  if (static_cast<int>(generations.size()) <= options_.keep) {
+    return;
+  }
+  size_t excess = generations.size() - static_cast<size_t>(options_.keep);
+  for (size_t i = 0; i < excess; ++i) {
+    if (std::remove(PathFor(role, generations[i]).c_str()) == 0) {
+      DETA_COUNTER("persist.snapshot.pruned").Increment();
+    }
+  }
+}
+
+std::optional<Snapshot> StateStore::LoadLocked(const std::string& role,
+                                               int max_round) const {
+  std::vector<uint64_t> generations = GenerationsLocked(role);
+  bool newest = true;
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    std::optional<Bytes> blob = ReadFile(PathFor(role, *it));
+    std::optional<Snapshot> snapshot =
+        blob.has_value() ? ParseSnapshot(*blob) : std::nullopt;
+    if (!snapshot.has_value() || snapshot->role != role) {
+      // Unreadable, torn, corrupted, or mislabelled: never trusted.
+      DETA_COUNTER("persist.snapshot.rejected").Increment();
+      LOG_WARNING << "persist: rejecting snapshot " << role << " generation " << *it
+                  << " (corrupt or unreadable)";
+      newest = false;
+      continue;
+    }
+    if (max_round >= 0 && snapshot->round > max_round) {
+      newest = false;
+      continue;  // newer than the consistent cut being resumed
+    }
+    snapshot->generation = *it;
+    if (!newest) {
+      DETA_COUNTER("persist.snapshot.fallbacks").Increment();
+    }
+    DETA_COUNTER("persist.snapshot.loaded").Increment();
+    return snapshot;
+  }
+  return std::nullopt;
+}
+
+std::optional<Snapshot> StateStore::Load(const std::string& role) const {
+  telemetry::Span span("persist.snapshot.load");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return LoadLocked(role, -1);
+}
+
+std::optional<Snapshot> StateStore::LoadAt(const std::string& role, int max_round) const {
+  telemetry::Span span("persist.snapshot.load");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return LoadLocked(role, max_round);
+}
+
+}  // namespace deta::persist

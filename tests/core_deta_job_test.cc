@@ -221,6 +221,8 @@ TEST(DetaJobTest, AttestationTimeReportedSeparately) {
   DetaJob deta(base, deta_options, MakeParties(2, base.train), SmallModelFactory(),
                SmallMnist(30, 6));
   fl::JobResult result = deta.Run();
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_FALSE(result.rounds.empty());
   // One-time attestation/provisioning cost is reported in JobResult::setup_seconds and
   // does not silently inflate per-round latency.
   EXPECT_GT(result.setup_seconds, 0.0);
