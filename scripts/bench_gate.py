@@ -47,13 +47,35 @@ def check_snapshot(path: str, forbidden, required) -> list:
         return [f"{path}: no 'counters' object — not a telemetry snapshot?"]
 
     for name, value in sorted(counters.items()):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{path}: counter {name} has non-numeric value {value!r}")
+            continue
         for prefix in forbidden:
             if matches(prefix, name) and value != 0:
                 errors.append(f"{path}: must-be-zero counter {name} = {value}")
                 break
+    # Distinguish "the instrumentation disappeared" (counter absent — a refactor
+    # silently dropped the DETA_COUNTER site or renamed it) from "the code path never
+    # ran" (counter present but zero): they have different fixes, and the old combined
+    # message sent people hunting in the wrong layer.
     for name in required:
-        if counters.get(name, 0) == 0:
-            errors.append(f"{path}: required counter {name} is missing or zero")
+        if name not in counters:
+            hint = ""
+            prefix = name.rsplit(".", 1)[0]
+            near = sorted(c for c in counters if c.startswith(prefix))[:5]
+            if near:
+                hint = f" (present under the same prefix: {', '.join(near)})"
+            errors.append(
+                f"{path}: required counter {name} is MISSING from the snapshot — the "
+                f"counter site may have been removed or renamed{hint}")
+        else:
+            value = counters[name]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                pass  # already reported as non-numeric above
+            elif value == 0:
+                errors.append(
+                    f"{path}: required counter {name} is present but ZERO — the "
+                    "instrumented code path never executed in this run")
     return errors
 
 

@@ -3,7 +3,7 @@
 # of the concurrency-sensitive surface (message bus / protocol threads / parallel
 # layer). Run from anywhere; builds land in build*/ directories at the repo root.
 #
-# Usage: scripts/check.sh [--tier1-only] [--preset debug|release|asan|tsan]
+# Usage: scripts/check.sh [--tier1-only] [--preset debug|release|asan|tsan|static]
 #
 #   (no flags)        tier-1 (RelWithDebInfo build + full ctest) then the TSan gate —
 #                     unchanged historical behaviour.
@@ -13,6 +13,10 @@
 #     release         Release build + full ctest                  (build-release/)
 #     asan            ASan+UBSan build + full ctest               (build-asan/)
 #     tsan            TSan build + concurrency-suite gtest filter (build-tsan/)
+#     static          deta_lint (strict + selftest), clang -Wthread-safety build,
+#                     negative-compile gate, clang-tidy             (build-static/)
+#                     The clang legs SKIP with a message when clang/clang-tidy are
+#                     not installed (the lint legs always run); CI installs both.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -31,7 +35,7 @@ cmake_flags_for_preset() {
     release) echo "-DCMAKE_BUILD_TYPE=Release" ;;
     asan)    echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DDETA_SANITIZE=address,undefined" ;;
     tsan)    echo "-DCMAKE_BUILD_TYPE=RelWithDebInfo -DDETA_SANITIZE=thread" ;;
-    *)       echo "unknown preset: $1 (debug|release|asan|tsan)" >&2; exit 2 ;;
+    *)       echo "unknown preset: $1 (debug|release|asan|tsan|static)" >&2; exit 2 ;;
   esac
 }
 
@@ -65,8 +69,56 @@ run_preset() {
   echo "==> OK (${preset})"
 }
 
+# Static-analysis leg. Two always-on checks (pure python) and three clang-only checks
+# that degrade to an explicit SKIP when the toolchain is missing, so the preset is
+# useful both in CI (clang installed, everything runs) and in minimal containers.
+run_static() {
+  local python="${PYTHON:-python3}"
+
+  echo "==> static: deta_lint fixture selftest"
+  "${python}" scripts/deta_lint.py --selftest
+
+  echo "==> static: deta_lint --strict over src/ + tests/"
+  "${python}" scripts/deta_lint.py --strict
+
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "==> static: SKIP clang legs (clang++ not installed; annotations are no-ops under gcc)"
+    echo "==> OK (static — lint only)"
+    return 0
+  fi
+
+  echo "==> static: clang build with -Wthread-safety -Werror=thread-safety (build-static)"
+  cmake -B build-static -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+  cmake --build build-static -j "${jobs}"
+
+  echo "==> static: thread-safety negative-compile gate"
+  scripts/thread_safety_negcompile.sh "${repo_root}"
+
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> static: SKIP clang-tidy (not installed)"
+    echo "==> OK (static — no clang-tidy)"
+    return 0
+  fi
+
+  echo "==> static: clang-tidy over src/ (compile_commands from build-static)"
+  # run-clang-tidy parallelizes when available; fall back to a plain loop.
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p build-static "${repo_root}/src/.*\.cc$"
+  else
+    find src -name '*.cc' -print0 | xargs -0 -n 8 -P "${jobs}" \
+      clang-tidy -quiet -p build-static
+  fi
+
+  echo "==> OK (static)"
+}
+
 if [[ "${1:-}" == "--preset" ]]; then
   [[ -n "${2:-}" ]] || { echo "--preset requires an argument" >&2; exit 2; }
+  if [[ "$2" == "static" ]]; then
+    run_static
+    exit 0
+  fi
   run_preset "$2"
   exit 0
 fi

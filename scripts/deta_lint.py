@@ -1,0 +1,597 @@
+#!/usr/bin/env python3
+"""deta_lint: repo-specific static checks for the DeTA invariants.
+
+Three passes over src/ (and, where noted, tests/):
+
+Determinism
+  DL-D1  nondeterminism sources (std::random_device, rand(, srand(, time(,
+         system_clock) outside the whitelist. Aggregation must be a pure function
+         of the workload; ambient entropy or wall-clock reads silently break the
+         bitwise "decentralized == centralized" guarantee.
+  DL-D2  unordered_{map,set,...} anywhere in src/. Hash-order iteration reaching
+         any output (wire bytes, snapshots, aggregation order) is nondeterministic
+         across libc++/libstdc++ and even process runs; the repo bans the
+         containers outright so nobody has to prove an iteration can't escape.
+  DL-D3  raw concurrency primitives (std::thread, std::mutex, lock_guard,
+         unique_lock, condition_variable, ...) outside the annotated wrappers
+         (common/mutex.h, common/thread.h) and the pool internals
+         (common/parallel.*). Raw primitives are invisible to clang's
+         -Wthread-safety analysis, so locking through them is unchecked.
+
+Secret hygiene (taint from `// deta-lint: secret` tags on declarations)
+  DL-S1  tagged secret referenced in a DETA_LOG / LOG_* statement.
+  DL-S2  class owning a tagged secret member has no destructor that wipes it
+         (crypto::SecureWipe / .Wipe()), unless every secret member's type wipes
+         itself (Aead, SecureRng, SecureChannel).
+  DL-S3  tagged secret referenced in a telemetry registration/label expression.
+  DL-S4  tagged secret reaching a snapshot section Add() without Seal() in the
+         same statement (plaintext state on disk).
+
+Protocol liveness
+  DL-L1  unbounded blocking receive (.Receive() / .ReceiveType( / .Pop()) outside
+         the transport internals. Every protocol wait must carry a timeout (the
+         *For forms) so a dead peer cannot wedge an event loop — the rule PR 2
+         established by hand, now machine-checked.
+
+Suppressions: `// deta-lint: allow(DL-XX) <reason>` on the finding's line or the
+line directly above. The reason is mandatory; unused suppressions and unused
+whitelist entries fail --strict, so stale escapes rot loudly.
+
+Usage:
+  scripts/deta_lint.py [--strict] [--root DIR] [paths...]
+  scripts/deta_lint.py --selftest     # run the fixture corpus (scripts/lint_fixtures)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# Rule catalogue
+# ---------------------------------------------------------------------------
+
+RULES = {
+    "DL-D1": "nondeterminism source outside the whitelist",
+    "DL-D2": "unordered container (hash-order iteration is nondeterministic)",
+    "DL-D3": "raw concurrency primitive outside the annotated wrappers",
+    "DL-S1": "secret referenced in a log statement",
+    "DL-S2": "secret-owning type does not wipe in its destructor",
+    "DL-S3": "secret referenced in a telemetry name/label expression",
+    "DL-S4": "secret added to a snapshot section without Seal()",
+    "DL-L1": "unbounded blocking receive (no timeout)",
+}
+
+# (rule, repo-relative path, reason). Every entry must suppress at least one
+# would-be finding or --strict fails it as stale.
+WHITELIST = [
+    ("DL-D1", "src/crypto/chacha20.cc",
+     "SecureRng::FromEntropy seeds long-lived identity keys from OS entropy; "
+     "nondeterminism is the point of this one path"),
+    ("DL-D3", "src/common/mutex.h",
+     "the annotated wrapper itself owns the raw std::mutex/condition_variable"),
+    ("DL-D3", "src/common/thread.h",
+     "ServiceThread is the one sanctioned owner of protocol std::threads"),
+    ("DL-D3", "src/common/parallel.h",
+     "pool internals: the worker vector holds raw std::thread handles"),
+    ("DL-D3", "src/common/parallel.cc",
+     "pool internals spawn/join workers under the annotated mutex"),
+    ("DL-L1", "src/net/message_bus.cc",
+     "implements the unbounded primitives directly over the mailbox queue; "
+     "Close() is their documented unblocking path"),
+]
+
+# Types that zeroize their own key material on destruction; members of these
+# types satisfy DL-S2 without the owning class adding a wipe.
+SELF_WIPING_TYPES = ("Aead", "SecureRng", "SecureChannel")
+
+# Token patterns per rule (applied to comment/string-stripped code).
+D1_TOKENS = [
+    (re.compile(r"std::random_device"), "std::random_device"),
+    (re.compile(r"\brand\s*\("), "rand("),
+    (re.compile(r"\bsrand\s*\("), "srand("),
+    (re.compile(r"\btime\s*\("), "time("),
+    (re.compile(r"system_clock"), "system_clock"),
+]
+D2_TOKEN = re.compile(r"std::unordered_\w+")
+D3_TOKENS = [
+    (re.compile(r"std::thread\b"), "std::thread"),
+    (re.compile(r"std::jthread\b"), "std::jthread"),
+    (re.compile(r"std::(?:recursive_|timed_|shared_)?mutex\b"), "std::mutex"),
+    (re.compile(r"std::condition_variable"), "std::condition_variable"),
+    (re.compile(r"std::lock_guard"), "std::lock_guard"),
+    (re.compile(r"std::unique_lock"), "std::unique_lock"),
+    (re.compile(r"std::scoped_lock"), "std::scoped_lock"),
+]
+L1_TOKEN = re.compile(r"(?:\.|->)\s*(?:Receive|Pop)\s*\(\s*\)|(?:\.|->)\s*ReceiveType\s*\(")
+
+LOG_TOKEN = re.compile(r"\bDETA_LOG\b|\bLOG_(?:DEBUG|INFO|WARNING|ERROR)\b")
+TELEMETRY_TOKEN = re.compile(
+    r"\bGetCounter\s*\(|\bGetGauge\s*\(|\bGetHistogram\s*\(|\bDETA_COUNTER\s*\(|"
+    r"\bDETA_HISTOGRAM\s*\(")
+SNAPSHOT_ADD_TOKEN = re.compile(r"\.\s*Add\s*\(\s*(?:[\w]+::)*SectionType")
+SEAL_TOKEN = re.compile(r"\bSeal\s*\(")
+
+TAG_SECRET = re.compile(r"deta-lint:\s*secret\b")
+TAG_ALLOW = re.compile(r"deta-lint:\s*allow\((DL-[A-Z]\d)\)\s*(.*)")
+
+MEMBER_DECL = re.compile(
+    r"^\s*(?:mutable\s+)?(?:const\s+)?"
+    r"(?P<type>[A-Za-z_][\w:]*(?:\s*<[^;{}]*>)?(?:\s*[\*&])?)"
+    r"\s+(?P<name>[A-Za-z_]\w*)\s*(?:=[^;]*|\{[^;]*\})?;")
+CLASS_DECL = re.compile(r"\b(?:class|struct)\s+(?:DETA_\w+\s*(?:\([^)]*\))?\s*)?"
+                        r"(?P<name>[A-Za-z_]\w*)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Lexing: split each line into code (strings/comments blanked) and comment text
+# ---------------------------------------------------------------------------
+
+def split_code_and_comments(lines):
+    """Returns (code_lines, comment_lines); both same length as input.
+
+    String/char literal contents are blanked in code_lines, so token scans and
+    secret-name matches never fire inside literals. Block comments are handled
+    across lines.
+    """
+    code_lines, comment_lines = [], []
+    in_block = False
+    for raw in lines:
+        code, comment = [], []
+        i, n = 0, len(raw)
+        while i < n:
+            c = raw[i]
+            if in_block:
+                if raw.startswith("*/", i):
+                    in_block = False
+                    i += 2
+                else:
+                    comment.append(c)
+                    i += 1
+                continue
+            if raw.startswith("//", i):
+                comment.append(raw[i + 2:])
+                break
+            if raw.startswith("/*", i):
+                in_block = True
+                i += 2
+                continue
+            if c in "\"'":
+                quote = c
+                code.append(quote)
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        i += 2
+                        continue
+                    if raw[i] == quote:
+                        break
+                    i += 1
+                code.append(quote)
+                i += 1
+                continue
+            code.append(c)
+            i += 1
+        code_lines.append("".join(code))
+        comment_lines.append("".join(comment))
+    return code_lines, comment_lines
+
+
+# ---------------------------------------------------------------------------
+# Per-file parsing: suppressions, secret tags, class structure
+# ---------------------------------------------------------------------------
+
+class Suppression:
+    def __init__(self, rule, reason, path, line):
+        self.rule = rule
+        self.reason = reason.strip()
+        self.path = path
+        self.line = line  # comment's own line (1-based)
+        self.used = False
+
+
+def collect_suppressions(path, comment_lines):
+    out = []
+    for idx, comment in enumerate(comment_lines):
+        m = TAG_ALLOW.search(comment)
+        if m:
+            out.append(Suppression(m.group(1), m.group(2), path, idx + 1))
+    return out
+
+
+class SecretMember:
+    def __init__(self, path, line, cls, name, decl_type):
+        self.path = path
+        self.line = line
+        self.cls = cls  # enclosing class name or None
+        self.name = name
+        self.decl_type = decl_type
+
+    @property
+    def self_wiping(self):
+        return any(t in self.decl_type for t in SELF_WIPING_TYPES)
+
+
+def enclosing_classes(code_lines):
+    """For each line (0-based), the innermost enclosing class/struct name or None,
+    evaluated at the *start* of the line."""
+    result = []
+    stack = []  # brace stack: class name or None per open brace
+    pending = None  # class name seen, brace not yet opened
+    for code in code_lines:
+        result.append(next((s for s in reversed(stack) if s), None))
+        m = CLASS_DECL.search(code)
+        decl_pos = m.start() if m else None
+        for pos, ch in enumerate(code):
+            if decl_pos is not None and pos == decl_pos:
+                pending = m.group("name")
+            if ch == "{":
+                stack.append(pending)
+                pending = None
+            elif ch == "}":
+                if stack:
+                    stack.pop()
+            elif ch == ";" and pending is not None and decl_pos is not None:
+                pending = None  # forward declaration
+    return result
+
+
+def collect_secrets(path, code_lines, comment_lines):
+    """Finds `// deta-lint: secret` tags: on a declaration line, or on a
+    comment-only line directly preceding one."""
+    classes = enclosing_classes(code_lines)
+    secrets = []
+    pending_tag_line = None
+    for idx in range(len(code_lines)):
+        tagged_here = bool(TAG_SECRET.search(comment_lines[idx]))
+        code = code_lines[idx].strip()
+        if not code:
+            if tagged_here:
+                pending_tag_line = idx
+            continue
+        if tagged_here or pending_tag_line is not None:
+            tag_line = idx if tagged_here else pending_tag_line
+            m = MEMBER_DECL.match(code_lines[idx])
+            if m:
+                secrets.append(SecretMember(path, idx + 1, classes[idx],
+                                            m.group("name"), m.group("type")))
+            else:
+                secrets.append(SecretMember(path, tag_line + 1, classes[idx],
+                                            None, ""))
+        pending_tag_line = idx if (tagged_here and not code) else None
+    return secrets
+
+
+# ---------------------------------------------------------------------------
+# Statement grouping (for the taint passes)
+# ---------------------------------------------------------------------------
+
+def statements(code_lines):
+    """Yields (start_line_1based, text) for ';'-terminated statement chunks.
+    Braces also end a chunk, so function bodies don't glue together."""
+    buf, start = [], None
+    for idx, code in enumerate(code_lines):
+        stripped = code.strip()
+        if not stripped:
+            continue
+        if start is None:
+            start = idx + 1
+        buf.append(code)
+        if stripped.endswith((";", "{", "}", ":")) or stripped.startswith("#"):
+            yield start, " ".join(buf)
+            buf, start = [], None
+    if buf:
+        yield start, " ".join(buf)
+
+
+# ---------------------------------------------------------------------------
+# The lint engine
+# ---------------------------------------------------------------------------
+
+def rel(path, root):
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = root
+        self.findings = []
+        self.whitelist_used = {i: False for i in range(len(WHITELIST))}
+        self.suppressions = []  # across all files
+
+    # -- whitelist / suppression plumbing --------------------------------
+
+    def _whitelisted(self, rule, relpath):
+        for i, (wrule, wpath, _reason) in enumerate(WHITELIST):
+            if wrule == rule and wpath == relpath:
+                self.whitelist_used[i] = True
+                return True
+        return False
+
+    def _suppressed(self, rule, path, line, file_suppressions):
+        for s in file_suppressions:
+            if s.rule == rule and s.line in (line, line - 1):
+                if not s.reason:
+                    continue  # a reasonless allow() never suppresses
+                s.used = True
+                return True
+        return False
+
+    def _report(self, rule, path, relpath, line, message, file_suppressions):
+        if self._whitelisted(rule, relpath):
+            return
+        if self._suppressed(rule, path, line, file_suppressions):
+            return
+        self.findings.append(Finding(relpath, line, rule, message))
+
+    # -- passes ----------------------------------------------------------
+
+    def lint_files(self, paths):
+        parsed = {}
+        all_secrets = []
+        for path in paths:
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                lines = f.read().splitlines()
+            code_lines, comment_lines = split_code_and_comments(lines)
+            supps = collect_suppressions(path, comment_lines)
+            self.suppressions.extend(supps)
+            relpath = rel(path, self.root)
+            in_src = relpath.startswith("src/") or "/" not in relpath
+            secrets = collect_secrets(relpath, code_lines, comment_lines) if in_src else []
+            all_secrets.extend(secrets)
+            parsed[path] = (relpath, code_lines, comment_lines, supps, secrets, in_src)
+
+        secret_names = sorted({s.name for s in all_secrets if s.name})
+        secret_name_re = (re.compile(r"\b(?:" + "|".join(map(re.escape, secret_names)) + r")\b")
+                          if secret_names else None)
+
+        for path, (relpath, code_lines, _comments, supps, secrets, in_src) in parsed.items():
+            self._token_pass(path, relpath, code_lines, supps, in_src)
+            if in_src:
+                self._taint_pass(path, relpath, code_lines, supps, secret_name_re)
+                self._wipe_pass(path, relpath, code_lines, supps, secrets, parsed)
+
+    def _token_pass(self, path, relpath, code_lines, supps, in_src):
+        for idx, code in enumerate(code_lines):
+            line = idx + 1
+            for pattern, token in D1_TOKENS:
+                if pattern.search(code):
+                    self._report("DL-D1", path, relpath, line,
+                                 f"nondeterminism source `{token}` — aggregation and "
+                                 "protocol state must be a pure function of the workload",
+                                 supps)
+            if not in_src:
+                continue  # D2/D3/L1 are src-only: tests drive threads/receives directly
+            m = D2_TOKEN.search(code)
+            if m:
+                self._report("DL-D2", path, relpath, line,
+                             f"`{m.group(0)}` — hash-order iteration is nondeterministic; "
+                             "use std::map/std::set or a sorted vector", supps)
+            for pattern, token in D3_TOKENS:
+                if pattern.search(code):
+                    self._report("DL-D3", path, relpath, line,
+                                 f"raw `{token}` — use deta::Mutex/MutexLock/CondVar "
+                                 "(common/mutex.h) or deta::ServiceThread (common/thread.h) "
+                                 "so clang -Wthread-safety can check it", supps)
+            if L1_TOKEN.search(code):
+                self._report("DL-L1", path, relpath, line,
+                             "unbounded blocking receive — use the *For variant with a "
+                             "timeout so a dead peer cannot wedge this loop", supps)
+
+    def _taint_pass(self, path, relpath, code_lines, supps, secret_name_re):
+        if secret_name_re is None:
+            return
+        for start, text in statements(code_lines):
+            hit = secret_name_re.search(text)
+            if not hit:
+                continue
+            name = hit.group(0)
+            if LOG_TOKEN.search(text):
+                self._report("DL-S1", path, relpath, start,
+                             f"secret `{name}` referenced in a log statement", supps)
+            if TELEMETRY_TOKEN.search(text):
+                self._report("DL-S3", path, relpath, start,
+                             f"secret `{name}` referenced in a telemetry "
+                             "name/label expression", supps)
+            if SNAPSHOT_ADD_TOKEN.search(text) and not SEAL_TOKEN.search(text):
+                self._report("DL-S4", path, relpath, start,
+                             f"secret `{name}` added to a snapshot section without "
+                             "Seal() — plaintext key material on disk", supps)
+
+    def _wipe_pass(self, path, relpath, code_lines, supps, secrets, parsed):
+        by_class = {}
+        for s in secrets:
+            if s.name is None:
+                continue
+            by_class.setdefault(s.cls, []).append(s)
+        file_text = "\n".join(code_lines)
+        for cls, members in by_class.items():
+            if cls is None:
+                continue  # free declarations (locals/globals) have no destructor to check
+            if all(m.self_wiping for m in members):
+                continue
+            texts = [file_text]
+            sibling = self._sibling_source(path)
+            if sibling and sibling in parsed:
+                texts.append("\n".join(parsed[sibling][1]))
+            if not any(self._destructor_wipes(t, cls) for t in texts):
+                first = members[0]
+                self._report(
+                    "DL-S2", path, relpath, first.line,
+                    f"`{cls}` owns secret member(s) "
+                    f"{', '.join(m.name for m in members if not m.self_wiping)} but no "
+                    "destructor calls crypto::SecureWipe / .Wipe()", supps)
+
+    @staticmethod
+    def _sibling_source(path):
+        if path.endswith(".h"):
+            return path[:-2] + ".cc"
+        if path.endswith(".cc"):
+            return path[:-3] + ".h"
+        return None
+
+    @staticmethod
+    def _destructor_wipes(text, cls):
+        for m in re.finditer(r"~" + re.escape(cls) + r"\s*\(", text):
+            window = text[m.start():m.start() + 600]
+            if "= delete" in window.split(";", 1)[0]:
+                continue
+            if "Wipe" in window:
+                return True
+        return False
+
+    # -- strict-mode bookkeeping -----------------------------------------
+
+    def stale_whitelist(self):
+        return [WHITELIST[i] for i, used in self.whitelist_used.items() if not used]
+
+    def stale_suppressions(self):
+        return [s for s in self.suppressions if not s.used]
+
+    def reasonless_suppressions(self):
+        return [s for s in self.suppressions if not s.reason]
+
+
+# ---------------------------------------------------------------------------
+# File discovery / CLI
+# ---------------------------------------------------------------------------
+
+SOURCE_EXTENSIONS = (".h", ".cc")
+
+
+def discover(root, arg_paths):
+    if arg_paths:
+        out = []
+        for p in arg_paths:
+            p = os.path.abspath(p)
+            if os.path.isdir(p):
+                out.extend(walk(p))
+            else:
+                out.append(p)
+        return sorted(out)
+    files = []
+    for sub in ("src", "tests"):
+        d = os.path.join(root, sub)
+        if os.path.isdir(d):
+            files.extend(walk(d))
+    return sorted(files)
+
+
+def walk(directory):
+    out = []
+    for dirpath, _dirnames, filenames in os.walk(directory):
+        for name in filenames:
+            if name.endswith(SOURCE_EXTENSIONS):
+                out.append(os.path.join(dirpath, name))
+    return out
+
+
+def run_lint(root, paths, strict):
+    linter = Linter(root)
+    linter.lint_files(paths)
+    ok = True
+    for finding in sorted(linter.findings, key=lambda f: (f.path, f.line)):
+        print(finding)
+        ok = False
+    if strict:
+        for rule, path, _reason in linter.stale_whitelist():
+            print(f"deta_lint: stale whitelist entry ({rule}, {path}) — "
+                  "it suppresses nothing; remove it")
+            ok = False
+        for s in linter.stale_suppressions():
+            print(f"{rel(s.path, root)}:{s.line}: stale suppression allow({s.rule}) — "
+                  "it suppresses nothing; remove it")
+            ok = False
+        for s in linter.reasonless_suppressions():
+            print(f"{rel(s.path, root)}:{s.line}: suppression allow({s.rule}) has no "
+                  "reason — a written reason is mandatory")
+            ok = False
+    if ok:
+        print(f"deta_lint: OK ({len(paths)} files, 0 findings)")
+    return ok
+
+
+def run_selftest(root):
+    """Fixture corpus: every rule has >= 1 must-fail (bad_*) fixture that the
+    engine must flag with exactly that rule, and every good_* fixture must be
+    clean for its rule. Fixtures are linted as if they lived under src/."""
+    fixtures = os.path.join(os.path.dirname(os.path.abspath(__file__)), "lint_fixtures")
+    if not os.path.isdir(fixtures):
+        print(f"deta_lint: fixture directory missing: {fixtures}")
+        return False
+    ok = True
+    rules_with_bad_fixture = set()
+    for rule in sorted(os.listdir(fixtures)):
+        rule_dir = os.path.join(fixtures, rule)
+        if not os.path.isdir(rule_dir):
+            continue
+        for name in sorted(os.listdir(rule_dir)):
+            if not name.endswith(SOURCE_EXTENSIONS):
+                continue
+            path = os.path.join(rule_dir, name)
+            # Root the linter at the rule directory so the fixture's relpath has
+            # no directory prefix and is treated as src/ scope (see lint_files).
+            linter = Linter(rule_dir)
+            linter.lint_files([path])
+            hits = [f for f in linter.findings if f.rule == rule]
+            if name.startswith("bad_"):
+                rules_with_bad_fixture.add(rule)
+                if not hits:
+                    print(f"selftest FAIL: {rule}/{name} should trigger {rule} "
+                          "but produced no such finding")
+                    ok = False
+            elif name.startswith("good_"):
+                if hits:
+                    print(f"selftest FAIL: {rule}/{name} should be clean for {rule} "
+                          f"but produced: {hits[0]}")
+                    ok = False
+            else:
+                print(f"selftest FAIL: {rule}/{name} must be named bad_* or good_*")
+                ok = False
+    missing = sorted(set(RULES) - rules_with_bad_fixture)
+    if missing:
+        print(f"selftest FAIL: rules without a must-fail fixture: {', '.join(missing)}")
+        ok = False
+    if ok:
+        print("deta_lint selftest: OK")
+    return ok
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--strict", action="store_true",
+                        help="also fail on stale whitelist entries / suppressions")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the fixture corpus instead of linting the tree")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("paths", nargs="*", help="files or directories (default: src/ tests/)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root) if args.root else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if args.selftest:
+        return 0 if run_selftest(root) else 1
+    paths = discover(root, args.paths)
+    if not paths:
+        print("deta_lint: no source files found")
+        return 2
+    return 0 if run_lint(root, paths, args.strict) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,7 @@
+// Must-fail: ambient OS entropy in protocol code breaks replayability.
+#include <random>
+
+unsigned AmbientSeed() {
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,7 @@
+// Must-fail: wall-clock reads make round transcripts time-dependent.
+#include <chrono>
+
+long NowMillis() {
+  auto t = std::chrono::system_clock::now();
+  return t.time_since_epoch().count();
+}

@@ -1,0 +1,6 @@
+// Must-pass: steady_clock is the sanctioned clock (timeouts, not timestamps).
+#include <chrono>
+
+bool Expired(std::chrono::steady_clock::time_point deadline) {
+  return std::chrono::steady_clock::now() >= deadline;
+}

@@ -1,0 +1,8 @@
+// Must-pass: an allow() with a written reason suppresses the finding.
+#include <random>
+
+unsigned IdentitySeed() {
+  // deta-lint: allow(DL-D1) fixture: documented one-time identity-key entropy
+  std::random_device rd;
+  return rd();
+}

@@ -1,0 +1,9 @@
+// Must-fail: hash-order iteration can leak into wire bytes / snapshots.
+#include <string>
+#include <unordered_map>
+
+int Count(const std::unordered_map<std::string, int>& m) {
+  int total = 0;
+  for (const auto& [k, v] : m) total += v;
+  return total;
+}

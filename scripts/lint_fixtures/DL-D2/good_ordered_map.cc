@@ -1,0 +1,9 @@
+// Must-pass: std::map iterates in key order on every platform.
+#include <map>
+#include <string>
+
+int Count(const std::map<std::string, int>& m) {
+  int total = 0;
+  for (const auto& [k, v] : m) total += v;
+  return total;
+}

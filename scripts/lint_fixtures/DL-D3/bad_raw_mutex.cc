@@ -1,0 +1,14 @@
+// Must-fail: raw std::mutex is invisible to -Wthread-safety.
+#include <mutex>
+
+class Counter {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++value_;
+  }
+
+ private:
+  std::mutex mutex_;
+  int value_ = 0;
+};

@@ -1,0 +1,10 @@
+// Must-fail: a raw std::thread member escapes the ServiceThread join guarantee.
+#include <thread>
+
+class Worker {
+ public:
+  void Start() { thread_ = std::thread([] {}); }
+
+ private:
+  std::thread thread_;
+};

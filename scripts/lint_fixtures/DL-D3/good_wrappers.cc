@@ -1,0 +1,20 @@
+// Must-pass: the annotated wrappers plus std::this_thread (not a thread handle;
+// the DL-D3 regex must not confuse it with std::thread).
+#include <chrono>
+#include <thread>
+
+#include "common/mutex.h"
+#include "common/thread.h"
+
+class Counter {
+ public:
+  void Bump() {
+    deta::MutexLock lock(mutex_);
+    ++value_;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+ private:
+  deta::Mutex mutex_;
+  int value_ DETA_GUARDED_BY(mutex_) = 0;
+};

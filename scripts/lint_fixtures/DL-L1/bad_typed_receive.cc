@@ -1,0 +1,7 @@
+// Must-fail: ReceiveType has no timeout parameter; only ReceiveTypeFor does.
+#include "net/message_bus.h"
+
+void WaitForAck(deta::net::Endpoint* endpoint) {
+  auto ack = endpoint->ReceiveType("ack");
+  (void)ack;
+}

@@ -1,0 +1,7 @@
+// Must-fail: indefinite queue Pop() in protocol code; bad_typed_receive shape too.
+#include "common/queue.h"
+
+void Drain(deta::BlockingQueue<int>& queue) {
+  auto item = queue.Pop();
+  (void)item;
+}

@@ -1,0 +1,10 @@
+// Must-fail: an event loop blocked on Receive() with no timeout is wedged
+// forever by one dead peer.
+#include "net/message_bus.h"
+
+void Loop(deta::net::Endpoint* endpoint) {
+  while (true) {
+    auto m = endpoint->Receive();
+    if (!m.has_value()) return;
+  }
+}

@@ -1,0 +1,13 @@
+// Must-pass: every blocking wait carries a timeout (the *For forms).
+#include <chrono>
+
+#include "common/queue.h"
+#include "net/message_bus.h"
+
+void Loop(deta::net::Endpoint* endpoint, deta::BlockingQueue<int>& queue) {
+  auto m = endpoint->ReceiveFor(200);
+  auto ack = endpoint->ReceiveTypeFor("ack", 200);
+  auto item = queue.PopFor(std::chrono::milliseconds(200));
+  auto maybe = queue.TryPop();
+  (void)m; (void)ack; (void)item; (void)maybe;
+}

@@ -1,0 +1,13 @@
+// Must-fail: a tagged secret flowing into a log statement.
+#include "common/bytes.h"
+#include "common/logging.h"
+
+class Channel {
+ public:
+  void Debug() {
+    LOG_DEBUG() << "channel key " << ToHex(master_secret_);
+  }
+
+ private:
+  deta::Bytes master_secret_;  // deta-lint: secret
+};

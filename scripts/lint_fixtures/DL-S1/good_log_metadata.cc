@@ -1,0 +1,14 @@
+// Must-pass: logging non-secret metadata next to a secret member is fine.
+#include "common/bytes.h"
+#include "common/logging.h"
+
+class Channel {
+ public:
+  void Debug() {
+    LOG_DEBUG() << "channel " << channel_id_ << " established";
+  }
+
+ private:
+  deta::Bytes master_secret_;  // deta-lint: secret
+  std::string channel_id_;
+};

@@ -1,0 +1,11 @@
+// Must-fail: secret-owning type with no wiping destructor leaves key bytes in
+// freed heap memory.
+#include "common/bytes.h"
+
+class Shuffler {
+ public:
+  explicit Shuffler(deta::Bytes key) : key_(key) {}
+
+ private:
+  deta::Bytes key_;  // deta-lint: secret
+};

@@ -1,0 +1,7 @@
+// Must-pass: a member whose type wipes itself (Aead) needs no owner destructor.
+#include "crypto/aead.h"
+
+class Sealer {
+ private:
+  crypto::Aead aead_;  // deta-lint: secret — Aead wipes its own key schedule
+};

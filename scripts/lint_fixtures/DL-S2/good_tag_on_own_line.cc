@@ -1,0 +1,13 @@
+// Must-pass: the tag-on-its-own-line form attaches to the next declaration and
+// the .Wipe() member form satisfies the destructor check.
+#include "crypto/bigint.h"
+
+class TokenHolder {
+ public:
+  ~TokenHolder() { token_private_.Wipe(); }
+
+ private:
+  // deta-lint: secret — ECDSA signing scalar for the aggregator trust token,
+  // documented across two comment lines to exercise the parser.
+  crypto::BigUint token_private_;
+};

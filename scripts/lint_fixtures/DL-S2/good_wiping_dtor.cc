@@ -1,0 +1,12 @@
+// Must-pass: destructor zeroizes before the allocation is released.
+#include "common/bytes.h"
+#include "crypto/secure_wipe.h"
+
+class Shuffler {
+ public:
+  explicit Shuffler(deta::Bytes key) : key_(key) {}
+  ~Shuffler() { deta::crypto::SecureWipe(key_); }
+
+ private:
+  deta::Bytes key_;  // deta-lint: secret
+};

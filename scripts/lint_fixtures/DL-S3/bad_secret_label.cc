@@ -1,0 +1,14 @@
+// Must-fail: secret material concatenated into a telemetry counter name would
+// surface in every metrics snapshot and CI artifact.
+#include "common/bytes.h"
+#include "common/telemetry.h"
+
+class Party {
+ public:
+  void Register() {
+    deta::telemetry::GetCounter("party.key." + ToHex(mapper_seed_));
+  }
+
+ private:
+  deta::Bytes mapper_seed_;  // deta-lint: secret
+};

@@ -1,0 +1,13 @@
+// Must-pass: static label strings next to secret members are fine.
+#include "common/bytes.h"
+#include "common/telemetry.h"
+
+class Party {
+ public:
+  void Register() {
+    deta::telemetry::GetCounter("party.rounds").Add(1);
+  }
+
+ private:
+  deta::Bytes mapper_seed_;  // deta-lint: secret
+};

@@ -1,0 +1,13 @@
+// Must-fail: key material entering a snapshot section unsealed is plaintext on
+// disk after the next StateStore::Write.
+#include "persist/codec.h"
+
+class Party {
+ public:
+  void Save(deta::persist::Snapshot& snap) {
+    snap.Add(deta::persist::SectionType::kKeyMaterial, "perm_key", permutation_key_);
+  }
+
+ private:
+  deta::Bytes permutation_key_;  // deta-lint: secret
+};

@@ -1,0 +1,15 @@
+// Must-pass: the secret is sealed (AEAD under the role-bound SealKey) in the
+// same statement that adds it.
+#include "persist/codec.h"
+
+class Party {
+ public:
+  void Save(deta::persist::Snapshot& snap, const deta::persist::SealKey& seal,
+            deta::crypto::SecureRng& rng) {
+    snap.Add(deta::persist::SectionType::kKeyMaterial, "perm_key",
+             seal.Seal(permutation_key_, rng));
+  }
+
+ private:
+  deta::Bytes permutation_key_;  // deta-lint: secret
+};

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Negative-compile gate for the thread-safety annotations.
+#
+# Asserts two things with clang's -Wthread-safety -Werror=thread-safety:
+#   1. tests/negative_compile/thread_safety_ok.cc (correctly locked) compiles — the
+#      control, so a broken include path can't fake the expected failure;
+#   2. tests/negative_compile/thread_safety_violation.cc (unannotated guarded access)
+#      is REJECTED, and rejected specifically by the thread-safety analysis.
+#
+# Exit 77 (ctest SKIP, see lint.thread_safety_negcompile) when clang++ is unavailable:
+# the analysis only exists in clang, and this container may only carry gcc.
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+clangxx="${CLANGXX:-clang++}"
+
+if ! command -v "$clangxx" >/dev/null 2>&1; then
+  echo "SKIP: $clangxx not installed; the thread-safety analysis needs clang"
+  exit 77
+fi
+
+flags=(-std=c++20 -fsyntax-only -I "$root/src" -Wthread-safety -Werror=thread-safety)
+ok_src="$root/tests/negative_compile/thread_safety_ok.cc"
+bad_src="$root/tests/negative_compile/thread_safety_violation.cc"
+errlog="$(mktemp)"
+trap 'rm -f "$errlog"' EXIT
+
+if ! "$clangxx" "${flags[@]}" "$ok_src" 2>"$errlog"; then
+  echo "FAIL: control $ok_src must compile cleanly under -Wthread-safety:"
+  cat "$errlog"
+  exit 1
+fi
+
+if "$clangxx" "${flags[@]}" "$bad_src" 2>"$errlog"; then
+  echo "FAIL: $bad_src compiled — the unannotated guarded access must be rejected."
+  echo "      The thread-safety analysis is not actually running."
+  exit 1
+fi
+
+if ! grep -q "thread-safety" "$errlog"; then
+  echo "FAIL: $bad_src was rejected, but not by the thread-safety analysis:"
+  cat "$errlog"
+  exit 1
+fi
+
+echo "OK: -Wthread-safety rejects the unannotated access and accepts the locked control"

@@ -1,7 +1,7 @@
 #include "autograd/var.h"
 
-#include <unordered_map>
-#include <unordered_set>
+#include <map>
+#include <set>
 
 #include "autograd/ops.h"
 #include "common/check.h"
@@ -57,7 +57,10 @@ namespace {
 
 // Depth-first topological order over the requires_grad subgraph rooted at |root|.
 void TopoSort(const std::shared_ptr<Node>& root, std::vector<Node*>& order) {
-  std::unordered_set<Node*> visited;
+  // Ordered container by policy (lint DL-D2): never iterated, but keeping unordered_*
+  // out of src/ entirely means no reviewer has to prove an iteration can't reach
+  // output. The graph walk is lookup/insert-only, so the O(log n) cost is noise.
+  std::set<Node*> visited;
   // Iterative DFS; graphs from unrolled attacks can be deep.
   struct Frame {
     Node* node;
@@ -100,7 +103,7 @@ std::vector<Var> Grad(const Var& output, const std::vector<Var>& inputs, bool cr
   std::vector<Node*> order;
   TopoSort(output.node(), order);
 
-  std::unordered_map<Node*, Var> grads;
+  std::map<Node*, Var> grads;  // lookup-only; ordered for the same DL-D2 policy
   grads[output.node().get()] = seed;
 
   // Reverse topological order: every node is processed after all of its consumers.

@@ -3,8 +3,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/telemetry.h"
 
 namespace deta {
@@ -12,7 +12,7 @@ namespace deta {
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
-std::mutex g_log_mutex;
+Mutex g_log_mutex;  // serializes whole lines to stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -59,7 +59,7 @@ void EmitLog(LogLevel level, const char* file, int line, const std::string& mess
   using Clock = std::chrono::steady_clock;
   static const Clock::time_point start = Clock::now();
   double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "[%9.3f %-5s %s:%d] %s\n", elapsed, LevelName(level), Basename(file),
                line, message.c_str());
 }

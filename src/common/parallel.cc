@@ -43,10 +43,13 @@ struct ThreadPool::Job {
   int64_t num_chunks = 0;
   std::atomic<int64_t> next{0};
   std::atomic<int> slots{0};
-  int active = 0;           // guarded by the pool's mutex_
-  int64_t error_chunk = -1;  // guarded by error_mutex
-  std::exception_ptr error;  // guarded by error_mutex
-  std::mutex error_mutex;
+  // Guarded by the *pool's* mutex_ — a different object's capability, which the
+  // guarded_by attribute cannot name from here; the annotated accesses in WorkerLoop
+  // and Run all hold it.
+  int active = 0;
+  Mutex error_mutex;
+  int64_t error_chunk DETA_GUARDED_BY(error_mutex) = -1;
+  std::exception_ptr error DETA_GUARDED_BY(error_mutex);
 };
 
 ThreadPool& ThreadPool::Global() {
@@ -55,12 +58,14 @@ ThreadPool& ThreadPool::Global() {
 }
 
 ThreadPool::~ThreadPool() {
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
+    workers.swap(workers_);
   }
-  wake_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  wake_cv_.NotifyAll();
+  for (std::thread& worker : workers) worker.join();
 }
 
 void ThreadPool::EnsureWorkers(int count) {
@@ -80,7 +85,7 @@ void ThreadPool::WorkOn(Job& job) {
     try {
       (*job.fn)(c);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(job.error_mutex);
+      MutexLock lock(job.error_mutex);
       if (job.error_chunk < 0 || c < job.error_chunk) {
         job.error_chunk = c;
         job.error = std::current_exception();
@@ -91,22 +96,27 @@ void ThreadPool::WorkOn(Job& job) {
 
 void ThreadPool::WorkerLoop() {
   uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mutex_);
+  mutex_.Lock();
   for (;;) {
-    wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
-    if (stop_) return;
+    while (!stop_ && generation_ == seen) {
+      wake_cv_.Wait(mutex_);
+    }
+    if (stop_) {
+      mutex_.Unlock();
+      return;
+    }
     seen = generation_;
     Job* job = job_;
     if (job == nullptr) continue;
     // Late wakeups and extra workers bounce off the slot cap.
     if (job->slots.fetch_sub(1, std::memory_order_relaxed) <= 0) continue;
     ++job->active;
-    lock.unlock();
+    mutex_.Unlock();
     WorkOn(*job);
-    lock.lock();
+    mutex_.Lock();
     // The submitting thread holds submit_mutex_ until |active| drains, so |job| stays
     // alive for this decrement.
-    if (--job->active == 0) done_cv_.notify_all();
+    if (--job->active == 0) done_cv_.NotifyAll();
   }
 }
 
@@ -114,10 +124,13 @@ void ThreadPool::Run(int64_t num_chunks, const std::function<void(int64_t)>& fn,
                      int threads) {
   if (num_chunks <= 0) return;
   const int64_t limit = std::min<int64_t>(num_chunks, threads);
-  std::unique_lock<std::mutex> submit(submit_mutex_, std::try_to_lock);
-  if (limit <= 1 || !submit.owns_lock()) {
-    // Nested or concurrent region (another thread owns the pool right now), or nothing
-    // to spread: run the identical chunks serially in index order.
+  if (limit <= 1) {
+    for (int64_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+  if (!submit_mutex_.TryLock()) {
+    // Nested or concurrent region (another thread owns the pool right now): run the
+    // identical chunks serially in index order.
     for (int64_t c = 0; c < num_chunks; ++c) fn(c);
     return;
   }
@@ -127,23 +140,33 @@ void ThreadPool::Run(int64_t num_chunks, const std::function<void(int64_t)>& fn,
   job.num_chunks = num_chunks;
   job.slots.store(static_cast<int>(limit) - 1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     EnsureWorkers(static_cast<int>(limit) - 1);
     job_ = &job;
     ++generation_;
   }
-  wake_cv_.notify_all();
-  WorkOn(job);
+  wake_cv_.NotifyAll();
+  WorkOn(job);  // WorkOn catches everything into the job, so submit_mutex_ stays paired.
   {
     // Drain wait: the submitting thread ran out of chunks but pool workers are still
     // finishing theirs. Long waits here mean chunk granularity is too coarse.
     WallStopwatch drain_watch;
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return job.active == 0; });
-    job_ = nullptr;
+    {
+      MutexLock lock(mutex_);
+      while (job.active != 0) {
+        done_cv_.Wait(mutex_);
+      }
+      job_ = nullptr;
+    }
     internal::RegionMetrics::Get().drain_wait_s.Record(drain_watch.ElapsedSeconds());
   }
-  if (job.error) std::rethrow_exception(job.error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(job.error_mutex);
+    error = job.error;
+  }
+  submit_mutex_.Unlock();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace deta::parallel

@@ -14,15 +14,15 @@
 #define DETA_COMMON_PARALLEL_H_
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/telemetry.h"
+#include "common/thread_annotations.h"
 
 namespace deta::parallel {
 
@@ -65,20 +65,23 @@ class ThreadPool {
   struct Job;
 
   void WorkerLoop();
-  // Spawns workers until |count| exist. Caller must hold mutex_.
-  void EnsureWorkers(int count);
+  // Spawns workers until |count| exist.
+  void EnsureWorkers(int count) DETA_REQUIRES(mutex_);
   // Claims and runs chunks until none remain, capturing the first (lowest-index)
   // exception into the job.
   static void WorkOn(Job& job);
 
-  std::mutex mutex_;
-  std::condition_variable wake_cv_;
-  std::condition_variable done_cv_;
-  std::vector<std::thread> workers_;
-  Job* job_ = nullptr;        // guarded by mutex_
-  uint64_t generation_ = 0;   // guarded by mutex_; bumped per submitted job
-  bool stop_ = false;         // guarded by mutex_
-  std::mutex submit_mutex_;   // held for the duration of one pooled region
+  Mutex mutex_;
+  CondVar wake_cv_;
+  CondVar done_cv_;
+  // Workers are spawned under mutex_ and only drained by the destructor, which swaps
+  // the vector out under the lock and joins outside it.
+  std::vector<std::thread> workers_ DETA_GUARDED_BY(mutex_);
+  Job* job_ DETA_GUARDED_BY(mutex_) = nullptr;
+  // Bumped per submitted job so workers can tell a fresh job from a stale wakeup.
+  uint64_t generation_ DETA_GUARDED_BY(mutex_) = 0;
+  bool stop_ DETA_GUARDED_BY(mutex_) = false;
+  Mutex submit_mutex_;  // held for the duration of one pooled region
 };
 
 namespace internal {

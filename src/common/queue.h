@@ -1,12 +1,17 @@
 // Thread-safe blocking queue used as per-endpoint mailbox by the message bus.
+//
+// Every wait is either bounded (PopFor) or cancellable (Close unblocks Pop); the
+// protocol-liveness lint (DL-L1) leans on this: callers in protocol code must use the
+// timed form so a dead peer can never wedge an event loop.
 #ifndef DETA_COMMON_QUEUE_H_
 #define DETA_COMMON_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace deta {
 
@@ -19,19 +24,23 @@ class BlockingQueue {
 
   void Push(T item) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) {
         return;  // Messages to a closed mailbox are dropped.
       }
       items_.push_back(std::move(item));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
   // Blocks until an item is available or the queue is closed. Returns nullopt on close.
+  // Unbounded on purpose (mailbox primitive): Close() is the documented unblocking path,
+  // and DL-L1 polices the call sites — protocol code must use PopFor.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    MutexLock lock(mutex_);
+    while (items_.empty() && !closed_) {
+      cv_.Wait(mutex_);
+    }
     if (items_.empty()) {
       return std::nullopt;
     }
@@ -43,9 +52,14 @@ class BlockingQueue {
   // Blocks up to |timeout| for an item; nullopt on timeout or close.
   template <typename Rep, typename Period>
   std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (!cv_.wait_for(lock, timeout, [this] { return !items_.empty() || closed_; })) {
-      return std::nullopt;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(mutex_);
+    while (items_.empty() && !closed_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        return std::nullopt;
+      }
+      cv_.WaitFor(mutex_, deadline - now);
     }
     if (items_.empty()) {
       return std::nullopt;
@@ -57,7 +71,7 @@ class BlockingQueue {
 
   // Non-blocking pop; returns nullopt when empty.
   std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (items_.empty()) {
       return std::nullopt;
     }
@@ -69,27 +83,27 @@ class BlockingQueue {
   // Unblocks all waiters; subsequent pushes are dropped.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  std::deque<T> items_ DETA_GUARDED_BY(mutex_);
+  bool closed_ DETA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace deta

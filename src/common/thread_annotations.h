@@ -1,0 +1,63 @@
+// Clang thread-safety-analysis annotations (no-ops on other compilers).
+//
+// These macros put the repo's concurrency contracts — "field X is only touched under
+// mutex M", "helper F may only be called with M held" — into the type system, so a
+// missing lock is a compile error under `clang -Wthread-safety -Werror=thread-safety`
+// (the CI `static-analysis` leg and `scripts/check.sh --preset static`) instead of a
+// probabilistic TSan finding. Use them through the annotated wrappers in
+// common/mutex.h; raw std::mutex outside those wrappers is a deta_lint error (DL-D3).
+//
+// Naming follows the clang capability model (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//   DETA_GUARDED_BY(mu)   on a data member: reads/writes require mu.
+//   DETA_REQUIRES(mu)     on a function: caller must hold mu (the *Locked() convention).
+//   DETA_ACQUIRE/RELEASE  on lock/unlock-shaped functions.
+//   DETA_EXCLUDES(mu)     on a function: caller must NOT hold mu (self-deadlock guard).
+#ifndef DETA_COMMON_THREAD_ANNOTATIONS_H_
+#define DETA_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define DETA_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DETA_THREAD_ANNOTATION_(x)
+#endif
+
+// On a class: instances are lockable capabilities (deta::Mutex).
+#define DETA_CAPABILITY(x) DETA_THREAD_ANNOTATION_(capability(x))
+
+// On a class: RAII object that acquires a capability for its lifetime (deta::MutexLock).
+#define DETA_SCOPED_CAPABILITY DETA_THREAD_ANNOTATION_(scoped_lockable)
+
+// On a data member: accessing it requires holding the named mutex.
+#define DETA_GUARDED_BY(x) DETA_THREAD_ANNOTATION_(guarded_by(x))
+
+// On a pointer member: accessing *ptr (not the pointer itself) requires the mutex.
+#define DETA_PT_GUARDED_BY(x) DETA_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Lock-ordering declarations between mutexes (deadlock prevention).
+#define DETA_ACQUIRED_BEFORE(...) DETA_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define DETA_ACQUIRED_AFTER(...) DETA_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// On a function: the caller must hold the listed mutexes (exclusively).
+#define DETA_REQUIRES(...) DETA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+// On a function: acquires / releases the listed mutexes (or `this` when empty).
+#define DETA_ACQUIRE(...) DETA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define DETA_RELEASE(...) DETA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+// On a function returning bool: acquires the mutex when it returns |success|.
+#define DETA_TRY_ACQUIRE(...) DETA_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// On a function: the caller must NOT hold the listed mutexes (it locks them itself).
+#define DETA_EXCLUDES(...) DETA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// On a function: asserts (at runtime) that the mutex is held; informs the analysis.
+#define DETA_ASSERT_CAPABILITY(x) DETA_THREAD_ANNOTATION_(assert_capability(x))
+
+// On a function returning a reference to a mutex (accessor pattern).
+#define DETA_RETURN_CAPABILITY(x) DETA_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch: the function is exempt from analysis. Every use needs a comment
+// explaining why the contract cannot be expressed (see DESIGN.md "Static analysis").
+#define DETA_NO_THREAD_SAFETY_ANALYSIS DETA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // DETA_COMMON_THREAD_ANNOTATIONS_H_

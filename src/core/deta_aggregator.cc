@@ -38,17 +38,16 @@ DetaAggregator::DetaAggregator(AggregatorConfig config, net::MessageBus& bus,
   }
 }
 
-DetaAggregator::~DetaAggregator() { Join(); }
+DetaAggregator::~DetaAggregator() {
+  Join();
+  token_private_.Wipe();
+}
 
 void DetaAggregator::Start() {
-  thread_ = std::thread([this] { Run(); });
+  thread_ = ServiceThread([this] { Run(); });
 }
 
-void DetaAggregator::Join() {
-  if (thread_.joinable()) {
-    thread_.join();
-  }
-}
+void DetaAggregator::Join() { thread_.Join(); }
 
 void DetaAggregator::Run() {
   if (config_.resume) {

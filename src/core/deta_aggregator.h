@@ -28,9 +28,9 @@
 #include <optional>
 #include <set>
 #include <string>
-#include <thread>
 
 #include "cc/sev.h"
+#include "common/thread.h"
 #include "core/auth_protocol.h"
 #include "fl/aggregation.h"
 #include "fl/paillier_fusion.h"
@@ -160,7 +160,8 @@ class DetaAggregator {
   net::MessageBus& bus_;
   std::unique_ptr<net::Endpoint> endpoint_;
   std::shared_ptr<cc::Cvm> cvm_;
-  crypto::BigUint token_private_;
+  // The auth token proves this CVM passed attestation; wiped in the destructor.
+  crypto::BigUint token_private_;  // deta-lint: secret
   crypto::SecureRng rng_;
   std::unique_ptr<fl::AggregationAlgorithm> algorithm_;
   std::unique_ptr<fl::PaillierVectorCodec> paillier_codec_;
@@ -196,7 +197,7 @@ class DetaAggregator {
   std::set<std::string> done_parties_;
   bool finished_ = false;
   std::atomic<bool> crashed_{false};
-  std::thread thread_;
+  ServiceThread thread_;
 };
 
 }  // namespace deta::core

@@ -53,14 +53,10 @@ DetaParty::DetaParty(std::unique_ptr<fl::Party> local, DetaPartyConfig config,
 DetaParty::~DetaParty() { Join(); }
 
 void DetaParty::Start() {
-  thread_ = std::thread([this] { Run(); });
+  thread_ = ServiceThread([this] { Run(); });
 }
 
-void DetaParty::Join() {
-  if (thread_.joinable()) {
-    thread_.join();
-  }
-}
+void DetaParty::Join() { thread_.Join(); }
 
 bool DetaParty::SetupChannels() {
   // Fetch the shared transform material from the trusted key broker first: the mapper

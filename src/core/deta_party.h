@@ -18,8 +18,8 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <thread>
 
+#include "common/thread.h"
 #include "core/deta_aggregator.h"
 #include "core/key_broker.h"
 #include "core/transform.h"
@@ -148,7 +148,7 @@ class DetaParty {
   int resume_round_ = 0;
   bool setup_ok_ = false;
   std::atomic<bool> crashed_{false};
-  std::thread thread_;
+  ServiceThread thread_;
 };
 
 }  // namespace deta::core

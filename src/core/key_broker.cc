@@ -71,28 +71,32 @@ KeyBroker::~KeyBroker() {
 }
 
 void KeyBroker::Start() {
-  thread_ = std::thread([this] { Run(); });
+  thread_ = ServiceThread([this] { Run(); });
 }
 
 void KeyBroker::Stop() { endpoint_->Close(); }
 
-void KeyBroker::Join() {
-  if (thread_.joinable()) {
-    thread_.join();
-  }
-}
+void KeyBroker::Join() { thread_.Join(); }
 
 void KeyBroker::Run() {
   if (durability_.resume && !RestoreFromSnapshot()) {
     LOG_WARNING << "key broker: resume requested but no usable snapshot — "
                    "starting with fresh session state";
   }
+  // Tick granularity for noticing Stop(): with expected_parties <= 0 nothing but
+  // Close() ends the loop, so an indefinite Receive() could outlive the job had a
+  // party's final fetch been lost. Bounded waits keep the broker responsive to
+  // shutdown no matter what the bus drops (lint rule DL-L1).
+  constexpr int kTickMs = 200;
   Bytes material_wire = material_.Serialize();
   while (expected_parties_ <= 0 ||
          static_cast<int>(served_.size()) < expected_parties_) {
-    std::optional<net::Message> m = endpoint_->Receive();
+    std::optional<net::Message> m = endpoint_->ReceiveFor(kTickMs);
     if (!m.has_value()) {
-      return;  // endpoint closed (Stop)
+      if (endpoint_->closed()) {
+        return;  // Stop()
+      }
+      continue;  // idle tick; keep serving
     }
     if (m->type == kAuthChallenge) {
       AnswerChallenge(*endpoint_, *m, identity_.private_key);

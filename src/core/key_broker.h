@@ -17,10 +17,11 @@
 #include <map>
 #include <memory>
 #include <set>
-#include <thread>
 
+#include "common/thread.h"
 #include "core/auth_protocol.h"
 #include "core/transform.h"
+#include "crypto/secure_wipe.h"
 #include "persist/state_store.h"
 
 namespace deta::core {
@@ -29,9 +30,22 @@ inline constexpr char kKeyBrokerFetch[] = "kb.fetch";
 inline constexpr char kKeyBrokerMaterial[] = "kb.material";
 
 // Everything a party needs to construct the shared Transform deterministically.
+// The keys decide the shuffle/partition every party applies — leaking them lets an
+// aggregator undo the transform, so they are wiped on destruction and must never reach
+// logs, telemetry, or plaintext snapshot sections.
 struct TransformMaterial {
-  Bytes permutation_key;
-  Bytes mapper_seed;
+  TransformMaterial() = default;
+  TransformMaterial(const TransformMaterial&) = default;
+  TransformMaterial(TransformMaterial&&) = default;
+  TransformMaterial& operator=(const TransformMaterial&) = default;
+  TransformMaterial& operator=(TransformMaterial&&) = default;
+  ~TransformMaterial() {
+    crypto::SecureWipe(permutation_key);
+    crypto::SecureWipe(mapper_seed);
+  }
+
+  Bytes permutation_key;  // deta-lint: secret
+  Bytes mapper_seed;      // deta-lint: secret
   int64_t total_params = 0;
   std::vector<double> proportions;  // empty = uniform over num_aggregators
   int num_aggregators = 1;
@@ -100,7 +114,7 @@ class KeyBroker {
   std::map<std::string, net::SecureChannel> channels_;
   std::set<std::string> served_;
   std::atomic<bool> crashed_{false};
-  std::thread thread_;
+  ServiceThread thread_;
 };
 
 // Party-side: verify the broker, register, fetch and open the material. Every wait is

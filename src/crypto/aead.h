@@ -12,6 +12,7 @@
 
 #include "common/bytes.h"
 #include "crypto/chacha20.h"
+#include "crypto/secure_wipe.h"
 
 namespace deta::crypto {
 
@@ -19,6 +20,15 @@ class Aead {
  public:
   // |master_key| is expanded via HKDF into independent encryption and MAC keys.
   explicit Aead(const Bytes& master_key);
+
+  Aead(const Aead&) = default;
+  Aead(Aead&&) = default;
+  Aead& operator=(const Aead&) = default;
+  Aead& operator=(Aead&&) = default;
+  ~Aead() {
+    SecureWipe(enc_key_);
+    SecureWipe(mac_key_);
+  }
 
   // Encrypts and authenticates. The nonce is drawn from |rng| and prepended to the frame.
   Bytes Seal(const Bytes& plaintext, const Bytes& associated_data, SecureRng& rng) const;
@@ -30,8 +40,8 @@ class Aead {
   Bytes MacInput(const Bytes& nonce, const Bytes& associated_data,
                  const Bytes& ciphertext) const;
 
-  std::array<uint8_t, kChaChaKeySize> enc_key_;
-  Bytes mac_key_;
+  std::array<uint8_t, kChaChaKeySize> enc_key_;  // deta-lint: secret
+  Bytes mac_key_;                                // deta-lint: secret
 };
 
 }  // namespace deta::crypto

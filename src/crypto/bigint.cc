@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "crypto/chacha20.h"
+#include "crypto/secure_wipe.h"
 
 namespace deta::crypto {
 
@@ -500,6 +501,11 @@ uint64_t BigUint::ToU64() const {
     v |= static_cast<uint64_t>(limbs_[1]) << 32;
   }
   return v;
+}
+
+void BigUint::Wipe() {
+  SecureWipe(limbs_.data(), limbs_.size() * sizeof(uint32_t));
+  limbs_.clear();
 }
 
 }  // namespace deta::crypto

@@ -83,6 +83,11 @@ class BigUint {
   // Low 64 bits (for small values / tests).
   uint64_t ToU64() const;
 
+  // Zeroes the limb storage through a compiler barrier and resets the value to 0.
+  // Called by destructors of types holding secret exponents (Paillier lambda/mu, ECDH
+  // private scalars, auth tokens) so key material does not linger in freed heap pages.
+  void Wipe();
+
   const std::vector<uint32_t>& limbs() const { return limbs_; }
 
  private:

@@ -8,6 +8,7 @@
 #define DETA_CRYPTO_EC_H_
 
 #include <optional>
+#include <utility>
 
 #include "crypto/bigint.h"
 #include "crypto/chacha20.h"
@@ -53,7 +54,16 @@ class Secp256k1 {
 
 // Key pair on secp256k1.
 struct EcKeyPair {
-  BigUint private_key;  // scalar in [1, n)
+  EcKeyPair() = default;
+  EcKeyPair(BigUint priv, EcPoint pub)
+      : private_key(std::move(priv)), public_key(std::move(pub)) {}
+  EcKeyPair(const EcKeyPair&) = default;
+  EcKeyPair(EcKeyPair&&) = default;
+  EcKeyPair& operator=(const EcKeyPair&) = default;
+  EcKeyPair& operator=(EcKeyPair&&) = default;
+  ~EcKeyPair() { private_key.Wipe(); }
+
+  BigUint private_key;  // deta-lint: secret — scalar in [1, n)
   EcPoint public_key;   // private_key * G
 };
 

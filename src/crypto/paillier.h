@@ -36,8 +36,20 @@ struct PaillierPublicKey {
 };
 
 struct PaillierPrivateKey {
-  BigUint lambda;  // lcm(p-1, q-1)
-  BigUint mu;      // (L(g^lambda mod n^2))^-1 mod n
+  PaillierPrivateKey() = default;
+  PaillierPrivateKey(const PaillierPrivateKey&) = default;
+  PaillierPrivateKey(PaillierPrivateKey&&) = default;
+  PaillierPrivateKey& operator=(const PaillierPrivateKey&) = default;
+  PaillierPrivateKey& operator=(PaillierPrivateKey&&) = default;
+  // Whoever holds lambda/mu can decrypt every party's update — the exact capability the
+  // decentralization argument denies to aggregators — so they are wiped on destruction.
+  ~PaillierPrivateKey() {
+    lambda.Wipe();
+    mu.Wipe();
+  }
+
+  BigUint lambda;  // deta-lint: secret — lcm(p-1, q-1)
+  BigUint mu;      // deta-lint: secret — (L(g^lambda mod n^2))^-1 mod n
 
   BigUint Decrypt(const BigUint& c, const PaillierPublicKey& pub) const;
   // Decrypts every element of |cs| in parallel (decryption is deterministic, so no

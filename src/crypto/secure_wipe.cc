@@ -1,0 +1,18 @@
+#include "crypto/secure_wipe.h"
+
+#include <cstring>
+
+namespace deta::crypto {
+
+void SecureWipe(void* data, size_t len) {
+  if (data == nullptr || len == 0) {
+    return;
+  }
+  std::memset(data, 0, len);
+  // The asm block claims to read |data|, so the memset above is observable and cannot
+  // be removed by dead-store elimination (the trick memset_s/explicit_bzero use, spelled
+  // portably for gcc/clang).
+  __asm__ __volatile__("" : : "r"(data) : "memory");
+}
+
+}  // namespace deta::crypto

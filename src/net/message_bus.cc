@@ -134,7 +134,7 @@ void Endpoint::Close() { mailbox_.Close(); }
 
 std::unique_ptr<Endpoint> MessageBus::CreateEndpoint(const std::string& name) {
   auto endpoint = std::unique_ptr<Endpoint>(new Endpoint(name, this));
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   DETA_CHECK_MSG(endpoints_.find(name) == endpoints_.end(),
                  "duplicate endpoint name: " << name);
   endpoints_[name] = endpoint.get();
@@ -142,7 +142,7 @@ std::unique_ptr<Endpoint> MessageBus::CreateEndpoint(const std::string& name) {
 }
 
 void MessageBus::SetFaultPlan(FaultPlan plan) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (plan.enabled()) {
     injector_ = std::make_unique<FaultInjector>(std::move(plan));
   } else {
@@ -189,7 +189,7 @@ bool MessageBus::Send(Message message) {
   FaultDecision d;
   int delay_ms = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (injector_ != nullptr) {
       d = injector_->Decide(message.from, message.to, message.type);
       delay_ms = injector_->plan().delay_ms;
@@ -199,7 +199,7 @@ bool MessageBus::Send(Message message) {
     // Blocks the *sender*, like a slow link; messages on other edges overtake freely.
     std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   DETA_COUNTER("net.bus.sent").Increment();
   DETA_COUNTER("net.bus.sent_bytes").Add(message.WireSize());
   TopicCounter("net.bus.sent", message.type).Increment();
@@ -252,39 +252,39 @@ bool MessageBus::Send(Message message) {
 }
 
 void MessageBus::Unregister(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   endpoints_.erase(name);
 }
 
 uint64_t MessageBus::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return total_bytes_;
 }
 
 uint64_t MessageBus::EdgeBytes(const std::string& from, const std::string& to) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = edge_bytes_.find({from, to});
   return it == edge_bytes_.end() ? 0 : it->second;
 }
 
 uint64_t MessageBus::MessageCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return message_count_;
 }
 
 uint64_t MessageBus::DroppedCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return dropped_count_;
 }
 
 uint64_t MessageBus::DroppedCount(const std::string& type) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = dropped_by_type_.find(type);
   return it == dropped_by_type_.end() ? 0 : it->second;
 }
 
 uint64_t MessageBus::DroppedCountWithPrefix(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t n = 0;
   for (const auto& [type, count] : dropped_by_type_) {
     if (type.rfind(prefix, 0) == 0) {
@@ -295,7 +295,7 @@ uint64_t MessageBus::DroppedCountWithPrefix(const std::string& prefix) const {
 }
 
 void MessageBus::ResetStats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   total_bytes_ = 0;
   message_count_ = 0;
   dropped_count_ = 0;

@@ -19,13 +19,14 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 
 #include "common/bytes.h"
+#include "common/mutex.h"
 #include "common/queue.h"
+#include "common/thread_annotations.h"
 #include "net/fault.h"
 
 namespace deta::telemetry {
@@ -130,22 +131,24 @@ class MessageBus {
  private:
   friend class Endpoint;
   void Unregister(const std::string& name);
-  // Under mutex_: counts + pushes to the target mailbox; bumps drop stats otherwise.
-  void Deliver(Message message);
-  // Under mutex_: cached telemetry counter for "<kind>.<topic prefix>", where the topic
-  // prefix is the message type up to its first '.' (e.g. "auth" for "auth.challenge").
-  // The cache avoids a registry lookup per message on the delivery path.
-  deta::telemetry::Counter& TopicCounter(const char* kind, const std::string& type);
+  // Counts + pushes to the target mailbox; bumps drop stats otherwise.
+  void Deliver(Message message) DETA_REQUIRES(mutex_);
+  // Cached telemetry counter for "<kind>.<topic prefix>", where the topic prefix is the
+  // message type up to its first '.' (e.g. "auth" for "auth.challenge"). The cache
+  // avoids a registry lookup per message on the delivery path.
+  deta::telemetry::Counter& TopicCounter(const char* kind, const std::string& type)
+      DETA_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, deta::telemetry::Counter*> topic_counters_;
-  std::map<std::string, Endpoint*> endpoints_;
-  std::map<std::pair<std::string, std::string>, uint64_t> edge_bytes_;
-  uint64_t total_bytes_ = 0;
-  uint64_t message_count_ = 0;
-  uint64_t dropped_count_ = 0;
-  std::map<std::string, uint64_t> dropped_by_type_;
-  std::unique_ptr<FaultInjector> injector_;
+  mutable Mutex mutex_;
+  std::map<std::string, deta::telemetry::Counter*> topic_counters_ DETA_GUARDED_BY(mutex_);
+  std::map<std::string, Endpoint*> endpoints_ DETA_GUARDED_BY(mutex_);
+  std::map<std::pair<std::string, std::string>, uint64_t> edge_bytes_
+      DETA_GUARDED_BY(mutex_);
+  uint64_t total_bytes_ DETA_GUARDED_BY(mutex_) = 0;
+  uint64_t message_count_ DETA_GUARDED_BY(mutex_) = 0;
+  uint64_t dropped_count_ DETA_GUARDED_BY(mutex_) = 0;
+  std::map<std::string, uint64_t> dropped_by_type_ DETA_GUARDED_BY(mutex_);
+  std::unique_ptr<FaultInjector> injector_ DETA_GUARDED_BY(mutex_);
   // Sequence tags are drawn from one bus-wide counter, not per endpoint: receivers dedup
   // on (sender name, tag), and a crashed role revived under the same name must never
   // reuse a tag its previous incarnation already sent, or the retransmission would be
@@ -153,7 +156,7 @@ class MessageBus {
   std::atomic<uint64_t> next_seq_{1};
   // Reorder holdback: at most one in-flight message per edge, released right after the
   // edge's next send (so a held message is delivered out of order but never starved).
-  std::map<std::pair<std::string, std::string>, Message> held_;
+  std::map<std::pair<std::string, std::string>, Message> held_ DETA_GUARDED_BY(mutex_);
 };
 
 }  // namespace deta::net

@@ -27,6 +27,12 @@ class SecureChannel {
   // |master_secret| from key agreement; |channel_id| binds frames to this channel.
   SecureChannel(const Bytes& master_secret, std::string channel_id, ChannelRole role);
 
+  SecureChannel(const SecureChannel&) = default;
+  SecureChannel(SecureChannel&&) = default;
+  SecureChannel& operator=(const SecureChannel&) = default;
+  SecureChannel& operator=(SecureChannel&&) = default;
+  ~SecureChannel() { crypto::SecureWipe(master_secret_); }
+
   // Seals |plaintext| with the next outbound sequence number. Not idempotent: a
   // retransmitted protocol message must be re-sealed, not re-sent byte-for-byte, or the
   // receiver's monotonicity check will discard it as a replay.
@@ -56,8 +62,8 @@ class SecureChannel {
  private:
   Bytes AssociatedData(ChannelRole sender, uint64_t seq) const;
 
-  crypto::Aead aead_;
-  Bytes master_secret_;  // retained for SerializeState
+  crypto::Aead aead_;    // deta-lint: secret — Aead wipes its own keys on destruction
+  Bytes master_secret_;  // deta-lint: secret — retained for SerializeState
   std::string channel_id_;
   ChannelRole role_;
   uint64_t send_seq_ = 0;       // last sequence number sealed

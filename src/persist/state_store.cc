@@ -147,14 +147,14 @@ std::vector<uint64_t> StateStore::GenerationsLocked(const std::string& role) con
 }
 
 std::vector<uint64_t> StateStore::Generations(const std::string& role) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return GenerationsLocked(role);
 }
 
 bool StateStore::Write(Snapshot& snapshot) {
   DETA_CHECK(!snapshot.role.empty());
   telemetry::Span span("persist.snapshot.write");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<uint64_t> generations = GenerationsLocked(snapshot.role);
   snapshot.generation = generations.empty() ? 1 : generations.back() + 1;
   Bytes blob = SerializeSnapshot(snapshot);
@@ -212,13 +212,13 @@ std::optional<Snapshot> StateStore::LoadLocked(const std::string& role,
 
 std::optional<Snapshot> StateStore::Load(const std::string& role) const {
   telemetry::Span span("persist.snapshot.load");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return LoadLocked(role, -1);
 }
 
 std::optional<Snapshot> StateStore::LoadAt(const std::string& role, int max_round) const {
   telemetry::Span span("persist.snapshot.load");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return LoadLocked(role, max_round);
 }
 

@@ -17,11 +17,12 @@
 #ifndef DETA_PERSIST_STATE_STORE_H_
 #define DETA_PERSIST_STATE_STORE_H_
 
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "persist/codec.h"
 
 namespace deta::persist {
@@ -68,12 +69,16 @@ class StateStore {
   std::string PathFor(const std::string& role, uint64_t generation) const;
 
  private:
-  std::optional<Snapshot> LoadLocked(const std::string& role, int max_round) const;
-  std::vector<uint64_t> GenerationsLocked(const std::string& role) const;
-  void PruneLocked(const std::string& role);
+  std::optional<Snapshot> LoadLocked(const std::string& role, int max_round) const
+      DETA_REQUIRES(mutex_);
+  std::vector<uint64_t> GenerationsLocked(const std::string& role) const
+      DETA_REQUIRES(mutex_);
+  void PruneLocked(const std::string& role) DETA_REQUIRES(mutex_);
 
   StateStoreOptions options_;
-  mutable std::mutex mutex_;
+  // Serializes directory-level scan/prune/rename sequences; the guarded state is the
+  // directory itself, so no data member carries a DETA_GUARDED_BY.
+  mutable Mutex mutex_;
 };
 
 }  // namespace deta::persist

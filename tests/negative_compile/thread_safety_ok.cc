@@ -1,0 +1,33 @@
+// Control for the negative-compile check: identical shape to
+// thread_safety_violation.cc but correctly locked, so it must compile cleanly under
+// clang -Wthread-safety -Werror=thread-safety. This proves the violation file is
+// rejected by the analysis itself, not by a broken include path or flag typo.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    deta::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int Get() const {
+    deta::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable deta::Mutex mutex_;
+  int value_ DETA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Bump();
+  return counter.Get();
+}

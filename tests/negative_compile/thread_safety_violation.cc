@@ -1,0 +1,31 @@
+// Must NOT compile under clang -Wthread-safety -Werror=thread-safety: both methods touch
+// a DETA_GUARDED_BY member without holding the annotated mutex. If this file ever starts
+// compiling, the analysis has been silently disabled (annotations no-opped, flags
+// dropped) and lint.thread_safety_negcompile fails the build.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    ++value_;  // write without mutex_ held
+  }
+
+  int Get() const {
+    return value_;  // read without mutex_ held
+  }
+
+ private:
+  mutable deta::Mutex mutex_;
+  int value_ DETA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Bump();
+  return counter.Get();
+}
