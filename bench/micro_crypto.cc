@@ -114,6 +114,132 @@ void BM_PaillierDecrypt(benchmark::State& state) {
 }
 BENCHMARK(BM_PaillierDecrypt);
 
+// --- Hot-path building blocks (rows tracked by the perf-trajectory gate; see
+// BENCH_crypto.json and scripts/bench_snapshot.py) ---
+
+// Returns an odd modulus with exactly |bits| bits. RandomBits sets the msb, so the +1
+// on an even draw cannot carry past the top bit (the all-ones value is already odd).
+BigUint OddModulus(SecureRng& rng, size_t bits) {
+  BigUint m = BigUint::RandomBits(rng, bits);
+  return m.IsOdd() ? m : m.Add(BigUint(1));
+}
+
+// One REDC-backed modular multiply (two ToMont, one MulMont, one FromMont) against the
+// generic divide-based BigUint::MulMod at Paillier n^2 operand sizes.
+void BM_MontgomeryMul(benchmark::State& state) {
+  SecureRng rng(StringToBytes("bench"));
+  BigUint m = OddModulus(rng, static_cast<size_t>(state.range(0)));
+  MontgomeryContext ctx(m);
+  BigUint a = BigUint::RandomBelow(rng, m);
+  BigUint b = BigUint::RandomBelow(rng, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.MulMod(a, b));
+  }
+}
+BENCHMARK(BM_MontgomeryMul)->Arg(512)->Arg(1024);
+
+void BM_BigUintMulMod(benchmark::State& state) {
+  SecureRng rng(StringToBytes("bench"));
+  BigUint m = OddModulus(rng, static_cast<size_t>(state.range(0)));
+  BigUint a = BigUint::RandomBelow(rng, m);
+  BigUint b = BigUint::RandomBelow(rng, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigUint::MulMod(a, b, m));
+  }
+}
+BENCHMARK(BM_BigUintMulMod)->Arg(512)->Arg(1024);
+
+// Fixed-window Montgomery exponentiation (what PowMod dispatches to for odd moduli)
+// next to the square-and-multiply schoolbook oracle it replaced.
+void BM_PowModFixedWindow(benchmark::State& state) {
+  SecureRng rng(StringToBytes("bench"));
+  size_t bits = static_cast<size_t>(state.range(0));
+  BigUint m = OddModulus(rng, bits);
+  BigUint base = BigUint::RandomBelow(rng, m);
+  BigUint exp = BigUint::RandomBits(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigUint::PowMod(base, exp, m));
+  }
+}
+BENCHMARK(BM_PowModFixedWindow)->Arg(512)->Arg(1024);
+
+void BM_PowModSchoolbook(benchmark::State& state) {
+  SecureRng rng(StringToBytes("bench"));
+  size_t bits = static_cast<size_t>(state.range(0));
+  BigUint m = OddModulus(rng, bits);
+  BigUint base = BigUint::RandomBelow(rng, m);
+  BigUint exp = BigUint::RandomBits(rng, bits);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigUint::PowModSchoolbook(base, exp, m));
+  }
+}
+BENCHMARK(BM_PowModSchoolbook)->Arg(512)->Arg(1024);
+
+// CRT decryption (generated keys carry the extension) vs. the lambda/mu fallback that
+// legacy-snapshot keys use. Both produce the same plaintext; the gap is the win.
+void BM_PaillierDecryptCrt(benchmark::State& state) {
+  SecureRng rng(StringToBytes("bench"));
+  PaillierKeyPair key = GeneratePaillierKey(rng, 256);
+  BigUint c = key.pub.Encrypt(BigUint(42), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.priv.Decrypt(c, key.pub));
+  }
+}
+BENCHMARK(BM_PaillierDecryptCrt);
+
+void BM_PaillierDecryptLambda(benchmark::State& state) {
+  SecureRng rng(StringToBytes("bench"));
+  PaillierKeyPair key = GeneratePaillierKey(rng, 256);
+  PaillierPrivateKey legacy;
+  legacy.lambda = key.priv.lambda;
+  legacy.mu = key.priv.mu;
+  BigUint c = key.pub.Encrypt(BigUint(42), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(legacy.Decrypt(c, key.pub));
+  }
+}
+BENCHMARK(BM_PaillierDecryptLambda);
+
+// Packed hot path at several pack widths: narrower lanes pack more values per
+// ciphertext, dividing the per-coordinate exponentiation cost (items/s is the
+// comparable column across widths).
+void BM_PaillierPackedEncrypt(benchmark::State& state) {
+  int lane_bits = static_cast<int>(state.range(0));
+  SecureRng rng(StringToBytes("bench"));
+  PaillierKeyPair key = GeneratePaillierKey(rng, 256);
+  PaillierPacker packer(key.pub, /*max_addends=*/8, lane_bits);
+  std::vector<int64_t> values(256);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int64_t>(i % 200) - 100;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PaillierEncryptPacked(key.pub, packer, values, rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_PaillierPackedEncrypt)->ArgName("lane_bits")->Arg(16)->Arg(32)->Arg(56);
+
+void BM_PaillierPackedDecryptSum(benchmark::State& state) {
+  int lane_bits = static_cast<int>(state.range(0));
+  SecureRng rng(StringToBytes("bench"));
+  PaillierKeyPair key = GeneratePaillierKey(rng, 256);
+  PaillierPacker packer(key.pub, /*max_addends=*/8, lane_bits);
+  std::vector<int64_t> values(256);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int64_t>(i % 200) - 100;
+  }
+  std::vector<BigUint> cs = PaillierEncryptPacked(key.pub, packer, values, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PaillierDecryptPackedSum(key.priv, key.pub, packer, cs,
+                                                      values.size(),
+                                                      /*num_addends=*/1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_PaillierPackedDecryptSum)->ArgName("lane_bits")->Arg(16)->Arg(32)->Arg(56);
+
 // Lane-packed vector encryption through the deterministic parallel layer: the threads
 // column shows the modular-exponentiation fan-out; ciphertexts are identical for any
 // thread count (per-element rng forked from sequentially pre-drawn seeds).

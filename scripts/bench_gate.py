@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
-"""CI gate over telemetry JSON artifacts (common/telemetry.h::ToJson output).
+"""CI gate over bench artifacts: telemetry counters and perf baselines.
 
-Fails (exit 1) when any must-be-zero counter is nonzero in any of the given
-snapshots. The defaults encode the fault-free contract of the protocol fabric:
-on a run with no FaultPlan installed, nothing may be dropped, no secure-channel
-frame may be rejected, no retry budget may be exhausted, and nothing may log at
-WARNING or above.
+Counter mode (default): fails (exit 1) when any must-be-zero counter is nonzero
+in any of the given telemetry snapshots (common/telemetry.h::ToJson output). The
+defaults encode the fault-free contract of the protocol fabric: on a run with no
+FaultPlan installed, nothing may be dropped, no secure-channel frame may be
+rejected, no retry budget may be exhausted, and nothing may log at WARNING or
+above.
 
 Usage:
   scripts/bench_gate.py telemetry1.json [telemetry2.json ...]
@@ -14,6 +15,17 @@ Usage:
 
 Counter prefixes match exact names or any dotted child (e.g. "net.bus.dropped"
 matches "net.bus.dropped" and "net.bus.dropped.upload").
+
+Baseline mode (--baseline): the positional files are fresh bench snapshots
+(scripts/bench_snapshot.py schema) compared row-by-row against a committed
+baseline. A row is a FAIL when its ns_per_op exceeds the baseline by more than
+--max-regression percent; a baseline row MISSING from the fresh snapshot is a
+hard error (a renamed/deleted benchmark silently exits the perf trajectory
+otherwise). Fresh rows absent from the baseline are reported but pass — they
+join the gate when the baseline is next regenerated.
+
+Usage:
+  scripts/bench_gate.py --baseline BENCH_crypto.json --max-regression 35 fresh.json
 """
 
 import argparse
@@ -79,19 +91,76 @@ def check_snapshot(path: str, forbidden, required) -> list:
     return errors
 
 
+def load_bench_rows(path: str):
+    with open(path, encoding="utf-8") as f:
+        snapshot = json.load(f)
+    rows = snapshot.get("rows")
+    if not isinstance(rows, dict):
+        raise ValueError(f"{path}: no 'rows' object — not a bench_snapshot.py file?")
+    return rows
+
+
+def check_baseline(baseline_path: str, fresh_path: str, max_regression: float) -> list:
+    """Per-row relative gate: fresh ns_per_op vs the committed baseline."""
+    try:
+        baseline = load_bench_rows(baseline_path)
+        fresh = load_bench_rows(fresh_path)
+    except (OSError, json.JSONDecodeError, ValueError) as e:
+        return [f"unreadable bench snapshot: {e}"]
+
+    errors = []
+    for name in sorted(baseline):
+        base_ns = baseline[name].get("ns_per_op")
+        if not isinstance(base_ns, (int, float)) or base_ns <= 0:
+            errors.append(f"{baseline_path}: row {name} has bad ns_per_op {base_ns!r}")
+            continue
+        if name not in fresh:
+            errors.append(
+                f"{fresh_path}: baseline row {name} is MISSING — the benchmark was "
+                "removed or renamed; regenerate the baseline if that was intentional")
+            continue
+        new_ns = fresh[name].get("ns_per_op")
+        if not isinstance(new_ns, (int, float)) or new_ns <= 0:
+            errors.append(f"{fresh_path}: row {name} has bad ns_per_op {new_ns!r}")
+            continue
+        delta_pct = (new_ns - base_ns) / base_ns * 100.0
+        verdict = "FAIL" if delta_pct > max_regression else "ok"
+        print(f"bench_gate: {verdict:4s} {name}: {base_ns:.0f} -> {new_ns:.0f} ns/op "
+              f"({delta_pct:+.1f}%, limit +{max_regression:.0f}%)")
+        if delta_pct > max_regression:
+            errors.append(
+                f"{name}: {new_ns:.0f} ns/op is {delta_pct:+.1f}% vs baseline "
+                f"{base_ns:.0f} (limit +{max_regression:.0f}%)")
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"bench_gate: new  {name}: {fresh[name].get('ns_per_op')} ns/op "
+              "(not in baseline; joins the gate at the next baseline refresh)")
+    return errors
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("snapshots", nargs="+", help="telemetry JSON files")
+    parser.add_argument("snapshots", nargs="+",
+                        help="telemetry JSON files (counter mode) or fresh bench "
+                             "snapshots (--baseline mode)")
     parser.add_argument("--forbid", action="append", default=[],
                         help="extra must-be-zero counter prefix")
     parser.add_argument("--require", action="append", default=[],
                         help="counter that must be present and nonzero")
+    parser.add_argument("--baseline", default=None,
+                        help="committed bench snapshot to gate ns_per_op against")
+    parser.add_argument("--max-regression", type=float, default=35.0,
+                        help="per-row allowed ns_per_op increase in percent "
+                             "(baseline mode; default 35)")
     args = parser.parse_args()
 
-    forbidden = DEFAULT_FORBIDDEN + args.forbid
     all_errors = []
-    for path in args.snapshots:
-        all_errors.extend(check_snapshot(path, forbidden, args.require))
+    if args.baseline is not None:
+        for path in args.snapshots:
+            all_errors.extend(check_baseline(args.baseline, path, args.max_regression))
+    else:
+        forbidden = DEFAULT_FORBIDDEN + args.forbid
+        for path in args.snapshots:
+            all_errors.extend(check_snapshot(path, forbidden, args.require))
 
     if all_errors:
         for e in all_errors:

@@ -11,6 +11,7 @@
 #include "common/telemetry.h"
 #include "crypto/sha256.h"
 #include "net/codec.h"
+#include "persist/paillier_key_codec.h"
 
 namespace deta::core {
 
@@ -131,6 +132,15 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
   material.enable_shuffle = deta_.enable_shuffle;
   transform_ = material.BuildTransform();
 
+  // --- Paillier key material: generated before the broker exists so the fusion key
+  // rides inside the broker-served material (§4.2 key-broker key material) and reaches
+  // parties over the same authenticated channel as the transform secrets. ---
+  std::optional<crypto::PaillierKeyPair> paillier;
+  if (options_.use_paillier) {
+    paillier = crypto::GeneratePaillierKey(setup_rng, options_.paillier_modulus_bits);
+    material.paillier_key = persist::SerializePaillierKey(*paillier);
+  }
+
   crypto::EcKeyPair broker_identity = crypto::GenerateEcKey(setup_rng);
   if (deta_.use_key_broker) {
     KeyBrokerDurability kbd;
@@ -149,12 +159,6 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
   // and identity; replacement aggregators/parties from the retained configs below.
   material_ = material;
   broker_identity_ = broker_identity;
-
-  // --- Paillier key material (trusted key broker; parties only) ---
-  std::optional<crypto::PaillierKeyPair> paillier;
-  if (options_.use_paillier) {
-    paillier = crypto::GeneratePaillierKey(setup_rng, options_.paillier_modulus_bits);
-  }
 
   // --- Aggregator nodes (threads created at Run) ---
   std::vector<std::string> party_names;
@@ -231,6 +235,10 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
       pc.fetch_from_key_broker = true;
       pc.key_broker_public = broker_identity.public_key;
       party_transform = nullptr;  // built from broker-served material during setup
+      // The Paillier key is broker-served material too: parties receive it over the
+      // authenticated fetch channel (or from their own sealed snapshot on resume),
+      // never via plain job config.
+      pc.paillier.reset();
     }
     party_transform_ = party_transform;
     party_configs_.push_back(pc);

@@ -10,6 +10,7 @@
 #include "common/telemetry.h"
 #include "core/auth_protocol.h"
 #include "net/codec.h"
+#include "persist/paillier_key_codec.h"
 
 namespace deta::core {
 
@@ -44,9 +45,14 @@ DetaParty::DetaParty(std::unique_ptr<fl::Party> local, DetaPartyConfig config,
                   static_cast<size_t>(transform_->num_partitions()));
   }
   if (config_.use_paillier) {
-    DETA_CHECK(config_.paillier.has_value());
-    paillier_codec_ = std::make_unique<fl::PaillierVectorCodec>(
-        config_.paillier->pub, config_.num_parties, config_.paillier_lane_bits);
+    // The key arrives either with the job config or inside the broker-served transform
+    // material; with neither source the party could never decrypt a fused result.
+    DETA_CHECK_MSG(config_.paillier.has_value() || config_.fetch_from_key_broker,
+                   "Paillier fusion enabled but no key source configured");
+    if (config_.paillier.has_value()) {
+      paillier_codec_ = std::make_unique<fl::PaillierVectorCodec>(
+          config_.paillier->pub, config_.num_parties, config_.paillier_lane_bits);
+    }
   }
 }
 
@@ -91,6 +97,27 @@ bool DetaParty::SetupChannels() {
       LOG_WARNING << name() << ": broker material partition count mismatch";
       return false;
     }
+    if (config_.use_paillier && !material_->paillier_key.empty()) {
+      std::optional<crypto::PaillierKeyPair> kp =
+          persist::ParsePaillierKey(material_->paillier_key);
+      if (!kp.has_value()) {
+        LOG_WARNING << name() << ": broker-served Paillier key failed to parse";
+        return false;
+      }
+      if (config_.paillier.has_value() && config_.paillier->pub.n != kp->pub.n) {
+        LOG_WARNING << name() << ": broker-served Paillier key disagrees with job key";
+        return false;
+      }
+      config_.paillier = std::move(*kp);
+    }
+  }
+  if (config_.use_paillier && paillier_codec_ == nullptr) {
+    if (!config_.paillier.has_value()) {
+      LOG_WARNING << name() << ": Paillier fusion enabled but no key from job or broker";
+      return false;
+    }
+    paillier_codec_ = std::make_unique<fl::PaillierVectorCodec>(
+        config_.paillier->pub, config_.num_parties, config_.paillier_lane_bits);
   }
   // Verify, then register with *all* aggregators (the paper's precondition for joining
   // training: no update is ever shared with an unverified aggregator).
@@ -222,6 +249,12 @@ void DetaParty::SaveState(int round) {
     snapshot.Add(persist::SectionType::kKeyMaterial, "material",
                  seal.Seal(material_->Serialize(), rng_));
   }
+  if (config_.use_paillier && config_.paillier.has_value()) {
+    // Versioned (v2 = CRT-extended) private-key section; parsing a pre-CRT v1 section
+    // still resumes, minus the CRT speedup (persist/paillier_key_codec.h).
+    snapshot.Add(persist::SectionType::kKeyMaterial, "paillier-key",
+                 seal.Seal(persist::SerializePaillierKey(*config_.paillier), rng_));
+  }
   if (!config_.store->Write(snapshot)) {
     LOG_WARNING << name_ << ": snapshot write failed for round " << round;
   }
@@ -273,6 +306,24 @@ bool DetaParty::RestoreFromSnapshot() {
       return false;
     }
     transform_ = material_->BuildTransform();
+  }
+  const persist::Section* paillier_key = snapshot->Find("paillier-key");
+  if (paillier_key != nullptr && config_.use_paillier) {
+    std::optional<Bytes> plain = seal.Open(paillier_key->data);
+    if (!plain.has_value()) {
+      return false;
+    }
+    std::optional<crypto::PaillierKeyPair> kp = persist::ParsePaillierKey(*plain);
+    if (!kp.has_value()) {
+      return false;
+    }
+    if (config_.paillier.has_value() && config_.paillier->pub.n != kp->pub.n) {
+      // A job-supplied key that disagrees with the snapshot means the resume targets
+      // a different federation; decrypting with either key would be wrong.
+      LOG_WARNING << name_ << ": snapshot Paillier key does not match job key";
+      return false;
+    }
+    config_.paillier = std::move(*kp);
   }
   global_params_ = std::move(*params);
   resume_round_ = snapshot->round;

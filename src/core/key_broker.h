@@ -42,10 +42,16 @@ struct TransformMaterial {
   ~TransformMaterial() {
     crypto::SecureWipe(permutation_key);
     crypto::SecureWipe(mapper_seed);
+    crypto::SecureWipe(paillier_key);
   }
 
   Bytes permutation_key;  // deta-lint: secret
   Bytes mapper_seed;      // deta-lint: secret
+  // Serialized Paillier key pair (persist/paillier_key_codec.h; empty = job does not
+  // use Paillier fusion). Carried by the broker so the fusion decryption capability is
+  // dispatched over the same authenticated channel as the transform secrets — it is
+  // the key-broker key material the paper's §4.2 broker role exists to hold.
+  Bytes paillier_key;     // deta-lint: secret
   int64_t total_params = 0;
   std::vector<double> proportions;  // empty = uniform over num_aggregators
   int num_aggregators = 1;

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "crypto/chacha20.h"
+#include "crypto/montgomery.h"
 #include "crypto/secure_wipe.h"
 
 namespace deta::crypto {
@@ -349,6 +350,20 @@ BigUint BigUint::PowMod(const BigUint& base, const BigUint& exp, const BigUint& 
   if (m == BigUint(1)) {
     return BigUint();
   }
+  // Montgomery REDC requires gcd(m, 2^32) = 1, so even moduli (Miller-Rabin
+  // pre-checks, tests) must keep the schoolbook path; Paillier moduli n^2 are odd.
+  if (m.IsOdd()) {
+    return MontgomeryContext(m).PowMod(base, exp);
+  }
+  return PowModSchoolbook(base, exp, m);
+}
+
+BigUint BigUint::PowModSchoolbook(const BigUint& base, const BigUint& exp,
+                                  const BigUint& m) {
+  DETA_CHECK_MSG(!m.IsZero(), "PowMod modulus must be nonzero");
+  if (m == BigUint(1)) {
+    return BigUint();
+  }
   BigUint result(1);
   BigUint b = base.Mod(m);
   size_t bits = exp.BitLength();
@@ -359,6 +374,13 @@ BigUint BigUint::PowMod(const BigUint& base, const BigUint& exp, const BigUint& 
     b = MulMod(b, b, m);
   }
   return result;
+}
+
+BigUint BigUint::FromLimbs(std::vector<uint32_t> limbs) {
+  BigUint out;
+  out.limbs_ = std::move(limbs);
+  out.Trim();
+  return out;
 }
 
 bool BigUint::InvMod(const BigUint& a, const BigUint& m, BigUint* out) {

@@ -28,6 +28,8 @@ class BigUint {
 
   // Parses lowercase/uppercase hex (no 0x prefix).
   static BigUint FromHexString(const std::string& hex);
+  // Builds from little-endian 32-bit limbs (trailing zero limbs are trimmed).
+  static BigUint FromLimbs(std::vector<uint32_t> limbs);
   // Big-endian byte import/export.
   static BigUint FromBytes(const Bytes& be);
   Bytes ToBytes() const;            // Minimal big-endian encoding ("0" -> {0x00}).
@@ -64,7 +66,14 @@ class BigUint {
   static BigUint AddMod(const BigUint& a, const BigUint& b, const BigUint& m);
   static BigUint SubMod(const BigUint& a, const BigUint& b, const BigUint& m);
   static BigUint MulMod(const BigUint& a, const BigUint& b, const BigUint& m);
+  // Dispatches odd moduli to Montgomery fixed-window exponentiation
+  // (crypto/montgomery.h) and even moduli to the schoolbook loop; results are bitwise
+  // identical either way.
   static BigUint PowMod(const BigUint& base, const BigUint& exp, const BigUint& m);
+  // Square-and-multiply reference implementation, valid for any modulus (odd or even).
+  // Kept public as the differential-test oracle for the Montgomery path.
+  static BigUint PowModSchoolbook(const BigUint& base, const BigUint& exp,
+                                  const BigUint& m);
   // Multiplicative inverse of a mod m; returns false if gcd(a, m) != 1.
   static bool InvMod(const BigUint& a, const BigUint& m, BigUint* out);
 

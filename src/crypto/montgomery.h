@@ -1,0 +1,70 @@
+// Montgomery-form modular arithmetic context for odd moduli: REDC-based
+// multiplication/squaring (CIOS, 32-bit limbs, 64-bit intermediates) and fixed-window
+// (4-bit) modular exponentiation. This is the hot path under Paillier encrypt/decrypt
+// and Miller-Rabin witnesses: it replaces the schoolbook multiply + Knuth-D divide per
+// modular product with a single fused multiply-reduce pass that never divides.
+//
+// All arithmetic is exact, so every result is bitwise identical to the schoolbook
+// reference (BigUint::PowModSchoolbook) — the deterministic-aggregation guarantee does
+// not depend on which path computed an exponentiation.
+//
+// A context precomputes everything derived from the modulus (R^2 mod m, -m^-1 mod 2^32)
+// once; contexts are immutable after construction and safe to share across the
+// deterministic parallel layer. Contexts built over secret moduli (the CRT primes'
+// squares in the extended Paillier private key) wipe their limb storage on destruction.
+#ifndef DETA_CRYPTO_MONTGOMERY_H_
+#define DETA_CRYPTO_MONTGOMERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bigint.h"
+
+namespace deta::crypto {
+
+class MontgomeryContext {
+ public:
+  // |modulus| must be odd and > 1.
+  explicit MontgomeryContext(const BigUint& modulus);
+  // Wipes the precomputed tables; CRT contexts are derived from the private primes.
+  ~MontgomeryContext();
+
+  MontgomeryContext(const MontgomeryContext&) = delete;
+  MontgomeryContext& operator=(const MontgomeryContext&) = delete;
+
+  const BigUint& modulus() const { return modulus_; }
+
+  // Conversions to/from Montgomery form (a*R mod m with R = 2^(32*limbs)).
+  BigUint ToMont(const BigUint& a) const;
+  BigUint FromMont(const BigUint& a) const;
+
+  // Montgomery product a*b*R^-1 mod m for operands already in Montgomery form.
+  BigUint MulMont(const BigUint& a, const BigUint& b) const;
+
+  // Plain a*b mod m (operands in normal form, reduced mod m).
+  BigUint MulMod(const BigUint& a, const BigUint& b) const;
+
+  // base^exp mod m via fixed 4-bit windows: per window, four Montgomery squarings plus
+  // at most one table multiply. The 16-entry window table is wiped before returning
+  // (decryption exponentiates a table of powers tied to secret-keyed values).
+  BigUint PowMod(const BigUint& base, const BigUint& exp) const;
+
+ private:
+  using Limbs = std::vector<uint32_t>;
+
+  // Fixed-width import: value must be < modulus; pads to limb count.
+  Limbs Import(const BigUint& a) const;
+  BigUint Export(const Limbs& a) const;
+  // CIOS fused multiply-reduce: out = a*b*R^-1 mod m. |out| must not alias a or b.
+  void MulMontLimbs(const Limbs& a, const Limbs& b, Limbs* out, Limbs* scratch) const;
+
+  BigUint modulus_;
+  Limbs m_;           // modulus, fixed width
+  uint32_t inv32_;    // -m^-1 mod 2^32
+  Limbs r2_;          // R^2 mod m (Montgomery form of R)
+  Limbs one_mont_;    // R mod m (Montgomery form of 1)
+};
+
+}  // namespace deta::crypto
+
+#endif  // DETA_CRYPTO_MONTGOMERY_H_

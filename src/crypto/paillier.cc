@@ -1,6 +1,7 @@
 #include "crypto/paillier.h"
 
 #include <cmath>
+#include <cstdlib>
 
 #include "common/check.h"
 #include "common/parallel.h"
@@ -17,6 +18,12 @@ BigUint LFunction(const BigUint& x, const BigUint& n) {
 
 }  // namespace
 
+void PaillierPublicKey::PrecomputeCache() {
+  if (mont_n2_ == nullptr && n_squared.IsOdd() && n_squared > BigUint(1)) {
+    mont_n2_ = std::make_shared<const MontgomeryContext>(n_squared);
+  }
+}
+
 BigUint PaillierPublicKey::Encrypt(const BigUint& m, SecureRng& rng) const {
   DETA_CHECK_MSG(m < n, "Paillier plaintext out of range");
   // r uniform in [1, n) with gcd(r, n) = 1 (holds with overwhelming probability for a
@@ -25,8 +32,12 @@ BigUint PaillierPublicKey::Encrypt(const BigUint& m, SecureRng& rng) const {
   do {
     r = BigUint::RandomBelow(rng, n);
   } while (r.IsZero() || BigUint::Gcd(r, n) != BigUint(1));
-  // c = g^m * r^n mod n^2. With g = n + 1, g^m = 1 + m*n (mod n^2), a big speedup.
-  BigUint g_m = BigUint::AddMod(BigUint(1), m.Mul(n).Mod(n_squared), n_squared);
+  // c = g^m * r^n mod n^2. With g = n + 1, g^m = 1 + m*n (mod n^2), a big speedup;
+  // m < n makes 1 + m*n < n^2 already reduced.
+  BigUint g_m = BigUint(1).Add(m.Mul(n));
+  if (mont_n2_ != nullptr) {
+    return mont_n2_->MulMod(g_m, mont_n2_->PowMod(r, n));
+  }
   BigUint r_n = BigUint::PowMod(r, n, n_squared);
   return BigUint::MulMod(g_m, r_n, n_squared);
 }
@@ -55,6 +66,9 @@ std::vector<BigUint> PaillierPublicKey::EncryptBatch(const std::vector<BigUint>&
 }
 
 BigUint PaillierPublicKey::AddCiphertexts(const BigUint& c1, const BigUint& c2) const {
+  if (mont_n2_ != nullptr) {
+    return mont_n2_->MulMod(c1, c2);
+  }
   return BigUint::MulMod(c1, c2, n_squared);
 }
 
@@ -76,11 +90,48 @@ std::vector<BigUint> PaillierPublicKey::AddCiphertextBatch(
 }
 
 BigUint PaillierPublicKey::MulPlain(const BigUint& c, const BigUint& k) const {
+  if (mont_n2_ != nullptr) {
+    return mont_n2_->PowMod(c, k);
+  }
   return BigUint::PowMod(c, k, n_squared);
 }
 
+bool PaillierPrivateKey::PrecomputeCrt(const PaillierPublicKey& pub) {
+  if (p.IsZero() || q.IsZero() || p.Mul(q) != pub.n) {
+    return false;
+  }
+  p_squared = p.Mul(p);
+  q_squared = q.Mul(q);
+  p_minus_1 = p.Sub(BigUint(1));
+  q_minus_1 = q.Sub(BigUint(1));
+  mont_p2_ = std::make_shared<const MontgomeryContext>(p_squared);
+  mont_q2_ = std::make_shared<const MontgomeryContext>(q_squared);
+  // hp = L_p(g^(p-1) mod p^2)^-1 mod p (and symmetrically hq): the per-prime analogue
+  // of mu, precomputed so decryption costs one inverse-free multiply per prime.
+  BigUint lp = LFunction(mont_p2_->PowMod(pub.g.Mod(p_squared), p_minus_1), p);
+  BigUint lq = LFunction(mont_q2_->PowMod(pub.g.Mod(q_squared), q_minus_1), q);
+  if (!BigUint::InvMod(lp, p, &hp) || !BigUint::InvMod(lq, q, &hq) ||
+      !BigUint::InvMod(p, q, &p_inv_q)) {
+    return false;
+  }
+  return true;
+}
+
 BigUint PaillierPrivateKey::Decrypt(const BigUint& c, const PaillierPublicKey& pub) const {
-  BigUint u = BigUint::PowMod(c, lambda, pub.n_squared);
+  if (HasCrt() && mont_p2_ != nullptr && mont_q2_ != nullptr) {
+    // CRT decryption: exponentiate against the half-size moduli p^2/q^2 with the
+    // half-size exponents p-1/q-1, then recombine with Garner's formula. ~4x cheaper
+    // than the lambda/mu path and bitwise identical to it.
+    BigUint mp =
+        BigUint::MulMod(LFunction(mont_p2_->PowMod(c.Mod(p_squared), p_minus_1), p), hp, p);
+    BigUint mq =
+        BigUint::MulMod(LFunction(mont_q2_->PowMod(c.Mod(q_squared), q_minus_1), q), hq, q);
+    BigUint h = BigUint::MulMod(BigUint::SubMod(mq, mp, q), p_inv_q, q);
+    return mp.Add(p.Mul(h));  // mp + p*h < p*q = n
+  }
+  const MontgomeryContext* mont = pub.mont_n2();
+  BigUint u = mont != nullptr ? mont->PowMod(c, lambda)
+                              : BigUint::PowMod(c, lambda, pub.n_squared);
   return BigUint::MulMod(LFunction(u, pub.n), mu, pub.n);
 }
 
@@ -113,17 +164,121 @@ PaillierKeyPair GeneratePaillierKey(SecureRng& rng, size_t modulus_bits) {
     kp.pub.n = n;
     kp.pub.n_squared = n.Mul(n);
     kp.pub.g = n.Add(BigUint(1));
+    kp.pub.PrecomputeCache();
     kp.priv.lambda = BigUint::Lcm(p.Sub(BigUint(1)), q.Sub(BigUint(1)));
 
-    BigUint u = BigUint::PowMod(kp.pub.g, kp.priv.lambda, kp.pub.n_squared);
+    BigUint u = kp.pub.mont_n2()->PowMod(kp.pub.g, kp.priv.lambda);
     BigUint l = LFunction(u, n);
     BigUint mu;
     if (!BigUint::InvMod(l, n, &mu)) {
       continue;  // Degenerate key; re-draw.
     }
     kp.priv.mu = mu;
+    kp.priv.p = p;
+    kp.priv.q = q;
+    if (!kp.priv.PrecomputeCrt(kp.pub)) {
+      continue;
+    }
     return kp;
   }
+}
+
+PaillierPacker::PaillierPacker(const PaillierPublicKey& pub, int max_addends,
+                               int lane_bits)
+    : lane_bits_(lane_bits) {
+  DETA_CHECK_GE(lane_bits, 8);
+  DETA_CHECK_LE(lane_bits, 62);
+  // Reserve one lane-width of headroom below the modulus top.
+  int usable_bits = static_cast<int>(pub.n.BitLength()) - lane_bits - 8;
+  DETA_CHECK_MSG(usable_bits >= lane_bits, "Paillier modulus too small for packing");
+  lanes_ = usable_bits / lane_bits;
+  // Per-lane layout: encoded value = offset + value, with value in (-offset, offset).
+  // The homomorphic sum of up to max_addends lane values must not carry into the next
+  // lane: max_addends * 2^(value_bits) <= 2^lane_bits, so value_bits cedes
+  // ceil(log2(max_addends)) headroom bits.
+  DETA_CHECK_GE(max_addends, 1);
+  int headroom_bits = 0;
+  while ((1 << headroom_bits) < max_addends) {
+    ++headroom_bits;
+  }
+  int value_bits = lane_bits - headroom_bits;
+  DETA_CHECK_MSG(value_bits >= 2, "lane too narrow for " << max_addends << " addends");
+  lane_offset_ = BigUint(1).ShiftLeft(static_cast<size_t>(value_bits - 1));
+  value_bound_ = int64_t{1} << (value_bits - 1);
+}
+
+std::vector<BigUint> PaillierPacker::Pack(const std::vector<int64_t>& values) const {
+  size_t blocks = BlockCount(values.size());
+  std::vector<BigUint> packed(blocks);
+  // Packing is a pure function of |values|, so blocks parallelize freely.
+  parallel::ParallelFor(0, static_cast<int64_t>(blocks), 16, [&](int64_t lo, int64_t hi) {
+    for (int64_t bi = lo; bi < hi; ++bi) {
+      size_t base = static_cast<size_t>(bi) * static_cast<size_t>(lanes_);
+      int count = static_cast<int>(
+          std::min<size_t>(static_cast<size_t>(lanes_), values.size() - base));
+      BigUint block;
+      // Lane 0 occupies the least-significant bits.
+      for (int lane = count - 1; lane >= 0; --lane) {
+        int64_t v = values[base + static_cast<size_t>(lane)];
+        DETA_CHECK_MSG(v > -value_bound_ && v < value_bound_,
+                       "packed value " << v << " exceeds lane bound " << value_bound_);
+        BigUint lane_value;
+        if (v >= 0) {
+          lane_value = lane_offset_.Add(BigUint(static_cast<uint64_t>(v)));
+        } else {
+          lane_value = lane_offset_.Sub(BigUint(static_cast<uint64_t>(-v)));
+        }
+        block = block.ShiftLeft(static_cast<size_t>(lane_bits_)).Add(lane_value);
+      }
+      packed[static_cast<size_t>(bi)] = std::move(block);
+    }
+  });
+  return packed;
+}
+
+std::vector<int64_t> PaillierPacker::UnpackSum(const std::vector<BigUint>& plains,
+                                               size_t n, int num_addends) const {
+  DETA_CHECK_EQ(plains.size(), BlockCount(n));
+  std::vector<int64_t> out(n);
+  BigUint lane_modulus = BigUint(1).ShiftLeft(static_cast<size_t>(lane_bits_));
+  BigUint total_offset = lane_offset_.Mul(BigUint(static_cast<uint64_t>(num_addends)));
+  // Unpacking writes disjoint [bi*lanes, bi*lanes+count) slices, so blocks parallelize.
+  parallel::ParallelFor(0, static_cast<int64_t>(plains.size()), 16,
+                        [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      size_t bi = static_cast<size_t>(i);
+      BigUint packed = plains[bi];
+      int count = static_cast<int>(std::min<size_t>(
+          static_cast<size_t>(lanes_), n - bi * static_cast<size_t>(lanes_)));
+      for (int lane = 0; lane < count; ++lane) {
+        BigUint lane_value = packed.Mod(lane_modulus);
+        packed = packed.ShiftRight(static_cast<size_t>(lane_bits_));
+        int64_t v;
+        if (lane_value >= total_offset) {
+          v = static_cast<int64_t>(lane_value.Sub(total_offset).ToU64());
+        } else {
+          v = -static_cast<int64_t>(total_offset.Sub(lane_value).ToU64());
+        }
+        out[bi * static_cast<size_t>(lanes_) + static_cast<size_t>(lane)] = v;
+      }
+    }
+  });
+  return out;
+}
+
+std::vector<BigUint> PaillierEncryptPacked(const PaillierPublicKey& pub,
+                                           const PaillierPacker& packer,
+                                           const std::vector<int64_t>& values,
+                                           SecureRng& rng) {
+  return pub.EncryptBatch(packer.Pack(values), rng);
+}
+
+std::vector<int64_t> PaillierDecryptPackedSum(const PaillierPrivateKey& priv,
+                                              const PaillierPublicKey& pub,
+                                              const PaillierPacker& packer,
+                                              const std::vector<BigUint>& cs, size_t n,
+                                              int num_addends) {
+  return packer.UnpackSum(priv.DecryptBatch(cs, pub), n, num_addends);
 }
 
 PaillierFloatCodec::PaillierFloatCodec(const PaillierPublicKey& pub, int scale_bits,

@@ -12,55 +12,30 @@ using crypto::BigUint;
 
 PaillierVectorCodec::PaillierVectorCodec(const crypto::PaillierPublicKey& pub,
                                          int max_parties, int lane_bits, int scale_bits)
-    : pub_(pub), lane_bits_(lane_bits), scale_(std::ldexp(1.0, scale_bits)) {
-  // Reserve one lane-width of headroom below the modulus top.
-  int usable_bits = static_cast<int>(pub.n.BitLength()) - lane_bits - 8;
-  DETA_CHECK_MSG(usable_bits >= lane_bits, "Paillier modulus too small for packing");
-  lanes_ = usable_bits / lane_bits;
-  // Per-lane layout: encoded value = offset + scaled, with scaled in (-offset, offset).
-  // The homomorphic sum of up to max_parties lane values must not carry into the next
-  // lane: max_parties * 2^(value_bits) <= 2^lane_bits, so value_bits cedes
-  // ceil(log2(max_parties)) headroom bits.
-  DETA_CHECK_GE(max_parties, 1);
-  int headroom_bits = 0;
-  while ((1 << headroom_bits) < max_parties) {
-    ++headroom_bits;
-  }
-  int value_bits = lane_bits - headroom_bits;
-  DETA_CHECK_MSG(value_bits > scale_bits + 8,
+    : pub_(pub),
+      packer_(pub, max_parties, lane_bits),
+      scale_(std::ldexp(1.0, scale_bits)) {
+  // The quantized magnitude bound must leave at least 8 bits of integer range above
+  // the fractional scale (same contract as the pre-packer layout: value_bits >
+  // scale_bits + 8).
+  DETA_CHECK_MSG(packer_.value_bound() >= (int64_t{1} << (scale_bits + 8)),
                  "lane too narrow for " << max_parties << " parties at scale 2^"
                                         << scale_bits);
-  lane_offset_ = BigUint(1).ShiftLeft(static_cast<size_t>(value_bits - 1));
 }
 
 std::vector<BigUint> PaillierVectorCodec::Encrypt(const std::vector<float>& values,
                                                   crypto::SecureRng& rng) const {
-  // Lane-pack every block in parallel (packing is a pure function of |values|), then
-  // hand the blocks to the deterministic batch encryptor, which dominates.
-  size_t blocks = CiphertextCount(values.size());
-  std::vector<BigUint> packed(blocks);
-  parallel::ParallelFor(0, static_cast<int64_t>(blocks), 16, [&](int64_t lo, int64_t hi) {
-    for (int64_t bi = lo; bi < hi; ++bi) {
-      size_t base = static_cast<size_t>(bi) * static_cast<size_t>(lanes_);
-      int count = static_cast<int>(std::min<size_t>(static_cast<size_t>(lanes_),
-                                                    values.size() - base));
-      BigUint block;
-      // Lane 0 occupies the least-significant bits.
-      for (int lane = count - 1; lane >= 0; --lane) {
-        long long scaled =
-            std::llround(static_cast<double>(values[base + static_cast<size_t>(lane)]) * scale_);
-        BigUint lane_value;
-        if (scaled >= 0) {
-          lane_value = lane_offset_.Add(BigUint(static_cast<uint64_t>(scaled)));
-        } else {
-          lane_value = lane_offset_.Sub(BigUint(static_cast<uint64_t>(-scaled)));
-        }
-        block = block.ShiftLeft(static_cast<size_t>(lane_bits_)).Add(lane_value);
-      }
-      packed[static_cast<size_t>(bi)] = std::move(block);
+  // Quantize to fixed point, then hand off to the crypto-layer packed hot path
+  // (lane-pack + deterministic batch encrypt).
+  std::vector<int64_t> quantized(values.size());
+  parallel::ParallelFor(0, static_cast<int64_t>(values.size()), 256,
+                        [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      quantized[static_cast<size_t>(i)] =
+          std::llround(static_cast<double>(values[static_cast<size_t>(i)]) * scale_);
     }
   });
-  return pub_.EncryptBatch(packed, rng);
+  return crypto::PaillierEncryptPacked(pub_, packer_, quantized, rng);
 }
 
 void PaillierVectorCodec::AccumulateInPlace(std::vector<BigUint>& acc,
@@ -77,34 +52,15 @@ void PaillierVectorCodec::AccumulateInPlace(std::vector<BigUint>& acc,
 std::vector<float> PaillierVectorCodec::DecryptSum(const std::vector<BigUint>& ciphertexts,
                                                    const crypto::PaillierPrivateKey& priv,
                                                    size_t n, int num_addends) const {
-  DETA_CHECK_EQ(ciphertexts.size(), CiphertextCount(n));
-  std::vector<BigUint> plains = priv.DecryptBatch(ciphertexts, pub_);
+  std::vector<int64_t> sums =
+      crypto::PaillierDecryptPackedSum(priv, pub_, packer_, ciphertexts, n, num_addends);
   std::vector<float> out(n);
-  BigUint lane_mask = BigUint(1).ShiftLeft(static_cast<size_t>(lane_bits_)).Sub(BigUint(1));
-  BigUint lane_modulus = lane_mask.Add(BigUint(1));
-  BigUint total_offset = lane_offset_.Mul(BigUint(static_cast<uint64_t>(num_addends)));
-  // Unpacking writes disjoint [ci*lanes, ci*lanes+count) slices, so blocks parallelize.
-  parallel::ParallelFor(
-      0, static_cast<int64_t>(plains.size()), 16, [&](int64_t lo, int64_t hi) {
-        for (int64_t i = lo; i < hi; ++i) {
-          size_t ci = static_cast<size_t>(i);
-          BigUint packed = std::move(plains[ci]);
-          int count = static_cast<int>(std::min<size_t>(static_cast<size_t>(lanes_),
-                                                        n - ci * static_cast<size_t>(lanes_)));
-          for (int lane = 0; lane < count; ++lane) {
-            BigUint lane_value = packed.Mod(lane_modulus);
-            packed = packed.ShiftRight(static_cast<size_t>(lane_bits_));
-            double v;
-            if (lane_value >= total_offset) {
-              v = static_cast<double>(lane_value.Sub(total_offset).ToU64());
-            } else {
-              v = -static_cast<double>(total_offset.Sub(lane_value).ToU64());
-            }
-            out[ci * static_cast<size_t>(lanes_) + static_cast<size_t>(lane)] =
-                static_cast<float>(v / scale_);
-          }
-        }
-      });
+  parallel::ParallelFor(0, static_cast<int64_t>(n), 256, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      out[static_cast<size_t>(i)] = static_cast<float>(
+          static_cast<double>(sums[static_cast<size_t>(i)]) / scale_);
+    }
+  });
   return out;
 }
 

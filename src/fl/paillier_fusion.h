@@ -3,12 +3,14 @@
 // aggregator sums ciphertexts homomorphically without ever seeing plaintext, and parties
 // decrypt the fused result.
 //
-// Coordinates are lane-packed: several fixed-point values share one Paillier plaintext,
-// with enough headroom per lane that the homomorphic sum of up to |max_parties| updates
-// cannot carry across lanes. Packing divides the (dominant) modular-exponentiation count,
-// which is the honest version of why the paper's Figure 5f shows DeTA *speeding Paillier
-// up*: the work is embarrassingly parallel across coordinates, so partitioning it across
-// aggregators divides the wall-clock.
+// Coordinates are lane-packed through crypto::PaillierPacker: several fixed-point values
+// share one Paillier plaintext, with enough headroom per lane that the homomorphic sum
+// of up to |max_parties| updates cannot carry across lanes. Packing divides the
+// (dominant) modular-exponentiation count, which is the honest version of why the
+// paper's Figure 5f shows DeTA *speeding Paillier up*: the work is embarrassingly
+// parallel across coordinates, so partitioning it across aggregators divides the
+// wall-clock. This layer only adds the float <-> fixed-point quantization; lane layout,
+// headroom accounting, and the packed encrypt/decrypt hot path live in crypto/.
 #ifndef DETA_FL_PAILLIER_FUSION_H_
 #define DETA_FL_PAILLIER_FUSION_H_
 
@@ -26,9 +28,9 @@ class PaillierVectorCodec {
   PaillierVectorCodec(const crypto::PaillierPublicKey& pub, int max_parties,
                       int lane_bits = 56, int scale_bits = 20);
 
-  int LanesPerCiphertext() const { return lanes_; }
+  int LanesPerCiphertext() const { return packer_.lanes(); }
   // Number of ciphertexts for a vector of |n| floats.
-  size_t CiphertextCount(size_t n) const { return (n + lanes_ - 1) / static_cast<size_t>(lanes_); }
+  size_t CiphertextCount(size_t n) const { return packer_.BlockCount(n); }
 
   // Encrypts a float vector.
   std::vector<crypto::BigUint> Encrypt(const std::vector<float>& values,
@@ -43,10 +45,8 @@ class PaillierVectorCodec {
 
  private:
   const crypto::PaillierPublicKey& pub_;
-  int lanes_;
-  int lane_bits_;
+  crypto::PaillierPacker packer_;
   double scale_;
-  crypto::BigUint lane_offset_;  // per-lane offset making encoded values nonnegative
 };
 
 // Serialization of ciphertext vectors for the wire.

@@ -1,0 +1,76 @@
+#include "persist/paillier_key_codec.h"
+
+#include "common/check.h"
+#include "net/codec.h"
+
+namespace deta::persist {
+
+namespace {
+
+constexpr uint32_t kVersionLegacy = 1;  // lambda/mu only
+constexpr uint32_t kVersionCrt = 2;     // + CRT primes p, q
+
+using crypto::BigUint;
+
+void WriteBigUint(net::Writer& w, const BigUint& v) { w.WriteBytes(v.ToBytes()); }
+
+BigUint ReadBigUint(net::Reader& r) { return BigUint::FromBytes(r.ReadBytes()); }
+
+Bytes SerializeWithVersion(const crypto::PaillierKeyPair& kp, uint32_t version) {
+  net::Writer w;
+  w.WriteU32(version);
+  WriteBigUint(w, kp.pub.n);
+  WriteBigUint(w, kp.priv.lambda);
+  WriteBigUint(w, kp.priv.mu);
+  if (version >= kVersionCrt) {
+    WriteBigUint(w, kp.priv.p);
+    WriteBigUint(w, kp.priv.q);
+  }
+  return w.Take();
+}
+
+}  // namespace
+
+Bytes SerializePaillierKey(const crypto::PaillierKeyPair& kp) {
+  // Keys without the CRT extension (hand-built or themselves loaded from a v1 blob)
+  // round-trip through the v1 format rather than failing the snapshot.
+  return SerializeWithVersion(kp, kp.priv.HasCrt() ? kVersionCrt : kVersionLegacy);
+}
+
+Bytes SerializePaillierKeyV1(const crypto::PaillierKeyPair& kp) {
+  return SerializeWithVersion(kp, kVersionLegacy);
+}
+
+std::optional<crypto::PaillierKeyPair> ParsePaillierKey(const Bytes& blob) {
+  try {
+    net::Reader r(blob);
+    uint32_t version = r.ReadU32();
+    if (version != kVersionLegacy && version != kVersionCrt) {
+      return std::nullopt;
+    }
+    crypto::PaillierKeyPair kp;
+    kp.pub.n = ReadBigUint(r);
+    if (kp.pub.n.IsZero()) {
+      return std::nullopt;
+    }
+    kp.pub.n_squared = kp.pub.n.Mul(kp.pub.n);
+    kp.pub.g = kp.pub.n.Add(BigUint(1));
+    kp.pub.PrecomputeCache();
+    kp.priv.lambda = ReadBigUint(r);
+    kp.priv.mu = ReadBigUint(r);
+    if (version >= kVersionCrt) {
+      kp.priv.p = ReadBigUint(r);
+      kp.priv.q = ReadBigUint(r);
+      // PrecomputeCrt validates p*q == n, so a corrupted prime cannot produce a key
+      // that silently decrypts to garbage.
+      if (!kp.priv.PrecomputeCrt(kp.pub)) {
+        return std::nullopt;
+      }
+    }
+    return kp;
+  } catch (const CheckFailure&) {
+    return std::nullopt;  // truncated / malformed
+  }
+}
+
+}  // namespace deta::persist

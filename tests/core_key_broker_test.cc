@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "core/key_broker.h"
+#include "net/codec.h"
 
 namespace deta::core {
 namespace {
@@ -29,6 +30,32 @@ TEST(TransformMaterialTest, SerializationRoundTrip) {
   EXPECT_EQ(back.num_aggregators, m.num_aggregators);
   EXPECT_EQ(back.enable_partition, m.enable_partition);
   EXPECT_EQ(back.enable_shuffle, m.enable_shuffle);
+}
+
+TEST(TransformMaterialTest, PaillierKeyRoundTripsOnTheWire) {
+  TransformMaterial m = TestMaterial();
+  m.paillier_key = StringToBytes("opaque serialized key blob");
+  TransformMaterial back = TransformMaterial::Deserialize(m.Serialize());
+  EXPECT_EQ(back.paillier_key, m.paillier_key);
+}
+
+TEST(TransformMaterialTest, DeserializesPreExtensionWireFormat) {
+  // Material serialized before the paillier_key field existed (v1 sealed snapshots,
+  // old brokers) ends right after the shuffle flag; it must still parse, with the key
+  // simply absent.
+  TransformMaterial m = TestMaterial();
+  net::Writer w;
+  w.WriteBytes(m.permutation_key);
+  w.WriteBytes(m.mapper_seed);
+  w.WriteI64(m.total_params);
+  w.WriteU64(0);
+  w.WriteU32(static_cast<uint32_t>(m.num_aggregators));
+  w.WriteU32(1);
+  w.WriteU32(1);
+  TransformMaterial back = TransformMaterial::Deserialize(w.Take());
+  EXPECT_EQ(back.permutation_key, m.permutation_key);
+  EXPECT_EQ(back.num_aggregators, m.num_aggregators);
+  EXPECT_TRUE(back.paillier_key.empty());
 }
 
 TEST(TransformMaterialTest, BuildTransformIsDeterministic) {

@@ -1,0 +1,163 @@
+// Differential tests for the Montgomery hot path (crypto/montgomery.h): every REDC
+// multiply, fixed-window exponentiation, and CRT decryption must be bitwise identical
+// to the schoolbook reference it replaced. The suites below throw >10k randomized
+// cases at the fast paths with the slow paths as oracle — the determinism guarantee
+// (DESIGN.md "Crypto hot path") rests on this equivalence, not on code inspection.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "crypto/bigint.h"
+#include "crypto/montgomery.h"
+#include "crypto/paillier.h"
+
+namespace deta::crypto {
+namespace {
+
+// Odd modulus with exactly |bits| bits (msb set by RandomBits; the +1 on an even draw
+// cannot carry past the top bit because the all-ones value is already odd).
+BigUint RandomOddModulus(SecureRng& rng, size_t bits) {
+  BigUint m = BigUint::RandomBits(rng, bits);
+  return m.IsOdd() ? m : m.Add(BigUint(1));
+}
+
+constexpr size_t kBitSizes[] = {8, 31, 32, 33, 64, 96, 128, 160, 224, 256};
+
+TEST(MontgomeryDifferentialTest, MulModMatchesBigUintMulMod) {
+  SecureRng rng(StringToBytes("mont-mulmod"));
+  int cases = 0;
+  for (size_t bits : kBitSizes) {
+    for (int rep = 0; rep < 60; ++rep) {
+      BigUint m = RandomOddModulus(rng, bits);
+      MontgomeryContext ctx(m);
+      for (int i = 0; i < 15; ++i) {
+        BigUint a = BigUint::RandomBelow(rng, m);
+        BigUint b = BigUint::RandomBelow(rng, m);
+        ASSERT_EQ(ctx.MulMod(a, b), BigUint::MulMod(a, b, m))
+            << "bits=" << bits << " m=" << m.ToHexString();
+        ++cases;
+      }
+    }
+  }
+  EXPECT_GE(cases, 9000);
+}
+
+TEST(MontgomeryDifferentialTest, ToMontFromMontRoundTrips) {
+  SecureRng rng(StringToBytes("mont-roundtrip"));
+  int cases = 0;
+  for (size_t bits : kBitSizes) {
+    for (int rep = 0; rep < 20; ++rep) {
+      BigUint m = RandomOddModulus(rng, bits);
+      MontgomeryContext ctx(m);
+      for (int i = 0; i < 5; ++i) {
+        BigUint a = BigUint::RandomBelow(rng, m);
+        ASSERT_EQ(ctx.FromMont(ctx.ToMont(a)), a) << "bits=" << bits;
+        ++cases;
+      }
+    }
+  }
+  EXPECT_GE(cases, 1000);
+}
+
+TEST(MontgomeryDifferentialTest, MulMontIsMontgomeryProduct) {
+  SecureRng rng(StringToBytes("mont-mulmont"));
+  for (int rep = 0; rep < 200; ++rep) {
+    BigUint m = RandomOddModulus(rng, 128);
+    MontgomeryContext ctx(m);
+    BigUint a = BigUint::RandomBelow(rng, m);
+    BigUint b = BigUint::RandomBelow(rng, m);
+    // FromMont(MulMont(ToMont(a), ToMont(b))) is a*b mod m by definition of REDC.
+    EXPECT_EQ(ctx.FromMont(ctx.MulMont(ctx.ToMont(a), ctx.ToMont(b))),
+              BigUint::MulMod(a, b, m));
+  }
+}
+
+TEST(MontgomeryDifferentialTest, PowModMatchesSchoolbookOddModulus) {
+  SecureRng rng(StringToBytes("mont-powmod"));
+  int cases = 0;
+  for (size_t bits : {size_t{32}, size_t{64}, size_t{128}, size_t{192}, size_t{256}}) {
+    for (int rep = 0; rep < 60; ++rep) {
+      BigUint m = RandomOddModulus(rng, bits);
+      // Base intentionally drawn wider than m so the pre-reduction path is exercised.
+      BigUint base = BigUint::RandomBits(rng, bits + 17);
+      BigUint exp = BigUint::RandomBits(rng, 1 + rng.NextBelow(bits));
+      ASSERT_EQ(BigUint::PowMod(base, exp, m),
+                BigUint::PowModSchoolbook(base, exp, m))
+          << "bits=" << bits << " m=" << m.ToHexString();
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 300);
+}
+
+TEST(MontgomeryDifferentialTest, PowModExponentEdgeCases) {
+  SecureRng rng(StringToBytes("mont-powmod-edge"));
+  for (int rep = 0; rep < 50; ++rep) {
+    BigUint m = RandomOddModulus(rng, 96);
+    BigUint base = BigUint::RandomBelow(rng, m);
+    EXPECT_EQ(BigUint::PowMod(base, BigUint(0), m), BigUint(1).Mod(m));
+    EXPECT_EQ(BigUint::PowMod(base, BigUint(1), m), base);
+    EXPECT_EQ(BigUint::PowMod(BigUint(0), BigUint(5), m), BigUint(0));
+    // Exponent = modulus-sized all-significant-bits value.
+    BigUint exp = m.Sub(BigUint(1));
+    EXPECT_EQ(BigUint::PowMod(base, exp, m), BigUint::PowModSchoolbook(base, exp, m));
+  }
+  // Modulus 1: everything is 0.
+  EXPECT_EQ(BigUint::PowModSchoolbook(BigUint(7), BigUint(3), BigUint(1)), BigUint(0));
+}
+
+// Regression for the PowMod dispatch: a non-odd modulus must take the schoolbook
+// fallback (Montgomery needs gcd(m, 2^32) = 1) and still produce correct results.
+TEST(MontgomeryDifferentialTest, PowModEvenModulusFallback) {
+  SecureRng rng(StringToBytes("mont-powmod-even"));
+  int cases = 0;
+  for (size_t bits : {size_t{16}, size_t{48}, size_t{64}, size_t{128}}) {
+    for (int rep = 0; rep < 60; ++rep) {
+      BigUint m = BigUint::RandomBits(rng, bits);
+      if (m.IsOdd()) {
+        m = m.Add(BigUint(1));  // cannot overflow bits: all-ones is odd
+      }
+      ASSERT_FALSE(m.IsOdd());
+      BigUint base = BigUint::RandomBits(rng, bits + 5);
+      BigUint exp = BigUint::RandomBits(rng, 1 + rng.NextBelow(size_t{40}));
+      ASSERT_EQ(BigUint::PowMod(base, exp, m),
+                BigUint::PowModSchoolbook(base, exp, m))
+          << "m=" << m.ToHexString();
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 240);
+  // Small fixed vectors, checked against hand-computable values.
+  EXPECT_EQ(BigUint::PowMod(BigUint(3), BigUint(4), BigUint(10)).ToU64(), 1u);  // 81 mod 10
+  EXPECT_EQ(BigUint::PowMod(BigUint(2), BigUint(10), BigUint(6)).ToU64(), 4u);  // 1024 mod 6
+}
+
+TEST(MontgomeryContextTest, RejectsEvenOrTrivialModulus) {
+  EXPECT_THROW(MontgomeryContext(BigUint(10)), CheckFailure);
+  EXPECT_THROW(MontgomeryContext(BigUint(0)), CheckFailure);
+  EXPECT_THROW(MontgomeryContext(BigUint(1)), CheckFailure);
+}
+
+// CRT decryption must be plaintext-identical to the lambda/mu path for the same key —
+// a legacy (v1 snapshot) key and an extended key must never disagree on a ciphertext.
+TEST(PaillierCrtDifferentialTest, CrtDecryptMatchesLambdaMu) {
+  SecureRng rng(StringToBytes("crt-diff"));
+  for (size_t modulus_bits : {size_t{128}, size_t{256}}) {
+    PaillierKeyPair key = GeneratePaillierKey(rng, modulus_bits);
+    ASSERT_TRUE(key.priv.HasCrt());
+    PaillierPrivateKey legacy;  // lambda/mu only: the pre-CRT decryption path
+    legacy.lambda = key.priv.lambda;
+    legacy.mu = key.priv.mu;
+    ASSERT_FALSE(legacy.HasCrt());
+    for (int i = 0; i < 100; ++i) {
+      BigUint m = BigUint::RandomBelow(rng, key.pub.n);
+      BigUint c = key.pub.Encrypt(m, rng);
+      BigUint via_crt = key.priv.Decrypt(c, key.pub);
+      BigUint via_lambda = legacy.Decrypt(c, key.pub);
+      ASSERT_EQ(via_crt, via_lambda) << "modulus_bits=" << modulus_bits << " i=" << i;
+      ASSERT_EQ(via_crt, m);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deta::crypto

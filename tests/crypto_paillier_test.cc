@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "crypto/paillier.h"
 #include "fl/paillier_fusion.h"
+#include "persist/paillier_key_codec.h"
 
 namespace deta::crypto {
 namespace {
@@ -113,6 +115,143 @@ TEST_F(PaillierTest, CiphertextSerializationRoundTrip) {
   for (size_t i = 0; i < ct.size(); ++i) {
     EXPECT_EQ(back[i], ct[i]);
   }
+}
+
+// --- Lane packing (crypto::PaillierPacker): exact integer semantics ---
+
+TEST_F(PaillierTest, PackerRoundTripsExactSums) {
+  const int kAddends = 6;
+  PaillierPacker packer(key_.pub, kAddends, /*lane_bits=*/32);
+  EXPECT_GT(packer.lanes(), 1);
+  SecureRng data_rng(StringToBytes("packer"));
+  std::vector<std::vector<int64_t>> vectors(kAddends);
+  std::vector<int64_t> expected(37, 0);
+  for (auto& vec : vectors) {
+    for (size_t i = 0; i < expected.size(); ++i) {
+      int64_t v = static_cast<int64_t>(data_rng.NextBelow(2001)) - 1000;
+      vec.push_back(v);
+      expected[i] += v;
+    }
+  }
+  std::vector<BigUint> acc = PaillierEncryptPacked(key_.pub, packer, vectors[0], rng_);
+  for (int a = 1; a < kAddends; ++a) {
+    acc = key_.pub.AddCiphertextBatch(
+        acc, PaillierEncryptPacked(key_.pub, packer, vectors[static_cast<size_t>(a)],
+                                   rng_));
+  }
+  std::vector<int64_t> sums = PaillierDecryptPackedSum(
+      key_.priv, key_.pub, packer, acc, expected.size(), kAddends);
+  ASSERT_EQ(sums.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(sums[i], expected[i]) << i;  // exact: packing adds no rounding
+  }
+}
+
+TEST_F(PaillierTest, PackedMatchesUnpackedCiphertextSums) {
+  // The packed aggregate must decrypt to exactly the sums a per-value (one plaintext
+  // per ciphertext, offset-free) Paillier aggregation produces.
+  PaillierPacker packer(key_.pub, /*max_addends=*/4, /*lane_bits=*/24);
+  std::vector<int64_t> a = {5, -3, 1000, -1000, 0, 77, -77};
+  std::vector<int64_t> b = {-5, 4, -999, 1001, 12, -6, 7};
+  std::vector<BigUint> packed = key_.pub.AddCiphertextBatch(
+      PaillierEncryptPacked(key_.pub, packer, a, rng_),
+      PaillierEncryptPacked(key_.pub, packer, b, rng_));
+  std::vector<int64_t> packed_sums =
+      PaillierDecryptPackedSum(key_.priv, key_.pub, packer, packed, a.size(), 2);
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Unpacked reference: encrypt the nonnegative shifted value per coordinate.
+    const int64_t shift = int64_t{1} << 20;
+    BigUint ca = key_.pub.Encrypt(BigUint(static_cast<uint64_t>(a[i] + shift)), rng_);
+    BigUint cb = key_.pub.Encrypt(BigUint(static_cast<uint64_t>(b[i] + shift)), rng_);
+    uint64_t sum = key_.priv.Decrypt(key_.pub.AddCiphertexts(ca, cb), key_.pub).ToU64();
+    EXPECT_EQ(packed_sums[i], static_cast<int64_t>(sum) - 2 * shift) << i;
+  }
+}
+
+TEST_F(PaillierTest, PackerRejectsValuesOutsideBound) {
+  PaillierPacker packer(key_.pub, /*max_addends=*/8, /*lane_bits=*/16);
+  EXPECT_THROW(packer.Pack({packer.value_bound()}), CheckFailure);
+  EXPECT_THROW(packer.Pack({-packer.value_bound()}), CheckFailure);
+  EXPECT_NO_THROW(packer.Pack({packer.value_bound() - 1}));
+  EXPECT_NO_THROW(packer.Pack({-(packer.value_bound() - 1)}));
+}
+
+TEST_F(PaillierTest, PackerBlockCountMatchesPackOutput) {
+  PaillierPacker packer(key_.pub, /*max_addends=*/8, /*lane_bits=*/16);
+  for (size_t n : {size_t{1}, size_t{7}, size_t{64}, size_t{65}}) {
+    std::vector<int64_t> values(n, 3);
+    EXPECT_EQ(packer.Pack(values).size(), packer.BlockCount(n)) << n;
+  }
+}
+
+// The fusion codec (and thus aggregated model parameters) must be bitwise identical
+// for any worker count: per-element randomness is pre-drawn sequentially, so the
+// thread fan-out only changes who computes each exponentiation, never its inputs.
+TEST_F(PaillierTest, VectorCodecBitExactAcrossThreadCounts) {
+  std::vector<float> v(50);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<float>(static_cast<int>(i) - 25) * 0.375f;
+  }
+  std::vector<std::vector<BigUint>> cts;
+  std::vector<std::vector<float>> sums;
+  for (int threads : {1, 2, 4}) {
+    parallel::ScopedThreads scoped(threads);
+    SecureRng rng(StringToBytes("thread-determinism"));
+    fl::PaillierVectorCodec codec(key_.pub, /*max_parties=*/4);
+    std::vector<BigUint> acc = codec.Encrypt(v, rng);
+    codec.AccumulateInPlace(acc, codec.Encrypt(v, rng));
+    sums.push_back(codec.DecryptSum(acc, key_.priv, v.size(), 2));
+    cts.push_back(std::move(acc));
+  }
+  for (size_t t = 1; t < cts.size(); ++t) {
+    ASSERT_EQ(cts[t].size(), cts[0].size());
+    for (size_t i = 0; i < cts[0].size(); ++i) {
+      EXPECT_EQ(cts[t][i], cts[0][i]) << "threads variant " << t << " block " << i;
+    }
+    for (size_t i = 0; i < v.size(); ++i) {
+      // Bit-exact, not NEAR: same ciphertexts, same integer sums, same floats.
+      EXPECT_EQ(sums[t][i], sums[0][i]) << "threads variant " << t << " coord " << i;
+    }
+  }
+}
+
+// --- Versioned private-key persistence (persist/paillier_key_codec.h) ---
+
+TEST_F(PaillierTest, KeyCodecV2RoundTripsCrtExtension) {
+  Bytes blob = persist::SerializePaillierKey(key_);
+  std::optional<PaillierKeyPair> back = persist::ParsePaillierKey(blob);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->priv.HasCrt());
+  EXPECT_EQ(back->pub.n, key_.pub.n);
+  EXPECT_EQ(back->priv.p, key_.priv.p);
+  EXPECT_EQ(back->priv.q, key_.priv.q);
+  BigUint c = key_.pub.Encrypt(BigUint(31337), rng_);
+  EXPECT_EQ(back->priv.Decrypt(c, back->pub).ToU64(), 31337u);
+  // The reloaded public key must also encrypt (Montgomery cache rebuilt).
+  BigUint c2 = back->pub.Encrypt(BigUint(9), rng_);
+  EXPECT_EQ(key_.priv.Decrypt(c2, key_.pub).ToU64(), 9u);
+}
+
+TEST_F(PaillierTest, KeyCodecLegacyV1LoadsWithoutCrt) {
+  // A snapshot written before the CRT extension existed must still resume: same
+  // plaintexts through the lambda/mu fallback, just without the speedup.
+  Bytes blob = persist::SerializePaillierKeyV1(key_);
+  std::optional<PaillierKeyPair> back = persist::ParsePaillierKey(blob);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FALSE(back->priv.HasCrt());
+  BigUint c = key_.pub.Encrypt(BigUint(424242), rng_);
+  EXPECT_EQ(back->priv.Decrypt(c, back->pub).ToU64(), 424242u);
+}
+
+TEST_F(PaillierTest, KeyCodecRejectsGarbage) {
+  EXPECT_FALSE(persist::ParsePaillierKey({}).has_value());
+  EXPECT_FALSE(persist::ParsePaillierKey(StringToBytes("not a key")).has_value());
+  Bytes blob = persist::SerializePaillierKey(key_);
+  Bytes truncated(blob.begin(), blob.begin() + static_cast<long>(blob.size() / 2));
+  EXPECT_FALSE(persist::ParsePaillierKey(truncated).has_value());
+  Bytes wrong_version = blob;
+  wrong_version[0] = 0x7f;  // version byte far beyond kVersionCrt
+  EXPECT_FALSE(persist::ParsePaillierKey(wrong_version).has_value());
 }
 
 TEST(PaillierKeyGenTest, DistinctKeysForDistinctSeeds) {
