@@ -1,0 +1,117 @@
+// Microbenchmarks for the transport layer: message round-trip latency over both
+// backends (the in-proc bus and real TCP loopback sockets) and the frame body
+// encode/decode cost that every TCP delivery pays. The round-trip rows are the
+// per-message floor under the scale harness's throughput numbers; the TCP row minus
+// the in-proc row is what the wire itself costs.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_main.h"
+
+#include "common/rng.h"
+#include "net/codec.h"
+#include "net/message_bus.h"
+#include "net/tcp_transport.h"
+
+namespace {
+
+using namespace deta;
+
+Bytes Payload(size_t size) {
+  Rng rng(7);
+  Bytes payload(size);
+  for (auto& b : payload) {
+    b = static_cast<uint8_t>(rng.NextU64());
+  }
+  return payload;
+}
+
+// One full round trip: a -> b, b receives, b -> a, a receives. Both directions cross
+// the backend's delivery path (for TCP: framing, epoll loop, loopback socket).
+void RoundTrip(benchmark::State& state, net::Transport& transport) {
+  auto a = transport.CreateEndpoint("bench-a");
+  auto b = transport.CreateEndpoint("bench-b");
+  Bytes payload = Payload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    a->Send("bench-b", "ping", payload);
+    auto ping = b->Receive();
+    if (!ping.has_value()) {
+      state.SkipWithError("ping lost");
+      return;
+    }
+    b->Send("bench-a", "pong", std::move(ping->payload));
+    auto pong = a->Receive();
+    if (!pong.has_value()) {
+      state.SkipWithError("pong lost");
+      return;
+    }
+    benchmark::DoNotOptimize(pong->payload);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          static_cast<int64_t>(payload.size()));
+}
+
+void BM_InProcRoundTrip(benchmark::State& state) {
+  net::MessageBus bus;
+  RoundTrip(state, bus);
+}
+BENCHMARK(BM_InProcRoundTrip)->Arg(64)->Arg(4 << 10)->Arg(256 << 10);
+
+void BM_TcpRoundTrip(benchmark::State& state) {
+  net::TcpTransportOptions options;
+  options.node_name = "bench";
+  net::TcpTransport transport(options);
+  RoundTrip(state, transport);
+}
+BENCHMARK(BM_TcpRoundTrip)->Arg(64)->Arg(4 << 10)->Arg(256 << 10);
+
+// The net/codec.h body every TCP data frame carries (from/to/type/seq/payload) —
+// serialization cost scales with payload size and is paid once per send.
+void BM_FrameEncode(benchmark::State& state) {
+  Bytes payload = Payload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    net::Writer w;
+    w.WriteU32(1);  // frame kind
+    w.WriteString("party4095");
+    w.WriteString("aggregator2");
+    w.WriteString("round.upload");
+    w.WriteU64(123456789);
+    w.WriteBytes(payload);
+    Bytes wire = w.Take();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_FrameEncode)->Arg(64)->Arg(4 << 10)->Arg(256 << 10);
+
+void BM_FrameDecode(benchmark::State& state) {
+  net::Writer w;
+  w.WriteU32(1);
+  w.WriteString("party4095");
+  w.WriteString("aggregator2");
+  w.WriteString("round.upload");
+  w.WriteU64(123456789);
+  w.WriteBytes(Payload(static_cast<size_t>(state.range(0))));
+  Bytes wire = w.Take();
+  for (auto _ : state) {
+    net::Reader r(wire);
+    uint32_t kind = r.ReadU32();
+    std::string from = r.ReadString();
+    std::string to = r.ReadString();
+    std::string type = r.ReadString();
+    uint64_t seq = r.ReadU64();
+    Bytes payload = r.ReadBytes();
+    benchmark::DoNotOptimize(kind);
+    benchmark::DoNotOptimize(seq);
+    benchmark::DoNotOptimize(payload);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(state.range(0)));
+}
+BENCHMARK(BM_FrameDecode)->Arg(64)->Arg(4 << 10)->Arg(256 << 10);
+
+}  // namespace
+
+DETA_BENCH_MAIN()

@@ -27,7 +27,7 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 # injector, retry/secure-channel, the deterministic parallel layer, telemetry, and the
 # aggregator/party/job protocol stack. Filtering keeps the (slow, ~10x) sanitized run
 # feasible on small containers.
-tsan_filter='MessageBus*:FaultInjector*:Retry*:SecureChannel*:Codec*:ParallelFor*:ParallelReduce*:DefaultThreads*:ThreadInvariance*:AggregatorNode*:KeyBroker*:Auth*:Telemetry*:DetaJobFaultTest.QuorumFailureIsTypedNotAHang'
+tsan_filter='MessageBus*:EndpointDedupTest*:EndpointStashTest*:FaultInjector*:Retry*:SecureChannel*:Codec*:ParallelFor*:ParallelReduce*:DefaultThreads*:ThreadInvariance*:AggregatorNode*:KeyBroker*:Auth*:Telemetry*:DetaJobFaultTest.QuorumFailureIsTypedNotAHang:*TransportConformanceTest.AuthHandshakeVerifiesAndRejects*:*TransportConformanceTest.KeyFetchServesIdenticalMaterial*'
 
 cmake_flags_for_preset() {
   case "$1" in

@@ -5,9 +5,10 @@ Three passes over src/ (and, where noted, tests/):
 
 Determinism
   DL-D1  nondeterminism sources (std::random_device, rand(, srand(, time(,
-         system_clock) outside the whitelist. Aggregation must be a pure function
-         of the workload; ambient entropy or wall-clock reads silently break the
-         bitwise "decentralized == centralized" guarantee.
+         system_clock, gettimeofday(, CLOCK_REALTIME) outside the whitelist.
+         Aggregation must be a pure function of the workload; ambient entropy or
+         wall-clock reads silently break the bitwise "decentralized ==
+         centralized" guarantee.
   DL-D2  unordered_{map,set,...} anywhere in src/. Hash-order iteration reaching
          any output (wire bytes, snapshots, aggregation order) is nondeterministic
          across libc++/libstdc++ and even process runs; the repo bans the
@@ -28,9 +29,11 @@ Secret hygiene (taint from `// deta-lint: secret` tags on declarations)
          same statement (plaintext state on disk).
 
 Protocol liveness
-  DL-L1  unbounded blocking receive (.Receive() / .ReceiveType( / .Pop()) outside
-         the transport internals. Every protocol wait must carry a timeout (the
-         *For forms) so a dead peer cannot wedge an event loop — the rule PR 2
+  DL-L1  unbounded blocking wait: mailbox receives with no deadline (.Receive() /
+         .ReceiveType( / .Pop()) outside the transport internals, and socket
+         waits that block forever (epoll_wait/poll with a -1 timeout). Every
+         protocol wait must carry a timeout (the *For forms; a tick for event
+         loops) so a dead peer cannot wedge an event loop — the rule PR 2
          established by hand, now machine-checked.
 
 Suppressions: `// deta-lint: allow(DL-XX) <reason>` on the finding's line or the
@@ -78,8 +81,8 @@ WHITELIST = [
      "pool internals: the worker vector holds raw std::thread handles"),
     ("DL-D3", "src/common/parallel.cc",
      "pool internals spawn/join workers under the annotated mutex"),
-    ("DL-L1", "src/net/message_bus.cc",
-     "implements the unbounded primitives directly over the mailbox queue; "
+    ("DL-L1", "src/net/transport.cc",
+     "Endpoint implements the unbounded primitives directly over the mailbox queue; "
      "Close() is their documented unblocking path"),
 ]
 
@@ -94,6 +97,8 @@ D1_TOKENS = [
     (re.compile(r"\bsrand\s*\("), "srand("),
     (re.compile(r"\btime\s*\("), "time("),
     (re.compile(r"system_clock"), "system_clock"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday("),
+    (re.compile(r"\bCLOCK_REALTIME\b"), "CLOCK_REALTIME"),
 ]
 D2_TOKEN = re.compile(r"std::unordered_\w+")
 D3_TOKENS = [
@@ -105,7 +110,13 @@ D3_TOKENS = [
     (re.compile(r"std::unique_lock"), "std::unique_lock"),
     (re.compile(r"std::scoped_lock"), "std::scoped_lock"),
 ]
-L1_TOKEN = re.compile(r"(?:\.|->)\s*(?:Receive|Pop)\s*\(\s*\)|(?:\.|->)\s*ReceiveType\s*\(")
+L1_TOKEN = re.compile(
+    # Unbounded mailbox primitives: Receive()/Pop() with no deadline, typed ReceiveType.
+    r"(?:\.|->)\s*(?:Receive|Pop)\s*\(\s*\)|(?:\.|->)\s*ReceiveType\s*\("
+    # Unbounded socket waits: epoll_wait/poll with a -1 timeout block forever, so a
+    # peer that dies without closing its socket wedges the transport event loop.
+    r"|\bepoll_wait\s*\([^;()]*,\s*-1\s*\)"
+    r"|\bpoll\s*\([^;()]*,\s*-1\s*\)")
 
 LOG_TOKEN = re.compile(r"\bDETA_LOG\b|\bLOG_(?:DEBUG|INFO|WARNING|ERROR)\b")
 TELEMETRY_TOKEN = re.compile(

@@ -1,0 +1,12 @@
+// Must-fail: stamping frames with the wall clock (gettimeofday / CLOCK_REALTIME)
+// makes wire transcripts time-dependent and NTP-step-sensitive.
+#include <ctime>
+#include <sys/time.h>
+
+long FrameStampMicros() {
+  timeval tv;
+  gettimeofday(&tv, nullptr);
+  timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return tv.tv_sec * 1000000L + tv.tv_usec + ts.tv_nsec / 1000;
+}

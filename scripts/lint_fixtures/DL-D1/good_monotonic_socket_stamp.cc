@@ -1,0 +1,9 @@
+// Must-pass: monotonic clocks are fine for timeouts/latency — they never reach wire
+// bytes or aggregation state, and they don't step with NTP.
+#include <ctime>
+
+long DeadlineNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1000000000L + ts.tv_nsec;
+}

@@ -1,0 +1,13 @@
+// Must-fail: epoll_wait with a -1 timeout blocks forever — a peer that dies without
+// closing its socket wedges the transport event loop.
+#include <sys/epoll.h>
+
+void Loop(int epoll_fd) {
+  epoll_event events[16];
+  for (;;) {
+    int n = epoll_wait(epoll_fd, events, 16, -1);
+    if (n <= 0) {
+      return;
+    }
+  }
+}

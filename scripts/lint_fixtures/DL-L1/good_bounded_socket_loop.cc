@@ -1,0 +1,12 @@
+// Must-pass: the event loop wakes on a tick even with no socket activity, so stop
+// requests and retransmission deadlines always get serviced.
+#include <poll.h>
+#include <sys/epoll.h>
+
+void Loop(int epoll_fd, pollfd* fds) {
+  epoll_event events[16];
+  int n = epoll_wait(epoll_fd, events, 16, 20);
+  int m = poll(fds, 1, 20);
+  (void)n;
+  (void)m;
+}

@@ -25,7 +25,6 @@
 
 #include "crypto/ec.h"
 #include "crypto/ecdsa.h"
-#include "net/message_bus.h"
 #include "net/retry.h"
 #include "net/secure_channel.h"
 

@@ -18,10 +18,11 @@ constexpr int kTickMs = 50;
 constexpr uint64_t kResumeSeqSlack = uint64_t{1} << 20;
 }  // namespace
 
-DetaAggregator::DetaAggregator(AggregatorConfig config, net::MessageBus& bus,
+DetaAggregator::DetaAggregator(AggregatorConfig config, net::Transport& transport,
                                std::shared_ptr<cc::Cvm> cvm, crypto::SecureRng rng)
-    : config_(std::move(config)), bus_(bus), cvm_(std::move(cvm)), rng_(std::move(rng)) {
-  endpoint_ = bus_.CreateEndpoint(config_.name);
+    : config_(std::move(config)), transport_(transport), cvm_(std::move(cvm)),
+      rng_(std::move(rng)) {
+  endpoint_ = transport_.CreateEndpoint(config_.name);
   // The token was injected by the attestation proxy in phase I; its presence is this
   // node's proof of having passed attestation.
   std::optional<Bytes> token = cvm_->GuestRead(cc::kTokenRegion);

@@ -34,7 +34,6 @@
 #include "core/auth_protocol.h"
 #include "fl/aggregation.h"
 #include "fl/paillier_fusion.h"
-#include "net/message_bus.h"
 #include "net/retry.h"
 #include "persist/state_store.h"
 
@@ -117,8 +116,8 @@ class DetaAggregator {
  public:
   // The token private key is read from the CVM's encrypted memory (provisioned by the
   // attestation proxy in phase I); construction fails if the CVM was not provisioned.
-  DetaAggregator(AggregatorConfig config, net::MessageBus& bus, std::shared_ptr<cc::Cvm> cvm,
-                 crypto::SecureRng rng);
+  DetaAggregator(AggregatorConfig config, net::Transport& transport,
+                 std::shared_ptr<cc::Cvm> cvm, crypto::SecureRng rng);
   ~DetaAggregator();
 
   DetaAggregator(const DetaAggregator&) = delete;
@@ -157,7 +156,7 @@ class DetaAggregator {
   bool RestoreFromSnapshot();
 
   AggregatorConfig config_;
-  net::MessageBus& bus_;
+  net::Transport& transport_;
   std::unique_ptr<net::Endpoint> endpoint_;
   std::shared_ptr<cc::Cvm> cvm_;
   // The auth token proves this CVM passed attestation; wiped in the destructor.

@@ -33,13 +33,30 @@ Bytes AggregatorImage(const fl::ExecutionOptions& options) {
 
 DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
                  std::vector<std::unique_ptr<fl::Party>> parties,
-                 const fl::ModelFactory& global_factory, data::Dataset eval)
+                 const fl::ModelFactory& global_factory, data::Dataset eval,
+                 DetaDeployment deployment)
     : options_(std::move(options)),
       deta_(std::move(deta)),
+      deployment_(std::move(deployment)),
       global_model_(global_factory()),
       eval_(std::move(eval)) {
-  DETA_CHECK(!parties.empty());
+  transport_ = deployment_.transport != nullptr ? deployment_.transport : &bus_;
+  // Full party roster (identical in every process); |parties| holds trainers for the
+  // local subset when a roster is given explicitly.
+  if (deployment_.party_names.empty()) {
+    for (const auto& p : parties) {
+      party_names_.push_back(p->name());
+    }
+  } else {
+    party_names_ = deployment_.party_names;
+  }
+  DETA_CHECK(!party_names_.empty());
   DETA_CHECK_GT(deta_.num_aggregators, 0);
+  observer_local_ = RoleIsLocal("observer");
+  broker_local_ = RoleIsLocal(KeyBroker::kEndpointName);
+  DETA_CHECK_MSG(options_.fault_plan.crashes.empty() || deployment_.local_roles.empty(),
+                 "crash-fault orchestration requires a single-process job: the observer "
+                 "supervises revives and cannot restart roles in other processes");
   crypto::SecureRng setup_rng(
       StringToBytes("deta-job-setup-" + std::to_string(options_.seed)));
 
@@ -73,7 +90,7 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
       resume_failed_ = true;
       resume_error_ =
           "resume requested but no verifiable job snapshot in " + options_.checkpoint.dir;
-    } else if (config == nullptr || config->data != ConfigDigest(parties.size())) {
+    } else if (config == nullptr || config->data != ConfigDigest(party_names_.size())) {
       resume_failed_ = true;
       resume_error_ = "job snapshot was written by a different configuration "
                       "(seed/topology/algorithm mismatch)";
@@ -143,17 +160,22 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
 
   crypto::EcKeyPair broker_identity = crypto::GenerateEcKey(setup_rng);
   if (deta_.use_key_broker) {
-    KeyBrokerDurability kbd;
-    kbd.store = store_.get();
-    kbd.resume = resume_roles;
-    kbd.crash_after_serves = options_.fault_plan.CrashRoundFor(KeyBroker::kEndpointName);
-    kbd.seal_seed = options_.seed;
-    // expected_parties = 0: the broker serves (and re-serves) until the job stops it
-    // after the ready barrier — under fault injection a party may need a re-serve after
-    // every party has already been served once.
-    key_broker_ = std::make_unique<KeyBroker>(material, broker_identity, 0, bus_,
-                                              crypto::SecureRng(setup_rng.NextBytes(32)),
-                                              kbd);
+    // Drawn whether or not the broker is local, preserving the global draw order that
+    // keeps per-role RNGs identical across the processes of a deployment.
+    crypto::SecureRng broker_rng(setup_rng.NextBytes(32));
+    if (broker_local_) {
+      KeyBrokerDurability kbd;
+      kbd.store = store_.get();
+      kbd.resume = resume_roles;
+      kbd.crash_after_serves =
+          options_.fault_plan.CrashRoundFor(KeyBroker::kEndpointName);
+      kbd.seal_seed = options_.seed;
+      // expected_parties = 0: the broker serves (and re-serves) until the job stops it
+      // after the ready barrier — under fault injection a party may need a re-serve
+      // after every party has already been served once.
+      key_broker_ = std::make_unique<KeyBroker>(material, broker_identity, 0,
+                                                *transport_, std::move(broker_rng), kbd);
+    }
   }
   // Retained for crash revives: a replacement broker is rebuilt from the same material
   // and identity; replacement aggregators/parties from the retained configs below.
@@ -161,10 +183,16 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
   broker_identity_ = broker_identity;
 
   // --- Aggregator nodes (threads created at Run) ---
-  std::vector<std::string> party_names;
-  for (const auto& p : parties) {
-    party_names.push_back(p->name());
-  }
+  // Idle-watchdog floor: with staggered party starts the quiet stretches scale with the
+  // deployment — an early party legitimately hears nothing while the rest of the roster
+  // trickles through setup, and an aggregator waits out the same tail before round 1.
+  // The watchdog only has to beat a genuinely dead peer, so cover the worst legitimate
+  // silence: the longer of the round/setup timeouts plus the whole stagger window.
+  const int stagger_window_ms =
+      static_cast<int>(party_names_.size()) * deta_.party_start_stagger_ms;
+  const int idle_floor_ms =
+      std::max(options_.round_timeout_ms, options_.setup_timeout_ms) + stagger_window_ms;
+  aggregator_names_ = aggregator_names;
   for (int j = 0; j < deta_.num_aggregators; ++j) {
     AggregatorConfig ac;
     ac.name = aggregator_names[static_cast<size_t>(j)];
@@ -172,12 +200,13 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
     ac.is_initiator = (j == 0);  // "DeTA randomly selects one aggregator as initiator";
                                  // index 0 is equivalent (names carry no bias) and
                                  // keeps runs reproducible.
-    ac.num_parties = static_cast<int>(parties.size());
+    ac.num_parties = static_cast<int>(party_names_.size());
     ac.num_aggregators = deta_.num_aggregators;
     ac.rounds = options_.rounds;
     ac.quorum = deta_.quorum;
     ac.min_quorum = deta_.min_quorum;
     ac.round_timeout_ms = options_.round_timeout_ms;
+    ac.idle_timeout_ms = std::max(ac.idle_timeout_ms, idle_floor_ms);
     ac.retry = options_.retry;
     ac.algorithm = options_.algorithm;
     ac.use_paillier = options_.use_paillier;
@@ -186,7 +215,7 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
     }
     ac.observer = "observer";
     ac.initiator_name = aggregator_names[0];
-    ac.party_names = party_names;
+    ac.party_names = party_names_;
     ac.aggregator_names = aggregator_names;
     ac.store = store_.get();
     ac.checkpoint_every = options_.checkpoint.every_n_rounds;
@@ -197,14 +226,16 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
       ac.resume_max_round = resume_round_;  // pin to the job snapshot's consistent cut
     }
     agg_configs_.push_back(ac);
-    aggregators_.push_back(std::make_unique<DetaAggregator>(
-        ac, bus_, cvms_[static_cast<size_t>(j)],
-        crypto::SecureRng(setup_rng.NextBytes(32))));
+    crypto::SecureRng agg_rng(setup_rng.NextBytes(32));  // drawn even for remote roles
+    if (RoleIsLocal(ac.name)) {
+      aggregators_.push_back(std::make_unique<DetaAggregator>(
+          ac, *transport_, cvms_[static_cast<size_t>(j)], std::move(agg_rng)));
+    }
   }
 
   // --- Party nodes ---
   std::vector<float> initial = global_model_->GetFlatParams();
-  for (size_t i = 0; i < parties.size(); ++i) {
+  for (size_t i = 0; i < party_names_.size(); ++i) {
     DetaPartyConfig pc;
     pc.aggregator_names = aggregator_names;
     pc.token_registry = proxy_->TokenRegistry();
@@ -213,14 +244,16 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
     pc.train = options_.train;
     pc.use_paillier = options_.use_paillier;
     pc.paillier = paillier;
-    pc.num_parties = static_cast<int>(parties.size());
+    pc.num_parties = static_cast<int>(party_names_.size());
     pc.initial_params = initial;
     pc.rounds = options_.rounds;
     pc.retry = options_.retry;
+    pc.idle_timeout_ms = std::max(pc.idle_timeout_ms, idle_floor_ms);
+    pc.start_delay_ms = static_cast<int>(i) * deta_.party_start_stagger_ms;
     pc.store = store_.get();
     pc.checkpoint_every = options_.checkpoint.every_n_rounds;
     pc.seal_seed = options_.seed;
-    pc.crash_at_round = options_.fault_plan.CrashRoundFor(parties[i]->name());
+    pc.crash_at_round = options_.fault_plan.CrashRoundFor(party_names_[i]);
     if (options_.fault_plan.CrashRoundFor(KeyBroker::kEndpointName) > 0) {
       // A broker crash strands the fetch mid-handshake; retry the whole handshake while
       // the job driver revives the replacement broker.
@@ -242,11 +275,33 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
     }
     party_transform_ = party_transform;
     party_configs_.push_back(pc);
+    crypto::SecureRng party_rng(setup_rng.NextBytes(32));  // drawn even for remote roles
+    if (!RoleIsLocal(party_names_[i])) {
+      continue;
+    }
+    // Find this role's trainer: positional in the classic all-local shape, by name when
+    // the deployment hands this process a subset.
+    std::unique_ptr<fl::Party> local;
+    for (auto& candidate : parties) {
+      if (candidate != nullptr && candidate->name() == party_names_[i]) {
+        local = std::move(candidate);
+        break;
+      }
+    }
+    DETA_CHECK_MSG(local != nullptr,
+                   "no local trainer supplied for hosted party " << party_names_[i]);
     deta_parties_.push_back(std::make_unique<DetaParty>(
-        std::move(parties[i]), pc, party_transform, bus_,
-        crypto::SecureRng(setup_rng.NextBytes(32))));
+        std::move(local), pc, party_transform, *transport_, std::move(party_rng)));
   }
   revive_rng_ = crypto::SecureRng(setup_rng.NextBytes(32));
+}
+
+bool DetaJob::RoleIsLocal(const std::string& role) const {
+  if (deployment_.local_roles.empty()) {
+    return true;
+  }
+  return std::find(deployment_.local_roles.begin(), deployment_.local_roles.end(),
+                   role) != deployment_.local_roles.end();
 }
 
 Bytes DetaJob::ConfigDigest(size_t num_parties) const {
@@ -279,7 +334,7 @@ void DetaJob::SaveJobState(int round, const std::vector<float>& params,
   w.WriteDouble(cumulative);
   snapshot.Add(persist::SectionType::kRaw, "observer", w.Take());
   snapshot.Add(persist::SectionType::kRaw, "config",
-               ConfigDigest(deta_parties_.size()));
+               ConfigDigest(party_names_.size()));
   if (!store_->Write(snapshot)) {
     LOG_WARNING << "DeTA job: job snapshot write failed for round " << round;
   }
@@ -294,7 +349,7 @@ void DetaJob::ReviveCrashedRoles(net::Endpoint& observer, bool job_started) {
     kbd.resume = true;
     kbd.seal_seed = options_.seed;
     key_broker_ = std::make_unique<KeyBroker>(
-        material_, broker_identity_, 0, bus_,
+        material_, broker_identity_, 0, *transport_,
         crypto::SecureRng(revive_rng_.NextBytes(32)), kbd);
     key_broker_->Start();
     DETA_COUNTER("persist.role_revived").Increment();
@@ -311,7 +366,7 @@ void DetaJob::ReviveCrashedRoles(net::Endpoint& observer, bool job_started) {
     ac.resume_max_round = -1;  // in-run revive: newest snapshot is the right one
     aggregators_[j].reset();
     aggregators_[j] = std::make_unique<DetaAggregator>(
-        ac, bus_, cvms_[j], crypto::SecureRng(revive_rng_.NextBytes(32)));
+        ac, *transport_, cvms_[j], crypto::SecureRng(revive_rng_.NextBytes(32)));
     aggregators_[j]->Start();
     DETA_COUNTER("persist.role_revived").Increment();
     LOG_INFO << "DeTA job: revived " << ac.name << " from snapshot";
@@ -332,10 +387,11 @@ void DetaJob::ReviveCrashedRoles(net::Endpoint& observer, bool job_started) {
     pc.resume = true;
     pc.resume_max_round = -1;
     pc.announce_ready = false;  // the ready barrier already passed
+    pc.start_delay_ms = 0;      // and with it, any start stagger
     std::string name = local->name();
     deta_parties_[i].reset();
     deta_parties_[i] = std::make_unique<DetaParty>(
-        std::move(local), pc, party_transform_, bus_,
+        std::move(local), pc, party_transform_, *transport_,
         crypto::SecureRng(revive_rng_.NextBytes(32)));
     deta_parties_[i]->Start();
     DETA_COUNTER("persist.role_revived").Increment();
@@ -353,18 +409,69 @@ DetaJob::~DetaJob() {
 }
 
 void DetaJob::ShutdownAll(net::Endpoint& observer) {
-  for (auto& agg : aggregators_) {
-    observer.Send(agg->name(), kShutdown, {});
+  for (const std::string& name : aggregator_names_) {
+    observer.Send(name, kShutdown, {});
+  }
+  for (const std::string& name : party_names_) {
+    observer.Send(name, kShutdown, {});
   }
   for (auto& party : deta_parties_) {
-    observer.Send(party->name(), kShutdown, {});
     // The message alone cannot interrupt a party blocked in mid-round result
     // collection (selective receive stashes it); closing the mailbox can.
     party->Shutdown();
   }
+  StopBroker(observer);
+}
+
+void DetaJob::StopBroker(net::Endpoint& observer) {
   if (key_broker_ != nullptr) {
     key_broker_->Stop();
+  } else if (deta_.use_key_broker && !broker_local_ && !remote_broker_stopped_) {
+    observer.Send(KeyBroker::kEndpointName, kShutdown, {});
+    remote_broker_stopped_ = true;
   }
+}
+
+void DetaJob::StartLocalRoles() {
+  if (key_broker_ != nullptr) {
+    key_broker_->Start();
+  }
+  for (auto& agg : aggregators_) {
+    agg->Start();
+  }
+  for (auto& party : deta_parties_) {
+    party->Start();
+  }
+}
+
+// Worker-process path: no observer loop — start the hosted roles and wait for them to
+// run the protocol to completion (parties exit after their final round; followers and
+// the broker exit on the shutdown fan-out that reaches them over the transport).
+fl::JobResult DetaJob::RunWorker() {
+  const telemetry::TelemetrySnapshot telemetry_start = telemetry::Snapshot();
+  StartLocalRoles();
+  fl::JobResult result;
+  result.setup_seconds = attestation_seconds_;
+  for (auto& party : deta_parties_) {
+    party->Join();
+  }
+  for (auto& agg : aggregators_) {
+    agg->Join();
+  }
+  if (key_broker_ != nullptr) {
+    key_broker_->Join();
+  }
+  for (auto& party : deta_parties_) {
+    if (!party->setup_ok()) {
+      result.status = fl::JobStatus::kSetupFailed;
+      result.error = "party " + party->name() + " failed setup";
+    }
+  }
+  if (!deta_parties_.empty()) {
+    result.final_params = deta_parties_.front()->final_params();
+  }
+  result.telemetry = telemetry::Delta(telemetry_start, telemetry::Snapshot());
+  return result;
 }
 
 fl::JobResult DetaJob::Run() {
@@ -397,20 +504,17 @@ fl::JobResult DetaJob::Run() {
   if (options_.fault_plan.enabled()) {
     net::FaultPlan plan = options_.fault_plan;
     plan.immune.insert("observer");
-    bus_.SetFaultPlan(plan);
+    transport_->SetFaultPlan(plan);
     LOG_INFO << "DeTA job: fault injection enabled (seed " << plan.seed << ")";
   }
 
-  auto observer = bus_.CreateEndpoint("observer");
-  if (key_broker_ != nullptr) {
-    key_broker_->Start();
+  // Worker processes of a multi-process deployment host roles but no measurement loop.
+  if (!observer_local_) {
+    return RunWorker();
   }
-  for (auto& agg : aggregators_) {
-    agg->Start();
-  }
-  for (auto& party : deta_parties_) {
-    party->Start();
-  }
+
+  auto observer = transport_->CreateEndpoint("observer");
+  StartLocalRoles();
 
   fl::JobResult result;
   // Attestation and registration are one-time setup (before training starts); the paper's
@@ -439,9 +543,10 @@ fl::JobResult DetaJob::Run() {
     return std::nullopt;
   };
 
-  // Bounded ready barrier: every party reports the outcome of verification +
-  // registration, or the barrier times out. Either failure is a typed result, not a hang.
-  for (size_t i = 0; i < deta_parties_.size(); ++i) {
+  // Bounded ready barrier: every party (local or remote) reports the outcome of
+  // verification + registration, or the barrier times out. Either failure is a typed
+  // result, not a hang.
+  for (size_t i = 0; i < party_names_.size(); ++i) {
     std::optional<net::Message> m = receive_ready();
     if (!m.has_value()) {
       result.status = fl::JobStatus::kSetupFailed;
@@ -457,12 +562,10 @@ fl::JobResult DetaJob::Run() {
     finish_telemetry(result, 0.0);
     return result;
   }
-  LOG_INFO << "DeTA job: all " << deta_parties_.size()
-           << " parties verified and registered with " << aggregators_.size()
+  LOG_INFO << "DeTA job: all " << party_names_.size()
+           << " parties verified and registered with " << aggregator_names_.size()
            << " aggregators";
-  if (key_broker_ != nullptr) {
-    key_broker_->Stop();  // every party holds the material once it reports ready
-  }
+  StopBroker(*observer);  // every party holds the material once it reports ready
 
   // Acked job start, so a stalled initiator is a typed error instead of a silent hang.
   // (Observer traffic is exempt from fault injection, so this succeeds first try when
@@ -471,14 +574,14 @@ fl::JobResult DetaJob::Run() {
   // initiator — so interleave send / short wait / revive manually instead.
   bool job_started = false;
   if (!crash_mode) {
-    job_started = net::RequestReply(*observer, aggregators_[0]->name(), kJobStart, {},
+    job_started = net::RequestReply(*observer, aggregator_names_[0], kJobStart, {},
                                     kJobStartAck, options_.retry)
                       .has_value();
   } else {
     auto deadline = std::chrono::steady_clock::now() +
                     std::chrono::milliseconds(options_.setup_timeout_ms);
     while (!job_started && std::chrono::steady_clock::now() < deadline) {
-      observer->Send(aggregators_[0]->name(), kJobStart, {});
+      observer->Send(aggregator_names_[0], kJobStart, {});
       job_started = observer->ReceiveTypeFor(kJobStartAck, 250).has_value();
       if (!job_started) {
         ReviveCrashedRoles(*observer, /*job_started=*/true);
@@ -487,7 +590,7 @@ fl::JobResult DetaJob::Run() {
   }
   if (!job_started) {
     result.status = fl::JobStatus::kStalled;
-    result.error = "initiator " + aggregators_[0]->name() + " did not ack job start";
+    result.error = "initiator " + aggregator_names_[0] + " did not ack job start";
     ShutdownAll(*observer);
     finish_telemetry(result, 0.0);
     return result;
@@ -501,16 +604,17 @@ fl::JobResult DetaJob::Run() {
 
   // Per-round report collection, tolerant of cross-round interleaving and dropouts.
   std::map<int, std::vector<std::pair<double, double>>> timings;  // round -> (train, trans)
+  std::map<int, std::vector<double>> rtts;  // round -> per-party upload round-trips
   std::map<int, uint64_t> upload_bytes;
   std::map<int, std::vector<std::pair<double, uint64_t>>> agg_reports;
   std::map<int, std::vector<float>> reported_params;
   std::map<int, std::set<std::string>> dropouts;  // round -> absent/skipping parties
 
   std::set<std::string> active;  // parties still participating
-  for (const auto& p : deta_parties_) {
-    active.insert(p->name());
+  for (const std::string& name : party_names_) {
+    active.insert(name);
   }
-  const std::string reporter = deta_parties_[0]->name();
+  const std::string reporter = party_names_[0];
   // On whole-job resume the constructor loaded the job snapshot's params into the global
   // model, so this is the restored consistent cut (and already the final params if the
   // requested round count was reached before the crash).
@@ -518,7 +622,7 @@ fl::JobResult DetaJob::Run() {
   if (resume_round_ > 0) {
     result.final_params = last_params;
   }
-  size_t num_aggs = aggregators_.size();
+  size_t num_aggs = aggregator_names_.size();
 
   // Worst case for one round under faults: an aggregator runs to its collection
   // deadline, parties spend their whole retry budget, plus scheduling slack.
@@ -527,6 +631,7 @@ fl::JobResult DetaJob::Run() {
 
   for (int round = resume_round_ + 1; round <= options_.rounds && result.ok(); ++round) {
     telemetry::Span round_span("core.deta_job.round", &sim_clock);
+    WallStopwatch round_wall;
     auto deadline = std::chrono::steady_clock::now() +
                     std::chrono::milliseconds(round_budget_ms);
     auto round_complete = [&] {
@@ -568,6 +673,7 @@ fl::JobResult DetaJob::Run() {
         double train_s = r.ReadDouble();
         double trans_s = r.ReadDouble();
         uint64_t bytes = r.ReadU64();
+        rtts[rd].push_back(r.ReadDouble());
         timings[rd].push_back({train_s, trans_s});
         upload_bytes[rd] = std::max(upload_bytes[rd], bytes);
       } else if (m->type == kAggReport) {
@@ -646,6 +752,9 @@ fl::JobResult DetaJob::Run() {
     m.round_latency_s = round_latency;
     cumulative += round_latency;
     m.cumulative_latency_s = cumulative;
+    m.wall_seconds = round_wall.ElapsedSeconds();
+    m.party_rtts_s = std::move(rtts[round]);
+    std::sort(m.party_rtts_s.begin(), m.party_rtts_s.end());
     result.rounds.push_back(m);
     if (!dropouts[round].empty()) {
       result.per_round_dropouts[round] = std::vector<std::string>(
@@ -660,6 +769,7 @@ fl::JobResult DetaJob::Run() {
     result.final_params = last_params;
     SaveJobState(round, last_params, cumulative);
     timings.erase(round);
+    rtts.erase(round);
     agg_reports.erase(round);
     reported_params.erase(round);
     dropouts.erase(round);

@@ -21,6 +21,7 @@
 #include "core/key_broker.h"
 #include "core/transform.h"
 #include "fl/job_api.h"
+#include "net/message_bus.h"
 #include "persist/state_store.h"
 
 namespace deta::core {
@@ -44,13 +45,36 @@ struct DetaOptions {
   // missing at that point are recorded as dropouts for the round. 0 = every party must
   // arrive (an absence at the deadline is a quorum failure).
   int min_quorum = 0;
+  // Party i delays its setup by i * this many ms. At 1k-10k-party scale, launching
+  // every EC handshake simultaneously backs the aggregators up past the retransmission
+  // timeouts, and the retransmissions themselves then multiply the backlog; pacing the
+  // starts keeps the handshake queues short. 0 = all parties start at once.
+  int party_start_stagger_ms = 0;
+};
+
+// Where this DetaJob instance's roles run. The default (all fields empty) is the
+// classic single-process deployment: the job owns an in-proc MessageBus and hosts every
+// role. Multi-process deployments give each process the same options/seed plus a
+// Transport backed by real sockets and the subset of roles it hosts; the setup RNG draw
+// order is preserved across processes, so shared material (transform, Paillier keys,
+// auth tokens) derives identically everywhere.
+struct DetaDeployment {
+  // External transport (not owned). Null = job-owned in-proc MessageBus.
+  net::Transport* transport = nullptr;
+  // Role names this process hosts: "observer", KeyBroker::kEndpointName, aggregator
+  // names ("aggregator0"...), party names. Empty = every role is local.
+  std::vector<std::string> local_roles;
+  // Full party roster for multi-process jobs, in global order; |parties| then holds
+  // trainers for the local subset only. Empty = the roster is exactly |parties|.
+  std::vector<std::string> party_names;
 };
 
 class DetaJob {
  public:
   DetaJob(fl::ExecutionOptions options, DetaOptions deta,
           std::vector<std::unique_ptr<fl::Party>> parties,
-          const fl::ModelFactory& global_factory, data::Dataset eval);
+          const fl::ModelFactory& global_factory, data::Dataset eval,
+          DetaDeployment deployment = {});
   ~DetaJob();
 
   // Runs the full life cycle; returns per-round metrics, the final global parameters,
@@ -63,9 +87,18 @@ class DetaJob {
   const std::vector<std::shared_ptr<cc::Cvm>>& aggregator_cvms() const { return cvms_; }
   const Transform& transform() const { return *transform_; }
   // Post-run access for the fault-injection tests: delivered/dropped traffic counters.
+  // Only meaningful for jobs using the built-in in-proc transport.
   const net::MessageBus& bus() const { return bus_; }
 
  private:
+  // True when |role| runs in this process (deployment.local_roles empty = all local).
+  bool RoleIsLocal(const std::string& role) const;
+  // Starts local role threads; the observer path then runs the measurement loop while
+  // worker processes just wait for their roles to finish.
+  void StartLocalRoles();
+  fl::JobResult RunWorker();
+  // Stops the key broker: directly when local, via a kShutdown message otherwise.
+  void StopBroker(net::Endpoint& observer);
   // Fans out shutdown to every aggregator and party and stops the broker, so failure
   // paths leave no thread waiting on a message that will never come.
   void ShutdownAll(net::Endpoint& observer);
@@ -82,10 +115,20 @@ class DetaJob {
 
   fl::ExecutionOptions options_;
   DetaOptions deta_;
+  DetaDeployment deployment_;
   std::unique_ptr<nn::Model> global_model_;
   data::Dataset eval_;
 
   net::MessageBus bus_;
+  // The transport every role endpoint is created on: &bus_ or deployment_.transport.
+  net::Transport* transport_ = nullptr;
+  // Full rosters (identical in every process of a deployment); the local object
+  // vectors below hold only this process's subset.
+  std::vector<std::string> aggregator_names_;
+  std::vector<std::string> party_names_;
+  bool observer_local_ = true;
+  bool broker_local_ = true;
+  bool remote_broker_stopped_ = false;
   std::unique_ptr<cc::RemoteAttestationService> ras_;
   std::vector<std::unique_ptr<cc::SevPlatform>> platforms_;
   std::vector<std::shared_ptr<cc::Cvm>> cvms_;

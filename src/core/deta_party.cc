@@ -9,6 +9,7 @@
 #include "common/sim_clock.h"
 #include "common/telemetry.h"
 #include "core/auth_protocol.h"
+#include "core/key_broker.h"
 #include "net/codec.h"
 #include "persist/paillier_key_codec.h"
 
@@ -26,15 +27,15 @@ int MsUntil(Clock::time_point deadline) {
 }  // namespace
 
 DetaParty::DetaParty(std::unique_ptr<fl::Party> local, DetaPartyConfig config,
-                     std::shared_ptr<const Transform> transform, net::MessageBus& bus,
-                     crypto::SecureRng rng)
+                     std::shared_ptr<const Transform> transform,
+                     net::Transport& transport, crypto::SecureRng rng)
     : local_(std::move(local)),
       name_(local_->name()),
       config_(std::move(config)),
       transform_(std::move(transform)),
-      bus_(bus),
+      transport_(transport),
       rng_(std::move(rng)) {
-  endpoint_ = bus_.CreateEndpoint(name_);
+  endpoint_ = transport_.CreateEndpoint(name_);
   global_params_ = config_.initial_params;
   DETA_CHECK_EQ(static_cast<int64_t>(global_params_.size()), local_->ParameterCount());
   if (!config_.fetch_from_key_broker) {
@@ -141,6 +142,9 @@ bool DetaParty::SetupChannels() {
 }
 
 void DetaParty::Run() {
+  if (config_.start_delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(config_.start_delay_ms));
+  }
   bool resumed = false;
   if (config_.resume) {
     resumed = RestoreFromSnapshot();
@@ -220,10 +224,11 @@ void DetaParty::Run() {
       SaveState(round);
     } else if (m->type == kRoundResult) {
       LOG_DEBUG << name() << ": late round result between rounds — ignored";
-    } else if (m->type == kAuthRegisterAck || m->type == kAuthResponse) {
-      // A slow reply races the handshake's retransmission, so the aggregator answers
-      // twice and the surplus ack or challenge response pops out here. Expected
-      // protocol fallout, not a fault.
+    } else if (m->type == kAuthRegisterAck || m->type == kAuthResponse ||
+               m->type == kKeyBrokerMaterial) {
+      // A slow reply races the handshake's (or key fetch's) retransmission, so the
+      // responder answers twice and the surplus ack, challenge response, or material
+      // copy pops out here. Expected protocol fallout, not a fault.
       LOG_DEBUG << name() << ": surplus " << m->type << " — ignored";
     } else {
       LOG_WARNING << name() << ": unexpected message type " << m->type;
@@ -371,6 +376,10 @@ void DetaParty::RunRound(int round) {
   // CPU-time stopwatch: counts the (potentially expensive, e.g. Paillier) result
   // processing but not the blocking waits on the network.
   Stopwatch result_watch;
+  // Wall-clock round-trip of the upload/collect exchange (first upload send to last
+  // result decoded): the tail-latency signal the scale harness aggregates into
+  // per-round p50/p99 (bench/scale_parties.cc).
+  WallStopwatch rtt_watch;
   size_t num_aggs = payloads.size();
   std::vector<std::vector<float>> aggregated(num_aggs);
   std::vector<bool> have(num_aggs, false);
@@ -499,6 +508,7 @@ void DetaParty::RunRound(int round) {
   }
 
   double result_seconds = result_watch.ElapsedSeconds();
+  double upload_rtt_seconds = rtt_watch.ElapsedSeconds();
 
   // --- Trans^-1: un-shuffle + merge, then synchronize the local model ---
   Stopwatch invert_watch;
@@ -520,6 +530,7 @@ void DetaParty::RunRound(int round) {
     w.WriteDouble(local.train_seconds);
     w.WriteDouble(transform_seconds + invert_seconds);
     w.WriteU64(upload_bytes_max);
+    w.WriteDouble(upload_rtt_seconds);
     endpoint_->Send(config_.observer, kPartyTiming, w.Take());
     if (config_.is_reporter) {
       net::Writer wr;

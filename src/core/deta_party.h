@@ -60,6 +60,10 @@ struct DetaPartyConfig {
   int rounds = 0;
   // Retransmission pacing for setup handshakes and per-round uploads.
   net::RetryPolicy retry;
+  // Wait this long before starting setup. At 1k-10k-party scale the job staggers party
+  // starts (index * DetaOptions::party_start_stagger_ms) so thousands of simultaneous
+  // EC handshakes cannot back up the aggregators into a retransmission storm.
+  int start_delay_ms = 0;
   // Overall ceiling on one round's upload + result collection; the round is skipped
   // when it expires (0 = no ceiling — wait for shutdown).
   int result_timeout_ms = 120000;
@@ -94,7 +98,7 @@ class DetaParty {
   // |transform| may be null when config.fetch_from_key_broker is set; the party then
   // builds it from the broker-served material during setup.
   DetaParty(std::unique_ptr<fl::Party> local, DetaPartyConfig config,
-            std::shared_ptr<const Transform> transform, net::MessageBus& bus,
+            std::shared_ptr<const Transform> transform, net::Transport& transport,
             crypto::SecureRng rng);
   ~DetaParty();
 
@@ -135,7 +139,7 @@ class DetaParty {
   std::string name_;
   DetaPartyConfig config_;
   std::shared_ptr<const Transform> transform_;
-  net::MessageBus& bus_;
+  net::Transport& transport_;
   std::unique_ptr<net::Endpoint> endpoint_;
   crypto::SecureRng rng_;
   std::unique_ptr<fl::PaillierVectorCodec> paillier_codec_;

@@ -1,5 +1,7 @@
 #include "core/key_broker.h"
 
+#include "core/deta_aggregator.h"
+
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/telemetry.h"
@@ -61,14 +63,14 @@ std::shared_ptr<Transform> TransformMaterial::BuildTransform() const {
 }
 
 KeyBroker::KeyBroker(TransformMaterial material, crypto::EcKeyPair identity,
-                     int expected_parties, net::MessageBus& bus, crypto::SecureRng rng,
+                     int expected_parties, net::Transport& transport, crypto::SecureRng rng,
                      KeyBrokerDurability durability)
     : material_(std::move(material)),
       identity_(std::move(identity)),
       expected_parties_(expected_parties),
       durability_(durability),
       rng_(std::move(rng)) {
-  endpoint_ = bus.CreateEndpoint(kEndpointName);
+  endpoint_ = transport.CreateEndpoint(kEndpointName);
 }
 
 KeyBroker::~KeyBroker() {
@@ -141,6 +143,11 @@ void KeyBroker::Run() {
                 << (first ? "" : " (re-serve)") << " (" << served_.size() << "/"
                 << (expected_parties_ > 0 ? std::to_string(expected_parties_) : "∞")
                 << ")";
+    } else if (m->type == kShutdown) {
+      // Sent by a remote observer (multi-process deployments, where the job cannot
+      // call Stop() on a broker it does not own). Local jobs still use Stop().
+      endpoint_->Close();
+      return;
     } else {
       LOG_WARNING << "key broker: unexpected message type " << m->type;
     }

@@ -86,7 +86,7 @@ class KeyBroker {
   // serves until Stop() — the right mode under fault injection, where a party may still
   // need a retransmission after every party has been served once.
   KeyBroker(TransformMaterial material, crypto::EcKeyPair identity, int expected_parties,
-            net::MessageBus& bus, crypto::SecureRng rng,
+            net::Transport& transport, crypto::SecureRng rng,
             KeyBrokerDurability durability = {});
   ~KeyBroker();
 

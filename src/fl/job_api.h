@@ -24,6 +24,12 @@ struct RoundMetrics {
   double accuracy = 0.0;
   double round_latency_s = 0.0;       // simulated seconds for this round
   double cumulative_latency_s = 0.0;  // running total
+  // Real wall-clock seconds the observer spent collecting this round (scale-harness
+  // throughput; unlike round_latency_s this includes actual transport time).
+  double wall_seconds = 0.0;
+  // Per-party upload round-trips (send fragments -> last aggregated result back), as
+  // reported in each party's timing message. Feeds the scale harness's p50/p99 tails.
+  std::vector<double> party_rtts_s;
 };
 
 // Durable checkpoint/resume knobs (src/persist/). With |dir| empty, nothing is

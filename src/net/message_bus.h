@@ -1,13 +1,16 @@
-// In-process message transport. Every logical node (party, aggregator, attestation proxy)
-// registers an endpoint and gets a blocking mailbox; Send() routes by name. The bus also
-// keeps per-edge byte counters feeding the latency model (DESIGN.md "Simulated time"),
-// counting *delivered* traffic only, and an optional seeded fault-injection layer
-// (net/fault.h) that drops / delays / duplicates / reorders messages deterministically.
+// In-process transport backend. Every logical node (party, aggregator, attestation
+// proxy) registers an endpoint and gets a blocking mailbox; Send() routes by name. The
+// bus also keeps per-edge byte counters feeding the latency model (DESIGN.md "Simulated
+// time"), counting *delivered* traffic only, and an optional seeded fault-injection
+// layer (net/fault.h) that drops / delays / duplicates / reorders messages
+// deterministically.
 //
-// This is the stand-in for the paper's gRPC/TLS deployment fabric: nodes run on real
-// threads and communicate only through messages, so the initiator/follower aggregator
-// protocol and the two-phase auth handshake execute as genuine message exchanges — and,
-// with a fault plan installed, as genuinely lossy ones.
+// This is the stand-in for the paper's gRPC/TLS deployment fabric when every role runs
+// in one process: nodes run on real threads and communicate only through messages, so
+// the initiator/follower aggregator protocol and the two-phase auth handshake execute
+// as genuine message exchanges — and, with a fault plan installed, as genuinely lossy
+// ones. The TCP backend (net/tcp_transport.h) enacts the same contract over real
+// sockets; see net/transport.h for the split.
 //
 // Reliability contract: every message carries a per-sender sequence tag. The bus may
 // deliver a tagged message zero, one, or two times; receiving endpoints suppress
@@ -19,101 +22,34 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <optional>
-#include <set>
 #include <string>
+#include <utility>
 
-#include "common/bytes.h"
 #include "common/mutex.h"
-#include "common/queue.h"
 #include "common/thread_annotations.h"
 #include "net/fault.h"
-
-namespace deta::telemetry {
-class Counter;
-}  // namespace deta::telemetry
+#include "net/transport.h"
 
 namespace deta::net {
 
-struct Message {
-  std::string from;
-  std::string to;
-  std::string type;  // protocol message kind, e.g. "upload_update"
-  Bytes payload;
-  // Per-sender sequence tag for duplicate suppression; 0 = untagged (never deduped).
-  uint64_t seq = 0;
-
-  size_t WireSize() const {
-    return from.size() + to.size() + type.size() + payload.size() + sizeof(seq);
-  }
-};
-
-class MessageBus;
-
-// Receiving handle for one endpoint. Closed automatically when destroyed.
-class Endpoint {
- public:
-  Endpoint(std::string name, MessageBus* bus);
-  ~Endpoint();
-  Endpoint(const Endpoint&) = delete;
-  Endpoint& operator=(const Endpoint&) = delete;
-
-  const std::string& name() const { return name_; }
-
-  // Blocks until a message arrives or the endpoint closes; nullopt on close.
-  std::optional<Message> Receive();
-  // Bounded variant: nullopt after |timeout_ms| with no message. Use closed() to tell a
-  // timeout from a closed endpoint.
-  std::optional<Message> ReceiveFor(int timeout_ms);
-  // Blocks until a message of |type| arrives, queueing others aside (simple selective
-  // receive; keeps protocol code linear).
-  std::optional<Message> ReceiveType(const std::string& type);
-  // Like ReceiveType but gives up after |timeout_ms| (nullopt on timeout/close). Lets
-  // protocol code survive dead peers instead of blocking forever.
-  std::optional<Message> ReceiveTypeFor(const std::string& type, int timeout_ms);
-  // Like ReceiveTypeFor but additionally matches the sender, so a delayed or duplicated
-  // reply from peer A cannot be mistaken for peer B's reply. Non-matching messages are
-  // stashed for later receives.
-  std::optional<Message> ReceiveMatchFor(const std::string& type, const std::string& from,
-                                         int timeout_ms);
-  // Routes a message; returns false when the target endpoint does not exist or has
-  // closed its mailbox (i.e. retransmitting is pointless). A message lost to fault
-  // injection still returns true — by design indistinguishable from network loss.
-  bool Send(const std::string& to, const std::string& type, Bytes payload);
-  void Close();
-  // True once Close() ran (or the destructor did). Distinguishes "timed out" from
-  // "endpoint closed" after a nullopt ReceiveFor/ReceiveTypeFor.
-  bool closed() const { return mailbox_.closed(); }
-
- private:
-  friend class MessageBus;
-  // Pops one message with duplicate suppression; nullopt on timeout (timeout_ms >= 0
-  // exhausted) or close.
-  std::optional<Message> PopDeduped(int timeout_ms);
-  bool AlreadySeen(const Message& m);
-
-  std::string name_;
-  MessageBus* bus_;
-  BlockingQueue<Message> mailbox_;
-  std::vector<Message> stashed_;  // out-of-order messages set aside by ReceiveType*
-  // Receiver-thread-only dedup state: sender -> sequence tags already delivered.
-  std::map<std::string, std::set<uint64_t>> seen_;
-};
-
-class MessageBus {
+class MessageBus final : public Transport {
  public:
   MessageBus() = default;
 
   // Creates (registers) an endpoint. Name must be unique among live endpoints.
-  std::unique_ptr<Endpoint> CreateEndpoint(const std::string& name);
+  std::unique_ptr<Endpoint> CreateEndpoint(const std::string& name) override;
 
-  // Routes a message; drops it (with a warning) if the target does not exist. Returns
-  // false when the target is missing or closed (see Endpoint::Send).
-  bool Send(Message message);
+  // Routes a message; drops it (with a warning and the net.bus.unknown_target counter)
+  // if the target does not exist. Returns false when the target is missing or closed
+  // (see Endpoint::Send).
+  bool Send(Message message) override;
 
   // Installs a fault plan. Call before traffic starts; replaces any previous plan and
   // resets the per-edge fault schedule.
-  void SetFaultPlan(FaultPlan plan);
+  void SetFaultPlan(FaultPlan plan) override;
+
+  TransportStats Stats() const override;
+  const char* BackendName() const override { return "inproc"; }
 
   // Total bytes / messages *delivered* across the bus (per directed edge for EdgeBytes).
   // Undelivered traffic — unknown or closed target, fault-injected drops — is counted in
@@ -129,18 +65,15 @@ class MessageBus {
   void ResetStats();
 
  private:
-  friend class Endpoint;
-  void Unregister(const std::string& name);
+  uint64_t NextSeq() override {
+    return next_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void Unregister(const std::string& name) override;
   // Counts + pushes to the target mailbox; bumps drop stats otherwise.
   void Deliver(Message message) DETA_REQUIRES(mutex_);
-  // Cached telemetry counter for "<kind>.<topic prefix>", where the topic prefix is the
-  // message type up to its first '.' (e.g. "auth" for "auth.challenge"). The cache
-  // avoids a registry lookup per message on the delivery path.
-  deta::telemetry::Counter& TopicCounter(const char* kind, const std::string& type)
-      DETA_REQUIRES(mutex_);
 
   mutable Mutex mutex_;
-  std::map<std::string, deta::telemetry::Counter*> topic_counters_ DETA_GUARDED_BY(mutex_);
+  TopicCounterCache topic_counters_ DETA_GUARDED_BY(mutex_);
   std::map<std::string, Endpoint*> endpoints_ DETA_GUARDED_BY(mutex_);
   std::map<std::pair<std::string, std::string>, uint64_t> edge_bytes_
       DETA_GUARDED_BY(mutex_);
@@ -158,6 +91,9 @@ class MessageBus {
   // edge's next send (so a held message is delivered out of order but never starved).
   std::map<std::pair<std::string, std::string>, Message> held_ DETA_GUARDED_BY(mutex_);
 };
+
+// The in-process backend under its transport-role name (see net/transport.h).
+using InProcTransport = MessageBus;
 
 }  // namespace deta::net
 

@@ -10,7 +10,7 @@
 #include <optional>
 #include <string>
 
-#include "net/message_bus.h"
+#include "net/transport.h"
 
 namespace deta::net {
 

@@ -1,0 +1,754 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/telemetry.h"
+#include "net/codec.h"
+
+namespace deta::net {
+namespace {
+
+// Frame kinds (first u32 of every frame body).
+constexpr uint32_t kFrameMsg = 1;
+constexpr uint32_t kFrameRegister = 2;
+constexpr uint32_t kFrameUnregister = 3;
+constexpr uint32_t kFrameResolve = 4;
+constexpr uint32_t kFrameResolveReply = 5;
+// Graceful-shutdown announcement, queued behind all pending traffic when a node begins
+// its drain. Because frames are parsed before EOF is honoured, a receiver always learns
+// "this peer left on purpose" before it sees the close — so traffic stranded behind a
+// GOODBYE is accounted as retired (fire-and-forget to a finished role), while an EOF
+// with no GOODBYE stays a real drop. This mirrors the in-proc bus, where endpoints
+// outlive the job and a send to a finished role lands in an unread mailbox.
+constexpr uint32_t kFrameGoodbye = 6;
+
+Bytes Finish(Writer& body) {
+  Bytes out;
+  AppendU32(out, static_cast<uint32_t>(body.buffer().size()));
+  const Bytes& b = body.buffer();
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Bytes MsgFrame(const Message& m) {
+  Writer w;
+  w.WriteU32(kFrameMsg);
+  w.WriteString(m.from);
+  w.WriteString(m.to);
+  w.WriteString(m.type);
+  w.WriteU64(m.seq);
+  w.WriteBytes(m.payload);
+  return Finish(w);
+}
+
+Bytes NameAddrFrame(uint32_t kind, const std::string& name, const std::string& addr) {
+  Writer w;
+  w.WriteU32(kind);
+  w.WriteString(name);
+  w.WriteString(addr);
+  return Finish(w);
+}
+
+Bytes NameFrame(uint32_t kind, const std::string& name) {
+  Writer w;
+  w.WriteU32(kind);
+  w.WriteString(name);
+  return Finish(w);
+}
+
+Bytes GoodbyeFrame() {
+  Writer w;
+  w.WriteU32(kFrameGoodbye);
+  return Finish(w);
+}
+
+// Parses "a.b.c.d:port" into a sockaddr. Numeric IPv4 only (see header).
+bool ParseAddr(const std::string& addr, sockaddr_in* out) {
+  size_t colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    return false;
+  }
+  std::string host = addr.substr(0, colon);
+  int port = 0;
+  for (size_t i = colon + 1; i < addr.size(); ++i) {
+    if (addr[i] < '0' || addr[i] > '9') {
+      return false;
+    }
+    port = port * 10 + (addr[i] - '0');
+  }
+  if (port <= 0 || port > 65535) {
+    return false;
+  }
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<uint16_t>(port));
+  return inet_pton(AF_INET, host.c_str(), &out->sin_addr) == 1;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(TcpTransportOptions options) : options_(std::move(options)) {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  DETA_CHECK_MSG(epoll_fd_ >= 0, "epoll_create1 failed: " << std::strerror(errno));
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  DETA_CHECK_MSG(wake_fd_ >= 0, "eventfd failed: " << std::strerror(errno));
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  DETA_CHECK_MSG(listen_fd_ >= 0, "socket failed: " << std::strerror(errno));
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in bind_addr;
+  DETA_CHECK_MSG(
+      ParseAddr(options_.listen_host + ":" +
+                    std::to_string(options_.listen_port == 0 ? 1 : options_.listen_port),
+                &bind_addr),
+      "bad listen_host: " << options_.listen_host);
+  bind_addr.sin_port = htons(static_cast<uint16_t>(options_.listen_port));
+  DETA_CHECK_MSG(
+      bind(listen_fd_, reinterpret_cast<sockaddr*>(&bind_addr), sizeof(bind_addr)) == 0,
+      "bind " << options_.listen_host << ":" << options_.listen_port
+              << " failed: " << std::strerror(errno));
+  DETA_CHECK_MSG(listen(listen_fd_, SOMAXCONN) == 0,
+                 "listen failed: " << std::strerror(errno));
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  DETA_CHECK_MSG(
+      getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+      "getsockname failed: " << std::strerror(errno));
+  bound_port_ = ntohs(bound.sin_port);
+  self_addr_ = options_.listen_host + ":" + std::to_string(bound_port_);
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  DETA_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0);
+  ev.data.fd = wake_fd_;
+  DETA_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0);
+
+  LOG_DEBUG << options_.node_name << ": tcp transport listening on " << self_addr_
+            << (options_.registry_addr.empty() ? " (registry)" : "");
+  loop_thread_ = ServiceThread([this] { Loop(); });
+}
+
+TcpTransport::~TcpTransport() {
+  stop_.store(true);
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+  loop_thread_.Join();
+  close(listen_fd_);
+  close(wake_fd_);
+  close(epoll_fd_);
+}
+
+std::string TcpTransport::registry_address() const { return self_addr_; }
+
+std::unique_ptr<Endpoint> TcpTransport::CreateEndpoint(const std::string& name) {
+  std::unique_ptr<Endpoint> endpoint = MakeEndpoint(name);
+  MutexLock lock(mutex_);
+  DETA_CHECK_MSG(local_endpoints_.find(name) == local_endpoints_.end(),
+                 "duplicate endpoint name: " << name);
+  local_endpoints_[name] = endpoint.get();
+  if (options_.registry_addr.empty()) {
+    RegistryAdd(name, self_addr_);
+  } else {
+    // A fresh registry connection re-registers every local endpoint (this one
+    // included); an existing one just needs the new name.
+    bool fresh = EnsureRegistryConn();
+    if (!fresh && registry_fd_ >= 0) {
+      QueueFrame(registry_fd_,
+                 {NameAddrFrame(kFrameRegister, name, self_addr_), false, ""});
+    }
+  }
+  return endpoint;
+}
+
+void TcpTransport::Unregister(const std::string& name) {
+  MutexLock lock(mutex_);
+  local_endpoints_.erase(name);
+  if (options_.registry_addr.empty()) {
+    RegistryRemove(name);
+  } else if (registry_fd_ >= 0) {
+    QueueFrame(registry_fd_, {NameFrame(kFrameUnregister, name), false, ""});
+  }
+}
+
+void TcpTransport::SetFaultPlan(FaultPlan plan) {
+  MutexLock lock(mutex_);
+  if (plan.enabled()) {
+    injector_ = std::make_unique<FaultInjector>(std::move(plan));
+  } else {
+    injector_.reset();
+  }
+  held_.clear();
+}
+
+TransportStats TcpTransport::Stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+void TcpTransport::CountDrop(const std::string& type, uint64_t n) {
+  stats_.messages_dropped += n;
+  DETA_COUNTER("net.bus.dropped").Add(n);
+  if (!type.empty()) {
+    topic_counters_.Get("net.bus.dropped", type).Add(n);
+  }
+}
+
+// Messages addressed to a peer that announced a graceful exit. Not in
+// stats_.messages_dropped and not under net.bus.dropped: the telemetry gate treats
+// drops as must-be-zero on clean runs, and a finished role shedding fire-and-forget
+// tail traffic is clean — the in-proc backend silently parks the same sends in an
+// unread mailbox.
+void TcpTransport::CountRetired(const std::string& type, uint64_t n) {
+  DETA_COUNTER("net.bus.retired").Add(n);
+  if (!type.empty()) {
+    topic_counters_.Get("net.bus.retired", type).Add(n);
+  }
+}
+
+// Mirrors MessageBus::Send decision-for-decision so a given (seed, edge, send index)
+// faults identically over either backend. The one contract difference: TCP cannot know
+// whether the target endpoint is alive, so Send always returns true — an unreachable
+// peer looks exactly like network loss, and net/retry.h bounds the damage.
+bool TcpTransport::Send(Message message) {
+  FaultDecision d;
+  int delay_ms = 0;
+  {
+    MutexLock lock(mutex_);
+    if (injector_ != nullptr) {
+      d = injector_->Decide(message.from, message.to, message.type);
+      delay_ms = injector_->plan().delay_ms;
+    }
+  }
+  if (d.delay && delay_ms > 0) {
+    // Blocks the *sender*, like a slow link; messages on other edges overtake freely.
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  MutexLock lock(mutex_);
+  DETA_COUNTER("net.bus.sent").Increment();
+  DETA_COUNTER("net.bus.sent_bytes").Add(message.WireSize());
+  topic_counters_.Get("net.bus.sent", message.type).Increment();
+  std::pair<std::string, std::string> edge{message.from, message.to};
+  std::optional<Message> release;
+  auto held = held_.find(edge);
+  if (held != held_.end()) {
+    release = std::move(held->second);
+    held_.erase(held);
+  }
+  if (d.drop) {
+    DETA_COUNTER("net.bus.fault_dropped").Increment();
+    topic_counters_.Get("net.bus.fault_dropped", message.type).Increment();
+    stats_.messages_dropped += 1;
+    LOG_DEBUG << "fault: dropping " << message.type << " " << message.from << " -> "
+              << message.to;
+  } else if (d.reorder && !release.has_value()) {
+    held_.emplace(edge, std::move(message));
+  } else {
+    bool duplicate = d.duplicate;
+    Message copy;
+    if (duplicate) {
+      DETA_COUNTER("net.bus.duplicated").Increment();
+      topic_counters_.Get("net.bus.duplicated", message.type).Increment();
+      copy = message;
+    }
+    Route(std::move(message));
+    if (duplicate) {
+      Route(std::move(copy));
+    }
+  }
+  if (release.has_value()) {
+    Route(std::move(*release));
+  }
+  return true;
+}
+
+void TcpTransport::Route(Message message) {
+  auto cached = name_cache_.find(message.to);
+  if (cached != name_cache_.end()) {
+    RouteResolved(std::move(message), cached->second);
+    return;
+  }
+  std::deque<Message>& parked = parked_[message.to];
+  parked.push_back(std::move(message));
+  if (parked.size() > options_.max_parked_per_name) {
+    CountDrop(parked.front().type);
+    parked.pop_front();
+  }
+  ResolveName(parked.back().to);
+}
+
+void TcpTransport::RouteResolved(Message message, const std::string& addr) {
+  if (retired_addrs_.count(addr) != 0) {
+    // Covers the post-close window: the peer said goodbye and is gone, but a stale
+    // resolve (or a reply already in flight from the registry) still names its address.
+    CountRetired(message.type);
+    return;
+  }
+  int fd = GetOrConnect(addr);
+  if (fd < 0) {
+    CountDrop(message.type);
+    return;
+  }
+  QueueFrame(fd, {MsgFrame(message), true, message.type});
+}
+
+void TcpTransport::ResolveName(const std::string& name) {
+  if (options_.registry_addr.empty()) {
+    auto it = registry_names_.find(name);
+    if (it != registry_names_.end()) {
+      CompleteResolve(name, it->second);
+    } else {
+      // Rendezvous: park until some node registers the name (startup order freedom).
+      registry_waiters_[name].insert(-1);
+    }
+    return;
+  }
+  EnsureRegistryConn();
+  if (registry_fd_ >= 0 && resolve_inflight_.insert(name).second) {
+    QueueFrame(registry_fd_, {NameFrame(kFrameResolve, name), false, ""});
+  }
+}
+
+void TcpTransport::CompleteResolve(const std::string& name, const std::string& addr) {
+  name_cache_[name] = addr;
+  resolve_inflight_.erase(name);
+  auto it = parked_.find(name);
+  if (it == parked_.end()) {
+    return;
+  }
+  std::deque<Message> queued = std::move(it->second);
+  parked_.erase(it);
+  for (Message& m : queued) {
+    RouteResolved(std::move(m), addr);
+  }
+}
+
+void TcpTransport::RegistryAdd(const std::string& name, const std::string& addr) {
+  registry_names_[name] = addr;
+  auto it = registry_waiters_.find(name);
+  if (it == registry_waiters_.end()) {
+    return;
+  }
+  std::set<int> waiters = std::move(it->second);
+  registry_waiters_.erase(it);
+  for (int fd : waiters) {
+    if (fd == -1) {
+      CompleteResolve(name, addr);
+    } else if (conns_.find(fd) != conns_.end()) {
+      QueueFrame(fd, {NameAddrFrame(kFrameResolveReply, name, addr), false, ""});
+    }
+  }
+}
+
+void TcpTransport::RegistryRemove(const std::string& name) {
+  registry_names_.erase(name);
+  // Local sends must stop short-circuiting to the dead address; a revived role may
+  // re-register from a different node.
+  name_cache_.erase(name);
+}
+
+bool TcpTransport::EnsureRegistryConn() {
+  if (options_.registry_addr.empty() || registry_fd_ >= 0) {
+    return false;
+  }
+  int fd = GetOrConnect(options_.registry_addr);
+  if (fd < 0) {
+    return false;
+  }
+  registry_fd_ = fd;
+  for (const auto& [name, endpoint] : local_endpoints_) {
+    QueueFrame(registry_fd_,
+               {NameAddrFrame(kFrameRegister, name, self_addr_), false, ""});
+  }
+  return true;
+}
+
+int TcpTransport::GetOrConnect(const std::string& addr) {
+  auto it = addr_to_fd_.find(addr);
+  if (it != addr_to_fd_.end()) {
+    return it->second;
+  }
+  sockaddr_in sa;
+  if (!ParseAddr(addr, &sa)) {
+    LOG_WARNING << options_.node_name << ": unparseable peer address " << addr;
+    return -1;
+  }
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    LOG_WARNING << options_.node_name << ": socket failed: " << std::strerror(errno);
+    return -1;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  int rc = connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  if (rc != 0 && errno != EINPROGRESS) {
+    LOG_DEBUG << options_.node_name << ": connect " << addr
+              << " failed: " << std::strerror(errno);
+    close(fd);
+    return -1;
+  }
+  Conn conn;
+  conn.fd = fd;
+  conn.connected = (rc == 0);
+  conn.peer_addr = addr;
+  conns_[fd] = std::move(conn);
+  addr_to_fd_[addr] = fd;
+  epoll_event ev{};
+  // EPOLLOUT stays armed until the connect completes and the queue drains
+  // (UpdateEpollInterest disarms it).
+  ev.events = EPOLLIN | EPOLLOUT;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    close(fd);
+    conns_.erase(fd);
+    addr_to_fd_.erase(addr);
+    return -1;
+  }
+  return fd;
+}
+
+void TcpTransport::QueueFrame(int fd, OutFrame frame) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) {
+    if (frame.is_data) {
+      CountDrop(frame.type);
+    }
+    return;
+  }
+  it->second.outq.push_back(std::move(frame));
+  UpdateEpollInterest(fd);
+}
+
+void TcpTransport::UpdateEpollInterest(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  if (!it->second.connected || !it->second.outq.empty()) {
+    ev.events |= EPOLLOUT;
+  }
+  ev.data.fd = fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void TcpTransport::CloseConn(int fd, const char* why) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) {
+    return;
+  }
+  uint64_t lost = 0;
+  for (const OutFrame& f : it->second.outq) {
+    if (!f.is_data) {
+      continue;
+    }
+    lost += 1;
+    // Queued-but-unsent messages die with the connection. After a GOODBYE they are
+    // tail traffic to a peer that exited on purpose (retired); otherwise this is
+    // network loss as far as the protocol is concerned, recovered by retransmission.
+    if (it->second.peer_retired) {
+      CountRetired(f.type);
+    } else {
+      CountDrop(f.type);
+    }
+  }
+  LOG_DEBUG << options_.node_name << ": closing connection"
+            << (it->second.peer_addr.empty() ? "" : " to " + it->second.peer_addr) << " ("
+            << why << ", " << lost << " frames lost)";
+  if (!it->second.peer_addr.empty()) {
+    addr_to_fd_.erase(it->second.peer_addr);
+    // Force re-resolution: the peer may come back on a different port.
+    for (auto nc = name_cache_.begin(); nc != name_cache_.end();) {
+      if (nc->second == it->second.peer_addr) {
+        nc = name_cache_.erase(nc);
+      } else {
+        ++nc;
+      }
+    }
+  }
+  if (fd == registry_fd_) {
+    registry_fd_ = -1;
+    resolve_inflight_.clear();
+  }
+  for (auto& [name, waiters] : registry_waiters_) {
+    waiters.erase(fd);
+  }
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  close(fd);
+  conns_.erase(it);
+}
+
+void TcpTransport::HandleAccept() {
+  for (;;) {
+    int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      return;  // EAGAIN (or a transient error): nothing more to accept this tick
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Conn conn;
+    conn.fd = fd;
+    conn.connected = true;
+    conns_[fd] = std::move(conn);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      close(fd);
+      conns_.erase(fd);
+    }
+  }
+}
+
+void TcpTransport::HandleWritable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) {
+    return;
+  }
+  Conn& conn = it->second;
+  if (!conn.connected) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      CloseConn(fd, "connect failed");
+      return;
+    }
+    conn.connected = true;
+  }
+  while (!conn.outq.empty()) {
+    const Bytes& wire = conn.outq.front().wire;
+    ssize_t n = ::send(fd, wire.data() + conn.out_offset, wire.size() - conn.out_offset,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      }
+      CloseConn(fd, "write error");
+      return;
+    }
+    conn.out_offset += static_cast<size_t>(n);
+    if (conn.out_offset == wire.size()) {
+      conn.outq.pop_front();
+      conn.out_offset = 0;
+    }
+  }
+  UpdateEpollInterest(fd);
+}
+
+void TcpTransport::HandleReadable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) {
+    return;
+  }
+  Conn& conn = it->second;
+  char buf[65536];
+  // A peer that sends its final frames and immediately exits delivers data and EOF in
+  // the same readable event, so the close is deferred until the buffered frames below
+  // have been parsed and dispatched.
+  const char* close_reason = nullptr;
+  for (;;) {
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.inbuf.insert(conn.inbuf.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      close_reason = "peer closed";
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    close_reason = "read error";
+    break;
+  }
+  // Extract complete frames first: HandleFrame can open/close *other* connections,
+  // which would invalidate `conn` mid-parse.
+  std::vector<Bytes> frames;
+  size_t off = 0;
+  while (conn.inbuf.size() - off >= 4) {
+    uint32_t len = ReadU32(conn.inbuf, off);
+    if (len > options_.max_frame_bytes) {
+      CloseConn(fd, "oversized frame");
+      return;
+    }
+    if (conn.inbuf.size() - off - 4 < len) {
+      break;
+    }
+    frames.emplace_back(conn.inbuf.begin() + static_cast<long>(off + 4),
+                        conn.inbuf.begin() + static_cast<long>(off + 4 + len));
+    off += 4 + len;
+  }
+  if (off > 0) {
+    conn.inbuf.erase(conn.inbuf.begin(), conn.inbuf.begin() + static_cast<long>(off));
+  }
+  for (const Bytes& frame : frames) {
+    HandleFrame(fd, frame);
+  }
+  // HandleFrame may itself have closed this fd (oversized/unknown frame).
+  if (close_reason != nullptr && conns_.find(fd) != conns_.end()) {
+    CloseConn(fd, close_reason);
+  }
+}
+
+void TcpTransport::HandleFrame(int fd, const Bytes& body) {
+  Reader r(body);
+  uint32_t kind = r.ReadU32();
+  switch (kind) {
+    case kFrameMsg: {
+      Message m;
+      m.from = r.ReadString();
+      m.to = r.ReadString();
+      m.type = r.ReadString();
+      m.seq = r.ReadU64();
+      m.payload = r.ReadBytes();
+      DeliverLocal(std::move(m));
+      return;
+    }
+    case kFrameRegister: {
+      std::string name = r.ReadString();
+      std::string addr = r.ReadString();
+      RegistryAdd(name, addr);
+      return;
+    }
+    case kFrameUnregister: {
+      RegistryRemove(r.ReadString());
+      return;
+    }
+    case kFrameResolve: {
+      std::string name = r.ReadString();
+      auto it = registry_names_.find(name);
+      if (it != registry_names_.end()) {
+        QueueFrame(fd, {NameAddrFrame(kFrameResolveReply, name, it->second), false, ""});
+      } else {
+        registry_waiters_[name].insert(fd);
+      }
+      return;
+    }
+    case kFrameResolveReply: {
+      std::string name = r.ReadString();
+      std::string addr = r.ReadString();
+      CompleteResolve(name, addr);
+      return;
+    }
+    case kFrameGoodbye: {
+      auto it = conns_.find(fd);
+      if (it != conns_.end()) {
+        it->second.peer_retired = true;
+        if (!it->second.peer_addr.empty()) {
+          retired_addrs_.insert(it->second.peer_addr);
+        }
+      }
+      return;
+    }
+    default:
+      CloseConn(fd, "unknown frame kind");
+      return;
+  }
+}
+
+void TcpTransport::DeliverLocal(Message message) {
+  auto it = local_endpoints_.find(message.to);
+  if (it == local_endpoints_.end() || MailboxClosed(*it->second)) {
+    CountDrop(message.type);
+    LOG_DEBUG << options_.node_name << ": dropping message " << message.type << " to "
+              << (it == local_endpoints_.end() ? "unknown" : "closed") << " endpoint "
+              << message.to;
+    return;
+  }
+  stats_.messages_delivered += 1;
+  stats_.bytes_delivered += message.WireSize();
+  DETA_COUNTER("net.bus.delivered").Increment();
+  DETA_COUNTER("net.bus.delivered_bytes").Add(message.WireSize());
+  topic_counters_.Get("net.bus.delivered", message.type).Increment();
+  DeliverToMailbox(*it->second, std::move(message));
+}
+
+void TcpTransport::Loop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  std::chrono::steady_clock::time_point stop_deadline{};
+  for (;;) {
+    int n = epoll_wait(epoll_fd_, events, kMaxEvents, options_.tick_ms);
+    MutexLock lock(mutex_);
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      uint32_t flags = events[i].events;
+      if (fd == listen_fd_) {
+        HandleAccept();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t v;
+        [[maybe_unused]] ssize_t rd = read(wake_fd_, &v, sizeof(v));
+        continue;
+      }
+      // Read before honouring HUP so a peer's final frames are not lost when data and
+      // hangup arrive in the same tick.
+      if ((flags & EPOLLIN) != 0) {
+        HandleReadable(fd);
+      }
+      if (conns_.find(fd) == conns_.end()) {
+        continue;  // HandleReadable closed it
+      }
+      if ((flags & (EPOLLERR | EPOLLHUP)) != 0) {
+        CloseConn(fd, "hangup");
+        continue;
+      }
+      if ((flags & EPOLLOUT) != 0) {
+        HandleWritable(fd);
+      }
+    }
+    if (stop_.load()) {
+      auto now = std::chrono::steady_clock::now();
+      if (stop_deadline == std::chrono::steady_clock::time_point{}) {
+        stop_deadline = now + std::chrono::seconds(2);
+        // Say goodbye on every connection, behind whatever is already queued, so peers
+        // can tell this planned exit from a crash when our FIN reaches them.
+        for (auto& [cfd, conn] : conns_) {
+          conn.outq.push_back({GoodbyeFrame(), false, ""});
+          UpdateEpollInterest(cfd);
+        }
+      }
+      // Drain what can still be flushed (UNREGISTERs, final round traffic) before
+      // tearing down, bounded so a dead peer cannot block shutdown.
+      bool pending = false;
+      for (const auto& [cfd, conn] : conns_) {
+        if (!conn.outq.empty()) {
+          pending = true;
+          break;
+        }
+      }
+      if (!pending || now >= stop_deadline) {
+        std::vector<int> open;
+        open.reserve(conns_.size());
+        for (const auto& [cfd, conn] : conns_) {
+          open.push_back(cfd);
+        }
+        for (int cfd : open) {
+          CloseConn(cfd, "shutdown");
+        }
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace deta::net

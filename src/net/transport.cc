@@ -1,0 +1,179 @@
+#include "net/transport.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/telemetry.h"
+
+namespace deta::net {
+
+Endpoint::Endpoint(std::string name, Transport* transport)
+    : name_(std::move(name)), transport_(transport) {}
+
+Endpoint::~Endpoint() {
+  Close();
+  transport_->Unregister(name_);
+}
+
+bool Endpoint::AlreadySeen(const Message& m) {
+  if (m.seq == 0) {
+    return false;
+  }
+  SeenWindow& w = seen_[m.from];
+  if (m.seq <= w.horizon) {
+    // Older than anything the window still tracks. Tags only grow, so a message this
+    // far behind can only be a stale duplicate.
+    return true;
+  }
+  if (!w.recent.insert(m.seq).second) {
+    return true;
+  }
+  while (w.recent.size() > kDedupWindow) {
+    auto oldest = w.recent.begin();
+    w.horizon = *oldest;
+    w.recent.erase(oldest);
+  }
+  return false;
+}
+
+std::optional<Message> Endpoint::PopDeduped(int timeout_ms) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    std::optional<Message> m;
+    if (timeout_ms < 0) {
+      m = mailbox_.Pop();
+    } else {
+      auto remaining = deadline - std::chrono::steady_clock::now();
+      if (remaining <= std::chrono::steady_clock::duration::zero()) {
+        return std::nullopt;
+      }
+      m = mailbox_.PopFor(remaining);
+    }
+    if (!m.has_value()) {
+      return std::nullopt;  // timeout or closed; closed() disambiguates
+    }
+    if (AlreadySeen(*m)) {
+      LOG_DEBUG << name_ << ": suppressing duplicate " << m->type << " from " << m->from
+                << " (seq " << m->seq << ")";
+      continue;
+    }
+    return m;
+  }
+}
+
+std::optional<Message> Endpoint::Receive() {
+  if (!stashed_.empty()) {
+    Message m = std::move(stashed_.front());
+    stashed_.erase(stashed_.begin());
+    return m;
+  }
+  return PopDeduped(-1);
+}
+
+std::optional<Message> Endpoint::ReceiveType(const std::string& type) {
+  for (size_t i = 0; i < stashed_.size(); ++i) {
+    if (stashed_[i].type == type) {
+      Message m = std::move(stashed_[i]);
+      stashed_.erase(stashed_.begin() + static_cast<long>(i));
+      return m;
+    }
+  }
+  for (;;) {
+    std::optional<Message> m = PopDeduped(-1);
+    if (!m.has_value()) {
+      return std::nullopt;
+    }
+    if (m->type == type) {
+      return m;
+    }
+    stashed_.push_back(std::move(*m));
+  }
+}
+
+std::optional<Message> Endpoint::ReceiveFor(int timeout_ms) {
+  if (!stashed_.empty()) {
+    Message m = std::move(stashed_.front());
+    stashed_.erase(stashed_.begin());
+    return m;
+  }
+  return PopDeduped(timeout_ms);
+}
+
+std::optional<Message> Endpoint::ReceiveTypeFor(const std::string& type, int timeout_ms) {
+  return ReceiveMatchFor(type, "", timeout_ms);
+}
+
+std::optional<Message> Endpoint::ReceiveMatchFor(const std::string& type,
+                                                 const std::string& from, int timeout_ms) {
+  auto matches = [&](const Message& m) {
+    return m.type == type && (from.empty() || m.from == from);
+  };
+  for (size_t i = 0; i < stashed_.size(); ++i) {
+    if (matches(stashed_[i])) {
+      Message m = std::move(stashed_[i]);
+      stashed_.erase(stashed_.begin() + static_cast<long>(i));
+      return m;
+    }
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining <= std::chrono::milliseconds::zero()) {
+      return std::nullopt;
+    }
+    std::optional<Message> m = PopDeduped(static_cast<int>(remaining.count()));
+    if (!m.has_value()) {
+      return std::nullopt;  // timeout or closed
+    }
+    if (matches(*m)) {
+      return m;
+    }
+    stashed_.push_back(std::move(*m));
+  }
+}
+
+bool Endpoint::Send(const std::string& to, const std::string& type, Bytes payload) {
+  Message m;
+  m.from = name_;
+  m.to = to;
+  m.type = type;
+  m.payload = std::move(payload);
+  m.seq = transport_->NextSeq();
+  return transport_->Send(std::move(m));
+}
+
+void Endpoint::Close() { mailbox_.Close(); }
+
+size_t Endpoint::DedupTagsForTest() const {
+  size_t total = 0;
+  for (const auto& [sender, window] : seen_) {
+    total += window.recent.size();
+  }
+  return total;
+}
+
+std::unique_ptr<Endpoint> Transport::MakeEndpoint(std::string name) {
+  return std::unique_ptr<Endpoint>(new Endpoint(std::move(name), this));
+}
+
+void Transport::DeliverToMailbox(Endpoint& endpoint, Message message) {
+  endpoint.mailbox_.Push(std::move(message));
+}
+
+bool Transport::MailboxClosed(const Endpoint& endpoint) {
+  return endpoint.mailbox_.closed();
+}
+
+telemetry::Counter& TopicCounterCache::Get(const char* kind, const std::string& type) {
+  std::string key(kind);
+  key.push_back('.');
+  key.append(type, 0, type.find('.'));
+  auto [it, inserted] = cache_.try_emplace(key, nullptr);
+  if (inserted) {
+    it->second = &telemetry::MetricsRegistry::Global().GetCounter(it->first);
+  }
+  return *it->second;
+}
+
+}  // namespace deta::net

@@ -8,6 +8,7 @@
 #include "core/deta_aggregator.h"
 #include "crypto/sha256.h"
 #include "net/codec.h"
+#include "net/message_bus.h"
 
 namespace deta::core {
 namespace {

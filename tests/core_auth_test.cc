@@ -6,6 +6,7 @@
 
 #include "core/auth_protocol.h"
 #include "net/codec.h"
+#include "net/message_bus.h"
 
 namespace deta::core {
 namespace {

@@ -4,6 +4,7 @@
 
 #include "core/key_broker.h"
 #include "net/codec.h"
+#include "net/message_bus.h"
 
 namespace deta::core {
 namespace {

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/telemetry.h"
 #include "net/codec.h"
 #include "net/fault.h"
 #include "net/message_bus.h"
@@ -538,6 +539,104 @@ TEST(SecureChannelTest, TruncatedFrameRejected) {
   Bytes frame = sender.Seal(StringToBytes("msg"), rng);
   EXPECT_FALSE(receiver.Open(Bytes(frame.begin(), frame.begin() + 4)).has_value());
   EXPECT_FALSE(receiver.Open({}).has_value());
+}
+
+// Crafts a tagged message sent through the transport directly (Endpoint::Send draws
+// fresh tags, so duplicates and out-of-window tags need the raw Send path).
+Message Tagged(const std::string& from, const std::string& to, const std::string& type,
+               uint64_t seq, const std::string& payload = "") {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.type = type;
+  m.seq = seq;
+  m.payload = StringToBytes(payload);
+  return m;
+}
+
+TEST(EndpointDedupTest, WindowStaysBoundedAndStillSuppressesAncientDuplicates) {
+  MessageBus bus;
+  auto a = bus.CreateEndpoint("a");
+  auto b = bus.CreateEndpoint("b");
+  // Drive far more tagged traffic through one edge than the window retains. The old
+  // unbounded seen-set grew one entry per message for the lifetime of the endpoint,
+  // which at 10k-party scale is an O(rounds * parties) leak.
+  const uint64_t kTotal = 1000;
+  for (uint64_t i = 1; i <= kTotal; ++i) {
+    ASSERT_TRUE(bus.Send(Tagged("a", "b", "tick", i)));
+  }
+  for (uint64_t i = 0; i < kTotal; ++i) {
+    ASSERT_TRUE(b->ReceiveFor(1000).has_value()) << i;
+  }
+  EXPECT_LE(b->DedupTagsForTest(), 128u);
+
+  // A duplicate far below the compacted horizon is still invisible: tags only grow, so
+  // anything at or below the horizon can only be a stale retransmission.
+  ASSERT_TRUE(bus.Send(Tagged("a", "b", "tick", 5)));
+  EXPECT_FALSE(b->ReceiveFor(50).has_value());
+  // A duplicate inside the retained window is suppressed too.
+  ASSERT_TRUE(bus.Send(Tagged("a", "b", "tick", kTotal)));
+  EXPECT_FALSE(b->ReceiveFor(50).has_value());
+  // Fresh tags keep flowing, and untagged (seq 0) messages are never deduplicated.
+  ASSERT_TRUE(bus.Send(Tagged("a", "b", "tick", kTotal + 1)));
+  EXPECT_TRUE(b->ReceiveFor(1000).has_value());
+  ASSERT_TRUE(bus.Send(Tagged("a", "b", "untagged", 0)));
+  ASSERT_TRUE(bus.Send(Tagged("a", "b", "untagged", 0)));
+  EXPECT_TRUE(b->ReceiveFor(1000).has_value());
+  EXPECT_TRUE(b->ReceiveFor(1000).has_value());
+}
+
+TEST(EndpointStashTest, ReceiveMatchForStashesNonMatchesInOrderAcrossADuplicate) {
+  MessageBus bus;
+  auto rx = bus.CreateEndpoint("rx");
+  // Delivery order: progress p1, a duplicate of p1, progress p2, a reply from the
+  // *wrong* sender, then the reply the receiver is actually waiting on.
+  ASSERT_TRUE(bus.Send(Tagged("alice", "rx", "progress", 101, "p1")));
+  ASSERT_TRUE(bus.Send(Tagged("alice", "rx", "progress", 101, "p1")));
+  ASSERT_TRUE(bus.Send(Tagged("alice", "rx", "progress", 102, "p2")));
+  ASSERT_TRUE(bus.Send(Tagged("alice", "rx", "reply", 103, "not-bobs")));
+  ASSERT_TRUE(bus.Send(Tagged("bob", "rx", "reply", 201, "bobs")));
+
+  // The selective receive skips past everything that doesn't match on (type, from) —
+  // including the duplicate, which must be suppressed, not stashed twice.
+  auto m = rx->ReceiveMatchFor("reply", "bob", 1000);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(BytesToString(m->payload), "bobs");
+
+  // Stashed non-matches come back to later receives in original delivery order.
+  auto p1 = rx->ReceiveType("progress");
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(BytesToString(p1->payload), "p1");
+  auto p2 = rx->ReceiveType("progress");
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(BytesToString(p2->payload), "p2");
+  auto stale = rx->ReceiveType("reply");
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_EQ(BytesToString(stale->payload), "not-bobs");
+  // The duplicate is gone for good: nothing further arrives.
+  EXPECT_FALSE(rx->ReceiveFor(50).has_value());
+}
+
+TEST(MessageBusTest, UnknownTargetBumpsTelemetryCounter) {
+  auto counter_value = [] {
+    auto counters = telemetry::Snapshot().counters;
+    auto it = counters.find("net.bus.unknown_target");
+    return it == counters.end() ? uint64_t{0} : it->second;
+  };
+  uint64_t before = counter_value();
+  MessageBus bus;
+  auto a = bus.CreateEndpoint("a");
+  EXPECT_FALSE(a->Send("ghost", "x", {}));
+  // The CI gate keys on this counter: routing to a name nobody registered is a wiring
+  // bug, distinct from fault-injected or closed-endpoint drops.
+  EXPECT_EQ(counter_value(), before + 1);
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.default_rates.drop = 1.0;
+  bus.SetFaultPlan(plan);
+  auto b = bus.CreateEndpoint("b");
+  EXPECT_TRUE(a->Send("b", "x", {}));
+  EXPECT_EQ(counter_value(), before + 1);  // fault loss is not an unknown target
 }
 
 }  // namespace
