@@ -47,8 +47,8 @@ int main() {
   net::MessageBus bus;
   auto party = bus.CreateEndpoint("party0");
   auto agg = bus.CreateEndpoint("aggregator0");
-  crypto::BigUint token_private =
-      crypto::BigUint::FromBytes(*cvm->GuestRead(cc::kTokenRegion));
+  Secret<crypto::BigUint> token_private(
+      crypto::BigUint::FromBytes(*cvm->GuestRead(cc::kTokenRegion)));
 
   // The aggregator thread answers one challenge and one registration.
   std::thread responder([&] {

@@ -13,10 +13,13 @@
 #     release         Release build + full ctest                  (build-release/)
 #     asan            ASan+UBSan build + full ctest               (build-asan/)
 #     tsan            TSan build + concurrency-suite gtest filter (build-tsan/)
-#     static          deta_lint (strict + selftest), clang -Wthread-safety build,
-#                     negative-compile gate, clang-tidy             (build-static/)
-#                     The clang legs SKIP with a message when clang/clang-tidy are
-#                     not installed (the lint legs always run); CI installs both.
+#     static          deta_lint (strict + selftest), deta_taintcheck (selftest +
+#                     tree), Secret<T> negative-compile gate, clang -Wthread-safety
+#                     build, thread-safety negative-compile gate, clang-tidy
+#                     (build-static/). The clang legs SKIP with a message when
+#                     clang/clang-tidy are not installed (the python legs always
+#                     run); CI installs both plus python3-clang so the taint pass
+#                     also runs on the real libclang AST.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -81,9 +84,24 @@ run_static() {
   echo "==> static: deta_lint --strict over src/ + tests/"
   "${python}" scripts/deta_lint.py --strict
 
+  echo "==> static: deta_taintcheck fixture selftest"
+  "${python}" scripts/deta_taintcheck.py --selftest
+
+  echo "==> static: deta_taintcheck over the tree (internal frontend)"
+  "${python}" scripts/deta_taintcheck.py --frontend internal --report taint-report.json
+
+  echo "==> static: Secret<T> negative-compile gate"
+  local rc=0
+  scripts/secret_negcompile.sh "${repo_root}" || rc=$?
+  if [[ "${rc}" -eq 77 ]]; then
+    echo "==> static: SKIP Secret<T> negative-compile (no C++ compiler found)"
+  elif [[ "${rc}" -ne 0 ]]; then
+    return "${rc}"
+  fi
+
   if ! command -v clang++ >/dev/null 2>&1; then
     echo "==> static: SKIP clang legs (clang++ not installed; annotations are no-ops under gcc)"
-    echo "==> OK (static — lint only)"
+    echo "==> OK (static — python legs + negative-compile only)"
     return 0
   fi
 
@@ -94,6 +112,17 @@ run_static() {
 
   echo "==> static: thread-safety negative-compile gate"
   scripts/thread_safety_negcompile.sh "${repo_root}"
+
+  # The taint pass again, this time on the real AST: python3-clang resolves calls and
+  # arguments precisely where the internal frontend approximates. Optional because the
+  # binding is an apt package, not a wheel — SKIP keeps minimal containers green.
+  if "${python}" -c 'import clang.cindex' >/dev/null 2>&1; then
+    echo "==> static: deta_taintcheck over the tree (libclang frontend)"
+    "${python}" scripts/deta_taintcheck.py --frontend libclang \
+      --compile-commands build-static/compile_commands.json --report taint-report.json
+  else
+    echo "==> static: SKIP libclang taint pass (python3-clang not installed)"
+  fi
 
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "==> static: SKIP clang-tidy (not installed)"

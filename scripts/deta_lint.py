@@ -23,10 +23,19 @@ Secret hygiene (taint from `// deta-lint: secret` tags on declarations)
   DL-S1  tagged secret referenced in a DETA_LOG / LOG_* statement.
   DL-S2  class owning a tagged secret member has no destructor that wipes it
          (crypto::SecureWipe / .Wipe()), unless every secret member's type wipes
-         itself (Aead, SecureRng, SecureChannel).
+         itself (Secret<T>, Aead, SecureRng, SecureChannel).
   DL-S3  tagged secret referenced in a telemetry registration/label expression.
   DL-S4  tagged secret reaching a snapshot section Add() without Seal() in the
-         same statement (plaintext state on disk).
+         same statement (plaintext state on disk). A statement-ordered alias
+         pre-pass extends this one hop: `auto blob = <secret-expr>;` taints
+         `blob`, so the Add() no longer needs to name the secret directly.
+
+Scope note: these are fast regex/statement checks — a pre-pass. They see one
+file at a time and (for DL-S4) one level of local aliasing. Flows that span
+functions or translation units (a getter returning key material that a caller
+logs, a helper that serializes a secret for a plaintext send) are the job of
+the interprocedural taint checker, scripts/deta_taintcheck.py, which runs in
+the same `check.sh --preset static` gate.
 
 Protocol liveness
   DL-L1  unbounded blocking wait: mailbox receives with no deadline (.Receive() /
@@ -87,8 +96,10 @@ WHITELIST = [
 ]
 
 # Types that zeroize their own key material on destruction; members of these
-# types satisfy DL-S2 without the owning class adding a wipe.
-SELF_WIPING_TYPES = ("Aead", "SecureRng", "SecureChannel")
+# types satisfy DL-S2 without the owning class adding a wipe. Secret<T>
+# (common/secret.h) is the canonical one: the wrapper wipes in its destructor,
+# so tagged members should migrate to it rather than grow bespoke destructors.
+SELF_WIPING_TYPES = ("Secret<", "Aead", "SecureRng", "SecureChannel")
 
 # Token patterns per rule (applied to comment/string-stripped code).
 D1_TOKENS = [
@@ -124,6 +135,13 @@ TELEMETRY_TOKEN = re.compile(
     r"\bDETA_HISTOGRAM\s*\(")
 SNAPSHOT_ADD_TOKEN = re.compile(r"\.\s*Add\s*\(\s*(?:[\w]+::)*SectionType")
 SEAL_TOKEN = re.compile(r"\bSeal\s*\(")
+
+# Local alias assignment: `Type name = expr;` or `name = expr;` with a plain
+# identifier LHS (member accesses like `kp.priv.lambda = ...` are declarations
+# of taint, not aliases, and are handled by the secret-name match itself).
+ALIAS_ASSIGN = re.compile(
+    r"\s*(?:const\s+)?(?:[A-Za-z_][\w:]*(?:\s*<[^=;]*>)?[&\s\*]+)?"
+    r"(?P<name>[A-Za-z_]\w*)\s*=[^=]")
 
 TAG_SECRET = re.compile(r"deta-lint:\s*secret\b")
 TAG_ALLOW = re.compile(r"deta-lint:\s*allow\((DL-[A-Z]\d)\)\s*(.*)")
@@ -405,22 +423,50 @@ class Linter:
     def _taint_pass(self, path, relpath, code_lines, supps, secret_name_re):
         if secret_name_re is None:
             return
+        # Statement-ordered alias tracking (DL-S4 only): `auto blob = <expr
+        # naming a secret or an existing alias>;` taints `blob`, so a later
+        # plaintext Add(blob) is caught even though the Add statement never
+        # names the tagged member. Seal() in the aliasing statement sanitizes
+        # (the alias then holds ciphertext); reassigning an alias from a clean
+        # expression clears it. One file, one hop — deeper flows (through
+        # helpers, returns, other TUs) are deta_taintcheck.py's job.
+        aliases = {}  # alias name -> originating secret name
         for start, text in statements(code_lines):
+            alias_hit = next((a for a in aliases
+                              if re.search(r"\b" + re.escape(a) + r"\b", text)), None)
             hit = secret_name_re.search(text)
-            if not hit:
+            m = ALIAS_ASSIGN.match(text)
+            if m:
+                lhs = m.group("name")
+                rhs = text[m.end("name"):]
+                rhs_secret = secret_name_re.search(rhs)
+                rhs_alias = next((a for a in aliases
+                                  if re.search(r"\b" + re.escape(a) + r"\b", rhs)), None)
+                if SEAL_TOKEN.search(rhs):
+                    aliases.pop(lhs, None)  # holds ciphertext now
+                elif rhs_secret:
+                    aliases[lhs] = rhs_secret.group(0)
+                elif rhs_alias:
+                    aliases[lhs] = aliases[rhs_alias]
+                else:
+                    aliases.pop(lhs, None)  # overwritten with a clean value
+            if not hit and alias_hit is None:
                 continue
-            name = hit.group(0)
-            if LOG_TOKEN.search(text):
-                self._report("DL-S1", path, relpath, start,
-                             f"secret `{name}` referenced in a log statement", supps)
-            if TELEMETRY_TOKEN.search(text):
-                self._report("DL-S3", path, relpath, start,
-                             f"secret `{name}` referenced in a telemetry "
-                             "name/label expression", supps)
+            name = hit.group(0) if hit else alias_hit
+            if hit:
+                if LOG_TOKEN.search(text):
+                    self._report("DL-S1", path, relpath, start,
+                                 f"secret `{name}` referenced in a log statement", supps)
+                if TELEMETRY_TOKEN.search(text):
+                    self._report("DL-S3", path, relpath, start,
+                                 f"secret `{name}` referenced in a telemetry "
+                                 "name/label expression", supps)
             if SNAPSHOT_ADD_TOKEN.search(text) and not SEAL_TOKEN.search(text):
+                origin = name if hit else aliases[alias_hit]
+                via = "" if hit else f" (via local `{alias_hit}`)"
                 self._report("DL-S4", path, relpath, start,
-                             f"secret `{name}` added to a snapshot section without "
-                             "Seal() — plaintext key material on disk", supps)
+                             f"secret `{origin}` added to a snapshot section without "
+                             f"Seal(){via} — plaintext key material on disk", supps)
 
     def _wipe_pass(self, path, relpath, code_lines, supps, secrets, parsed):
         by_class = {}
@@ -468,6 +514,21 @@ class Linter:
 
     def stale_whitelist(self):
         return [WHITELIST[i] for i, used in self.whitelist_used.items() if not used]
+
+    @staticmethod
+    def whitelist_entry_location(rule, wpath):
+        """(script_path, line) of a WHITELIST entry inside this script, so a
+        stale-entry report is clickable and jumps straight to the tuple to
+        delete. Line 1 if the tuple cannot be located (reformatted source)."""
+        script = os.path.abspath(__file__)
+        try:
+            with open(script, "r", encoding="utf-8") as f:
+                for lineno, line in enumerate(f, start=1):
+                    if f'"{rule}"' in line and f'"{wpath}"' in line:
+                        return script, lineno
+        except OSError:
+            pass
+        return script, 1
 
     def stale_suppressions(self):
         return [s for s in self.suppressions if not s.used]
@@ -519,8 +580,9 @@ def run_lint(root, paths, strict):
         ok = False
     if strict:
         for rule, path, _reason in linter.stale_whitelist():
-            print(f"deta_lint: stale whitelist entry ({rule}, {path}) — "
-                  "it suppresses nothing; remove it")
+            wfile, wline = Linter.whitelist_entry_location(rule, path)
+            print(f"{rel(wfile, root)}:{wline}: stale whitelist entry "
+                  f"({rule}, {path}) — it suppresses nothing; remove it")
             ok = False
         for s in linter.stale_suppressions():
             print(f"{rel(s.path, root)}:{s.line}: stale suppression allow({s.rule}) — "

@@ -1,0 +1,13 @@
+// Must-pass: Secret<T> (common/secret.h) wipes its value in its own
+// destructor, so the owning class needs no wipe of its own. This is the
+// preferred shape for secret members — prefer it over a bespoke destructor.
+#include "common/secret.h"
+
+class ChannelState {
+ public:
+  explicit ChannelState(deta::Bytes master)
+      : master_secret_(deta::Secret<deta::Bytes>(std::move(master))) {}
+
+ private:
+  deta::Secret<deta::Bytes> master_secret_;  // deta-lint: secret
+};

@@ -1,0 +1,15 @@
+// Must-fail: the secret is copied into a local first, and only the *alias*
+// reaches the snapshot Add. The same-statement regex alone misses this — the
+// alias pre-pass carries the taint one hop.
+#include "persist/codec.h"
+
+class Party {
+ public:
+  void Save(deta::persist::Snapshot& snap) {
+    deta::Bytes blob = permutation_key_;
+    snap.Add(deta::persist::SectionType::kKeyMaterial, "perm_key", blob);
+  }
+
+ private:
+  deta::Bytes permutation_key_;  // deta-lint: secret
+};

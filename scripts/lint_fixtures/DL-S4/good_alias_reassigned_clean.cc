@@ -1,0 +1,18 @@
+// Must-pass: the local briefly aliases the secret but is overwritten with a
+// clean value before it reaches the section, so no plaintext key material
+// lands on disk.
+#include "persist/codec.h"
+
+class Party {
+ public:
+  void Save(deta::persist::Snapshot& snap) {
+    deta::Bytes blob = permutation_key_;
+    UseForDerivation(blob);
+    blob = deta::Bytes{0x01, 0x02};
+    snap.Add(deta::persist::SectionType::kRaw, "marker", blob);
+  }
+
+ private:
+  void UseForDerivation(const deta::Bytes& b);
+  deta::Bytes permutation_key_;  // deta-lint: secret
+};

@@ -1,0 +1,15 @@
+// Must-pass: the local is assigned from a Seal() expression, so it holds
+// ciphertext — adding it to a section is exactly the sanctioned pattern.
+#include "persist/codec.h"
+
+class Party {
+ public:
+  void Save(deta::persist::Snapshot& snap, const deta::persist::SealKey& seal,
+            deta::crypto::SecureRng& rng) {
+    deta::Bytes sealed = seal.Seal(permutation_key_, rng);
+    snap.Add(deta::persist::SectionType::kKeyMaterial, "perm_key", sealed);
+  }
+
+ private:
+  deta::Bytes permutation_key_;  // deta-lint: secret
+};

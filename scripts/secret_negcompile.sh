@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Negative-compile gate for the Secret<T> taint type (src/common/secret.h).
+#
+# Asserts two things:
+#   1. tests/negative_compile/secret_ok.cc (every sanctioned use: explicit
+#      construction, Expose* into crypto/seal sinks, WipeNow, copy/move/compare)
+#      compiles — the control, so a broken include path can't fake failures;
+#   2. every tests/negative_compile/secret_*_violation.cc — log streaming,
+#      telemetry label, plaintext snapshot section, memcpy, implicit conversion
+#      to T, exposure of a temporary — is REJECTED, with the diagnostic naming
+#      Secret (so the failure is the taint type working, not an unrelated error).
+#
+# Unlike the thread-safety gate this needs no clang-only analysis — deleted
+# operators and absent conversions are core C++ — so it prefers clang++ but
+# falls back to g++. Exit 77 (ctest SKIP) only when no C++ compiler exists.
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+cxx="${CXX_FOR_NEGCOMPILE:-}"
+if [ -z "$cxx" ]; then
+  for candidate in clang++ g++ c++; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      cxx="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$cxx" ]; then
+  echo "SKIP: no C++ compiler (clang++/g++/c++) available"
+  exit 77
+fi
+
+flags=(-std=c++20 -fsyntax-only -I "$root/src")
+fixtures="$root/tests/negative_compile"
+errlog="$(mktemp)"
+trap 'rm -f "$errlog"' EXIT
+
+if ! "$cxx" "${flags[@]}" "$fixtures/secret_ok.cc" 2>"$errlog"; then
+  echo "FAIL: control secret_ok.cc must compile — sanctioned Secret<T> uses broke:"
+  cat "$errlog"
+  exit 1
+fi
+
+status=0
+for bad in "$fixtures"/secret_*_violation.cc; do
+  name="$(basename "$bad")"
+  if "$cxx" "${flags[@]}" "$bad" 2>"$errlog"; then
+    echo "FAIL: $name compiled — this leak path must be a compile error"
+    status=1
+    continue
+  fi
+  if ! grep -q "Secret" "$errlog"; then
+    echo "FAIL: $name was rejected, but the diagnostic never mentions Secret —"
+    echo "      the failure is not the taint type doing its job:"
+    cat "$errlog"
+    status=1
+    continue
+  fi
+  echo "OK: $name rejected ($cxx)"
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "OK: Secret<T> negative-compile gate — control passes, all leak paths rejected"
+fi
+exit "$status"

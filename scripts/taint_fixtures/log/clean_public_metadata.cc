@@ -1,0 +1,28 @@
+// MUST be clean: the function owns a Secret it never exposes; the log line
+// reports sizes and peer names only. Holding a secret is not a finding —
+// exposing one into a sink is.
+#include <string>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+namespace deta {
+template <typename T>
+class Secret;
+}  // namespace deta
+
+struct Logger {};
+Logger& log_stream();
+Logger& operator<<(Logger& l, const std::string& s);
+#define LOG_DEBUG log_stream()
+
+struct Channel {
+  deta::Secret<Bytes> master;
+  std::string peer;
+  int handshakes = 0;
+};
+
+void NoteHandshake(Channel& chan) {
+  chan.handshakes = chan.handshakes + 1;
+  LOG_DEBUG << "handshake with " << chan.peer;
+}

@@ -1,0 +1,26 @@
+// MUST be clean: the exposed working copy feeds key derivation and is securely
+// wiped; the log statement afterwards carries only public metadata.
+#include <string>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+namespace deta {
+template <typename T>
+class Secret;
+}  // namespace deta
+
+struct Logger {};
+Logger& log_stream();
+Logger& operator<<(Logger& l, const std::string& s);
+#define LOG_INFO log_stream()
+
+void SecureWipe(Bytes& b);
+void MixIntoSchedule(Bytes& working);
+
+void DeriveAndLog(deta::Secret<Bytes>& key, const std::string& peer) {
+  Bytes working = key.ExposeForCrypto();
+  MixIntoSchedule(working);
+  SecureWipe(working);
+  LOG_INFO << "key schedule derived for " << peer;
+}

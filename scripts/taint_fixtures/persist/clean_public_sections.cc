@@ -1,0 +1,28 @@
+// MUST be clean: progress counters and public round state persist unsealed by
+// design; no secret is exposed anywhere in the flow.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+namespace net {
+struct Writer {
+  void WriteU32(uint32_t v);
+  Bytes Take();
+};
+}  // namespace net
+
+namespace persist {
+enum class SectionType { kRaw, kKeyMaterial };
+struct Snapshot {
+  void Add(SectionType type, const std::string& name, const Bytes& payload);
+};
+}  // namespace persist
+
+void CheckpointProgress(persist::Snapshot& snap, uint32_t round, uint32_t served) {
+  net::Writer w;
+  w.WriteU32(round);
+  w.WriteU32(served);
+  snap.Add(persist::SectionType::kRaw, "progress", w.Take());
+}

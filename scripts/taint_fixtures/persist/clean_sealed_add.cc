@@ -1,0 +1,34 @@
+// MUST be clean: same exposure, same snapshot section — but the payload goes
+// through SealKey::Seal() in the persisting statement, so what reaches disk is
+// ciphertext. This is the tree's sanctioned checkpoint shape.
+#include <string>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+namespace deta {
+template <typename T>
+class Secret;
+}  // namespace deta
+
+struct SecureRng {};
+
+namespace persist {
+enum class SectionType { kRaw, kKeyMaterial };
+struct Snapshot {
+  void Add(SectionType type, const std::string& name, const Bytes& payload);
+};
+struct SealKey {
+  Bytes Seal(const Bytes& plaintext, SecureRng& rng);
+};
+}  // namespace persist
+
+struct TransformMaterial {
+  deta::Secret<Bytes> permutation_key;
+};
+
+void CheckpointKeys(persist::Snapshot& snap, persist::SealKey& seal,
+                    SecureRng& rng, TransformMaterial& material) {
+  const Bytes& blob = material.permutation_key.ExposeForSeal();
+  snap.Add(persist::SectionType::kKeyMaterial, "permutation", seal.Seal(blob, rng));
+}

@@ -1,0 +1,29 @@
+// MUST be clean: labels built from public configuration (party name, round
+// number) are fine even in a function that owns secret material.
+#include <string>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+namespace deta {
+template <typename T>
+class Secret;
+}  // namespace deta
+
+struct Histogram {
+  void Observe(double v);
+};
+struct Registry {
+  Histogram& GetHistogram(const std::string& name);
+};
+
+struct PartyState {
+  deta::Secret<Bytes> upload_key;
+  std::string name;
+  int round = 0;
+};
+
+void RecordRound(Registry& reg, PartyState& party, double seconds) {
+  std::string label = "round." + party.name;
+  reg.GetHistogram(label).Observe(seconds);
+}

@@ -1,0 +1,32 @@
+// MUST be clean: the material blob is key material, but the Send() payload is
+// channel.Seal(...) ciphertext — the tree's sanctioned re-seal-per-fetch shape.
+#include <string>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+namespace deta {
+template <typename T>
+class Secret;
+}  // namespace deta
+
+struct SecureRng {};
+
+namespace net {
+struct SecureChannel {
+  Bytes Seal(const Bytes& plaintext, SecureRng& rng);
+};
+struct Endpoint {
+  bool Send(const std::string& peer, const std::string& topic, const Bytes& payload);
+};
+}  // namespace net
+
+struct TransformMaterial {
+  deta::Secret<Bytes> permutation_key;
+};
+
+void ServeMaterial(net::Endpoint& ep, net::SecureChannel& channel, SecureRng& rng,
+                   TransformMaterial& material, const std::string& party) {
+  const Bytes& blob = material.permutation_key.ExposeForSeal();
+  ep.Send(party, "broker.material", channel.Seal(blob, rng));
+}

@@ -1,0 +1,34 @@
+// MUST be clean: EcdsaSign consumes the exposed private scalar but its output
+// is a public signature — declassified by design; sending the serialized
+// signature is the auth protocol working as intended.
+#include <string>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+namespace deta {
+template <typename T>
+class Secret;
+}  // namespace deta
+
+struct BigUint {};
+struct SecureRng {};
+
+struct EcdsaSignature {
+  Bytes Serialize() const;
+};
+
+EcdsaSignature EcdsaSign(const BigUint& private_key, const Bytes& digest,
+                         SecureRng& rng);
+
+namespace net {
+struct Endpoint {
+  bool Send(const std::string& peer, const std::string& topic, const Bytes& payload);
+};
+}  // namespace net
+
+void AnswerChallenge(net::Endpoint& ep, deta::Secret<BigUint>& token_private,
+                     const Bytes& digest, SecureRng& rng, const std::string& from) {
+  EcdsaSignature sig = EcdsaSign(token_private.ExposeForSeal(), digest, rng);
+  ep.Send(from, "auth.response", sig.Serialize());
+}

@@ -1,0 +1,38 @@
+// MUST produce TC-WIRE: a frame builder absorbs the exposed master secret into
+// a Writer and returns the buffer; the caller Sends the returned frame raw.
+// The taint crosses a function boundary through the Writer and the return
+// value — exactly what the interprocedural pass exists to catch.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+namespace deta {
+template <typename T>
+class Secret;
+}  // namespace deta
+
+namespace net {
+struct Writer {
+  void WriteU8(uint8_t v);
+  void WriteBytes(const Bytes& b);
+  Bytes Take();
+};
+struct Endpoint {
+  bool Send(const std::string& peer, const std::string& topic, const Bytes& payload);
+};
+}  // namespace net
+
+static Bytes BuildHello(const Bytes& master) {
+  net::Writer w;
+  w.WriteU8(1);
+  w.WriteBytes(master);
+  return w.Take();
+}
+
+void Handshake(net::Endpoint& ep, deta::Secret<Bytes>& master_secret) {
+  const Bytes& master = master_secret.ExposeForCrypto();
+  Bytes hello = BuildHello(master);
+  ep.Send("broker", "hs.hello", hello);
+}

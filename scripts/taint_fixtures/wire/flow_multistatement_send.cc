@@ -1,0 +1,25 @@
+// MUST produce TC-WIRE: the channel key is exposed, copied into a frame across
+// two statements, and pushed to a transport Send() with no Seal(). The frame
+// variable is what reaches the wire — no single statement ties it to the key.
+#include <string>
+#include <vector>
+
+using Bytes = std::vector<unsigned char>;
+
+namespace deta {
+template <typename T>
+class Secret;
+}  // namespace deta
+
+namespace net {
+struct Endpoint {
+  bool Send(const std::string& peer, const std::string& topic, const Bytes& payload);
+};
+}  // namespace net
+
+void DebugPushKey(net::Endpoint& ep, deta::Secret<Bytes>& channel_key) {
+  const Bytes& raw = channel_key.ExposeForCrypto();
+  Bytes frame;
+  frame.insert(frame.end(), raw.begin(), raw.end());
+  ep.Send("peer-0", "debug.key", frame);
+}

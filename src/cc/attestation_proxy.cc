@@ -50,8 +50,11 @@ AttestationProxy::ProvisionResult AttestationProxy::VerifyAndProvision(SevPlatfo
   // Generate the authentication token (the paper provisions an ECDSA key) and inject its
   // private half into the paused CVM's encrypted memory.
   crypto::EcKeyPair token = crypto::GenerateEcKey(rng_);
-  Bytes token_private = token.private_key.ToBytesPadded(32);
+  // ExposeForSeal: the private half is immediately sealed to the platform's transport
+  // key and injected into encrypted guest memory; the plaintext copy is wiped below.
+  Bytes token_private = token.private_key.ExposeForSeal().ToBytesPadded(32);
   SealedSecret sealed = SealForPlatform(token_private, platform.TransportPublicKey(), rng_);
+  crypto::SecureWipe(token_private);
   if (!platform.InjectLaunchSecret(cvm, kTokenRegion, sealed.ciphertext,
                                    sealed.ephemeral_public)) {
     result.failure_reason = "launch secret injection failed";

@@ -31,10 +31,9 @@ struct RegistrationAck {
   net::SecureChannel channel;
 };
 
-std::optional<RegistrationAck> BuildRegistrationAck(const std::string& responder,
-                                                    const net::Message& registration,
-                                                    const crypto::BigUint& token_private,
-                                                    crypto::SecureRng& rng) {
+std::optional<RegistrationAck> BuildRegistrationAck(
+    const std::string& responder, const net::Message& registration,
+    const Secret<crypto::BigUint>& token_private, crypto::SecureRng& rng) {
   std::optional<crypto::EcPoint> party_point = Curve().Decode(registration.payload);
   if (!party_point.has_value() || party_point->is_infinity) {
     LOG_WARNING << responder << ": malformed registration share from "
@@ -129,14 +128,14 @@ std::optional<net::SecureChannel> RegisterWithAggregator(
 }
 
 void AnswerChallenge(net::Endpoint& endpoint, const net::Message& challenge,
-                     const crypto::BigUint& token_private) {
+                     const Secret<crypto::BigUint>& token_private) {
   crypto::EcdsaSignature sig = crypto::EcdsaSign(token_private, challenge.payload);
   endpoint.Send(challenge.from, kAuthResponse, sig.Serialize());
 }
 
 std::optional<std::pair<std::string, net::SecureChannel>> AcceptRegistration(
     net::Endpoint& endpoint, const net::Message& registration,
-    const crypto::BigUint& token_private, crypto::SecureRng& rng) {
+    const Secret<crypto::BigUint>& token_private, crypto::SecureRng& rng) {
   std::optional<RegistrationAck> ack =
       BuildRegistrationAck(endpoint.name(), registration, token_private, rng);
   if (!ack.has_value()) {
@@ -148,7 +147,7 @@ std::optional<std::pair<std::string, net::SecureChannel>> AcceptRegistration(
 
 std::optional<std::pair<std::string, net::SecureChannel>> RegistrationCache::Accept(
     net::Endpoint& endpoint, const net::Message& registration,
-    const crypto::BigUint& token_private, crypto::SecureRng& rng) {
+    const Secret<crypto::BigUint>& token_private, crypto::SecureRng& rng) {
   auto it = entries_.find(registration.from);
   if (it != entries_.end() && it->second.party_share == registration.payload) {
     // Retransmitted registration: the party never saw our ack (or a duplicate survived

@@ -57,16 +57,17 @@ std::optional<net::SecureChannel> RegisterWithAggregator(
 // --- aggregator side ---
 
 // Responds to one kAuthChallenge message. Naturally idempotent: a retransmitted
-// challenge is simply answered again.
+// challenge is simply answered again. The token key stays inside its Secret wrapper
+// all the way down to EcdsaSign, which is the only exposure point.
 void AnswerChallenge(net::Endpoint& endpoint, const net::Message& challenge,
-                     const crypto::BigUint& token_private);
+                     const Secret<crypto::BigUint>& token_private);
 
 // Handles one kAuthRegister message; returns (party name, responder-role channel) on
 // success. NOT idempotent under retransmission — prefer RegistrationCache in any event
 // loop that can see the same registration twice.
 std::optional<std::pair<std::string, net::SecureChannel>> AcceptRegistration(
     net::Endpoint& endpoint, const net::Message& registration,
-    const crypto::BigUint& token_private, crypto::SecureRng& rng);
+    const Secret<crypto::BigUint>& token_private, crypto::SecureRng& rng);
 
 // Responder-side registration state: caches the ack sent to each party so a
 // retransmitted registration (same party, same ECDH share) is answered with the
@@ -79,7 +80,7 @@ class RegistrationCache {
   // only when one was (re-)created; nullopt for cached re-acks and malformed shares.
   std::optional<std::pair<std::string, net::SecureChannel>> Accept(
       net::Endpoint& endpoint, const net::Message& registration,
-      const crypto::BigUint& token_private, crypto::SecureRng& rng);
+      const Secret<crypto::BigUint>& token_private, crypto::SecureRng& rng);
 
   // Cache contents for checkpoint/resume. The cached acks carry ECDH transcript
   // material — callers must seal the blob before it reaches disk.

@@ -310,9 +310,11 @@ namespace {
 
 pid_t SpawnRole(const std::string& self_exe, const std::vector<std::string>& args) {
   std::vector<char*> argv;
-  argv.push_back(const_cast<char*>(self_exe.c_str()));
+  // posix_spawn takes char* const argv[] for C compatibility but never writes
+  // through it; these casts adapt to that API and touch no secret material.
+  argv.push_back(const_cast<char*>(self_exe.c_str()));  // NOLINT(cppcoreguidelines-pro-type-const-cast)
   for (const std::string& a : args) {
-    argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(const_cast<char*>(a.c_str()));  // NOLINT(cppcoreguidelines-pro-type-const-cast)
   }
   argv.push_back(nullptr);
   pid_t pid = -1;

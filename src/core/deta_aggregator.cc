@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/sim_clock.h"
 #include "common/telemetry.h"
+#include "crypto/secure_wipe.h"
 #include "net/codec.h"
 
 namespace deta::core {
@@ -28,7 +29,8 @@ DetaAggregator::DetaAggregator(AggregatorConfig config, net::Transport& transpor
   std::optional<Bytes> token = cvm_->GuestRead(cc::kTokenRegion);
   DETA_CHECK_MSG(token.has_value(),
                  "aggregator " << config_.name << " CVM has no provisioned auth token");
-  token_private_ = crypto::BigUint::FromBytes(*token);
+  token_private_ = Secret<crypto::BigUint>(crypto::BigUint::FromBytes(*token));
+  crypto::SecureWipe(*token);
 
   if (config_.use_paillier) {
     DETA_CHECK(config_.paillier_public.has_value());
@@ -41,7 +43,7 @@ DetaAggregator::DetaAggregator(AggregatorConfig config, net::Transport& transpor
 
 DetaAggregator::~DetaAggregator() {
   Join();
-  token_private_.Wipe();
+  // token_private_ is a Secret and wipes itself.
 }
 
 void DetaAggregator::Start() {

@@ -159,8 +159,10 @@ class DetaAggregator {
   net::Transport& transport_;
   std::unique_ptr<net::Endpoint> endpoint_;
   std::shared_ptr<cc::Cvm> cvm_;
-  // The auth token proves this CVM passed attestation; wiped in the destructor.
-  crypto::BigUint token_private_;  // deta-lint: secret
+  // The auth token proves this CVM passed attestation; the Secret wrapper wipes it on
+  // destruction and keeps it out of logs/telemetry/plaintext wires by construction.
+  // deta-lint: secret
+  Secret<crypto::BigUint> token_private_;
   crypto::SecureRng rng_;
   std::unique_ptr<fl::AggregationAlgorithm> algorithm_;
   std::unique_ptr<fl::PaillierVectorCodec> paillier_codec_;

@@ -140,9 +140,9 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
   // aggregators never see this material. ---
   TransformMaterial material;
   material.total_params = global_model_->NumParameters();
-  material.mapper_seed = setup_rng.NextBytes(32);
-  material.permutation_key =
-      GeneratePermutationKey(deta_.permutation_key_bits, setup_rng.NextBytes(32));
+  material.mapper_seed = Secret<Bytes>(setup_rng.NextBytes(32));
+  material.permutation_key = Secret<Bytes>(
+      GeneratePermutationKey(deta_.permutation_key_bits, setup_rng.NextBytes(32)));
   material.proportions = deta_.proportions;
   material.num_aggregators = deta_.num_aggregators;
   material.enable_partition = deta_.enable_partition;
@@ -155,7 +155,7 @@ DetaJob::DetaJob(fl::ExecutionOptions options, DetaOptions deta,
   std::optional<crypto::PaillierKeyPair> paillier;
   if (options_.use_paillier) {
     paillier = crypto::GeneratePaillierKey(setup_rng, options_.paillier_modulus_bits);
-    material.paillier_key = persist::SerializePaillierKey(*paillier);
+    material.paillier_key = Secret<Bytes>(persist::SerializePaillierKey(*paillier));
   }
 
   crypto::EcKeyPair broker_identity = crypto::GenerateEcKey(setup_rng);

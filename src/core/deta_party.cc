@@ -98,9 +98,12 @@ bool DetaParty::SetupChannels() {
       LOG_WARNING << name() << ": broker material partition count mismatch";
       return false;
     }
-    if (config_.use_paillier && !material_->paillier_key.empty()) {
+    // ExposeForCrypto: parsing the broker-served blob back into PaillierPrivateKey,
+    // whose components are themselves Secret members.
+    const Bytes& paillier_blob = material_->paillier_key.ExposeForCrypto();
+    if (config_.use_paillier && !paillier_blob.empty()) {
       std::optional<crypto::PaillierKeyPair> kp =
-          persist::ParsePaillierKey(material_->paillier_key);
+          persist::ParsePaillierKey(paillier_blob);
       if (!kp.has_value()) {
         LOG_WARNING << name() << ": broker-served Paillier key failed to parse";
         return false;

@@ -11,8 +11,10 @@ namespace deta::core {
 
 Bytes TransformMaterial::Serialize() const {
   net::Writer w;
-  w.WriteBytes(permutation_key);
-  w.WriteBytes(mapper_seed);
+  // ExposeForSeal: the serialized material only travels sealed — inside the broker's
+  // SecureChannel replies and (never today, but structurally) sealed snapshot sections.
+  w.WriteBytes(permutation_key.ExposeForSeal());
+  w.WriteBytes(mapper_seed.ExposeForSeal());
   w.WriteI64(total_params);
   w.WriteU64(proportions.size());
   for (double p : proportions) {
@@ -23,15 +25,15 @@ Bytes TransformMaterial::Serialize() const {
   w.WriteU32(enable_shuffle ? 1 : 0);
   // Appended after the v1 fields so material serialized before the Paillier extension
   // (old sealed snapshots) still parses: Deserialize reads it only when bytes remain.
-  w.WriteBytes(paillier_key);
+  w.WriteBytes(paillier_key.ExposeForSeal());
   return w.Take();
 }
 
 TransformMaterial TransformMaterial::Deserialize(const Bytes& data) {
   net::Reader r(data);
   TransformMaterial m;
-  m.permutation_key = r.ReadBytes();
-  m.mapper_seed = r.ReadBytes();
+  m.permutation_key = Secret<Bytes>(r.ReadBytes());
+  m.mapper_seed = Secret<Bytes>(r.ReadBytes());
   m.total_params = r.ReadI64();
   uint64_t count = r.ReadU64();
   for (uint64_t i = 0; i < count; ++i) {
@@ -41,7 +43,7 @@ TransformMaterial TransformMaterial::Deserialize(const Bytes& data) {
   m.enable_partition = r.ReadU32() != 0;
   m.enable_shuffle = r.ReadU32() != 0;
   if (!r.AtEnd()) {
-    m.paillier_key = r.ReadBytes();
+    m.paillier_key = Secret<Bytes>(r.ReadBytes());
   }
   return m;
 }
@@ -49,13 +51,16 @@ TransformMaterial TransformMaterial::Deserialize(const Bytes& data) {
 std::shared_ptr<Transform> TransformMaterial::BuildTransform() const {
   DETA_CHECK_GT(total_params, 0);
   std::shared_ptr<ModelMapper> mapper;
+  // ExposeForCrypto: the seed and key feed PRF-driven derivations (mapper layout,
+  // shuffle permutation); the Shuffler re-wraps the key in its own Secret member.
+  const Bytes& seed = mapper_seed.ExposeForCrypto();
   if (proportions.empty()) {
     mapper = std::make_shared<ModelMapper>(
-        ModelMapper::Uniform(total_params, num_aggregators, mapper_seed));
+        ModelMapper::Uniform(total_params, num_aggregators, seed));
   } else {
-    mapper = std::make_shared<ModelMapper>(total_params, proportions, mapper_seed);
+    mapper = std::make_shared<ModelMapper>(total_params, proportions, seed);
   }
-  auto shuffler = std::make_shared<Shuffler>(permutation_key);
+  auto shuffler = std::make_shared<Shuffler>(permutation_key.ExposeForCrypto());
   TransformConfig config;
   config.enable_partition = enable_partition;
   config.enable_shuffle = enable_shuffle;

@@ -18,10 +18,10 @@
 #include <memory>
 #include <set>
 
+#include "common/secret.h"
 #include "common/thread.h"
 #include "core/auth_protocol.h"
 #include "core/transform.h"
-#include "crypto/secure_wipe.h"
 #include "persist/state_store.h"
 
 namespace deta::core {
@@ -31,27 +31,20 @@ inline constexpr char kKeyBrokerMaterial[] = "kb.material";
 
 // Everything a party needs to construct the shared Transform deterministically.
 // The keys decide the shuffle/partition every party applies — leaking them lets an
-// aggregator undo the transform, so they are wiped on destruction and must never reach
-// logs, telemetry, or plaintext snapshot sections.
+// aggregator undo the transform, so they are Secret members: they wipe on destruction,
+// and reaching a log, telemetry label, or plaintext snapshot section requires an
+// audited Expose* call.
 struct TransformMaterial {
-  TransformMaterial() = default;
-  TransformMaterial(const TransformMaterial&) = default;
-  TransformMaterial(TransformMaterial&&) = default;
-  TransformMaterial& operator=(const TransformMaterial&) = default;
-  TransformMaterial& operator=(TransformMaterial&&) = default;
-  ~TransformMaterial() {
-    crypto::SecureWipe(permutation_key);
-    crypto::SecureWipe(mapper_seed);
-    crypto::SecureWipe(paillier_key);
-  }
-
-  Bytes permutation_key;  // deta-lint: secret
-  Bytes mapper_seed;      // deta-lint: secret
+  // deta-lint: secret
+  Secret<Bytes> permutation_key;
+  // deta-lint: secret
+  Secret<Bytes> mapper_seed;
   // Serialized Paillier key pair (persist/paillier_key_codec.h; empty = job does not
   // use Paillier fusion). Carried by the broker so the fusion decryption capability is
   // dispatched over the same authenticated channel as the transform secrets — it is
   // the key-broker key material the paper's §4.2 broker role exists to hold.
-  Bytes paillier_key;     // deta-lint: secret
+  // deta-lint: secret
+  Secret<Bytes> paillier_key;
   int64_t total_params = 0;
   std::vector<double> proportions;  // empty = uniform over num_aggregators
   int num_aggregators = 1;

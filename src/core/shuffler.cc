@@ -9,7 +9,7 @@
 namespace deta::core {
 
 Shuffler::Shuffler(Bytes permutation_key) : key_(std::move(permutation_key)) {
-  DETA_CHECK_MSG(!key_.empty(), "empty permutation key");
+  DETA_CHECK_MSG(!key_.ExposeForCrypto().empty(), "empty permutation key");
 }
 
 std::vector<int64_t> Shuffler::PermutationFor(uint64_t round_id, int partition,
@@ -19,7 +19,7 @@ std::vector<int64_t> Shuffler::PermutationFor(uint64_t round_id, int partition,
   net::Writer w;
   w.WriteU64(round_id);
   w.WriteU32(static_cast<uint32_t>(partition));
-  Bytes seed = crypto::HmacSha256(key_, w.Take());
+  Bytes seed = crypto::HmacSha256(key_.ExposeForCrypto(), w.Take());
   crypto::SecureRng rng(seed);
 
   std::vector<int64_t> perm(static_cast<size_t>(size));

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "common/bytes.h"
-#include "crypto/secure_wipe.h"
+#include "common/secret.h"
 
 namespace deta::core {
 
@@ -23,12 +23,6 @@ class Shuffler {
   // |permutation_key| of any length; the paper's key-size security knob. |key_bits| in
   // [8, 8*key.size()] optionally truncates the effective key for the ablation bench.
   explicit Shuffler(Bytes permutation_key);
-
-  Shuffler(const Shuffler&) = default;
-  Shuffler(Shuffler&&) = default;
-  Shuffler& operator=(const Shuffler&) = default;
-  Shuffler& operator=(Shuffler&&) = default;
-  ~Shuffler() { crypto::SecureWipe(key_); }
 
   // The permutation for (round, partition) as an index map: out[i] = in[perm[i]].
   std::vector<int64_t> PermutationFor(uint64_t round_id, int partition, int64_t size) const;
@@ -39,10 +33,9 @@ class Shuffler {
   std::vector<float> Unshuffle(const std::vector<float>& fragment, uint64_t round_id,
                                int partition) const;
 
-  const Bytes& key() const { return key_; }
-
  private:
-  Bytes key_;  // deta-lint: secret — undoing the shuffle costs O(2^|key|) without it
+  // deta-lint: secret — undoing the shuffle costs O(2^|key|) without it
+  Secret<Bytes> key_;
 };
 
 // Generates a fresh permutation key of |bits| (trusted key-broker role).

@@ -12,8 +12,9 @@ constexpr size_t kTagSize = 32;
 Aead::Aead(const Bytes& master_key) {
   Bytes okm = Hkdf(StringToBytes("deta-aead-salt"), master_key,
                    StringToBytes("deta-aead-keys"), kChaChaKeySize + 32);
-  std::copy(okm.begin(), okm.begin() + kChaChaKeySize, enc_key_.begin());
-  mac_key_.assign(okm.begin() + kChaChaKeySize, okm.end());
+  std::copy(okm.begin(), okm.begin() + kChaChaKeySize, enc_key_.ExposeMutable().begin());
+  mac_key_.ExposeMutable().assign(okm.begin() + kChaChaKeySize, okm.end());
+  SecureWipe(okm);
 }
 
 Bytes Aead::MacInput(const Bytes& nonce, const Bytes& associated_data,
@@ -28,10 +29,11 @@ Bytes Aead::MacInput(const Bytes& nonce, const Bytes& associated_data,
 
 Bytes Aead::Seal(const Bytes& plaintext, const Bytes& associated_data, SecureRng& rng) const {
   std::array<uint8_t, kChaChaNonceSize> nonce = rng.NextArray<kChaChaNonceSize>();
-  Bytes ciphertext = ChaCha20Xor(enc_key_, nonce, 1, plaintext);
+  Bytes ciphertext = ChaCha20Xor(enc_key_.ExposeForCrypto(), nonce, 1, plaintext);
 
   Bytes nonce_bytes(nonce.begin(), nonce.end());
-  Bytes tag = HmacSha256(mac_key_, MacInput(nonce_bytes, associated_data, ciphertext));
+  Bytes tag = HmacSha256(mac_key_.ExposeForCrypto(),
+                         MacInput(nonce_bytes, associated_data, ciphertext));
 
   Bytes frame;
   frame.reserve(kChaChaNonceSize + ciphertext.size() + kTagSize);
@@ -49,14 +51,15 @@ std::optional<Bytes> Aead::Open(const Bytes& frame, const Bytes& associated_data
   Bytes ciphertext(frame.begin() + kChaChaNonceSize, frame.end() - kTagSize);
   Bytes tag(frame.end() - kTagSize, frame.end());
 
-  Bytes expected = HmacSha256(mac_key_, MacInput(nonce_bytes, associated_data, ciphertext));
+  Bytes expected = HmacSha256(mac_key_.ExposeForCrypto(),
+                              MacInput(nonce_bytes, associated_data, ciphertext));
   if (!ConstantTimeEqual(tag, expected)) {
     return std::nullopt;
   }
 
   std::array<uint8_t, kChaChaNonceSize> nonce;
   std::copy(nonce_bytes.begin(), nonce_bytes.end(), nonce.begin());
-  return ChaCha20Xor(enc_key_, nonce, 1, ciphertext);
+  return ChaCha20Xor(enc_key_.ExposeForCrypto(), nonce, 1, ciphertext);
 }
 
 }  // namespace deta::crypto

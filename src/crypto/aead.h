@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "crypto/chacha20.h"
 #include "crypto/secure_wipe.h"
 
@@ -21,14 +22,7 @@ class Aead {
   // |master_key| is expanded via HKDF into independent encryption and MAC keys.
   explicit Aead(const Bytes& master_key);
 
-  Aead(const Aead&) = default;
-  Aead(Aead&&) = default;
-  Aead& operator=(const Aead&) = default;
-  Aead& operator=(Aead&&) = default;
-  ~Aead() {
-    SecureWipe(enc_key_);
-    SecureWipe(mac_key_);
-  }
+  // Both derived keys are Secret members, wiped automatically on destruction.
 
   // Encrypts and authenticates. The nonce is drawn from |rng| and prepended to the frame.
   Bytes Seal(const Bytes& plaintext, const Bytes& associated_data, SecureRng& rng) const;
@@ -40,8 +34,8 @@ class Aead {
   Bytes MacInput(const Bytes& nonce, const Bytes& associated_data,
                  const Bytes& ciphertext) const;
 
-  std::array<uint8_t, kChaChaKeySize> enc_key_;  // deta-lint: secret
-  Bytes mac_key_;                                // deta-lint: secret
+  Secret<std::array<uint8_t, kChaChaKeySize>> enc_key_;  // deta-lint: secret
+  Secret<Bytes> mac_key_;                                // deta-lint: secret
 };
 
 }  // namespace deta::crypto

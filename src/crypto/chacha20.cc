@@ -90,7 +90,8 @@ Bytes ChaCha20Xor(const std::array<uint8_t, kChaChaKeySize>& key,
 
 SecureRng::SecureRng(const Bytes& seed) {
   Bytes digest = Sha256Digest(seed);
-  std::copy(digest.begin(), digest.end(), key_.begin());
+  std::copy(digest.begin(), digest.end(), key_.ExposeMutable().begin());
+  SecureWipe(digest);
 }
 
 SecureRng SecureRng::FromEntropy() {
@@ -104,8 +105,9 @@ SecureRng SecureRng::FromEntropy() {
 }
 
 void SecureRng::Refill() {
-  block_.resize(64);
-  ChaChaBlock(key_, nonce_, counter_, block_.data());
+  Bytes& block = block_.ExposeMutable();
+  block.resize(64);
+  ChaChaBlock(key_.ExposeForCrypto(), nonce_, counter_, block.data());
   ++counter_;
   if (counter_ == 0) {
     // 256 GiB of stream exhausted; roll the nonce forward.
@@ -119,10 +121,10 @@ void SecureRng::Refill() {
 }
 
 uint8_t SecureRng::NextByte() {
-  if (pos_ >= block_.size()) {
+  if (pos_ >= block_.ExposeForCrypto().size()) {
     Refill();
   }
-  return block_[pos_++];
+  return block_.ExposeForCrypto()[pos_++];
 }
 
 uint32_t SecureRng::NextU32() {
@@ -157,15 +159,19 @@ Bytes SecureRng::NextBytes(size_t n) {
 }
 
 Bytes SecureRng::SerializeState() const {
+  // ExposeForSeal: this blob is checkpoint state; the persist layer seals it under the
+  // role's SealKey before it can reach disk (enforced end-to-end by deta_taintcheck).
+  const auto& key = key_.ExposeForSeal();
+  const Bytes& block = block_.ExposeForSeal();
   Bytes out;
-  out.insert(out.end(), key_.begin(), key_.end());
+  out.insert(out.end(), key.begin(), key.end());
   out.insert(out.end(), nonce_.begin(), nonce_.end());
   AppendU32(out, counter_);
   AppendU64(out, static_cast<uint64_t>(pos_));
   // The unconsumed keystream block is stored verbatim: replaying it exactly avoids
   // having to re-derive a partially consumed block across the counter/nonce rollover.
-  AppendU64(out, static_cast<uint64_t>(block_.size()));
-  out.insert(out.end(), block_.begin(), block_.end());
+  AppendU64(out, static_cast<uint64_t>(block.size()));
+  out.insert(out.end(), block.begin(), block.end());
   return out;
 }
 
@@ -182,12 +188,12 @@ bool SecureRng::RestoreState(const Bytes& data) {
   if (block_size > 64 || pos > block_size || data.size() != fixed + block_size) {
     return false;
   }
-  std::copy(data.begin(), data.begin() + kChaChaKeySize, key_.begin());
+  std::copy(data.begin(), data.begin() + kChaChaKeySize, key_.ExposeMutable().begin());
   std::copy(data.begin() + kChaChaKeySize, data.begin() + static_cast<long>(offset),
             nonce_.begin());
   counter_ = counter;
   pos_ = static_cast<size_t>(pos);
-  block_.assign(data.begin() + static_cast<long>(fixed), data.end());
+  block_.ExposeMutable().assign(data.begin() + static_cast<long>(fixed), data.end());
   return true;
 }
 

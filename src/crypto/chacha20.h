@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "crypto/secure_wipe.h"
 
 namespace deta::crypto {
@@ -34,16 +35,9 @@ class SecureRng {
   // Seeds from arbitrary bytes (hashed down to a 256-bit key).
   explicit SecureRng(const Bytes& seed);
 
-  SecureRng(const SecureRng&) = default;
-  SecureRng(SecureRng&&) = default;
-  SecureRng& operator=(const SecureRng&) = default;
-  SecureRng& operator=(SecureRng&&) = default;
   // The stream key predicts every future output (permutations, nonces, challenges);
-  // wiped so a scraped heap page cannot replay a role's randomness.
-  ~SecureRng() {
-    SecureWipe(key_);
-    SecureWipe(block_);
-  }
+  // both Secret members wipe on destruction so a scraped heap page cannot replay a
+  // role's randomness.
 
   // Seeds from OS entropy (std::random_device); for long-lived identity keys.
   static SecureRng FromEntropy();
@@ -74,10 +68,11 @@ class SecureRng {
  private:
   void Refill();
 
-  std::array<uint8_t, kChaChaKeySize> key_;  // deta-lint: secret
+  Secret<std::array<uint8_t, kChaChaKeySize>> key_;  // deta-lint: secret
   std::array<uint8_t, kChaChaNonceSize> nonce_{};
   uint32_t counter_ = 0;
-  Bytes block_;  // deta-lint: secret — unconsumed keystream predicts future outputs
+  // deta-lint: secret — unconsumed keystream predicts future outputs
+  Secret<Bytes> block_;
   size_t pos_ = 0;
 };
 

@@ -132,14 +132,15 @@ EcKeyPair GenerateEcKey(SecureRng& rng) {
   do {
     priv = BigUint::RandomBelow(rng, curve.n());
   } while (priv.IsZero());
-  return EcKeyPair{priv, curve.MulGenerator(priv)};
+  EcPoint pub = curve.MulGenerator(priv);
+  return EcKeyPair{std::move(priv), std::move(pub)};
 }
 
-Bytes EcdhSharedSecret(const BigUint& private_key, const EcPoint& peer_public) {
+Bytes EcdhSharedSecret(const Secret<BigUint>& private_key, const EcPoint& peer_public) {
   const Secp256k1& curve = Secp256k1::Instance();
   DETA_CHECK_MSG(curve.IsOnCurve(peer_public) && !peer_public.is_infinity,
                  "invalid ECDH peer public key");
-  EcPoint shared = curve.Mul(private_key, peer_public);
+  EcPoint shared = curve.Mul(private_key.ExposeForCrypto(), peer_public);
   DETA_CHECK_MSG(!shared.is_infinity, "degenerate ECDH shared point");
   return Sha256Digest(shared.x.ToBytesPadded(32));
 }

@@ -10,6 +10,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/secret.h"
 #include "crypto/bigint.h"
 #include "crypto/chacha20.h"
 
@@ -52,25 +53,21 @@ class Secp256k1 {
   EcPoint g_;
 };
 
-// Key pair on secp256k1.
+// Key pair on secp256k1. The scalar is a Secret: signing/ECDH take it wrapped, and it
+// wipes itself on destruction.
 struct EcKeyPair {
   EcKeyPair() = default;
   EcKeyPair(BigUint priv, EcPoint pub)
       : private_key(std::move(priv)), public_key(std::move(pub)) {}
-  EcKeyPair(const EcKeyPair&) = default;
-  EcKeyPair(EcKeyPair&&) = default;
-  EcKeyPair& operator=(const EcKeyPair&) = default;
-  EcKeyPair& operator=(EcKeyPair&&) = default;
-  ~EcKeyPair() { private_key.Wipe(); }
 
-  BigUint private_key;  // deta-lint: secret — scalar in [1, n)
-  EcPoint public_key;   // private_key * G
+  Secret<BigUint> private_key;  // deta-lint: secret — scalar in [1, n)
+  EcPoint public_key;           // private_key * G
 };
 
 EcKeyPair GenerateEcKey(SecureRng& rng);
 
 // ECDH: shared secret = SHA-256 of the x-coordinate of (priv * peer_pub).
-Bytes EcdhSharedSecret(const BigUint& private_key, const EcPoint& peer_public);
+Bytes EcdhSharedSecret(const Secret<BigUint>& private_key, const EcPoint& peer_public);
 
 }  // namespace deta::crypto
 

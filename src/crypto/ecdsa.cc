@@ -36,8 +36,9 @@ EcdsaSignature EcdsaSignature::Deserialize(const Bytes& data) {
   return sig;
 }
 
-EcdsaSignature EcdsaSign(const BigUint& private_key, const Bytes& message) {
+EcdsaSignature EcdsaSign(const Secret<BigUint>& private_key_secret, const Bytes& message) {
   const Secp256k1& curve = Secp256k1::Instance();
+  const BigUint& private_key = private_key_secret.ExposeForCrypto();
   const BigUint& n = curve.n();
   Bytes digest = Sha256Digest(message);
   BigUint z = BigUint::FromBytes(digest).Mod(n);

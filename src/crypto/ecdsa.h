@@ -20,8 +20,9 @@ struct EcdsaSignature {
   static EcdsaSignature Deserialize(const Bytes& data);
 };
 
-// Signs SHA-256(message).
-EcdsaSignature EcdsaSign(const BigUint& private_key, const Bytes& message);
+// Signs SHA-256(message). Takes the scalar wrapped so call sites never hold a bare
+// private key; the single exposure happens inside the signing kernel.
+EcdsaSignature EcdsaSign(const Secret<BigUint>& private_key, const Bytes& message);
 
 // Verifies a signature over SHA-256(message).
 bool EcdsaVerify(const EcPoint& public_key, const Bytes& message, const EcdsaSignature& sig);

@@ -97,23 +97,36 @@ BigUint PaillierPublicKey::MulPlain(const BigUint& c, const BigUint& k) const {
 }
 
 bool PaillierPrivateKey::PrecomputeCrt(const PaillierPublicKey& pub) {
-  if (p.IsZero() || q.IsZero() || p.Mul(q) != pub.n) {
+  // All derivation happens on exposed references inside this kernel; every derived
+  // value lands back in a Secret member (or is a fresh local wiped by BigUint dtor
+  // semantics when it leaves scope).
+  const BigUint& pv = p.ExposeForCrypto();
+  const BigUint& qv = q.ExposeForCrypto();
+  if (pv.IsZero() || qv.IsZero() || pv.Mul(qv) != pub.n) {
     return false;
   }
-  p_squared = p.Mul(p);
-  q_squared = q.Mul(q);
-  p_minus_1 = p.Sub(BigUint(1));
-  q_minus_1 = q.Sub(BigUint(1));
-  mont_p2_ = std::make_shared<const MontgomeryContext>(p_squared);
-  mont_q2_ = std::make_shared<const MontgomeryContext>(q_squared);
+  p_squared = Secret<BigUint>(pv.Mul(pv));
+  q_squared = Secret<BigUint>(qv.Mul(qv));
+  p_minus_1 = Secret<BigUint>(pv.Sub(BigUint(1)));
+  q_minus_1 = Secret<BigUint>(qv.Sub(BigUint(1)));
+  const BigUint& p2 = p_squared.ExposeForCrypto();
+  const BigUint& q2 = q_squared.ExposeForCrypto();
+  mont_p2_ = std::make_shared<const MontgomeryContext>(p2);
+  mont_q2_ = std::make_shared<const MontgomeryContext>(q2);
   // hp = L_p(g^(p-1) mod p^2)^-1 mod p (and symmetrically hq): the per-prime analogue
   // of mu, precomputed so decryption costs one inverse-free multiply per prime.
-  BigUint lp = LFunction(mont_p2_->PowMod(pub.g.Mod(p_squared), p_minus_1), p);
-  BigUint lq = LFunction(mont_q2_->PowMod(pub.g.Mod(q_squared), q_minus_1), q);
-  if (!BigUint::InvMod(lp, p, &hp) || !BigUint::InvMod(lq, q, &hq) ||
-      !BigUint::InvMod(p, q, &p_inv_q)) {
+  BigUint lp = LFunction(mont_p2_->PowMod(pub.g.Mod(p2), p_minus_1.ExposeForCrypto()), pv);
+  BigUint lq = LFunction(mont_q2_->PowMod(pub.g.Mod(q2), q_minus_1.ExposeForCrypto()), qv);
+  BigUint hp_v;
+  BigUint hq_v;
+  BigUint p_inv_q_v;
+  if (!BigUint::InvMod(lp, pv, &hp_v) || !BigUint::InvMod(lq, qv, &hq_v) ||
+      !BigUint::InvMod(pv, qv, &p_inv_q_v)) {
     return false;
   }
+  hp = Secret<BigUint>(std::move(hp_v));
+  hq = Secret<BigUint>(std::move(hq_v));
+  p_inv_q = Secret<BigUint>(std::move(p_inv_q_v));
   return true;
 }
 
@@ -122,17 +135,23 @@ BigUint PaillierPrivateKey::Decrypt(const BigUint& c, const PaillierPublicKey& p
     // CRT decryption: exponentiate against the half-size moduli p^2/q^2 with the
     // half-size exponents p-1/q-1, then recombine with Garner's formula. ~4x cheaper
     // than the lambda/mu path and bitwise identical to it.
-    BigUint mp =
-        BigUint::MulMod(LFunction(mont_p2_->PowMod(c.Mod(p_squared), p_minus_1), p), hp, p);
-    BigUint mq =
-        BigUint::MulMod(LFunction(mont_q2_->PowMod(c.Mod(q_squared), q_minus_1), q), hq, q);
-    BigUint h = BigUint::MulMod(BigUint::SubMod(mq, mp, q), p_inv_q, q);
-    return mp.Add(p.Mul(h));  // mp + p*h < p*q = n
+    const BigUint& pv = p.ExposeForCrypto();
+    const BigUint& qv = q.ExposeForCrypto();
+    BigUint mp = BigUint::MulMod(
+        LFunction(mont_p2_->PowMod(c.Mod(p_squared.ExposeForCrypto()),
+                                   p_minus_1.ExposeForCrypto()), pv),
+        hp.ExposeForCrypto(), pv);
+    BigUint mq = BigUint::MulMod(
+        LFunction(mont_q2_->PowMod(c.Mod(q_squared.ExposeForCrypto()),
+                                   q_minus_1.ExposeForCrypto()), qv),
+        hq.ExposeForCrypto(), qv);
+    BigUint h = BigUint::MulMod(BigUint::SubMod(mq, mp, qv), p_inv_q.ExposeForCrypto(), qv);
+    return mp.Add(pv.Mul(h));  // mp + p*h < p*q = n
   }
   const MontgomeryContext* mont = pub.mont_n2();
-  BigUint u = mont != nullptr ? mont->PowMod(c, lambda)
-                              : BigUint::PowMod(c, lambda, pub.n_squared);
-  return BigUint::MulMod(LFunction(u, pub.n), mu, pub.n);
+  BigUint u = mont != nullptr ? mont->PowMod(c, lambda.ExposeForCrypto())
+                              : BigUint::PowMod(c, lambda.ExposeForCrypto(), pub.n_squared);
+  return BigUint::MulMod(LFunction(u, pub.n), mu.ExposeForCrypto(), pub.n);
 }
 
 std::vector<BigUint> PaillierPrivateKey::DecryptBatch(const std::vector<BigUint>& cs,
@@ -165,17 +184,17 @@ PaillierKeyPair GeneratePaillierKey(SecureRng& rng, size_t modulus_bits) {
     kp.pub.n_squared = n.Mul(n);
     kp.pub.g = n.Add(BigUint(1));
     kp.pub.PrecomputeCache();
-    kp.priv.lambda = BigUint::Lcm(p.Sub(BigUint(1)), q.Sub(BigUint(1)));
+    kp.priv.lambda = Secret<BigUint>(BigUint::Lcm(p.Sub(BigUint(1)), q.Sub(BigUint(1))));
 
-    BigUint u = kp.pub.mont_n2()->PowMod(kp.pub.g, kp.priv.lambda);
+    BigUint u = kp.pub.mont_n2()->PowMod(kp.pub.g, kp.priv.lambda.ExposeForCrypto());
     BigUint l = LFunction(u, n);
     BigUint mu;
     if (!BigUint::InvMod(l, n, &mu)) {
       continue;  // Degenerate key; re-draw.
     }
-    kp.priv.mu = mu;
-    kp.priv.p = p;
-    kp.priv.q = q;
+    kp.priv.mu = Secret<BigUint>(std::move(mu));
+    kp.priv.p = Secret<BigUint>(std::move(p));
+    kp.priv.q = Secret<BigUint>(std::move(q));
     if (!kp.priv.PrecomputeCrt(kp.pub)) {
       continue;
     }

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/secret.h"
 #include "crypto/bigint.h"
 #include "crypto/chacha20.h"
 #include "crypto/montgomery.h"
@@ -56,45 +57,29 @@ struct PaillierPublicKey {
 };
 
 struct PaillierPrivateKey {
-  PaillierPrivateKey() = default;
-  PaillierPrivateKey(const PaillierPrivateKey&) = default;
-  PaillierPrivateKey(PaillierPrivateKey&&) = default;
-  PaillierPrivateKey& operator=(const PaillierPrivateKey&) = default;
-  PaillierPrivateKey& operator=(PaillierPrivateKey&&) = default;
   // Whoever holds lambda/mu (or the CRT primes, which are strictly stronger) can
   // decrypt every party's update — the exact capability the decentralization argument
-  // denies to aggregators — so every secret component is wiped on destruction.
-  ~PaillierPrivateKey() {
-    lambda.Wipe();
-    mu.Wipe();
-    p.Wipe();
-    q.Wipe();
-    p_squared.Wipe();
-    q_squared.Wipe();
-    p_minus_1.Wipe();
-    q_minus_1.Wipe();
-    hp.Wipe();
-    hq.Wipe();
-    p_inv_q.Wipe();
-  }
+  // denies to aggregators — so every component is a Secret<BigUint>: it cannot reach a
+  // log, a telemetry label, or a plaintext wire/persist path without an audited
+  // Expose* call, and it wipes itself on destruction.
 
-  BigUint lambda;  // deta-lint: secret — lcm(p-1, q-1)
-  BigUint mu;      // deta-lint: secret — (L(g^lambda mod n^2))^-1 mod n
+  Secret<BigUint> lambda;  // deta-lint: secret — lcm(p-1, q-1)
+  Secret<BigUint> mu;      // deta-lint: secret — (L(g^lambda mod n^2))^-1 mod n
 
   // CRT extension (empty p/q = absent; legacy keys decrypt via lambda/mu). The primes
   // and everything derived from them are secret; the derived members exist so decrypt
   // never recomputes an inverse or square per ciphertext.
-  BigUint p;          // deta-lint: secret — prime factor of n
-  BigUint q;          // deta-lint: secret — prime factor of n
-  BigUint p_squared;  // deta-lint: secret
-  BigUint q_squared;  // deta-lint: secret
-  BigUint p_minus_1;  // deta-lint: secret — CRT exponent mod p^2
-  BigUint q_minus_1;  // deta-lint: secret — CRT exponent mod q^2
-  BigUint hp;         // deta-lint: secret — L_p(g^(p-1) mod p^2)^-1 mod p
-  BigUint hq;         // deta-lint: secret — L_q(g^(q-1) mod q^2)^-1 mod q
-  BigUint p_inv_q;    // deta-lint: secret — p^-1 mod q (Garner recombination)
+  Secret<BigUint> p;          // deta-lint: secret — prime factor of n
+  Secret<BigUint> q;          // deta-lint: secret — prime factor of n
+  Secret<BigUint> p_squared;  // deta-lint: secret
+  Secret<BigUint> q_squared;  // deta-lint: secret
+  Secret<BigUint> p_minus_1;  // deta-lint: secret — CRT exponent mod p^2
+  Secret<BigUint> q_minus_1;  // deta-lint: secret — CRT exponent mod q^2
+  Secret<BigUint> hp;         // deta-lint: secret — L_p(g^(p-1) mod p^2)^-1 mod p
+  Secret<BigUint> hq;         // deta-lint: secret — L_q(g^(q-1) mod q^2)^-1 mod q
+  Secret<BigUint> p_inv_q;    // deta-lint: secret — p^-1 mod q (Garner recombination)
 
-  bool HasCrt() const { return !p.IsZero(); }
+  bool HasCrt() const { return !p.ExposeForCrypto().IsZero(); }
   // Derives p_squared..p_inv_q and the per-prime Montgomery contexts from p/q (which
   // must multiply to pub.n). Returns false on degenerate inputs (non-invertible hp/hq).
   bool PrecomputeCrt(const PaillierPublicKey& pub);

@@ -19,7 +19,9 @@ Bytes SecureChannel::SerializeState() const {
   w.WriteU32(role_ == ChannelRole::kInitiator ? 0 : 1);
   w.WriteU64(send_seq_);
   w.WriteU64(last_accepted_);
-  w.WriteBytes(master_secret_);
+  // ExposeForSeal: channel state is checkpoint material; the persist layer seals it
+  // under the role's SealKey before it reaches disk.
+  w.WriteBytes(master_secret_.ExposeForSeal());
   return w.Take();
 }
 

@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 
+#include "common/secret.h"
 #include "crypto/aead.h"
 
 namespace deta::net {
@@ -27,11 +28,7 @@ class SecureChannel {
   // |master_secret| from key agreement; |channel_id| binds frames to this channel.
   SecureChannel(const Bytes& master_secret, std::string channel_id, ChannelRole role);
 
-  SecureChannel(const SecureChannel&) = default;
-  SecureChannel(SecureChannel&&) = default;
-  SecureChannel& operator=(const SecureChannel&) = default;
-  SecureChannel& operator=(SecureChannel&&) = default;
-  ~SecureChannel() { crypto::SecureWipe(master_secret_); }
+  // The retained master secret is a Secret member and wipes itself on destruction.
 
   // Seals |plaintext| with the next outbound sequence number. Not idempotent: a
   // retransmitted protocol message must be re-sealed, not re-sent byte-for-byte, or the
@@ -62,8 +59,9 @@ class SecureChannel {
  private:
   Bytes AssociatedData(ChannelRole sender, uint64_t seq) const;
 
-  crypto::Aead aead_;    // deta-lint: secret — Aead wipes its own keys on destruction
-  Bytes master_secret_;  // deta-lint: secret — retained for SerializeState
+  crypto::Aead aead_;  // deta-lint: secret — Aead wipes its own keys on destruction
+  // deta-lint: secret — retained for SerializeState
+  Secret<Bytes> master_secret_;
   std::string channel_id_;
   ChannelRole role_;
   uint64_t send_seq_ = 0;       // last sequence number sealed

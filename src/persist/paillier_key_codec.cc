@@ -20,11 +20,13 @@ Bytes SerializeWithVersion(const crypto::PaillierKeyPair& kp, uint32_t version) 
   net::Writer w;
   w.WriteU32(version);
   WriteBigUint(w, kp.pub.n);
-  WriteBigUint(w, kp.priv.lambda);
-  WriteBigUint(w, kp.priv.mu);
+  // ExposeForSeal: the serialized blob travels only inside sealed snapshot sections
+  // and over the broker's authenticated channel (deta_taintcheck tracks this flow).
+  WriteBigUint(w, kp.priv.lambda.ExposeForSeal());
+  WriteBigUint(w, kp.priv.mu.ExposeForSeal());
   if (version >= kVersionCrt) {
-    WriteBigUint(w, kp.priv.p);
-    WriteBigUint(w, kp.priv.q);
+    WriteBigUint(w, kp.priv.p.ExposeForSeal());
+    WriteBigUint(w, kp.priv.q.ExposeForSeal());
   }
   return w.Take();
 }
@@ -56,11 +58,11 @@ std::optional<crypto::PaillierKeyPair> ParsePaillierKey(const Bytes& blob) {
     kp.pub.n_squared = kp.pub.n.Mul(kp.pub.n);
     kp.pub.g = kp.pub.n.Add(BigUint(1));
     kp.pub.PrecomputeCache();
-    kp.priv.lambda = ReadBigUint(r);
-    kp.priv.mu = ReadBigUint(r);
+    kp.priv.lambda = deta::Secret<BigUint>(ReadBigUint(r));
+    kp.priv.mu = deta::Secret<BigUint>(ReadBigUint(r));
     if (version >= kVersionCrt) {
-      kp.priv.p = ReadBigUint(r);
-      kp.priv.q = ReadBigUint(r);
+      kp.priv.p = deta::Secret<BigUint>(ReadBigUint(r));
+      kp.priv.q = deta::Secret<BigUint>(ReadBigUint(r));
       // PrecomputeCrt validates p*q == n, so a corrupted prime cannot produce a key
       // that silently decrypts to garbage.
       if (!kp.priv.PrecomputeCrt(kp.pub)) {

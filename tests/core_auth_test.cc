@@ -21,7 +21,7 @@ class AuthTest : public ::testing::Test {
 
   // Runs the aggregator side for |challenges| challenge messages and |registrations|
   // registration messages, using |key| as its token private key.
-  std::thread AggregatorResponder(const crypto::BigUint& key, int challenges,
+  std::thread AggregatorResponder(const Secret<crypto::BigUint>& key, int challenges,
                                   int registrations) {
     return std::thread([this, key, challenges, registrations] {
       crypto::SecureRng agg_rng(StringToBytes("agg-rng"));

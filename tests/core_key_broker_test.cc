@@ -11,8 +11,8 @@ namespace {
 
 TransformMaterial TestMaterial() {
   TransformMaterial m;
-  m.permutation_key = GeneratePermutationKey(128, StringToBytes("kb-test"));
-  m.mapper_seed = StringToBytes("mapper-seed-0123456789");
+  m.permutation_key = Secret<Bytes>(GeneratePermutationKey(128, StringToBytes("kb-test")));
+  m.mapper_seed = Secret<Bytes>(StringToBytes("mapper-seed-0123456789"));
   m.total_params = 1000;
   m.num_aggregators = 3;
   m.enable_partition = true;
@@ -35,7 +35,7 @@ TEST(TransformMaterialTest, SerializationRoundTrip) {
 
 TEST(TransformMaterialTest, PaillierKeyRoundTripsOnTheWire) {
   TransformMaterial m = TestMaterial();
-  m.paillier_key = StringToBytes("opaque serialized key blob");
+  m.paillier_key = Secret<Bytes>(StringToBytes("opaque serialized key blob"));
   TransformMaterial back = TransformMaterial::Deserialize(m.Serialize());
   EXPECT_EQ(back.paillier_key, m.paillier_key);
 }
@@ -46,8 +46,8 @@ TEST(TransformMaterialTest, DeserializesPreExtensionWireFormat) {
   // simply absent.
   TransformMaterial m = TestMaterial();
   net::Writer w;
-  w.WriteBytes(m.permutation_key);
-  w.WriteBytes(m.mapper_seed);
+  w.WriteBytes(m.permutation_key.ExposeForSeal());
+  w.WriteBytes(m.mapper_seed.ExposeForSeal());
   w.WriteI64(m.total_params);
   w.WriteU64(0);
   w.WriteU32(static_cast<uint32_t>(m.num_aggregators));
@@ -56,7 +56,7 @@ TEST(TransformMaterialTest, DeserializesPreExtensionWireFormat) {
   TransformMaterial back = TransformMaterial::Deserialize(w.Take());
   EXPECT_EQ(back.permutation_key, m.permutation_key);
   EXPECT_EQ(back.num_aggregators, m.num_aggregators);
-  EXPECT_TRUE(back.paillier_key.empty());
+  EXPECT_TRUE(back.paillier_key.ExposeForCrypto().empty());
 }
 
 TEST(TransformMaterialTest, BuildTransformIsDeterministic) {

@@ -1,0 +1,11 @@
+// Must NOT compile: exposing a temporary Secret. The const&&-qualified Expose*
+// overloads are deleted — a temporary's exposure would return a reference that
+// dangles as soon as the full expression ends, and would leave no owner whose
+// audit trail covers the exposed bytes.
+#include "common/secret.h"
+
+deta::Secret<deta::Bytes> MakeKey();
+
+const deta::Bytes& DanglingExposure() {
+  return MakeKey().ExposeForCrypto();
+}

@@ -1,0 +1,10 @@
+// Must NOT compile: implicit conversion from Secret<T> back to T. Without this,
+// any T-shaped sink — wire codecs, ToHex, a return value — silently launders the
+// taint away; every detaint must be an audited Expose* call instead.
+#include "common/secret.h"
+
+deta::Bytes LaunderSecret() {
+  deta::Secret<deta::Bytes> key(deta::Bytes{0x01, 0x02});
+  deta::Bytes plain = key;
+  return plain;
+}

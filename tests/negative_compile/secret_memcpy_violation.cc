@@ -1,0 +1,11 @@
+// Must NOT compile: memcpy-ing a Secret's contents out through the wrapper.
+// Secret<T> converts to neither T nor a pointer, so the classic "copy the key
+// into a scratch buffer" leak has no overload to land on.
+#include <cstring>
+
+#include "common/secret.h"
+
+void LeakViaMemcpy(unsigned char* out) {
+  deta::Secret<deta::Bytes> key(deta::Bytes{0x01, 0x02, 0x03, 0x04});
+  std::memcpy(out, key, 4);
+}

@@ -1,0 +1,50 @@
+// Control for the Secret<T> negative-compile gate: every *sanctioned* use of the
+// taint wrapper must compile. If this file breaks, the violation fixtures' failures
+// prove nothing (they could all be failing on a bad include path).
+#include <utility>
+
+#include "common/secret.h"
+#include "crypto/bigint.h"
+
+namespace {
+
+using deta::Bytes;
+using deta::Secret;
+
+// A Seal-shaped sink: takes the exposed plaintext by const reference.
+deta::Bytes SealLike(const deta::Bytes& plaintext) { return plaintext; }
+
+void SanctionedUses() {
+  // Explicit construction introduces taint deliberately.
+  Secret<Bytes> key(Bytes{0x01, 0x02, 0x03});
+
+  // Copy / move / assignment keep the value inside the wrapper.
+  Secret<Bytes> copy = key;
+  Secret<Bytes> moved = std::move(copy);
+  copy = moved;
+
+  // Equality without exposure.
+  bool same = key == moved;
+  (void)same;
+
+  // Audited exposure into crypto / seal sinks.
+  Bytes sealed = SealLike(key.ExposeForSeal());
+  (void)sealed;
+  const Bytes& raw = key.ExposeForCrypto();
+  (void)raw;
+
+  // Mutation for deserialization paths, and explicit early erasure.
+  moved.ExposeMutable().push_back(0x04);
+  moved.WipeNow();
+
+  // Wrapping a type with its own Wipe() (BigUint zeroes its limbs).
+  Secret<deta::crypto::BigUint> scalar(deta::crypto::BigUint(42));
+  scalar.WipeNow();
+}
+
+}  // namespace
+
+int main() {
+  SanctionedUses();
+  return 0;
+}

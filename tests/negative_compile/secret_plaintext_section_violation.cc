@@ -1,0 +1,11 @@
+// Must NOT compile: adding a Secret to a snapshot section directly. Snapshot::Add
+// takes Bytes; a Secret<Bytes> only reaches it through ExposeForSeal() — and the
+// sanctioned pattern wraps that exposure in SealKey::Seal so ciphertext, not key
+// material, lands on disk.
+#include "common/secret.h"
+#include "persist/codec.h"
+
+void LeakToSnapshot(deta::persist::Snapshot& snap) {
+  deta::Secret<deta::Bytes> permutation_key(deta::Bytes{0x01, 0x02});
+  snap.Add(deta::persist::SectionType::kKeyMaterial, "perm_key", permutation_key);
+}

@@ -1,0 +1,12 @@
+// Must NOT compile: a Secret used as a telemetry metric name/label. The metric
+// registry takes std::string, and Secret<std::string> has no conversion to it —
+// key material cannot become a counter name without an audited Expose* call.
+#include <string>
+
+#include "common/secret.h"
+#include "common/telemetry.h"
+
+void LeakToTelemetry() {
+  deta::Secret<std::string> derived_label(std::string("kdf-context"));
+  DETA_COUNTER(derived_label).Increment();
+}

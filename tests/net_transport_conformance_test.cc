@@ -111,8 +111,9 @@ TEST_P(TransportConformanceTest, KeyFetchServesIdenticalMaterial) {
   crypto::SecureRng setup_rng(StringToBytes("conformance-kb"));
   crypto::EcKeyPair identity = crypto::GenerateEcKey(setup_rng);
   TransformMaterial material;
-  material.permutation_key = GeneratePermutationKey(128, StringToBytes("conformance"));
-  material.mapper_seed = StringToBytes("conformance-mapper-seed");
+  material.permutation_key =
+      Secret<Bytes>(GeneratePermutationKey(128, StringToBytes("conformance")));
+  material.mapper_seed = Secret<Bytes>(StringToBytes("conformance-mapper-seed"));
   material.total_params = 1000;
   material.num_aggregators = 2;
   KeyBroker broker(material, identity, /*expected_parties=*/2, *transport,
